@@ -1,0 +1,244 @@
+"""Ablations over the STRG-Index design decisions (beyond the paper's own
+figures; each isolates one claim made in the text).
+
+1. **Background deduplication** (Section 2.3.3 / Eq. 9 vs 10): how much of
+   the compression comes from storing one BG instead of N.
+2. **Metric vs non-metric leaf keys** (Theorem 2): keying leaves with the
+   non-metric EGED breaks the triangle-inequality pruning bound and loses
+   true neighbors; the metric EGED_M keeps search exact.
+3. **BIC-driven leaf split** (Section 5.3): with splits disabled, leaves
+   degrade into coarse buckets and queries evaluate more distances.
+4. **Time as just another dimension** (the 3DR-tree critique, Section 1):
+   MBR proximity in (x, y, t) is a poor proxy for motion similarity —
+   opposite-direction trajectories share a box.
+5. **Sakoe-Chiba banding of EGED_M**: constraining the alignment corridor
+   trades a bounded distance overestimate for a large DP speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import format_table, record_result, short_patterns
+
+
+def _make_ogs(num: int, seed: int = 5, noise: float = 0.10):
+    from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_ogs
+
+    return generate_synthetic_ogs(SyntheticConfig(
+        num_ogs=num, noise_fraction=noise, seed=seed,
+        patterns=short_patterns(12),
+    ))
+
+
+def bench_ablation_bg_dedup(benchmark):
+    """Eq. 9 vs Eq. 10: the N x size(BG) term dominates raw STRG size."""
+    from repro.core.size import strg_raw_size_bytes
+
+    def run():
+        ogs = _make_ogs(120)
+        bg_bytes = 4096  # a modest per-frame background footprint
+        rows = []
+        for num_frames in (1_000, 10_000, 100_000):
+            raw = strg_raw_size_bytes(ogs, bg_bytes, num_frames)
+            dedup = sum(og.size_bytes() for og in ogs) + bg_bytes
+            rows.append([num_frames, raw, dedup, f"{raw / dedup:.0f}x"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result("ablation_bg_dedup", format_table(
+        ["frames", "raw bytes", "dedup bytes", "reduction"], rows,
+    ))
+    # The reduction must grow linearly with the frame count.
+    first = float(rows[0][1]) / float(rows[0][2])
+    last = float(rows[2][1]) / float(rows[2][2])
+    assert last > first * 10
+
+
+def bench_ablation_metric_vs_nonmetric_keys(benchmark):
+    """Theorem 2's point: non-metric keys make pruned search lossy."""
+    from repro.core.index import STRGIndex, STRGIndexConfig
+    from repro.distance.eged import EGED, MetricEGED
+
+    def run():
+        ogs = _make_ogs(180)
+        exact = MetricEGED()
+        queries = _make_ogs(12, seed=77)
+
+        def recall_at_10(index):
+            hits_total = 0
+            for q in queries:
+                truth = {og.og_id for _, og in sorted(
+                    ((exact(q, og), og) for og in ogs), key=lambda t: t[0]
+                )[:10]}
+                found = {og.og_id for _, og, _ in index.knn(q, 10)}
+                hits_total += len(found & truth)
+            return hits_total / (10 * len(queries))
+
+        metric_index = STRGIndex(
+            STRGIndexConfig(n_clusters=12, em_iterations=5)
+        )
+        metric_index.build(ogs)
+        # Same tree, but keys and query pruning use the *non-metric* EGED.
+        broken_index = STRGIndex(
+            STRGIndexConfig(n_clusters=12, em_iterations=5),
+            metric_distance=EGED(),
+        )
+        broken_index.build(ogs)
+        return recall_at_10(metric_index), recall_at_10(broken_index)
+
+    metric_recall, nonmetric_recall = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    record_result("ablation_metric_keys", [
+        f"recall@10 with EGED_M keys:   {metric_recall:.3f}",
+        f"recall@10 with EGED keys:     {nonmetric_recall:.3f}",
+    ])
+    # Metric keys give exact search.
+    assert metric_recall == pytest.approx(1.0)
+    # (The non-metric variant may or may not lose neighbors on a given
+    # draw; correctness is only guaranteed by the metric property.)
+    assert nonmetric_recall <= 1.0
+
+
+def bench_ablation_leaf_split(benchmark):
+    """Section 5.3: BIC splits keep leaves tight and queries cheap."""
+    from repro.core.index import STRGIndex, STRGIndexConfig
+    from repro.distance.base import CountingDistance
+    from repro.distance.eged import MetricEGED
+
+    def run():
+        seed_ogs = _make_ogs(24, seed=1)
+        stream = _make_ogs(240, seed=2)
+        queries = _make_ogs(10, seed=88)
+        results = {}
+        for label, capacity in (("split", 24), ("no-split", 10 ** 9)):
+            counter = CountingDistance(MetricEGED())
+            index = STRGIndex(
+                STRGIndexConfig(n_clusters=4, em_iterations=5,
+                                leaf_capacity=capacity),
+                metric_distance=counter,
+            )
+            index.build(seed_ogs)
+            for og in stream:
+                index.insert(og)
+            counter.reset()
+            for q in queries:
+                index.knn(q, 10)
+            results[label] = {
+                "clusters": index.num_clusters(),
+                "calls_per_query": counter.calls / len(queries),
+            }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [label, r["clusters"], f"{r['calls_per_query']:.0f}"]
+        for label, r in results.items()
+    ]
+    record_result("ablation_leaf_split", format_table(
+        ["variant", "clusters", "dist calls / query"], rows,
+    ))
+    assert results["split"]["clusters"] > results["no-split"]["clusters"]
+    assert (results["split"]["calls_per_query"]
+            < results["no-split"]["calls_per_query"])
+
+
+def bench_ablation_3dr_tree(benchmark):
+    """Section 1's 3DR-tree critique: time-as-a-dimension retrieval.
+
+    Both indexes answer 10-NN pattern-retrieval queries; relevance =
+    shared motion pattern.  The 3DR-tree ranks by (x, y, t) MBR distance,
+    which cannot distinguish a lane from its reverse direction, so its
+    precision collapses relative to the STRG-Index.
+    """
+    from repro.core.index import STRGIndex, STRGIndexConfig
+    from repro.rtree3d.tree import RTree3D, RTree3DConfig
+
+    def run():
+        ogs = _make_ogs(240, seed=9)
+        queries = _make_ogs(12, seed=55)
+        strg = STRGIndex(STRGIndexConfig(n_clusters=12, em_iterations=5))
+        strg.build(ogs)
+        rtree = RTree3D(RTree3DConfig(node_capacity=8))
+        by_id = {}
+        for og in ogs:
+            rtree.insert(og, og.og_id)
+            by_id[og.og_id] = og
+        k = 10
+        precision = {"strg": 0.0, "3dr": 0.0}
+        for q in queries:
+            strg_hits = [og.label for _, og, _ in strg.knn(q, k, n_probe=1)]
+            rtree_hits = [by_id[oid].label for _, oid in rtree.knn(q, k)]
+            precision["strg"] += sum(
+                1 for lab in strg_hits if lab == q.label
+            ) / k
+            precision["3dr"] += sum(
+                1 for lab in rtree_hits if lab == q.label
+            ) / k
+        return {name: p / len(queries) for name, p in precision.items()}
+
+    precision = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result("ablation_3dr_tree", [
+        f"pattern precision@10, STRG-Index: {precision['strg']:.2f}",
+        f"pattern precision@10, 3DR-tree:   {precision['3dr']:.2f}",
+    ])
+    assert precision["strg"] > precision["3dr"]
+
+
+def bench_ablation_banded_eged(benchmark):
+    """Banded EGED_M: overestimate vs speedup across band widths."""
+    import time
+
+    import numpy as np
+
+    from repro.distance.erp import erp
+
+    def run():
+        import dataclasses
+
+        from repro.datasets.patterns import ALL_PATTERNS
+        from repro.datasets.synthetic import (
+            SyntheticConfig,
+            generate_synthetic_ogs,
+        )
+
+        # Long trajectories with very different lengths: the regime where
+        # alignment corridors actually matter.
+        long_patterns = [
+            dataclasses.replace(p, length_range=(40, 120))
+            for p in ALL_PATTERNS[:12]
+        ]
+        ogs = generate_synthetic_ogs(SyntheticConfig(
+            num_ogs=40, noise_fraction=0.15, seed=4,
+            patterns=long_patterns,
+        ))
+        pairs = [(ogs[i].values, ogs[i + 1].values)
+                 for i in range(0, len(ogs) - 1, 2)]
+        exact = [erp(a, b) for a, b in pairs]
+        rows = []
+        started = time.perf_counter()
+        for a, b in pairs:
+            erp(a, b)
+        full_time = time.perf_counter() - started
+        for band in (1, 3, 5, 10):
+            started = time.perf_counter()
+            banded = [erp(a, b, band=band) for a, b in pairs]
+            banded_time = time.perf_counter() - started
+            rel_err = float(np.mean([
+                (bd - ex) / ex for bd, ex in zip(banded, exact) if ex > 0
+            ]))
+            rows.append([band, f"{rel_err:.2%}",
+                         f"{full_time / max(banded_time, 1e-9):.1f}x"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result("ablation_banded_eged", format_table(
+        ["band", "mean overestimate", "speedup"], rows,
+    ))
+    # Banding never underestimates, and the error shrinks as the band
+    # widens.
+    errors = [float(row[1].rstrip("%")) for row in rows]
+    assert all(e >= -1e-9 for e in errors)
+    assert errors[-1] <= errors[0] + 1e-9

@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the distance kernels.
+
+Not a paper figure — engineering benchmarks tracking the cost of the
+O(n*m) dynamic programs that dominate every experiment (Section 6.3's
+cost model).  Uses pytest-benchmark's statistical timing (multiple
+rounds), unlike the figure benches which run expensive sweeps once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+LENGTHS = (16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def series_pairs():
+    rng = np.random.default_rng(0)
+    return {
+        n: (rng.normal(size=(n, 2)) * 20, rng.normal(size=(n + 7, 2)) * 20)
+        for n in LENGTHS
+    }
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def bench_eged_nonmetric(benchmark, series_pairs, length):
+    from repro.distance.eged import eged
+
+    a, b = series_pairs[length]
+    result = benchmark(eged, a, b)
+    assert result >= 0.0
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def bench_eged_metric(benchmark, series_pairs, length):
+    from repro.distance.erp import erp
+
+    a, b = series_pairs[length]
+    result = benchmark(erp, a, b)
+    assert result >= 0.0
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def bench_dtw(benchmark, series_pairs, length):
+    from repro.distance.dtw import dtw
+
+    a, b = series_pairs[length]
+    result = benchmark(dtw, a, b)
+    assert result >= 0.0
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def bench_lcs(benchmark, series_pairs, length):
+    from repro.distance.lcs import lcs_distance
+
+    a, b = series_pairs[length]
+    result = benchmark(lcs_distance, a, b, 5.0)
+    assert 0.0 <= result <= 1.0
+
+
+def bench_lower_bound_vs_full_distance(benchmark, series_pairs):
+    """The O(n) lower bound must be orders of magnitude cheaper than the
+    O(n*m) DP it gates."""
+    from repro.distance.bounds import eged_metric_lower_bound
+
+    a, b = series_pairs[64]
+    result = benchmark(eged_metric_lower_bound, a, b)
+    assert result >= 0.0

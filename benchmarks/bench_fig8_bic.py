@@ -1,0 +1,66 @@
+"""Figure 8 — BIC curves find each stream's optimal cluster count.
+
+Paper result: for each video stream, the BIC-vs-K curve peaks at (or
+adjacent to) the stream's true cluster count — 9 for Lab1, 6 for Lab2,
+Traffic1 and Traffic2 — with "little difference between the actual number
+of clusters and the number of clusters found using the BIC measure"
+(Table 2, columns 3-4).
+
+Scale: up to 240 OGs per stream (the full streams hold 147-411 — the BIC
+peak needs enough data for the per-point likelihood gain to outweigh the
+parameter penalty), K swept over 2..12 (the paper sweeps 1..15).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import format_table, record_result
+
+K_RANGE = (2, 12)
+SAMPLE_PER_STREAM = 240
+
+
+@pytest.fixture(scope="module")
+def bic_curves():
+    from repro.clustering.bic import bic_curve
+    from repro.datasets.real import STREAMS, simulate_stream_ogs
+
+    curves = {}
+    for name, spec in STREAMS.items():
+        ogs = simulate_stream_ogs(spec)
+        rng = np.random.default_rng(42)
+        if len(ogs) > SAMPLE_PER_STREAM:
+            idx = rng.choice(len(ogs), size=SAMPLE_PER_STREAM, replace=False)
+            ogs = [ogs[int(i)] for i in idx]
+        k_values = list(range(K_RANGE[0], K_RANGE[1] + 1))
+        scores = bic_curve(ogs, k_values, seed=1, max_iterations=8, n_init=2)
+        curves[name] = (k_values, scores, spec.n_clusters)
+    return curves
+
+
+def bench_fig8_bic_curves(benchmark, bic_curves):
+    """BIC value per candidate K, per stream; peak vs true K."""
+    curves = benchmark.pedantic(lambda: bic_curves, rounds=1, iterations=1)
+    k_values = curves["Lab1"][0]
+    rows = []
+    for k_pos, k in enumerate(k_values):
+        rows.append([k] + [f"{curves[n][1][k_pos]:.0f}"
+                           for n in ("Lab1", "Lab2", "Traffic1", "Traffic2")])
+    record_result("fig8_bic_curves", format_table(
+        ["K", "Lab1", "Lab2", "Traffic1", "Traffic2"], rows,
+    ))
+
+    summary = []
+    for name, (ks, scores, true_k) in curves.items():
+        found_k = ks[int(np.argmax(scores))]
+        summary.append([name, true_k, found_k])
+        # "Little difference between the actual number of clusters and the
+        # number found using the BIC measure" — allow +/- 2 at this scale.
+        assert abs(found_k - true_k) <= 2, (
+            f"{name}: BIC found K={found_k}, true K={true_k}"
+        )
+    record_result("fig8_found_vs_true_k", format_table(
+        ["stream", "true K", "BIC K"], summary,
+    ))

@@ -1,0 +1,77 @@
+"""Stage-level benchmarks of the video pipeline.
+
+Not a paper figure — engineering benchmarks for the substrate stages
+(segmentation, RAG construction, tracking, decomposition) on a rendered
+traffic segment, so regressions in any stage are visible independently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def traffic_video():
+    from repro.datasets.real import render_stream_segment
+
+    return render_stream_segment("Traffic1", num_frames=16)
+
+
+@pytest.fixture(scope="module")
+def traffic_rags(traffic_video):
+    from repro.video.segmentation import GridSegmenter
+
+    segmenter = GridSegmenter(min_region_size=10)
+    return [
+        segmenter.build_rag(traffic_video.frame(t), t)
+        for t in range(traffic_video.num_frames)
+    ]
+
+
+def bench_grid_segmentation(benchmark, traffic_video):
+    from repro.video.segmentation import GridSegmenter
+
+    segmenter = GridSegmenter(min_region_size=10)
+    labels = benchmark(segmenter.segment, traffic_video.frame(0))
+    assert labels.shape == (traffic_video.height, traffic_video.width)
+
+
+def bench_mean_shift_segmentation(benchmark, traffic_video):
+    from repro.video.segmentation import MeanShiftSegmenter
+
+    segmenter = MeanShiftSegmenter(spatial_bandwidth=2, range_bandwidth=10.0,
+                                   max_iterations=3, min_region_size=16)
+    labels = benchmark.pedantic(
+        segmenter.segment, args=(traffic_video.frame(0),),
+        rounds=1, iterations=1,
+    )
+    assert labels.max() >= 1  # more than one region
+
+
+def bench_rag_construction(benchmark, traffic_video):
+    from repro.video.regions import rag_from_labels
+    from repro.video.segmentation import GridSegmenter
+
+    segmenter = GridSegmenter(min_region_size=10)
+    frame = traffic_video.frame(0)
+    labels = segmenter.segment(frame)
+    rag = benchmark(rag_from_labels, frame, labels, 0)
+    assert len(rag) >= 2
+
+
+def bench_tracking_frame_pair(benchmark, traffic_rags):
+    from repro.graph.tracking import GraphTracker
+
+    tracker = GraphTracker()
+    edges = benchmark(tracker.track_pair, traffic_rags[0], traffic_rags[1])
+    assert edges  # the static background must track
+
+
+def bench_full_decomposition(benchmark, traffic_video):
+    from repro.pipeline import VideoPipeline
+
+    pipeline = VideoPipeline()
+    decomposition = benchmark.pedantic(
+        pipeline.decompose, args=(traffic_video,), rounds=1, iterations=1
+    )
+    assert len(decomposition.background) >= 1

@@ -1,0 +1,123 @@
+"""Streaming-maintenance benchmarks (beyond the paper's static build).
+
+Surveillance indexing is incremental: trajectories arrive as objects
+leave the scene.  These benches measure the STRG-Index under a streaming
+workload — insert throughput, BIC split activity, and whether query cost
+stays flat as the index grows structure instead of bloating leaves.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import format_table, record_result, short_patterns
+
+
+def _stream_ogs(num, seed=21):
+    from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_ogs
+
+    return generate_synthetic_ogs(SyntheticConfig(
+        num_ogs=num, noise_fraction=0.10, seed=seed,
+        patterns=short_patterns(8),
+    ))
+
+
+def bench_streaming_inserts(benchmark):
+    """Insert throughput and split activity over a 240-OG stream."""
+    from repro.core.index import STRGIndex, STRGIndexConfig
+
+    def run():
+        seed_ogs = _stream_ogs(16, seed=1)
+        stream = _stream_ogs(240, seed=2)
+        index = STRGIndex(STRGIndexConfig(n_clusters=4, em_iterations=5,
+                                          leaf_capacity=20))
+        index.build(seed_ogs)
+        clusters_before = index.num_clusters()
+        started = time.perf_counter()
+        for og in stream:
+            index.insert(og)
+        elapsed = time.perf_counter() - started
+        return {
+            "ogs_per_second": len(stream) / elapsed,
+            "clusters_before": clusters_before,
+            "clusters_after": index.num_clusters(),
+            "total": len(index),
+        }
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result("streaming_inserts", [
+        f"insert throughput: {stats['ogs_per_second']:.0f} OGs/s",
+        f"clusters: {stats['clusters_before']} -> {stats['clusters_after']} "
+        f"(BIC splits during streaming)",
+        f"indexed OGs: {stats['total']}",
+    ])
+    assert stats["total"] == 256
+    # The BIC split policy must have refined the structure: 8 patterns
+    # cannot stay healthy in 4 clusters.
+    assert stats["clusters_after"] > stats["clusters_before"]
+
+
+def bench_streaming_query_cost_stays_flat(benchmark):
+    """Per-query distance evaluations must grow sublinearly with size
+    thanks to the split policy (leaves stay tight)."""
+    from repro.core.index import STRGIndex, STRGIndexConfig
+    from repro.distance.base import CountingDistance
+    from repro.distance.eged import MetricEGED
+
+    def run():
+        counter = CountingDistance(MetricEGED())
+        index = STRGIndex(
+            STRGIndexConfig(n_clusters=4, em_iterations=5, leaf_capacity=20),
+            metric_distance=counter,
+        )
+        index.build(_stream_ogs(16, seed=1))
+        stream = _stream_ogs(360, seed=2)
+        queries = _stream_ogs(8, seed=77)
+        checkpoints = []
+        for i, og in enumerate(stream, start=1):
+            index.insert(og)
+            if i in (120, 240, 360):
+                counter.reset()
+                for q in queries:
+                    index.knn(q, 5)
+                checkpoints.append(
+                    (len(index), counter.calls / len(queries))
+                )
+        return checkpoints
+
+    checkpoints = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[size, f"{calls:.0f}", f"{calls / size:.2f}"]
+            for size, calls in checkpoints]
+    record_result("streaming_query_cost", format_table(
+        ["db size", "evals/query", "evals per indexed OG"], rows,
+    ))
+    # Sub-linear growth: tripling the DB must far less than triple the
+    # per-query cost fraction.
+    first_frac = checkpoints[0][1] / checkpoints[0][0]
+    last_frac = checkpoints[-1][1] / checkpoints[-1][0]
+    assert last_frac <= first_frac * 1.1
+
+
+def bench_index_size_linear_in_ogs(benchmark):
+    """Eq. 10: index bytes grow linearly with the OG payload."""
+    from repro.core.index import STRGIndex, STRGIndexConfig
+    from repro.core.size import index_size_bytes
+
+    def run():
+        sizes = []
+        for n in (60, 120, 240):
+            index = STRGIndex(STRGIndexConfig(n_clusters=8, em_iterations=4))
+            index.build(_stream_ogs(n, seed=3))
+            sizes.append((n, index_size_bytes(index)))
+        return sizes
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[n, b, f"{b / n:.0f}"] for n, b in sizes]
+    record_result("streaming_index_size", format_table(
+        ["ogs", "bytes", "bytes/og"], rows,
+    ))
+    per_og = [b / n for n, b in sizes]
+    assert max(per_og) < min(per_og) * 1.5  # ~constant bytes per OG

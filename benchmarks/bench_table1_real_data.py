@@ -1,0 +1,42 @@
+"""Table 1 — description of the (simulated) real video data.
+
+Reproduces the inventory: four streams, their OG counts and durations,
+956 OGs / ~45 hours total.  The simulated generators must emit exactly
+the specified number of OGs per stream.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, record_result
+
+
+def bench_table1_inventory(benchmark):
+    """Stream inventory: #OGs and durations (Table 1)."""
+    from repro.datasets.real import STREAMS, simulate_stream_ogs, stream_frame_count
+
+    def run():
+        rows = []
+        total_ogs = 0
+        total_minutes = 0.0
+        for name in ("Lab1", "Lab2", "Traffic1", "Traffic2"):
+            spec = STREAMS[name]
+            ogs = simulate_stream_ogs(spec)
+            hours, minutes = divmod(int(spec.duration_minutes), 60)
+            rows.append([
+                name, len(ogs), f"{hours}h {minutes:02d}m",
+                stream_frame_count(spec),
+            ])
+            total_ogs += len(ogs)
+            total_minutes += spec.duration_minutes
+        hours, minutes = divmod(int(total_minutes), 60)
+        rows.append(["Total", total_ogs, f"{hours}h {minutes:02d}m", "-"])
+        return rows, total_ogs, total_minutes
+
+    rows, total_ogs, total_minutes = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    record_result("table1_real_data", format_table(
+        ["video", "# of OGs", "duration", "frames@10fps"], rows,
+    ))
+    assert total_ogs == 956                      # Table 1 total
+    assert abs(total_minutes - (45 * 60 + 17)) / (45 * 60) < 0.01  # ~45h17m

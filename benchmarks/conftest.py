@@ -1,0 +1,149 @@
+"""Shared machinery for the experiment-reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation (Section 6) at laptop scale.  Absolute values differ from the
+paper (different hardware, simulated data); the *shape* of each result —
+orderings, trends, crossovers — is asserted programmatically and the raw
+series is printed and archived under ``benchmarks/results/``.
+
+Scaling note: workload sizes are reduced relative to the paper (which
+used a 2.6 GHz Pentium 4 and multi-hour video) so the whole suite runs in
+minutes; every module states its scale in its docstring.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Shortened pattern lengths keep the O(n*m) distance DP cheap in sweeps.
+BENCH_LENGTH_RANGE = (10, 20)
+
+
+def short_patterns(count: int | None = None):
+    """The motion patterns with bench-friendly (shorter) time lengths.
+
+    ``count`` selects an evenly spread subset covering all categories.
+    """
+    import dataclasses
+
+    from repro.datasets.patterns import ALL_PATTERNS
+
+    patterns = [
+        dataclasses.replace(p, length_range=BENCH_LENGTH_RANGE)
+        for p in ALL_PATTERNS
+    ]
+    if count is None or count >= len(patterns):
+        return patterns
+    step = len(patterns) / count
+    return [patterns[int(i * step)] for i in range(count)]
+
+
+def record_result(name: str, lines: list[str]) -> None:
+    """Print a result table and archive it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===\n{text}\n")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def format_table(headers: list[str], rows: list[list]) -> list[str]:
+    """Fixed-width table lines from headers + rows."""
+    table = [headers] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(table):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return lines
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    """Session-wide deterministic RNG for query sampling."""
+    return np.random.default_rng(2005)
+
+
+#: Noise levels swept by the Figure 5/6 benches (the paper uses 5%-30%).
+NOISE_LEVELS = (0.05, 0.10, 0.20, 0.30)
+
+#: (algorithm, distance) grid of Figures 5 and 6.
+ALGORITHMS = ("EM", "KM", "KHM")
+DISTANCES = ("EGED", "LCS", "DTW")
+
+
+def make_clusterer(algo: str, distance_name: str, n_clusters: int,
+                   max_iterations: int = 12):
+    """Instantiate one (algorithm, distance) cell of the Fig. 5 grid."""
+    from repro.clustering.em import EMClustering, EMConfig
+    from repro.clustering.khm import KHMClustering, KHMConfig
+    from repro.clustering.kmeans import KMeansClustering, KMeansConfig
+    from repro.distance.dtw import DTW
+    from repro.distance.eged import EGED
+    from repro.distance.lcs import LCSDistance
+
+    distance = {
+        "EGED": EGED,
+        "LCS": lambda: LCSDistance(epsilon=12.0),
+        "DTW": DTW,
+    }[distance_name]()
+    if algo == "EM":
+        return EMClustering(
+            EMConfig(n_clusters=n_clusters, max_iterations=max_iterations,
+                     seed=0),
+            distance=distance,
+        )
+    if algo == "KM":
+        return KMeansClustering(
+            KMeansConfig(n_clusters=n_clusters,
+                         max_iterations=max_iterations, seed=0),
+            distance=distance,
+        )
+    return KHMClustering(
+        KHMConfig(n_clusters=n_clusters, max_iterations=max_iterations,
+                  seed=0),
+        distance=distance,
+    )
+
+
+@pytest.fixture(scope="session")
+def clustering_grid():
+    """The full (algorithm x distance x noise) clustering sweep.
+
+    Computed once per session and shared by the Fig. 5 and Fig. 6
+    benches.  Uses 12 of the 48 patterns (96 OGs, shortened lengths) so
+    the 36-run sweep stays within a couple of minutes.
+    """
+    from repro.clustering.evaluation import clustering_error_rate, distortion
+    from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_ogs
+    from repro.distance.lp import LpDistance
+
+    patterns = short_patterns(12)
+    true_centroids = [p.generate(15) for p in patterns]
+    grid: dict = {}
+    for noise in NOISE_LEVELS:
+        ogs = generate_synthetic_ogs(SyntheticConfig(
+            num_ogs=96, noise_fraction=noise, seed=11, patterns=patterns,
+        ))
+        labels = [og.label for og in ogs]
+        for algo in ALGORITHMS:
+            for distance_name in DISTANCES:
+                clusterer = make_clusterer(algo, distance_name, len(patterns))
+                result = clusterer.fit(ogs)
+                error = clustering_error_rate(labels, result.assignments)
+                dtn = distortion(true_centroids, result.centroids,
+                                 distance=LpDistance(2.0))
+                grid[(algo, distance_name, noise)] = {
+                    "error": error,
+                    "distortion": dtn,
+                    "iterations": result.n_iterations,
+                    "iteration_seconds": result.iteration_seconds,
+                    "converged": result.converged,
+                }
+    return grid

@@ -1,0 +1,75 @@
+"""Advanced querying: shots, preprocessing and the fluent query builder.
+
+Runs in ~1 minute:
+
+    python examples/advanced_queries.py
+
+Builds a two-scene video (a hard cut between a traffic view and a lab
+view), lets the shot parser split it, ingests both scenes into one
+database (two root-level backgrounds), and then answers composite
+queries — similarity plus motion/time/region predicates — using the
+trajectory toolkit to prepare the query example.
+"""
+
+import math
+
+import numpy as np
+
+from repro.datasets.real import render_stream_segment
+from repro.query import Query
+from repro.storage.database import VideoDatabase
+from repro.trajectory import resample, simplify, smooth
+from repro.video.frames import VideoSegment
+from repro.video.shots import detect_shot_boundaries
+
+
+def main() -> None:
+    # One video, two scenes: traffic then lab (a hard cut in between).
+    traffic = render_stream_segment("Traffic1", num_frames=40,
+                                    rng=np.random.default_rng(1))
+    lab = render_stream_segment("Lab2", num_frames=40,
+                                rng=np.random.default_rng(2))
+    video = VideoSegment(
+        np.concatenate([traffic.frames, lab.frames]), name="two-scenes"
+    )
+    boundaries = detect_shot_boundaries(video)
+    print(f"shot parser found boundaries at frames {boundaries}")
+
+    db = VideoDatabase()
+    n = db.ingest(video, parse_shots=True)
+    stats = db.stats()
+    print(f"ingested {n} trajectories into {stats['backgrounds']} "
+          f"background(s), {stats['clusters']} cluster(s)")
+
+    # Prepare a query example with the trajectory toolkit: a noisy,
+    # oversampled eastbound sketch, cleaned up before querying.
+    rng = np.random.default_rng(7)
+    sketch = np.stack([
+        np.linspace(0, 150, 120),
+        58.0 + rng.normal(0, 3.0, 120),
+    ], axis=1)
+    cleaned = resample(simplify(smooth(sketch, 7), tolerance=2.0), 24)
+    print(f"\nquery sketch: {len(sketch)} raw points -> "
+          f"{len(cleaned)} after smooth/simplify/resample")
+
+    hits = (Query(db)
+            .similar_to(cleaned)
+            .heading(0.0, tolerance=math.pi / 3)
+            .duration(minimum=5)
+            .limit(3)
+            .run())
+    print("\neastbound trajectories most similar to the sketch:")
+    for result in hits:
+        og = result.og
+        print(f"  d={result.distance:8.2f}  OG {og.og_id} "
+              f"({og.duration()} frames, "
+              f"mean speed {og.mean_velocity():.1f} px/frame)")
+
+    total = Query(db).count()
+    moving_fast = Query(db).velocity(minimum=2.0).count()
+    print(f"\n{moving_fast} of {total} indexed trajectories move "
+          f">= 2 px/frame")
+
+
+if __name__ == "__main__":
+    main()

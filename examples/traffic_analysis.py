@@ -1,0 +1,73 @@
+"""Traffic analysis: discover motion patterns in a traffic stream.
+
+Runs in ~1 minute:
+
+    python examples/traffic_analysis.py
+
+Simulates the paper's Traffic1 stream, uses the BIC criterion (Section
+4.2) to discover how many distinct motion patterns the stream contains,
+clusters the trajectories with EM-EGED, and characterizes each discovered
+pattern (direction, speed, lane position) — the kind of summary a traffic
+operator would want from 15 minutes of camera footage.
+"""
+
+import math
+
+import numpy as np
+
+from repro.clustering.bic import select_num_clusters
+from repro.clustering.em import EMClustering, EMConfig
+from repro.clustering.evaluation import clustering_error_rate
+from repro.datasets.real import STREAMS, simulate_stream_ogs
+
+
+def describe_cluster(members) -> str:
+    """Human-readable motion summary of a trajectory cluster."""
+    dx = np.mean([og.values[-1, 0] - og.values[0, 0] for og in members])
+    dy = np.mean([og.values[-1, 1] - og.values[0, 1] for og in members])
+    speed = np.mean([og.mean_velocity() for og in members])
+    lane = np.mean([np.mean(og.values[:, 1]) for og in members])
+    angle = math.degrees(math.atan2(dy, dx))
+    if abs(angle) < 45:
+        heading = "eastbound"
+    elif abs(angle) > 135:
+        heading = "westbound"
+    else:
+        heading = "northbound" if angle < 0 else "southbound"
+    return (f"{heading:>10s}  lane y~{lane:5.1f}  "
+            f"speed {speed:4.1f} px/frame  ({len(members)} vehicles)")
+
+
+def main() -> None:
+    spec = STREAMS["Traffic1"]
+    ogs = simulate_stream_ogs(spec)
+    print(f"simulated {spec.name}: {len(ogs)} vehicle trajectories over "
+          f"{spec.duration_minutes:.0f} minutes")
+
+    # How many motion patterns does the stream contain?  (Fig. 8)
+    # Model selection needs enough data for the likelihood gain to beat
+    # the BIC penalty, so use the full stream.
+    best_k, scores = select_num_clusters(ogs, 2, 10, seed=1,
+                                         max_iterations=8)
+    print(f"\nBIC model selection over K=2..10: optimal K = {best_k} "
+          f"(stream was built with {spec.n_clusters} patterns)")
+    for k, score in enumerate(scores, start=2):
+        marker = " <- peak" if k == best_k else ""
+        print(f"  K={k:2d}  BIC={score:9.1f}{marker}")
+
+    # Cluster the full stream and describe each discovered pattern.
+    em = EMClustering(EMConfig(n_clusters=best_k, max_iterations=12, seed=1))
+    result = em.fit(ogs)
+    error = clustering_error_rate([og.label for og in ogs],
+                                  result.assignments)
+    print(f"\nEM-EGED clustering: {result.n_iterations} iterations, "
+          f"error rate vs ground truth {error:.1f}%")
+    print("\ndiscovered motion patterns:")
+    for c in range(result.num_clusters):
+        members = [ogs[int(i)] for i in result.cluster_members(c)]
+        if members:
+            print(f"  cluster {c}: {describe_cluster(members)}")
+
+
+if __name__ == "__main__":
+    main()

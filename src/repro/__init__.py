@@ -1,0 +1,46 @@
+"""Reproduction of *STRG-Index: Spatio-Temporal Region Graph Indexing for
+Large Video Databases* (Lee, Oh, Hwang — SIGMOD 2005).
+
+The package mirrors the paper's pipeline:
+
+- :mod:`repro.video` — frame containers, synthetic video rendering and
+  mean-shift region segmentation (EDISON substitute).
+- :mod:`repro.graph` — Region Adjacency Graphs, Spatio-Temporal Region
+  Graphs, graph-based tracking and STRG decomposition into object/background
+  graphs.
+- :mod:`repro.distance` — Extended Graph Edit Distance (EGED) in both
+  non-metric and metric forms, plus the DTW/LCS/ERP/Lp baselines.
+- :mod:`repro.clustering` — EM / K-Means / K-Harmonic-Means over arbitrary
+  distances, BIC model selection and evaluation metrics.
+- :mod:`repro.mtree` — a full M-tree baseline with RANDOM and SAMPLING
+  split policies.
+- :mod:`repro.core` — the STRG-Index itself: three-level tree, build,
+  BIC-driven node split and k-NN search.
+- :mod:`repro.datasets` — the paper's synthetic workload (48 motion
+  patterns, Pelleg+Vlachos style) and simulated surveillance streams.
+- :mod:`repro.storage` — serialization and the ``VideoDatabase`` facade.
+"""
+
+from repro.graph.object_graph import ObjectGraph
+from repro.graph.strg import SpatioTemporalRegionGraph
+from repro.distance.eged import EGED, MetricEGED, eged
+from repro.core.index import STRGIndex
+from repro.pipeline import VideoPipeline, PipelineConfig
+from repro.query import Query
+from repro.storage.database import VideoDatabase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ObjectGraph",
+    "SpatioTemporalRegionGraph",
+    "EGED",
+    "MetricEGED",
+    "eged",
+    "STRGIndex",
+    "VideoPipeline",
+    "PipelineConfig",
+    "Query",
+    "VideoDatabase",
+    "__version__",
+]

@@ -1,0 +1,203 @@
+"""Command-line interface.
+
+Subcommands::
+
+    strg-index demo                # synthetic end-to-end demo
+    strg-index build  OUT.npz      # build an index from a simulated stream
+    strg-index query  INDEX.npz    # k-NN query with a synthetic trajectory
+    strg-index bench               # tiny smoke benchmark
+
+Every subcommand prints human-readable progress to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.index import STRGIndex, STRGIndexConfig
+    from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_ogs
+
+    ogs = generate_synthetic_ogs(
+        SyntheticConfig(num_ogs=args.num_ogs, noise_fraction=args.noise,
+                        seed=args.seed)
+    )
+    print(f"generated {len(ogs)} synthetic OGs (noise {args.noise:.0%})")
+    index = STRGIndex(STRGIndexConfig(n_clusters=args.clusters))
+    started = time.perf_counter()
+    index.build(ogs)
+    print(f"built {index!r} in {time.perf_counter() - started:.2f}s")
+    query = ogs[0]
+    hits = index.knn(query, k=5)
+    print(f"5-NN of OG {query.og_id} (pattern {query.meta.get('pattern')}):")
+    for d, og, _ in hits:
+        print(f"  d={d:8.2f}  og={og.og_id:<5d} pattern={og.meta.get('pattern')}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.datasets.real import STREAMS, render_stream_segment
+    from repro.storage.database import VideoDatabase
+
+    if args.stream not in STREAMS:
+        print(f"unknown stream {args.stream!r}; choose from {sorted(STREAMS)}",
+              file=sys.stderr)
+        return 2
+    db = VideoDatabase()
+    video = render_stream_segment(args.stream, num_frames=args.frames)
+    n = db.ingest(video)
+    print(f"ingested {video!r}: {n} OGs")
+    print(f"stats: {db.stats()}")
+    db.save(args.output)
+    print(f"index saved to {args.output}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.datasets.patterns import pattern_by_id
+    from repro.storage.database import VideoDatabase
+
+    db = VideoDatabase.load(args.index)
+    pattern = pattern_by_id(args.pattern)
+    trajectory = pattern.generate(32)
+    hits = db.query_trajectory(trajectory, k=args.k)
+    print(f"{args.k}-NN for pattern {pattern.name}:")
+    for hit in hits:
+        print(f"  d={hit.distance:8.2f}  og={hit.og.og_id}  ref={hit.clip_ref}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.core.index import STRGIndex, STRGIndexConfig
+    from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_ogs
+    from repro.distance.base import CountingDistance
+    from repro.distance.eged import MetricEGED
+    from repro.mtree.tree import MTree, MTreeConfig
+
+    ogs = generate_synthetic_ogs(SyntheticConfig(num_ogs=args.num_ogs, seed=1))
+    counter_strg = CountingDistance(MetricEGED())
+    index = STRGIndex(STRGIndexConfig(n_clusters=12),
+                      metric_distance=counter_strg)
+    index.build(ogs)
+    counter_mt = CountingDistance(MetricEGED())
+    mtree = MTree(counter_mt, MTreeConfig(split_policy="random"))
+    for og in ogs:
+        mtree.insert(og, og.og_id)
+    counter_strg.reset()
+    counter_mt.reset()
+    for og in ogs[:10]:
+        index.knn(og, k=10)
+        mtree.knn(og, k=10)
+    print(f"distance evaluations over 10 queries (k=10, n={len(ogs)}):")
+    print(f"  STRG-Index: {counter_strg.calls}")
+    print(f"  M-tree(RA): {counter_mt.calls}")
+    return 0
+
+
+def _cmd_shots(args: argparse.Namespace) -> int:
+    from repro.datasets.real import STREAMS, render_stream_segment
+    from repro.video.frames import VideoSegment
+    from repro.video.shots import split_into_shots
+
+    segments = []
+    for name in args.streams:
+        if name not in STREAMS:
+            print(f"unknown stream {name!r}; choose from {sorted(STREAMS)}",
+                  file=sys.stderr)
+            return 2
+        segments.append(render_stream_segment(name, num_frames=args.frames))
+    video = VideoSegment(
+        np.concatenate([s.frames for s in segments]),
+        name="+".join(args.streams),
+    )
+    shots = split_into_shots(video)
+    print(f"{video.num_frames} frames -> {len(shots)} shot(s):")
+    for i, shot in enumerate(shots):
+        print(f"  shot {i}: {shot.num_frames} frames ({shot.name})")
+    return 0
+
+
+def _cmd_motion(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.storage.database import VideoDatabase
+
+    db = VideoDatabase.load(args.index)
+    direction = math.radians(args.direction) if args.direction is not None else None
+    hits = db.query_by_motion(
+        direction=direction,
+        min_velocity=args.min_velocity,
+        max_velocity=args.max_velocity,
+        min_duration=args.min_duration,
+    )
+    print(f"{len(hits)} trajectories match:")
+    for og in hits[: args.limit]:
+        print(f"  OG {og.og_id}: {og.duration()} frames, "
+              f"mean speed {og.mean_velocity():.1f} px/frame")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="strg-index",
+        description="STRG-Index (SIGMOD 2005) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="synthetic end-to-end demo")
+    demo.add_argument("--num-ogs", type=int, default=240)
+    demo.add_argument("--noise", type=float, default=0.05)
+    demo.add_argument("--clusters", type=int, default=12)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_cmd_demo)
+
+    build = sub.add_parser("build", help="index a simulated stream")
+    build.add_argument("output", help="output NPZ path")
+    build.add_argument("--stream", default="Traffic1")
+    build.add_argument("--frames", type=int, default=60)
+    build.set_defaults(func=_cmd_build)
+
+    query = sub.add_parser("query", help="k-NN query a saved index")
+    query.add_argument("index", help="index NPZ path")
+    query.add_argument("--pattern", type=int, default=0)
+    query.add_argument("-k", type=int, default=5)
+    query.set_defaults(func=_cmd_query)
+
+    bench = sub.add_parser("bench", help="smoke benchmark vs M-tree")
+    bench.add_argument("--num-ogs", type=int, default=240)
+    bench.set_defaults(func=_cmd_bench)
+
+    shots = sub.add_parser("shots", help="parse simulated streams into shots")
+    shots.add_argument("streams", nargs="+",
+                       help="stream names to concatenate (e.g. Traffic1 Lab2)")
+    shots.add_argument("--frames", type=int, default=30,
+                       help="frames rendered per stream")
+    shots.set_defaults(func=_cmd_shots)
+
+    motion = sub.add_parser("motion", help="motion-attribute query on a saved index")
+    motion.add_argument("index", help="index NPZ path")
+    motion.add_argument("--direction", type=float, default=None,
+                        help="heading in degrees (0 = east)")
+    motion.add_argument("--min-velocity", type=float, default=None)
+    motion.add_argument("--max-velocity", type=float, default=None)
+    motion.add_argument("--min-duration", type=int, default=None)
+    motion.add_argument("--limit", type=int, default=10)
+    motion.set_defaults(func=_cmd_motion)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``strg-index`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

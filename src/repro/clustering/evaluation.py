@@ -1,0 +1,92 @@
+"""Clustering and retrieval quality metrics for the evaluation section.
+
+- :func:`clustering_error_rate` — Equation 11, with the cluster-to-class
+  correspondence chosen by optimal (Hungarian) matching.
+- :func:`distortion` — Figure 6(c)'s metric: summed distance between
+  detected and true centroids (in pixels).
+- :func:`precision_recall` — Figure 7(c)'s retrieval accuracy, where a
+  result is relevant when it shares the query's cluster membership.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.distance.base import Distance, as_series
+from repro.distance.eged import EGED
+from repro.errors import InvalidParameterError
+
+
+def _confusion(labels_true: np.ndarray, labels_pred: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Contingency table between predicted clusters and true classes."""
+    true_ids = np.unique(labels_true)
+    pred_ids = np.unique(labels_pred)
+    table = np.zeros((len(pred_ids), len(true_ids)), dtype=np.int64)
+    true_pos = {v: i for i, v in enumerate(true_ids)}
+    pred_pos = {v: i for i, v in enumerate(pred_ids)}
+    for t, p in zip(labels_true, labels_pred):
+        table[pred_pos[p], true_pos[t]] += 1
+    return table, pred_ids, true_ids
+
+
+def clustering_error_rate(labels_true: Sequence[int],
+                          labels_pred: Sequence[int]) -> float:
+    """Clustering error rate (Eq. 11), in percent.
+
+    "Correctly clustered" OGs are counted under the cluster -> class
+    correspondence that maximizes agreement (optimal one-to-one matching
+    via the Hungarian algorithm).
+    """
+    lt = np.asarray(labels_true)
+    lp = np.asarray(labels_pred)
+    if lt.shape != lp.shape:
+        raise InvalidParameterError(
+            f"label arrays differ in shape: {lt.shape} vs {lp.shape}"
+        )
+    if lt.size == 0:
+        raise InvalidParameterError("label arrays are empty")
+    table, _, _ = _confusion(lt, lp)
+    rows, cols = linear_sum_assignment(-table)
+    correct = int(table[rows, cols].sum())
+    return (1.0 - correct / lt.size) * 100.0
+
+
+def distortion(true_centroids: Sequence, found_centroids: Sequence,
+               distance: Distance | None = None) -> float:
+    """Sum of distances between detected and true centroids (Fig. 6(c)).
+
+    Centroids are matched one-to-one (Hungarian) before summing, so the
+    metric does not depend on cluster numbering.  Unmatched centroids
+    (when counts differ) are ignored, as the paper compares equal counts.
+    """
+    if len(true_centroids) == 0 or len(found_centroids) == 0:
+        raise InvalidParameterError("centroid lists must be non-empty")
+    distance = distance or EGED()
+    cost = np.empty((len(found_centroids), len(true_centroids)))
+    for i, f in enumerate(found_centroids):
+        fs = as_series(f)
+        for j, t in enumerate(true_centroids):
+            cost[i, j] = distance.compute(fs, as_series(t))
+    rows, cols = linear_sum_assignment(cost)
+    return float(cost[rows, cols].sum())
+
+
+def precision_recall(retrieved: Sequence[int], relevant: Sequence[int]
+                     ) -> tuple[float, float]:
+    """Precision and recall of a retrieval result.
+
+    ``retrieved`` are the ids returned by the index; ``relevant`` the ids
+    of all database items sharing the query's cluster membership.
+    """
+    retrieved_set = set(retrieved)
+    relevant_set = set(relevant)
+    if not retrieved_set:
+        return 0.0, 0.0 if relevant_set else 1.0
+    hits = len(retrieved_set & relevant_set)
+    precision = hits / len(retrieved_set)
+    recall = hits / len(relevant_set) if relevant_set else 1.0
+    return precision, recall

@@ -1,0 +1,61 @@
+"""Silhouette analysis for OG clusterings.
+
+A distance-agnostic internal quality measure complementing the error rate
+(which needs ground truth) and the BIC (which needs the EM likelihood):
+``s(j) = (b_j - a_j) / max(a_j, b_j)`` with ``a_j`` the mean distance to
+the point's own cluster and ``b_j`` the mean distance to the nearest
+other cluster.  Useful for diagnosing the cluster structure behind an
+STRG-Index on unlabeled production data.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.distance.base import Distance, as_series, pairwise_matrix
+from repro.distance.eged import EGED
+from repro.errors import InvalidParameterError
+
+
+def silhouette_samples(ogs: Sequence, assignments: Sequence[int],
+                       distance: Distance | None = None) -> np.ndarray:
+    """Per-OG silhouette values in ``[-1, 1]``.
+
+    Singleton clusters get silhouette 0 by convention.
+    """
+    labels = np.asarray(assignments)
+    if labels.shape[0] != len(ogs):
+        raise InvalidParameterError(
+            f"{len(ogs)} OGs but {labels.shape[0]} assignments"
+        )
+    if labels.shape[0] < 2:
+        raise InvalidParameterError("need at least two OGs")
+    unique = np.unique(labels)
+    if unique.shape[0] < 2:
+        raise InvalidParameterError("need at least two clusters")
+    distance = distance or EGED()
+    series = [as_series(og) for og in ogs]
+    dist = pairwise_matrix(distance, series)
+    scores = np.zeros(len(ogs), dtype=np.float64)
+    for j in range(len(ogs)):
+        own = labels == labels[j]
+        own_size = int(own.sum())
+        if own_size <= 1:
+            scores[j] = 0.0
+            continue
+        a = dist[j, own].sum() / (own_size - 1)  # excludes self (d=0)
+        b = min(
+            dist[j, labels == other].mean()
+            for other in unique if other != labels[j]
+        )
+        denom = max(a, b)
+        scores[j] = 0.0 if denom == 0 else (b - a) / denom
+    return scores
+
+
+def silhouette_score(ogs: Sequence, assignments: Sequence[int],
+                     distance: Distance | None = None) -> float:
+    """Mean silhouette over all OGs."""
+    return float(silhouette_samples(ogs, assignments, distance).mean())

@@ -1,0 +1,109 @@
+"""X-means-style cluster-count discovery (Pelleg & Moore, cited in
+Section 4.2).
+
+An alternative to the global BIC sweep of
+:func:`repro.clustering.bic.select_num_clusters`: start from a small K
+and recursively *split* clusters whose local 2-component BIC beats their
+1-component BIC — the same test the STRG-Index leaf split uses (Section
+5.3), applied during clustering instead of maintenance.  Much cheaper
+than sweeping every K when the optimal K is large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.clustering.base import ClusteringResult
+from repro.clustering.bic import bic_score
+from repro.clustering.em import EMClustering, EMConfig
+from repro.distance.base import Distance
+from repro.errors import InvalidParameterError
+
+
+@dataclass
+class XMeansConfig:
+    """X-means parameters: starting/maximum K and the inner EM budget."""
+
+    k_min: int = 2
+    k_max: int = 16
+    max_iterations: int = 15
+    min_cluster_size: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.k_min <= self.k_max:
+            raise InvalidParameterError(
+                f"need 1 <= k_min <= k_max, got [{self.k_min}, {self.k_max}]"
+            )
+        if self.min_cluster_size < 2:
+            raise InvalidParameterError(
+                f"min_cluster_size must be >= 2, got {self.min_cluster_size}"
+            )
+
+
+class XMeansClustering:
+    """Recursive EM splitting with local BIC improvement tests."""
+
+    def __init__(self, config: XMeansConfig | None = None,
+                 distance: Distance | None = None):
+        self.config = config or XMeansConfig()
+        self.distance = distance
+
+    def _fit_em(self, ogs: Sequence, k: int, seed: int) -> ClusteringResult:
+        em = EMClustering(
+            EMConfig(n_clusters=k, max_iterations=self.config.max_iterations,
+                     seed=seed),
+            distance=self.distance,
+        )
+        return em.fit(ogs)
+
+    def _should_split(self, members: list, seed: int) -> ClusteringResult | None:
+        """Local improve-structure test: return the 2-way split when its
+        BIC beats the single-component BIC, else ``None``."""
+        if len(members) < 2 * self.config.min_cluster_size:
+            return None
+        one = self._fit_em(members, 1, seed)
+        two = self._fit_em(members, 2, seed)
+        if len(np.unique(two.assignments)) < 2:
+            return None
+        if bic_score(two, len(members)) <= bic_score(one, len(members)):
+            return None
+        return two
+
+    def fit(self, ogs: Sequence) -> ClusteringResult:
+        """Cluster ``ogs``, growing K from ``k_min`` by accepted splits."""
+        cfg = self.config
+        ogs = list(ogs)
+        result = self._fit_em(ogs, min(cfg.k_min, len(ogs)), cfg.seed)
+        # groups: list of member-index arrays (global indices into ogs).
+        groups = [result.cluster_members(c).tolist()
+                  for c in range(result.num_clusters)]
+        groups = [g for g in groups if g]
+        improved = True
+        round_seed = cfg.seed
+        while improved and len(groups) < cfg.k_max:
+            improved = False
+            next_groups: list[list[int]] = []
+            current_k = len(groups)
+            for group in groups:
+                split = None
+                if current_k < cfg.k_max:
+                    members = [ogs[i] for i in group]
+                    split = self._should_split(members, round_seed)
+                if split is None:
+                    next_groups.append(group)
+                else:
+                    improved = True
+                    current_k += 1
+                    for c in range(2):
+                        sub = [group[int(j)] for j in split.cluster_members(c)]
+                        if sub:
+                            next_groups.append(sub)
+                round_seed += 1
+            groups = next_groups
+        # Final refinement at the discovered K.
+        final = self._fit_em(ogs, len(groups), cfg.seed)
+        return final

@@ -1,0 +1,36 @@
+"""The STRG-Index — the paper's primary contribution (Section 5).
+
+A three-level tree:
+
+- **root node** — one record per distinct Background Graph;
+- **cluster nodes** — one record per OG cluster, holding the synthesized
+  centroid OG;
+- **leaf nodes** — the member OGs of one cluster, keyed by
+  ``EGED_M(OG_mem, OG_clus)``.
+
+Construction is Algorithm 2 (EM clustering + key computation); maintenance
+uses the BIC-driven leaf split of Section 5.3; search is the k-NN walk of
+Algorithm 3 with triangle-inequality pruning on the metric leaf keys.
+"""
+
+from repro.core.nodes import (
+    RootRecord,
+    ClusterRecord,
+    LeafRecord,
+    ClusterNode,
+    LeafNode,
+)
+from repro.core.index import STRGIndex, STRGIndexConfig
+from repro.core.size import strg_raw_size_bytes, index_size_bytes
+
+__all__ = [
+    "RootRecord",
+    "ClusterRecord",
+    "LeafRecord",
+    "ClusterNode",
+    "LeafNode",
+    "STRGIndex",
+    "STRGIndexConfig",
+    "strg_raw_size_bytes",
+    "index_size_bytes",
+]

@@ -1,0 +1,443 @@
+"""The STRG-Index: build (Algorithm 2), maintenance (Section 5.3) and
+k-NN search (Algorithm 3).
+
+The index clusters OGs with EM + non-metric EGED, synthesizes a centroid
+OG per cluster, and keys each member by the *metric* EGED to its centroid.
+Because ``EGED_M`` is a metric (Theorem 2), the key difference
+``|Key_q - Key_o|`` lower-bounds the true distance, which is what lets
+search skip distance evaluations — the effect Figure 7(b) measures.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.clustering.bic import bic_score, select_num_clusters
+from repro.clustering.em import EMClustering, EMConfig
+from repro.core.nodes import (
+    ClusterNode,
+    ClusterRecord,
+    LeafNode,
+    LeafRecord,
+    RootRecord,
+)
+from repro.distance.base import Distance, as_series
+from repro.distance.eged import EGED, MetricEGED
+from repro.errors import IndexStateError, InvalidParameterError
+from repro.graph.decomposition import BackgroundGraph
+from repro.graph.object_graph import ObjectGraph
+
+
+@dataclass
+class STRGIndexConfig:
+    """STRG-Index tuning.
+
+    ``leaf_capacity`` triggers the BIC split test of Section 5.3;
+    ``bg_similarity_threshold`` decides when an incoming segment's BG
+    matches an existing root record; ``n_clusters`` fixes the cluster
+    count at build time (``None`` selects it by BIC, Section 4.2).
+    """
+
+    leaf_capacity: int = 32
+    bg_similarity_threshold: float = 0.5
+    n_clusters: int | None = None
+    k_max: int = 15
+    em_iterations: int = 25
+    cluster_sample_size: int | None = None
+    metric_gap: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.leaf_capacity < 2:
+            raise InvalidParameterError(
+                f"leaf_capacity must be >= 2, got {self.leaf_capacity}"
+            )
+        if not 0.0 <= self.bg_similarity_threshold <= 1.0:
+            raise InvalidParameterError(
+                "bg_similarity_threshold must be in [0, 1]"
+            )
+        if self.cluster_sample_size is not None and self.cluster_sample_size < 2:
+            raise InvalidParameterError(
+                "cluster_sample_size must be >= 2 when set, "
+                f"got {self.cluster_sample_size}"
+            )
+
+
+class STRGIndex:
+    """Three-level STRG-Index over Object Graphs."""
+
+    def __init__(self, config: STRGIndexConfig | None = None,
+                 metric_distance: Distance | Callable | None = None,
+                 cluster_distance: Distance | None = None):
+        self.config = config or STRGIndexConfig()
+        #: Metric distance for leaf keys and query evaluation (EGED_M).
+        self.metric_distance = (
+            metric_distance
+            if metric_distance is not None
+            else MetricEGED(self.config.metric_gap)
+        )
+        #: Non-metric distance for clustering (EGED).
+        self.cluster_distance = cluster_distance or EGED()
+        self.root: list[RootRecord] = []
+        self._next_root_id = 0
+
+    # -- construction (Algorithm 2) -----------------------------------------
+
+    def build(self, ogs: Sequence[ObjectGraph],
+              background: BackgroundGraph | None = None,
+              clip_refs: Sequence[Any] | None = None) -> RootRecord:
+        """Build the index tree for one video segment (Algorithm 2).
+
+        Creates a root record for ``background``, clusters ``ogs`` with
+        EM-EGED (cluster count from config or BIC), synthesizes centroid
+        OGs, and fills the leaf nodes with metric keys.
+
+        When ``cluster_sample_size`` is configured and smaller than the
+        input, EM runs on a random sample and the remaining OGs are
+        assigned to the nearest synthesized centroid — the scalable
+        build path for large databases (assignment is the O(K M) cost
+        the paper's Section 6.3 analysis charges to index construction).
+        """
+        if not ogs:
+            raise IndexStateError("cannot build an index from zero OGs")
+        if clip_refs is not None and len(clip_refs) != len(ogs):
+            raise InvalidParameterError(
+                f"{len(ogs)} OGs but {len(clip_refs)} clip refs"
+            )
+        sample_size = self.config.cluster_sample_size
+        rng = np.random.default_rng(self.config.seed)
+        if sample_size is not None and sample_size < len(ogs):
+            sample_idx = rng.choice(len(ogs), size=sample_size, replace=False)
+            sample = [ogs[int(i)] for i in sample_idx]
+        else:
+            sample = list(ogs)
+
+        k = self.config.n_clusters
+        if k is None:
+            k, _ = select_num_clusters(
+                sample, 1, min(self.config.k_max, len(sample)),
+                distance=self.cluster_distance, seed=self.config.seed,
+                max_iterations=self.config.em_iterations,
+            )
+        k = min(k, len(sample))
+        em = EMClustering(
+            EMConfig(n_clusters=k, max_iterations=self.config.em_iterations,
+                     seed=self.config.seed),
+            distance=self.cluster_distance,
+        )
+        result = em.fit(sample)
+
+        root_record = RootRecord(self._next_root_id, background)
+        self._next_root_id += 1
+        self.root.append(root_record)
+        records = [
+            root_record.cluster_node.add(result.centroids[c])
+            for c in range(result.num_clusters)
+        ]
+
+        def place(og, cluster: int | None, ref) -> None:
+            """Insert one OG: into its EM cluster, or the nearest centroid."""
+            if cluster is not None:
+                record = records[cluster]
+                key = self.metric_distance(og, record.centroid)
+            else:
+                keys = [self.metric_distance(og, r.centroid) for r in records]
+                best = int(np.argmin(keys))
+                record = records[best]
+                key = keys[best]
+            record.leaf.insert(LeafRecord(key, og, ref))
+
+        sampled_cluster = {
+            og.og_id if isinstance(og, ObjectGraph) else id(og):
+                int(result.assignments[i])
+            for i, og in enumerate(sample)
+        }
+        for j, og in enumerate(ogs):
+            ref = clip_refs[j] if clip_refs is not None else None
+            key = og.og_id if isinstance(og, ObjectGraph) else id(og)
+            place(og, sampled_cluster.get(key), ref)
+        for record in list(records):
+            if len(record.leaf) == 0:
+                root_record.cluster_node.remove(record)
+        return root_record
+
+    # -- maintenance (Section 5.3) -------------------------------------------
+
+    def insert(self, og: ObjectGraph,
+               background: BackgroundGraph | None = None,
+               clip_ref: Any = None) -> None:
+        """Insert one OG, splitting its leaf if the BIC test demands it.
+
+        The OG joins the root record whose BG best matches ``background``
+        (or the only/first record when no background is given), then the
+        cluster whose centroid is nearest under the metric distance.
+        """
+        if not self.root:
+            self.build([og], background, [clip_ref])
+            return
+        root_record = self._match_root(background)
+        if root_record is None:
+            self.build([og], background, [clip_ref])
+            return
+        cluster_node = root_record.cluster_node
+        if len(cluster_node) == 0:
+            record = cluster_node.add(as_series(og).copy())
+        else:
+            record = min(
+                cluster_node.records,
+                key=lambda r: self.metric_distance(og, r.centroid),
+            )
+        key = self.metric_distance(og, record.centroid)
+        record.leaf.insert(LeafRecord(key, og, clip_ref))
+        if len(record.leaf) > self.config.leaf_capacity:
+            self._maybe_split(cluster_node, record)
+
+    def _match_root(self, background: BackgroundGraph | None
+                    ) -> RootRecord | None:
+        """Root record whose BG is most similar to ``background``.
+
+        Without a background, the first root record is used.  Returns
+        ``None`` when the best similarity falls below the threshold,
+        signalling that a new root record is needed.
+        """
+        if background is None or all(
+            r.background is None for r in self.root
+        ):
+            return self.root[0]
+        best = None
+        best_sim = -1.0
+        for record in self.root:
+            if record.background is None:
+                continue
+            sim = record.background.similarity(background)
+            if sim > best_sim:
+                best_sim = sim
+                best = record
+        if best is None or best_sim < self.config.bg_similarity_threshold:
+            return None
+        return best
+
+    def _maybe_split(self, cluster_node: ClusterNode,
+                     record: ClusterRecord) -> None:
+        """BIC-driven leaf split (Section 5.3).
+
+        Fit EM with K=1 and K=2 on the leaf's OGs; split only when
+        ``BIC(K=2) > BIC(K=1)``, replacing the cluster record with two new
+        records (and re-keying the members).
+        """
+        ogs = record.leaf.object_graphs()
+        refs = [r.clip_ref for r in record.leaf]
+        scores = []
+        results = []
+        for k in (1, 2):
+            em = EMClustering(
+                EMConfig(n_clusters=k,
+                         max_iterations=self.config.em_iterations,
+                         seed=self.config.seed),
+                distance=self.cluster_distance,
+            )
+            result = em.fit(ogs)
+            results.append(result)
+            scores.append(bic_score(result, len(ogs)))
+        if scores[1] <= scores[0]:
+            return  # the node remains unchanged
+        two = results[1]
+        if len(np.unique(two.assignments)) < 2:
+            return  # degenerate split: everything on one side
+        cluster_node.remove(record)
+        for c in range(2):
+            members = two.cluster_members(c)
+            if members.size == 0:
+                continue
+            new_record = cluster_node.add(two.centroids[c])
+            for j in members:
+                og = ogs[int(j)]
+                key = self.metric_distance(og, new_record.centroid)
+                new_record.leaf.insert(LeafRecord(key, og, refs[int(j)]))
+
+    def delete(self, og_id: int) -> bool:
+        """Remove the OG with ``og_id`` from the index.
+
+        Empty cluster records (and then empty root records) are dropped,
+        the maintenance counterpart of Section 5.3's note that centroids
+        are "updated as the member OGs are changed such as inserting,
+        deleting".  Returns ``True`` when the OG was found.
+        """
+        for root_record in list(self.root):
+            cluster_node = root_record.cluster_node
+            for record in list(cluster_node.records):
+                removed = record.leaf.remove(og_id)
+                if removed is None:
+                    continue
+                if len(record.leaf) == 0:
+                    cluster_node.remove(record)
+                if len(cluster_node) == 0:
+                    self.root.remove(root_record)
+                return True
+        return False
+
+    # -- search (Algorithm 3) ---------------------------------------------------
+
+    def knn(self, query: ObjectGraph | np.ndarray, k: int,
+            background: BackgroundGraph | None = None,
+            n_probe: int | None = None
+            ) -> list[tuple[float, ObjectGraph, Any]]:
+        """k nearest OGs to the query, as ``(distance, og, clip_ref)``.
+
+        Follows Algorithm 3: match the query BG at the root (skipped when
+        no background is supplied — then every cluster node is searched),
+        rank clusters by metric centroid distance, and scan each leaf
+        outward from ``Key_q`` pruning with ``|Key - Key_q| > kth_best``
+        (a valid lower bound because ``EGED_M`` is a metric).
+
+        ``n_probe`` bounds how many nearest clusters are scanned:
+        ``None`` (default) gives exact k-NN; ``1`` is the literal
+        Algorithm 3, which descends only the best-matching cluster —
+        faster and *cluster-faithful* (results share the query's cluster),
+        the behaviour behind the paper's precision/recall advantage in
+        Figure 7(c).
+        """
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        if n_probe is not None and n_probe < 1:
+            raise InvalidParameterError(f"n_probe must be >= 1, got {n_probe}")
+        if not self.root:
+            raise IndexStateError("cannot search an empty STRG-Index")
+        if background is not None:
+            matched = self._match_root(background)
+            root_records = [matched] if matched is not None else list(self.root)
+        else:
+            root_records = list(self.root)
+
+        # Rank candidate clusters (these distance evaluations are part of
+        # the query cost).  Exact search ranks by the metric distance the
+        # pruning bound needs; probed search follows Algorithm 3, which
+        # picks the similar centroid with the *non-metric* EGED (step 3)
+        # before computing the metric key (step 4).
+        records = [
+            record
+            for root_record in root_records
+            for record in root_record.cluster_node
+        ]
+        if n_probe is not None:
+            records.sort(key=lambda r: self.cluster_distance(query, r.centroid))
+            records = records[:n_probe]
+        ranked = [
+            (self.metric_distance(query, record.centroid), record)
+            for record in records
+        ]
+        ranked.sort(key=lambda item: item[0])
+
+        best: list[tuple[float, ObjectGraph, Any]] = []
+
+        def kth_best() -> float:
+            return best[-1][0] if len(best) == k else float("inf")
+
+        for key_q, record in ranked:
+            leaf = record.leaf
+            if len(leaf) == 0:
+                continue
+            # Whole-cluster prune: nearest possible member is
+            # max(key_q - max_key, 0).
+            if key_q - leaf.max_key() > kth_best():
+                continue
+            self._scan_leaf(leaf, query, key_q, k, best, kth_best)
+        return best
+
+    def _scan_leaf(self, leaf: LeafNode, query, key_q: float, k: int,
+                   best: list, kth_best) -> None:
+        """Expand outward from the query key position in a sorted leaf."""
+        keys = leaf.keys
+        records = leaf.records
+        pos = bisect.bisect_left(keys, key_q)
+        left = pos - 1
+        right = pos
+        n = len(records)
+        while left >= 0 or right < n:
+            go_left = left >= 0 and (
+                right >= n or key_q - keys[left] <= keys[right] - key_q
+            )
+            if go_left:
+                idx = left
+                left -= 1
+            else:
+                idx = right
+                right += 1
+            gap = abs(keys[idx] - key_q)
+            if gap > kth_best():
+                # All remaining records in this direction are farther in
+                # key space; if both directions exceed, we are done.
+                if go_left:
+                    left = -1
+                else:
+                    right = n
+                continue
+            record = records[idx]
+            d = self.metric_distance(query, record.og)
+            if d < kth_best():
+                entry = (d, record.og, record.clip_ref)
+                bisect.insort(best, entry, key=lambda e: e[0])
+                if len(best) > k:
+                    best.pop()
+
+    def range_query(self, query, radius: float,
+                    background: BackgroundGraph | None = None
+                    ) -> list[tuple[float, ObjectGraph, Any]]:
+        """All OGs within ``radius`` of the query."""
+        if radius < 0:
+            raise InvalidParameterError(f"radius must be >= 0, got {radius}")
+        if not self.root:
+            raise IndexStateError("cannot search an empty STRG-Index")
+        if background is not None:
+            matched = self._match_root(background)
+            root_records = [matched] if matched is not None else list(self.root)
+        else:
+            root_records = list(self.root)
+        results: list[tuple[float, ObjectGraph, Any]] = []
+        for root_record in root_records:
+            for record in root_record.cluster_node:
+                key_q = self.metric_distance(query, record.centroid)
+                for leaf_record in record.leaf:
+                    if abs(leaf_record.key - key_q) > radius:
+                        continue
+                    d = self.metric_distance(query, leaf_record.og)
+                    if d <= radius:
+                        results.append((d, leaf_record.og, leaf_record.clip_ref))
+        return sorted(results, key=lambda item: item[0])
+
+    # -- introspection -----------------------------------------------------------
+
+    def object_graphs(self):
+        """Iterate over every indexed OG (all roots, clusters, leaves)."""
+        for root_record in self.root:
+            for cluster_record in root_record.cluster_node:
+                for leaf_record in cluster_record.leaf:
+                    yield leaf_record.og
+
+    def __len__(self) -> int:
+        return sum(
+            record.cluster_node.total_ogs() for record in self.root
+        )
+
+    def num_clusters(self) -> int:
+        """Total cluster records across all root records."""
+        return sum(len(record.cluster_node) for record in self.root)
+
+    def stats(self) -> dict[str, int]:
+        """Level-by-level record counts."""
+        return {
+            "root_records": len(self.root),
+            "cluster_records": self.num_clusters(),
+            "leaf_records": len(self),
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"STRGIndex(backgrounds={s['root_records']}, "
+            f"clusters={s['cluster_records']}, ogs={s['leaf_records']})"
+        )

@@ -1,0 +1,39 @@
+"""Workload generators reproducing the paper's evaluation data.
+
+- :mod:`repro.datasets.patterns` — the 48 moving patterns of Section 6.1
+  (12 vertical, 12 horizontal, 8 diagonal, 16 U-turn).
+- :mod:`repro.datasets.synthetic` — Pelleg-style Gaussian cluster spread
+  plus Vlachos-style trajectory noise, converted to Object Graphs.
+- :mod:`repro.datasets.real` — simulated Lab1/Lab2/Traffic1/Traffic2
+  streams standing in for the real camera data of Table 1, including a
+  renderer producing actual pixel videos for the full pipeline.
+"""
+
+from repro.datasets.patterns import (
+    MotionPattern,
+    ALL_PATTERNS,
+    pattern_by_id,
+    CANVAS,
+)
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_ogs
+from repro.datasets.real import (
+    StreamSpec,
+    STREAMS,
+    simulate_stream_ogs,
+    render_stream_segment,
+    stream_frame_count,
+)
+
+__all__ = [
+    "MotionPattern",
+    "ALL_PATTERNS",
+    "pattern_by_id",
+    "CANVAS",
+    "SyntheticConfig",
+    "generate_synthetic_ogs",
+    "StreamSpec",
+    "STREAMS",
+    "simulate_stream_ogs",
+    "render_stream_segment",
+    "stream_frame_count",
+]

@@ -1,0 +1,98 @@
+"""Synthetic Object Graph generator (Section 6.1).
+
+Reconstructs the paper's synthetic workload:
+
+1. 48 moving patterns (:mod:`repro.datasets.patterns`);
+2. Pelleg-style cluster structure: each OG instance is its pattern's path
+   displaced by a Gaussian offset with ``sigma = 5``;
+3. Vlachos-style noise: per-point Gaussian jitter whose scale grows with
+   the *noise fraction* (5%-30%), plus the same fraction of outlier points
+   replaced by uniform positions — the corruption model EGED's gap
+   handling tolerates and DTW/LCS do not;
+4. conversion to Object Graphs (temporal-subgraph value sequences) with
+   ground-truth ``label`` = pattern id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.patterns import ALL_PATTERNS, CANVAS, MotionPattern
+from repro.errors import InvalidParameterError
+from repro.graph.object_graph import ObjectGraph
+
+
+@dataclass
+class SyntheticConfig:
+    """Parameters of the synthetic OG workload.
+
+    ``noise_fraction`` in ``[0, 1]`` is the paper's "variance of noise"
+    percentage: jitter std is ``noise_fraction * jitter_scale`` and each
+    point independently becomes a uniform outlier with probability
+    ``noise_fraction``.
+    """
+
+    num_ogs: int = 480
+    noise_fraction: float = 0.05
+    sigma: float = 5.0
+    jitter_scale: float = 40.0
+    seed: int = 0
+    patterns: Sequence[MotionPattern] = field(default_factory=lambda: ALL_PATTERNS)
+
+    def __post_init__(self) -> None:
+        if self.num_ogs < 1:
+            raise InvalidParameterError(f"num_ogs must be >= 1, got {self.num_ogs}")
+        if not 0.0 <= self.noise_fraction <= 1.0:
+            raise InvalidParameterError(
+                f"noise_fraction must be in [0, 1], got {self.noise_fraction}"
+            )
+        if self.sigma < 0:
+            raise InvalidParameterError(f"sigma must be >= 0, got {self.sigma}")
+        if not self.patterns:
+            raise InvalidParameterError("patterns must be non-empty")
+
+
+def _corrupt(path: np.ndarray, config: SyntheticConfig,
+             rng: np.random.Generator) -> np.ndarray:
+    """Apply Gaussian cluster offset, per-point jitter and outliers."""
+    out = path + rng.normal(0.0, config.sigma, size=2)
+    noise = config.noise_fraction
+    if noise > 0:
+        out = out + rng.normal(0.0, noise * config.jitter_scale, size=out.shape)
+        outliers = rng.random(out.shape[0]) < noise
+        n_out = int(outliers.sum())
+        if n_out:
+            out[outliers] = rng.uniform(0.0, CANVAS, size=(n_out, 2))
+    return out
+
+
+def generate_synthetic_ogs(config: SyntheticConfig | None = None,
+                           rng: np.random.Generator | None = None
+                           ) -> list[ObjectGraph]:
+    """Generate a labeled synthetic OG data set.
+
+    OGs are assigned to patterns round-robin so every pattern (cluster) is
+    populated; each instance samples its own time length from the pattern's
+    range before corruption.
+    """
+    config = config or SyntheticConfig()
+    rng = rng or np.random.default_rng(config.seed)
+    ogs: list[ObjectGraph] = []
+    n_patterns = len(config.patterns)
+    for i in range(config.num_ogs):
+        pattern = config.patterns[i % n_patterns]
+        length = pattern.sample_length(rng)
+        path = pattern.generate(length)
+        values = _corrupt(path, config, rng)
+        ogs.append(
+            ObjectGraph.from_values(
+                values,
+                label=pattern.pattern_id,
+                pattern=pattern.name,
+                object_size=pattern.object_size,
+            )
+        )
+    return ogs

@@ -1,0 +1,65 @@
+"""Cheap lower bounds for the metric EGED (ERP-style).
+
+Because ``EGED_M`` is a metric (Theorem 2), the triangle inequality with
+any fixed reference ``R`` gives ``|d(Q, R) - d(S, R)| <= d(Q, S)``.
+Taking ``R`` to be the *empty* sequence makes ``d(X, R)`` the total gap
+mass ``sum_i |x_i - g|`` — an O(n) quantity — so candidate sequences can
+be discarded without running the O(n*m) dynamic program at all.  This is
+the norm-based pruning idea of Chen & Ng's ERP indexing, generalized to
+the vector-valued OG nodes used here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.base import SeriesLike, as_series
+
+
+def gap_mass(x: SeriesLike, gap: float | np.ndarray = 0.0) -> float:
+    """Total gap cost of a series against the reference value ``g``.
+
+    Equals ``EGED_M(x, <empty sequence>)``: deleting every node.
+    """
+    a = as_series(x)
+    g = np.broadcast_to(np.asarray(gap, dtype=np.float64), (a.shape[1],))
+    return float(np.sum(np.sqrt(np.sum((a - g) ** 2, axis=1))))
+
+
+def eged_metric_lower_bound(x: SeriesLike, y: SeriesLike,
+                            gap: float | np.ndarray = 0.0) -> float:
+    """A lower bound on ``EGED_M(x, y)`` computable in O(n + m).
+
+    ``|gap_mass(x) - gap_mass(y)| <= EGED_M(x, y)`` by the triangle
+    inequality through the empty sequence.
+    """
+    return abs(gap_mass(x, gap) - gap_mass(y, gap))
+
+
+class NormIndex:
+    """Precomputed gap masses for a collection, for batch pre-filtering.
+
+    Typical use: before running exact k-NN over a candidate list, discard
+    every candidate whose lower bound already exceeds the current k-th
+    best distance.
+    """
+
+    def __init__(self, items, gap: float | np.ndarray = 0.0):
+        self.items = list(items)
+        self.gap = gap
+        self._masses = np.array(
+            [gap_mass(item, gap) for item in self.items], dtype=np.float64
+        )
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def lower_bounds(self, query: SeriesLike) -> np.ndarray:
+        """Lower bound of the distance from ``query`` to every item."""
+        return np.abs(self._masses - gap_mass(query, self.gap))
+
+    def candidates_within(self, query: SeriesLike, radius: float
+                          ) -> list[int]:
+        """Indices whose lower bound does not exceed ``radius``."""
+        bounds = self.lower_bounds(query)
+        return [int(i) for i in np.where(bounds <= radius)[0]]

@@ -1,0 +1,67 @@
+"""Dynamic Time Warping (Gish & Ng style), a clustering baseline (Fig. 5/6).
+
+DTW aligns two series by a monotone warping path and sums node costs along
+it.  It handles local time shifting but is *not* a metric (it violates the
+triangle inequality), which is exactly why the paper needs EGED_M for index
+keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.base import Distance, node_cost_matrix
+from repro.errors import InvalidParameterError
+
+
+def dtw(a: np.ndarray, b: np.ndarray, window: int | None = None) -> float:
+    """DTW distance between ``(n, d)`` and ``(m, d)`` series.
+
+    ``window`` is an optional Sakoe-Chiba band half-width restricting the
+    warping path to ``|i - j| <= window``; ``None`` means unconstrained.
+    """
+    n, m = a.shape[0], b.shape[0]
+    if window is not None:
+        if window < 0:
+            raise InvalidParameterError(f"window must be >= 0, got {window}")
+        window = max(window, abs(n - m))
+    cost = node_cost_matrix(a, b).tolist()
+    inf = float("inf")
+    # Rolling-row DP over plain Python floats (see repro.distance.erp).
+    prev = [inf] * (m + 1)
+    prev[0] = 0.0
+    for i in range(1, n + 1):
+        if window is None:
+            j_lo, j_hi = 1, m
+        else:
+            j_lo = max(1, i - window)
+            j_hi = min(m, i + window)
+        cur = [inf] * (m + 1)
+        crow = cost[i - 1]
+        for j in range(j_lo, j_hi + 1):
+            best = prev[j - 1]
+            if prev[j] < best:
+                best = prev[j]
+            if cur[j - 1] < best:
+                best = cur[j - 1]
+            cur[j] = crow[j - 1] + best
+        prev = cur
+    return float(prev[m])
+
+
+class DTW(Distance):
+    """Callable DTW distance with optional Sakoe-Chiba band."""
+
+    is_metric = False
+
+    def __init__(self, window: int | None = None):
+        if window is not None and window < 0:
+            raise InvalidParameterError(f"window must be >= 0, got {window}")
+        self.window = window
+
+    def compute(self, a: np.ndarray, b: np.ndarray) -> float:
+        return dtw(a, b, self.window)
+
+    @property
+    def name(self) -> str:
+        return "DTW" if self.window is None else f"DTW(w={self.window})"

@@ -1,0 +1,51 @@
+"""Discrete Frechet distance.
+
+A classic trajectory similarity measure included for completeness of the
+baseline suite: the minimum over monotone couplings of the *maximum*
+node distance (the "dog leash" length).  It is a true metric on
+point-sequence space but sensitive to single outliers — the opposite
+trade-off to EGED's summed edit costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.base import Distance, node_cost_matrix
+
+
+def discrete_frechet(a: np.ndarray, b: np.ndarray) -> float:
+    """Discrete Frechet distance between ``(n, d)`` and ``(m, d)`` series."""
+    n, m = a.shape[0], b.shape[0]
+    cost = node_cost_matrix(a, b).tolist()
+    # Rolling-row DP: F[i][j] = max(cost[i][j], min(F[i-1][j-1],
+    # F[i-1][j], F[i][j-1])).
+    prev = [0.0] * m
+    acc = 0.0
+    first = cost[0]
+    row0 = []
+    for j in range(m):
+        acc = max(acc, first[j])
+        row0.append(acc)
+    prev = row0
+    for i in range(1, n):
+        crow = cost[i]
+        cur = [max(prev[0], crow[0])]
+        for j in range(1, m):
+            reach = min(prev[j - 1], prev[j], cur[j - 1])
+            cur.append(max(reach, crow[j]))
+        prev = cur
+    return float(prev[m - 1])
+
+
+class FrechetDistance(Distance):
+    """Callable discrete Frechet distance (a metric)."""
+
+    is_metric = True
+
+    def compute(self, a: np.ndarray, b: np.ndarray) -> float:
+        return discrete_frechet(a, b)
+
+    @property
+    def name(self) -> str:
+        return "Frechet"

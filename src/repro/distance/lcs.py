@@ -1,0 +1,75 @@
+"""Longest Common Subsequence similarity (Vlachos-style), baseline in Fig. 5.
+
+Real-valued series are matched under an epsilon tolerance: two nodes match
+when every coordinate differs by at most ``epsilon``.  The associated
+dissimilarity is ``1 - |LCS| / min(n, m)`` (in [0, 1]); like DTW it is not a
+metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.base import Distance
+from repro.errors import InvalidParameterError
+
+
+def lcs_length(a: np.ndarray, b: np.ndarray, epsilon: float = 1.0,
+               delta: int | None = None) -> int:
+    """Length of the longest common subsequence of two ``(n, d)`` series.
+
+    ``epsilon`` is the per-coordinate matching tolerance; ``delta`` is an
+    optional bound on temporal index displacement (``|i - j| <= delta``).
+    """
+    if epsilon < 0:
+        raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+    if delta is not None and delta < 0:
+        raise InvalidParameterError(f"delta must be >= 0, got {delta}")
+    n, m = a.shape[0], b.shape[0]
+    match = np.all(
+        np.abs(a[:, None, :] - b[None, :, :]) <= epsilon, axis=2
+    )
+    if delta is not None:
+        ii, jj = np.indices((n, m))
+        match &= np.abs(ii - jj) <= delta
+    match_rows = match.tolist()
+    # Rolling-row DP over plain Python ints (see repro.distance.erp).
+    prev = [0] * (m + 1)
+    for i in range(n):
+        cur = [0] * (m + 1)
+        mrow = match_rows[i]
+        for j in range(m):
+            if mrow[j]:
+                cur[j + 1] = prev[j] + 1
+            else:
+                up = prev[j + 1]
+                left = cur[j]
+                cur[j + 1] = up if up >= left else left
+        prev = cur
+    return int(prev[m])
+
+
+def lcs_distance(a: np.ndarray, b: np.ndarray, epsilon: float = 1.0,
+                 delta: int | None = None) -> float:
+    """LCS dissimilarity ``1 - |LCS| / min(n, m)`` in ``[0, 1]``."""
+    common = lcs_length(a, b, epsilon, delta)
+    return 1.0 - common / min(a.shape[0], b.shape[0])
+
+
+class LCSDistance(Distance):
+    """Callable LCS dissimilarity with tolerance ``epsilon``."""
+
+    is_metric = False
+
+    def __init__(self, epsilon: float = 1.0, delta: int | None = None):
+        if epsilon < 0:
+            raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+        self.delta = delta
+
+    def compute(self, a: np.ndarray, b: np.ndarray) -> float:
+        return lcs_distance(a, b, self.epsilon, self.delta)
+
+    @property
+    def name(self) -> str:
+        return f"LCS(eps={self.epsilon:g})"

@@ -1,0 +1,51 @@
+"""Lp-norm distances — the "traditional distance functions" of Section 1.
+
+Lp norms require equal-length inputs; unequal series are first linearly
+resampled to the shorter length so that the baseline remains usable on the
+variable-length Object Graphs of the evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.base import Distance, resample_series
+from repro.errors import InvalidParameterError
+
+
+def lp_distance(a: np.ndarray, b: np.ndarray, p: float = 2.0) -> float:
+    """Lp distance between two ``(n, d)`` series of equal length.
+
+    Unequal lengths are reconciled by resampling the longer series down to
+    the shorter one.  ``p = inf`` gives the Chebyshev distance.
+    """
+    if p <= 0:
+        raise InvalidParameterError(f"p must be positive, got {p}")
+    n = min(a.shape[0], b.shape[0])
+    a = resample_series(a, n)
+    b = resample_series(b, n)
+    delta = np.abs(a - b).ravel()
+    if np.isinf(p):
+        return float(delta.max())
+    return float(np.sum(delta ** p) ** (1.0 / p))
+
+
+class LpDistance(Distance):
+    """Callable Lp distance (default Euclidean, ``p = 2``).
+
+    Metric on equal-length series; the resampling used for unequal lengths
+    preserves symmetry and reflexivity but not the triangle inequality in
+    general, so :attr:`is_metric` is conservatively ``False``.
+    """
+
+    def __init__(self, p: float = 2.0):
+        if p <= 0:
+            raise InvalidParameterError(f"p must be positive, got {p}")
+        self.p = float(p)
+
+    def compute(self, a: np.ndarray, b: np.ndarray) -> float:
+        return lp_distance(a, b, self.p)
+
+    @property
+    def name(self) -> str:
+        return f"L{self.p:g}"

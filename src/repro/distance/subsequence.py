@@ -1,0 +1,71 @@
+"""Subsequence matching under the metric EGED (subsequence-DTW analogue).
+
+Stored Object Graphs are often much longer than a query motion ("find
+clips where something did *this*, possibly mid-trajectory").  The edit DP
+adapts in the standard way: deletions of the *target* before and after
+the matched window are free — initialize the top row with zeros and take
+the minimum over the bottom row.  The returned cost is the EGED_M between
+the query and the best-matching window of the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distance.base import as_series, check_same_dim, node_cost_matrix
+
+
+@dataclass(frozen=True)
+class SubsequenceMatch:
+    """Best window match: cost plus the target window ``[start, stop)``."""
+
+    cost: float
+    start: int
+    stop: int
+
+
+def eged_subsequence(query, target, gap: float | np.ndarray = 0.0
+                     ) -> SubsequenceMatch:
+    """Best-window EGED_M between ``query`` and any window of ``target``.
+
+    Runs in O(n * m); the window boundaries are recovered by
+    backtracking the start pointer through the DP.
+    """
+    q = as_series(query)
+    t = as_series(target)
+    check_same_dim(q, t)
+    n, m = q.shape[0], t.shape[0]
+    g = np.broadcast_to(np.asarray(gap, dtype=np.float64), (q.shape[1],))
+    gap_q = np.sqrt(np.sum((q - g) ** 2, axis=1)).tolist()
+    gap_t = np.sqrt(np.sum((t - g) ** 2, axis=1)).tolist()
+    sub = node_cost_matrix(q, t).tolist()
+
+    # prev[j] = best cost of aligning q[:i] against a window ending at j;
+    # start[j] tracks where that window began.
+    prev = [0.0] * (m + 1)
+    prev_start = list(range(m + 1))
+    for i in range(n):
+        gq = gap_q[i]
+        srow = sub[i]
+        cur = [prev[0] + gq]
+        cur_start = [0]
+        for j in range(m):
+            best = prev[j] + srow[j]
+            origin = prev_start[j]
+            cand = prev[j + 1] + gq
+            if cand < best:
+                best = cand
+                origin = prev_start[j + 1]
+            cand = cur[j] + gap_t[j]
+            if cand < best:
+                best = cand
+                origin = cur_start[j]
+            cur.append(best)
+            cur_start.append(origin)
+        prev = cur
+        prev_start = cur_start
+    stop = int(np.argmin(prev))
+    return SubsequenceMatch(cost=float(prev[stop]),
+                            start=int(prev_start[stop]), stop=stop)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the STRG-Index reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class EmptySequenceError(ReproError, ValueError):
+    """A distance or clustering routine received an empty value sequence."""
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """Two value sequences have incompatible feature dimensions."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is outside its valid domain."""
+
+
+class GraphStructureError(ReproError, ValueError):
+    """A graph does not satisfy the structural preconditions of an
+    operation (e.g. an Object Graph that is not a linear temporal chain)."""
+
+
+class IndexStateError(ReproError, RuntimeError):
+    """An index operation was attempted in an invalid state (e.g. searching
+    an empty tree, inserting into a frozen index)."""
+
+
+class ClusteringError(ReproError, RuntimeError):
+    """A clustering run failed to produce a valid model (e.g. all points
+    collapsed into one component, or a likelihood became degenerate)."""
+
+
+class StorageError(ReproError, RuntimeError):
+    """Serialization or database-file handling failed."""
+
+
+class SegmentationError(ReproError, RuntimeError):
+    """Region segmentation could not produce a valid labeling."""

@@ -1,0 +1,82 @@
+"""Graph substrate: RAGs, STRGs, tracking and decomposition.
+
+Implements Section 2 of the paper:
+
+- :mod:`repro.graph.attributes` — node / spatial-edge / temporal-edge
+  attribute models (Definitions 1 and 2).
+- :mod:`repro.graph.rag` — Region Adjacency Graph construction.
+- :mod:`repro.graph.strg` — Spatio-Temporal Region Graph.
+- :mod:`repro.graph.isomorphism` — (sub)graph isomorphism on attributed
+  graphs (Definitions 3-5).
+- :mod:`repro.graph.common_subgraph` — most common subgraph via the
+  association-graph / maximal-clique reduction (Definition 6).
+- :mod:`repro.graph.neighborhood` — neighborhood graphs (Definition 7).
+- :mod:`repro.graph.tracking` — graph-based tracking (Algorithm 1).
+- :mod:`repro.graph.object_graph` — Object Graphs.
+- :mod:`repro.graph.decomposition` — ORG extraction, OG merging and
+  background-graph elimination (Section 2.3).
+"""
+
+from repro.graph.attributes import (
+    NodeAttributes,
+    SpatialEdgeAttributes,
+    TemporalEdgeAttributes,
+    AttributeTolerance,
+)
+from repro.graph.rag import RegionAdjacencyGraph
+from repro.graph.strg import SpatioTemporalRegionGraph
+from repro.graph.neighborhood import neighborhood_graph
+from repro.graph.isomorphism import (
+    find_isomorphism,
+    find_subgraph_isomorphism,
+    is_isomorphic,
+)
+from repro.graph.common_subgraph import (
+    most_common_subgraph,
+    sim_graph,
+)
+from repro.graph.merge import (
+    union_graphs,
+    combine_mappings,
+    is_embedding,
+    merge_isomorphic_pairs,
+)
+from repro.graph.tracking import GraphTracker, TrackerConfig
+from repro.graph.object_graph import ObjectGraph, ObjectRegionGraph
+from repro.graph.decomposition import (
+    BackgroundGraph,
+    STRGDecomposition,
+    decompose,
+    extract_object_region_graphs,
+    merge_object_region_graphs,
+    extract_background_graph,
+)
+
+__all__ = [
+    "NodeAttributes",
+    "SpatialEdgeAttributes",
+    "TemporalEdgeAttributes",
+    "AttributeTolerance",
+    "RegionAdjacencyGraph",
+    "SpatioTemporalRegionGraph",
+    "neighborhood_graph",
+    "find_isomorphism",
+    "find_subgraph_isomorphism",
+    "is_isomorphic",
+    "most_common_subgraph",
+    "sim_graph",
+    "union_graphs",
+    "combine_mappings",
+    "is_embedding",
+    "merge_isomorphic_pairs",
+    "GraphTracker",
+    "TrackerConfig",
+    "ObjectGraph",
+    "ObjectRegionGraph",
+    "BackgroundGraph",
+    "STRGDecomposition",
+    "decompose",
+    "extract_object_region_graphs",
+    "merge_object_region_graphs",
+    "extract_background_graph",
+]

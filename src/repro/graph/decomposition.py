@@ -1,0 +1,273 @@
+"""STRG decomposition into ORGs, OGs and a Background Graph — Section 2.3.
+
+The decomposition walks temporal-edge chains of an STRG to extract Object
+Region Graphs, merges ORGs that move together into Object Graphs (the
+velocity/direction criterion of Section 2.3.2), and collapses everything
+else into a single Background Graph by overlapping the remaining per-frame
+regions along their temporal edges (Section 2.3.3) — the redundancy
+elimination that makes the STRG-Index small (Table 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graph.attributes import (
+    AttributeTolerance,
+    NodeAttributes,
+    angle_difference,
+)
+from repro.graph.common_subgraph import sim_graph
+from repro.graph.object_graph import NodeKey, ObjectGraph, ObjectRegionGraph
+from repro.graph.rag import RegionAdjacencyGraph
+from repro.graph.strg import SpatioTemporalRegionGraph
+
+
+@dataclass
+class DecompositionConfig:
+    """Thresholds controlling ORG extraction and OG merging.
+
+    ``min_org_length`` drops spurious one/two-frame tracks;
+    ``min_velocity`` separates moving foreground from static background;
+    ``velocity_tolerance`` / ``direction_tolerance`` / ``gap_tolerance``
+    decide when two ORGs "have the same moving direction and the same
+    velocity" (Section 2.3.2) and are close enough to be one object.
+    """
+
+    min_org_length: int = 3
+    min_velocity: float = 0.5
+    velocity_tolerance: float = 2.0
+    direction_tolerance: float = math.pi / 4.0
+    gap_tolerance: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.min_org_length < 1:
+            raise InvalidParameterError(
+                f"min_org_length must be >= 1, got {self.min_org_length}"
+            )
+        if self.min_velocity < 0:
+            raise InvalidParameterError(
+                f"min_velocity must be >= 0, got {self.min_velocity}"
+            )
+
+
+class BackgroundGraph:
+    """The deduplicated background of a video segment (Section 2.3.3).
+
+    One representative RAG stands in for the background of every frame;
+    ``frame_count`` records how many frames it replaces, which is exactly
+    the ``N x size(BG)`` redundancy Equation (9) charges to the raw STRG.
+    """
+
+    def __init__(self, rag: RegionAdjacencyGraph, frame_count: int):
+        self.rag = rag
+        self.frame_count = frame_count
+
+    def __len__(self) -> int:
+        return len(self.rag)
+
+    def size_bytes(self) -> int:
+        """Footprint of the single stored background RAG."""
+        return self.rag.size_bytes()
+
+    #: Above this association-graph size the exact max-clique SimGraph is
+    #: replaced by optimal attribute matching (the clique search is
+    #: exponential; backgrounds routinely have dozens of regions).
+    MAX_EXACT_ASSOCIATION = 120
+
+    def similarity(self, other: "BackgroundGraph",
+                   tolerance: AttributeTolerance | None = None) -> float:
+        """Similarity between two backgrounds, used by the root level of
+        the STRG-Index at query time (Algorithm 3, step 2).
+
+        Small pairs use the exact SimGraph (Eq. 1, max common subgraph);
+        large pairs fall back to the optimal one-to-one node-attribute
+        matching (Hungarian), which drops the edge-preservation constraint
+        but keeps the same ``matched / min(|A|, |B|)`` normalization.
+        """
+        if len(self) == 0 or len(other) == 0:
+            return 1.0 if len(self) == len(other) else 0.0
+        if len(self) * len(other) <= self.MAX_EXACT_ASSOCIATION:
+            return sim_graph(self.rag, other.rag, tolerance)
+        return self._matching_similarity(other, tolerance)
+
+    def _matching_similarity(self, other: "BackgroundGraph",
+                             tolerance: AttributeTolerance | None) -> float:
+        """Optimal node-compatibility matching similarity in [0, 1]."""
+        from scipy.optimize import linear_sum_assignment
+
+        tolerance = tolerance or AttributeTolerance()
+        ours = [self.rag.node_attrs(n) for n in self.rag.nodes()]
+        theirs = [other.rag.node_attrs(n) for n in other.rag.nodes()]
+        compatible = np.zeros((len(ours), len(theirs)), dtype=np.float64)
+        for i, a in enumerate(ours):
+            for j, b in enumerate(theirs):
+                if tolerance.nodes_compatible(a, b):
+                    compatible[i, j] = 1.0
+        rows, cols = linear_sum_assignment(-compatible)
+        matched = float(compatible[rows, cols].sum())
+        return matched / min(len(ours), len(theirs))
+
+    def __repr__(self) -> str:
+        return f"BackgroundGraph(regions={len(self)}, frames={self.frame_count})"
+
+
+@dataclass
+class STRGDecomposition:
+    """Result of :func:`decompose`: OGs, the BG, and the raw ORGs."""
+
+    object_graphs: list[ObjectGraph]
+    background: BackgroundGraph
+    orgs: list[ObjectRegionGraph]
+    background_orgs: list[ObjectRegionGraph] = field(default_factory=list)
+
+
+def extract_object_region_graphs(
+        strg: SpatioTemporalRegionGraph,
+        config: DecompositionConfig | None = None
+) -> tuple[list[ObjectRegionGraph], list[ObjectRegionGraph]]:
+    """Extract temporal chains and split them into foreground/background.
+
+    Walks maximal temporal-edge chains (each node consumed once; at a
+    convergence point the later chain terminates).  Chains at least
+    ``min_org_length`` long with mean velocity >= ``min_velocity`` are
+    foreground ORGs; the rest are background ORGs.
+    """
+    config = config or DecompositionConfig()
+    visited: set[NodeKey] = set()
+    foreground: list[ObjectRegionGraph] = []
+    background: list[ObjectRegionGraph] = []
+    start_nodes = [
+        key for key in strg.nodes() if not strg.predecessors(key)
+    ]
+    for start in start_nodes:
+        if start in visited:
+            continue
+        chain: list[NodeKey] = []
+        node: NodeKey | None = start
+        while node is not None and node not in visited:
+            visited.add(node)
+            chain.append(node)
+            successors = [s for s in strg.successors(node) if s not in visited]
+            node = successors[0] if successors else None
+        org = ObjectRegionGraph(
+            node_keys=chain,
+            attrs=[strg.node_attrs(key) for key in chain],
+        )
+        is_moving = (
+            len(org) >= config.min_org_length
+            and org.mean_velocity() >= config.min_velocity
+        )
+        if is_moving:
+            foreground.append(org)
+        else:
+            background.append(org)
+    return foreground, background
+
+
+def merge_object_region_graphs(
+        orgs: Sequence[ObjectRegionGraph],
+        config: DecompositionConfig | None = None) -> list[ObjectGraph]:
+    """Group co-moving ORGs into Object Graphs (Section 2.3.2).
+
+    Two ORGs join the same group when they overlap in time, their mean
+    velocities and directions agree within tolerance, and their centroids
+    stay within ``gap_tolerance`` over the shared span — the practical
+    reading of "same moving direction and the same velocity".  Groups are
+    the connected components of this relation (union-find).
+    """
+    config = config or DecompositionConfig()
+    n = len(orgs)
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    stats = [(org.mean_velocity(), org.mean_direction()) for org in orgs]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if not orgs[i].overlaps(orgs[j]):
+                continue
+            vel_i, dir_i = stats[i]
+            vel_j, dir_j = stats[j]
+            if abs(vel_i - vel_j) > config.velocity_tolerance:
+                continue
+            if angle_difference(dir_i, dir_j) > config.direction_tolerance:
+                continue
+            if orgs[i].mean_centroid_gap(orgs[j]) > config.gap_tolerance:
+                continue
+            union(i, j)
+
+    groups: dict[int, list[ObjectRegionGraph]] = {}
+    for i, org in enumerate(orgs):
+        groups.setdefault(find(i), []).append(org)
+    return [ObjectGraph.from_orgs(members) for members in groups.values()]
+
+
+def extract_background_graph(
+        strg: SpatioTemporalRegionGraph,
+        background_orgs: Sequence[ObjectRegionGraph]
+) -> BackgroundGraph:
+    """Collapse all background chains into one Background Graph.
+
+    Each background chain contributes a single node with *median*
+    attributes over its lifetime (overlapping along temporal edges, Section
+    2.3.3); spatial edges are inherited from the frame where both endpoint
+    chains are simultaneously alive.
+    """
+    rag = RegionAdjacencyGraph(frame_index=-1)
+    key_to_bg_node: dict[NodeKey, int] = {}
+    for bg_id, org in enumerate(background_orgs):
+        sizes = [a.size for a in org.attrs]
+        colors = np.array([a.color for a in org.attrs], dtype=np.float64)
+        centroids = np.array([a.centroid for a in org.attrs], dtype=np.float64)
+        attrs = NodeAttributes(
+            size=int(np.median(sizes)),
+            color=tuple(np.median(colors, axis=0)),
+            centroid=tuple(np.median(centroids, axis=0)),
+        )
+        rag.add_node(bg_id, attrs)
+        for key in org.node_keys:
+            key_to_bg_node[key] = bg_id
+    # Inherit spatial adjacency from the original per-frame RAGs.
+    seen: set[tuple[int, int]] = set()
+    for frame_rag in strg.rags:
+        frame = frame_rag.frame_index
+        for u, v in frame_rag.edges():
+            bu = key_to_bg_node.get((frame, u))
+            bv = key_to_bg_node.get((frame, v))
+            if bu is None or bv is None or bu == bv:
+                continue
+            pair = (min(bu, bv), max(bu, bv))
+            if pair not in seen:
+                seen.add(pair)
+                rag.add_edge(bu, bv)
+    return BackgroundGraph(rag, frame_count=strg.num_frames)
+
+
+def decompose(strg: SpatioTemporalRegionGraph,
+              config: DecompositionConfig | None = None) -> STRGDecomposition:
+    """Full STRG decomposition: foreground OGs + deduplicated BG."""
+    config = config or DecompositionConfig()
+    foreground, background_orgs = extract_object_region_graphs(strg, config)
+    object_graphs = merge_object_region_graphs(foreground, config)
+    background = extract_background_graph(strg, background_orgs)
+    return STRGDecomposition(
+        object_graphs=object_graphs,
+        background=background,
+        orgs=list(foreground),
+        background_orgs=list(background_orgs),
+    )

@@ -1,0 +1,102 @@
+"""(Sub)graph isomorphism on attributed RAGs — Definitions 3, 4 and 5.
+
+A VF2-style backtracking matcher specialized for the small neighborhood
+graphs used by tracking (Algorithm 1).  Node and edge compatibility is
+delegated to :class:`~repro.graph.attributes.AttributeTolerance`, so the
+same matcher serves both the exact semantics of Definition 4 (via the
+``EXACT`` tolerance) and the tolerant matching real segmentations require.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.graph.attributes import AttributeTolerance
+from repro.graph.rag import RegionAdjacencyGraph
+
+#: A node mapping from the pattern graph to the target graph.
+Mapping_ = dict[int, int]
+
+
+def _candidate_order(pattern: RegionAdjacencyGraph) -> list[int]:
+    """Match higher-degree pattern nodes first to prune earlier."""
+    return sorted(pattern.nodes(), key=lambda n: -pattern.degree(n))
+
+
+def _extend(pattern: RegionAdjacencyGraph, target: RegionAdjacencyGraph,
+            order: list[int], mapping: Mapping_, used: set[int],
+            tolerance: AttributeTolerance, induced: bool) -> Iterator[Mapping_]:
+    """Depth-first extension of a partial node mapping."""
+    if len(mapping) == len(order):
+        yield dict(mapping)
+        return
+    p_node = order[len(mapping)]
+    p_attrs = pattern.node_attrs(p_node)
+    for t_node in target.nodes():
+        if t_node in used:
+            continue
+        if not tolerance.nodes_compatible(p_attrs, target.node_attrs(t_node)):
+            continue
+        consistent = True
+        for p_prev, t_prev in mapping.items():
+            p_adj = pattern.graph.has_edge(p_node, p_prev)
+            t_adj = target.graph.has_edge(t_node, t_prev)
+            if p_adj:
+                if not t_adj:
+                    consistent = False
+                    break
+                if not tolerance.edges_compatible(
+                    pattern.edge_attrs(p_node, p_prev),
+                    target.edge_attrs(t_node, t_prev),
+                ):
+                    consistent = False
+                    break
+            elif induced and t_adj:
+                consistent = False
+                break
+        if not consistent:
+            continue
+        mapping[p_node] = t_node
+        used.add(t_node)
+        yield from _extend(pattern, target, order, mapping, used,
+                           tolerance, induced)
+        del mapping[p_node]
+        used.remove(t_node)
+
+
+def find_subgraph_isomorphism(
+        pattern: RegionAdjacencyGraph, target: RegionAdjacencyGraph,
+        tolerance: AttributeTolerance | None = None,
+        induced: bool = False) -> Mapping_ | None:
+    """First injective mapping embedding ``pattern`` into ``target``.
+
+    Implements Definition 5: an injective ``f: V_pattern -> V_target`` whose
+    image induces a subgraph isomorphic to ``pattern``.  Returns ``None``
+    when no embedding exists.  ``induced=True`` additionally forbids target
+    edges between mapped nodes that have no pattern counterpart.
+    """
+    tolerance = tolerance or AttributeTolerance()
+    if len(pattern) > len(target):
+        return None
+    order = _candidate_order(pattern)
+    for mapping in _extend(pattern, target, order, {}, set(), tolerance, induced):
+        return mapping
+    return None
+
+
+def find_isomorphism(a: RegionAdjacencyGraph, b: RegionAdjacencyGraph,
+                     tolerance: AttributeTolerance | None = None) -> Mapping_ | None:
+    """Bijective isomorphism between two graphs (Definition 4), or ``None``.
+
+    Equal node and edge counts are required; the mapping must preserve
+    adjacency in both directions (checked via induced matching).
+    """
+    if len(a) != len(b) or a.number_of_edges() != b.number_of_edges():
+        return None
+    return find_subgraph_isomorphism(a, b, tolerance, induced=True)
+
+
+def is_isomorphic(a: RegionAdjacencyGraph, b: RegionAdjacencyGraph,
+                  tolerance: AttributeTolerance | None = None) -> bool:
+    """Whether two attributed graphs are isomorphic under the tolerance."""
+    return find_isomorphism(a, b, tolerance) is not None

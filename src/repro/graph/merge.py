@@ -1,0 +1,123 @@
+"""Graph union and merged isomorphisms — Theorem 1.
+
+Theorem 1 states that two pairs of subgraph-isomorphic graphs can be
+merged into one pair: if ``G1`` embeds in ``G1''`` via ``f1`` and ``G2``
+embeds in ``G2''`` via ``f2``, then ``G1 ∪ G2`` embeds in
+``G1'' ∪ G2''`` via ``f1 ∘ f2``.  This is the formal justification for
+ORG merging (Section 2.3.2): per-part correspondences across frames can
+be combined into a whole-object correspondence.
+
+These helpers make the construction explicit: a disjoint-aware union of
+attributed RAGs and the combination of two node mappings, validated as an
+embedding of the union.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import GraphStructureError
+from repro.graph.attributes import AttributeTolerance
+from repro.graph.rag import RegionAdjacencyGraph
+
+NodeMapping = Mapping[int, int]
+
+
+def union_graphs(a: RegionAdjacencyGraph,
+                 b: RegionAdjacencyGraph) -> RegionAdjacencyGraph:
+    """Union of two attributed graphs over a shared node-id space.
+
+    Nodes present in both must carry identical attributes (they are the
+    same region); edges are united.  Use disjoint id ranges for a true
+    disjoint union.
+    """
+    out = RegionAdjacencyGraph(a.frame_index)
+    for graph in (a, b):
+        for node in graph.nodes():
+            attrs = graph.node_attrs(node)
+            if node in out and out.node_attrs(node) != attrs:
+                raise GraphStructureError(
+                    f"node {node} present in both graphs with different "
+                    "attributes; use disjoint id ranges"
+                )
+            out.add_node(node, attrs)
+    for graph in (a, b):
+        for u, v in graph.edges():
+            if not out.graph.has_edge(u, v):
+                out.add_edge(u, v, graph.edge_attrs(u, v))
+    return out
+
+
+def combine_mappings(f1: NodeMapping, f2: NodeMapping) -> dict[int, int]:
+    """Combine two embeddings into one (the ``f1 ∘ f2`` of Theorem 1).
+
+    The mappings must agree on shared source nodes and stay injective on
+    the union, otherwise the combination is not an embedding.
+    """
+    combined = dict(f1)
+    for src, dst in f2.items():
+        if src in combined and combined[src] != dst:
+            raise GraphStructureError(
+                f"mappings disagree on node {src}: {combined[src]} vs {dst}"
+            )
+        combined[src] = dst
+    targets = list(combined.values())
+    if len(set(targets)) != len(targets):
+        raise GraphStructureError("combined mapping is not injective")
+    return combined
+
+
+def is_embedding(pattern: RegionAdjacencyGraph,
+                 target: RegionAdjacencyGraph,
+                 mapping: NodeMapping,
+                 tolerance: AttributeTolerance | None = None) -> bool:
+    """Validate that ``mapping`` embeds ``pattern`` into ``target``.
+
+    Checks injectivity, node compatibility and edge preservation — the
+    conditions of Definition 5 for a given (rather than searched) mapping.
+    """
+    tolerance = tolerance or AttributeTolerance()
+    targets = list(mapping.values())
+    if len(set(targets)) != len(targets):
+        return False
+    for node in pattern.nodes():
+        if node not in mapping or mapping[node] not in target:
+            return False
+        if not tolerance.nodes_compatible(
+            pattern.node_attrs(node), target.node_attrs(mapping[node])
+        ):
+            return False
+    for u, v in pattern.edges():
+        tu, tv = mapping[u], mapping[v]
+        if not target.graph.has_edge(tu, tv):
+            return False
+        if not tolerance.edges_compatible(
+            pattern.edge_attrs(u, v), target.edge_attrs(tu, tv)
+        ):
+            return False
+    return True
+
+
+def merge_isomorphic_pairs(g1: RegionAdjacencyGraph, f1: NodeMapping,
+                           g2: RegionAdjacencyGraph, f2: NodeMapping,
+                           target1: RegionAdjacencyGraph,
+                           target2: RegionAdjacencyGraph,
+                           tolerance: AttributeTolerance | None = None
+                           ) -> tuple[RegionAdjacencyGraph,
+                                      RegionAdjacencyGraph,
+                                      dict[int, int]]:
+    """The full Theorem 1 construction.
+
+    Given ``f1: g1 -> target1`` and ``f2: g2 -> target2``, build the
+    unions ``g1 ∪ g2`` and ``target1 ∪ target2`` and the combined mapping,
+    verifying that it is an embedding of the union.
+    """
+    union_pattern = union_graphs(g1, g2)
+    union_target = union_graphs(target1, target2)
+    combined = combine_mappings(f1, f2)
+    if not is_embedding(union_pattern, union_target, combined, tolerance):
+        raise GraphStructureError(
+            "combined mapping is not an embedding of the union; the "
+            "inputs violate Theorem 1's premises"
+        )
+    return union_pattern, union_target, combined

@@ -1,0 +1,28 @@
+"""Neighborhood graphs — Definition 7.
+
+``G_N(v)`` is the star subgraph of a RAG around ``v``: the node ``v``, all
+its adjacent nodes, and the edges ``(v, u)`` to each of them.  Tracking
+(Algorithm 1) matches regions across frames by matching their neighborhood
+graphs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphStructureError
+from repro.graph.rag import RegionAdjacencyGraph
+
+
+def neighborhood_graph(rag: RegionAdjacencyGraph, v: int) -> RegionAdjacencyGraph:
+    """The neighborhood graph ``G_N(v)`` of node ``v``.
+
+    Per Definition 7 the result contains ``v``, every adjacent node ``u``
+    and the star edges ``(v, u)`` — edges *between* neighbors are excluded.
+    """
+    if v not in rag:
+        raise GraphStructureError(f"node {v} not in RAG")
+    sub = RegionAdjacencyGraph(rag.frame_index)
+    sub.add_node(v, rag.node_attrs(v))
+    for u in rag.neighbors(v):
+        sub.add_node(u, rag.node_attrs(u))
+        sub.add_edge(v, u, rag.edge_attrs(v, u))
+    return sub

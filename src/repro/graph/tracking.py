@@ -1,0 +1,114 @@
+"""Graph-based tracking — Algorithm 1.
+
+Temporal edges of an STRG are found by matching each region's neighborhood
+graph (Definition 7) against the next frame: an isomorphic neighborhood
+graph wins outright; otherwise the candidate with the highest SimGraph
+similarity (Equation 1) above the threshold ``T_sim`` is linked.
+
+A centroid gate (``max_candidate_distance``) prunes physically impossible
+candidates, which keeps the per-frame cost near-linear on real videos
+without changing the matches Algorithm 1 would produce (objects do not
+teleport between consecutive frames).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import InvalidParameterError
+from repro.graph.attributes import AttributeTolerance
+from repro.graph.common_subgraph import sim_graph
+from repro.graph.isomorphism import is_isomorphic
+from repro.graph.neighborhood import neighborhood_graph
+from repro.graph.rag import RegionAdjacencyGraph
+from repro.graph.strg import SpatioTemporalRegionGraph
+
+
+@dataclass
+class TrackerConfig:
+    """Tuning knobs of the graph-based tracker.
+
+    ``sim_threshold`` is the paper's ``T_sim``; ``tolerance`` controls node
+    and edge compatibility during matching; ``max_candidate_distance`` gates
+    candidate regions by centroid displacement (pixels/frame).
+    """
+
+    sim_threshold: float = 0.5
+    tolerance: AttributeTolerance = field(default_factory=AttributeTolerance)
+    max_candidate_distance: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sim_threshold <= 1.0:
+            raise InvalidParameterError(
+                f"sim_threshold must be in [0, 1], got {self.sim_threshold}"
+            )
+        if self.max_candidate_distance <= 0:
+            raise InvalidParameterError(
+                "max_candidate_distance must be positive, "
+                f"got {self.max_candidate_distance}"
+            )
+
+
+class GraphTracker:
+    """Builds STRG temporal edges between consecutive RAGs (Algorithm 1)."""
+
+    def __init__(self, config: TrackerConfig | None = None):
+        self.config = config or TrackerConfig()
+
+    def _candidates(self, rag_next: RegionAdjacencyGraph,
+                    attrs) -> list[int]:
+        """Next-frame regions within the centroid gate of ``attrs``."""
+        gate = self.config.max_candidate_distance
+        out = []
+        for v in rag_next.nodes():
+            if attrs.centroid_distance(rag_next.node_attrs(v)) <= gate:
+                out.append(v)
+        return out
+
+    def track_pair(self, rag_m: RegionAdjacencyGraph,
+                   rag_next: RegionAdjacencyGraph
+                   ) -> list[tuple[int, int]]:
+        """Temporal correspondences between two consecutive RAGs.
+
+        Returns ``(region_in_m, region_in_next)`` pairs — the edge set
+        ``E_T`` of Algorithm 1 for this frame pair.
+        """
+        tol = self.config.tolerance
+        edges: list[tuple[int, int]] = []
+        neighborhoods_next: dict[int, RegionAdjacencyGraph] = {}
+        for v in rag_m.nodes():
+            g = neighborhood_graph(rag_m, v)
+            attrs_v = rag_m.node_attrs(v)
+            max_sim = 0.0
+            max_node: int | None = None
+            matched = False
+            for v_next in self._candidates(rag_next, attrs_v):
+                if v_next not in neighborhoods_next:
+                    neighborhoods_next[v_next] = neighborhood_graph(rag_next, v_next)
+                g_next = neighborhoods_next[v_next]
+                if not tol.nodes_compatible(attrs_v, rag_next.node_attrs(v_next)):
+                    continue
+                if is_isomorphic(g, g_next, tol):
+                    edges.append((v, v_next))
+                    matched = True
+                    break
+                sim = sim_graph(g, g_next, tol)
+                if sim > max_sim:
+                    max_sim = sim
+                    max_node = v_next
+            if not matched and max_node is not None and max_sim > self.config.sim_threshold:
+                edges.append((v, max_node))
+        return edges
+
+    def build_strg(self, rags: Sequence[RegionAdjacencyGraph]
+                   ) -> SpatioTemporalRegionGraph:
+        """Assemble a full STRG: append each RAG, then track every
+        consecutive pair and materialize the temporal edges."""
+        strg = SpatioTemporalRegionGraph()
+        for rag in rags:
+            strg.append_rag(rag)
+        for m in range(len(rags) - 1):
+            for src, dst in self.track_pair(strg.rag(m), strg.rag(m + 1)):
+                strg.add_temporal_edge((m, src), (m + 1, dst))
+        return strg

@@ -1,0 +1,24 @@
+"""M-tree baseline index (Ciaccia, Patella & Zezula, VLDB 1997).
+
+The comparison index of Section 6: a balanced metric tree storing the same
+Object Graphs under the same metric distance (EGED_M), so that the Figure 7
+experiments isolate index *structure*.  Both promotion policies the paper
+benchmarks are implemented: RANDOM (``MT-RA``) and SAMPLING (``MT-SA``).
+"""
+
+from repro.mtree.tree import MTree, MTreeConfig
+from repro.mtree.split import (
+    SplitPolicy,
+    RandomPromotion,
+    SamplingPromotion,
+    make_policy,
+)
+
+__all__ = [
+    "MTree",
+    "MTreeConfig",
+    "SplitPolicy",
+    "RandomPromotion",
+    "SamplingPromotion",
+    "make_policy",
+]

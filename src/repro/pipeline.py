@@ -1,0 +1,86 @@
+"""End-to-end pipeline: raw frames -> RAGs -> STRG -> OGs/BG -> STRG-Index.
+
+:class:`VideoPipeline` wires the substrates together exactly in the order
+of Section 2: segment every frame (EDISON substitute), build the per-frame
+RAGs, track regions across frames into an STRG (Algorithm 1), decompose
+into Object Graphs and a Background Graph (Section 2.3), and hand the
+result to the :class:`~repro.core.index.STRGIndex`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.index import STRGIndex, STRGIndexConfig
+from repro.graph.decomposition import (
+    DecompositionConfig,
+    STRGDecomposition,
+    decompose,
+)
+from repro.graph.strg import SpatioTemporalRegionGraph
+from repro.graph.tracking import GraphTracker, TrackerConfig
+from repro.video.frames import VideoSegment
+from repro.video.segmentation import GridSegmenter, Segmenter
+
+
+@dataclass
+class PipelineConfig:
+    """Configuration of every pipeline stage.
+
+    The fast :class:`GridSegmenter` is the default because the simulated
+    streams are flat-colored; swap in
+    :class:`~repro.video.segmentation.MeanShiftSegmenter` for textured
+    input.
+    """
+
+    segmenter: Segmenter = field(default_factory=GridSegmenter)
+    tracker: TrackerConfig = field(default_factory=TrackerConfig)
+    decomposition: DecompositionConfig = field(default_factory=DecompositionConfig)
+    index: STRGIndexConfig = field(
+        default_factory=lambda: STRGIndexConfig(n_clusters=None, k_max=8)
+    )
+
+
+class VideoPipeline:
+    """Orchestrates segmentation, tracking, decomposition and indexing."""
+
+    def __init__(self, config: PipelineConfig | None = None):
+        self.config = config or PipelineConfig()
+        self._tracker = GraphTracker(self.config.tracker)
+
+    def build_strg(self, video: VideoSegment) -> SpatioTemporalRegionGraph:
+        """Segment every frame and assemble the STRG (Sections 2.1-2.2)."""
+        rags = [
+            self.config.segmenter.build_rag(video.frame(t), t)
+            for t in range(video.num_frames)
+        ]
+        return self._tracker.build_strg(rags)
+
+    def decompose(self, video: VideoSegment) -> STRGDecomposition:
+        """Full decomposition of a segment into OGs + BG (Section 2.3)."""
+        strg = self.build_strg(video)
+        return decompose(strg, self.config.decomposition)
+
+    def process(self, video: VideoSegment,
+                index: STRGIndex | None = None
+                ) -> tuple[STRGDecomposition, STRGIndex]:
+        """Decompose a segment and (build or extend) an STRG-Index.
+
+        Returns the decomposition and the index.  When ``index`` is given,
+        the segment's OGs are inserted into it (background-matched at the
+        root level); otherwise a fresh index is built.
+        """
+        decomposition = self.decompose(video)
+        refs = [
+            {"video": video.name, "og": og.og_id}
+            for og in decomposition.object_graphs
+        ]
+        if index is None:
+            index = STRGIndex(self.config.index)
+            if decomposition.object_graphs:
+                index.build(decomposition.object_graphs,
+                            decomposition.background, refs)
+        else:
+            for og, ref in zip(decomposition.object_graphs, refs):
+                index.insert(og, decomposition.background, ref)
+        return decomposition, index

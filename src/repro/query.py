@@ -1,0 +1,181 @@
+"""Fluent query builder over an STRG-Index database.
+
+Combines the two retrieval modalities the paper supports — similarity
+search (Algorithm 3) and attribute predicates on moving objects — into a
+single composable query:
+
+    >>> from repro.query import Query
+    >>> hits = (Query(db)
+    ...         .similar_to(example_trajectory)
+    ...         .heading(0.0)                 # eastbound
+    ...         .velocity(minimum=2.0)
+    ...         .between_frames(0, 500)
+    ...         .limit(5)
+    ...         .run())
+
+Predicates filter; ``similar_to`` ranks.  Without ``similar_to`` results
+are returned in index order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.distance.base import Distance
+from repro.errors import IndexStateError, InvalidParameterError
+from repro.graph.attributes import angle_difference
+from repro.graph.object_graph import ObjectGraph
+
+
+@dataclass
+class QueryResult:
+    """One query hit: the OG and (when ranked) its distance."""
+
+    og: ObjectGraph
+    distance: float | None = None
+
+
+class Query:
+    """Composable retrieval over a :class:`~repro.storage.database.VideoDatabase`
+    or a bare :class:`~repro.core.index.STRGIndex`."""
+
+    def __init__(self, source):
+        index = getattr(source, "index", source)
+        if index is None or not hasattr(index, "object_graphs"):
+            raise IndexStateError("query source has no index")
+        self._index = index
+        self._predicates: list[Callable[[ObjectGraph], bool]] = []
+        self._example = None
+        self._distance: Distance | None = None
+        self._limit: int | None = None
+
+    # -- ranking -------------------------------------------------------------
+
+    def similar_to(self, example, distance: Distance | None = None) -> "Query":
+        """Rank results by similarity to an example trajectory/OG.
+
+        ``distance`` defaults to the index's metric distance (EGED_M).
+        """
+        self._example = example
+        self._distance = distance
+        return self
+
+    # -- predicates ---------------------------------------------------------------
+
+    def where(self, predicate: Callable[[ObjectGraph], bool]) -> "Query":
+        """Arbitrary boolean predicate over OGs."""
+        self._predicates.append(predicate)
+        return self
+
+    def heading(self, direction: float,
+                tolerance: float = math.pi / 4) -> "Query":
+        """Overall movement heading within ``tolerance`` of ``direction``."""
+
+        def predicate(og: ObjectGraph) -> bool:
+            deltas = np.diff(og.values[:, :2], axis=0)
+            if deltas.shape[0] == 0:
+                return False
+            total = deltas.sum(axis=0)
+            if not np.any(total):
+                return False
+            return angle_difference(
+                math.atan2(total[1], total[0]), direction
+            ) <= tolerance
+
+        return self.where(predicate)
+
+    def velocity(self, minimum: float | None = None,
+                 maximum: float | None = None) -> "Query":
+        """Mean velocity band (pixels/frame)."""
+        if minimum is None and maximum is None:
+            raise InvalidParameterError("velocity() needs a bound")
+
+        def predicate(og: ObjectGraph) -> bool:
+            v = og.mean_velocity()
+            if minimum is not None and v < minimum:
+                return False
+            if maximum is not None and v > maximum:
+                return False
+            return True
+
+        return self.where(predicate)
+
+    def duration(self, minimum: int | None = None,
+                 maximum: int | None = None) -> "Query":
+        """Trajectory length band (frames)."""
+        if minimum is None and maximum is None:
+            raise InvalidParameterError("duration() needs a bound")
+
+        def predicate(og: ObjectGraph) -> bool:
+            n = og.duration()
+            if minimum is not None and n < minimum:
+                return False
+            if maximum is not None and n > maximum:
+                return False
+            return True
+
+        return self.where(predicate)
+
+    def between_frames(self, start: int, stop: int) -> "Query":
+        """Trajectory overlaps the frame interval ``[start, stop]``."""
+        if start > stop:
+            raise InvalidParameterError(
+                f"empty frame interval [{start}, {stop}]"
+            )
+
+        def predicate(og: ObjectGraph) -> bool:
+            return og.start_frame <= stop and start <= og.end_frame
+
+        return self.where(predicate)
+
+    def through_region(self, x0: float, y0: float, x1: float, y1: float
+                       ) -> "Query":
+        """Trajectory has at least one node inside the rectangle."""
+        if x0 > x1 or y0 > y1:
+            raise InvalidParameterError("empty region")
+
+        def predicate(og: ObjectGraph) -> bool:
+            xy = og.values[:, :2]
+            inside = (
+                (xy[:, 0] >= x0) & (xy[:, 0] <= x1)
+                & (xy[:, 1] >= y0) & (xy[:, 1] <= y1)
+            )
+            return bool(inside.any())
+
+        return self.where(predicate)
+
+    def limit(self, k: int) -> "Query":
+        """Cap the number of results."""
+        if k < 1:
+            raise InvalidParameterError(f"limit must be >= 1, got {k}")
+        self._limit = k
+        return self
+
+    # -- execution -------------------------------------------------------------------
+
+    def _matches(self, og: ObjectGraph) -> bool:
+        return all(predicate(og) for predicate in self._predicates)
+
+    def run(self) -> list[QueryResult]:
+        """Execute: filter by all predicates, then rank (if requested)."""
+        candidates = [og for og in self._index.object_graphs()
+                      if self._matches(og)]
+        if self._example is None:
+            results = [QueryResult(og) for og in candidates]
+            return results[: self._limit] if self._limit else results
+        distance = self._distance or self._index.metric_distance
+        ranked = sorted(
+            (QueryResult(og, float(distance(self._example, og)))
+             for og in candidates),
+            key=lambda r: r.distance,
+        )
+        return ranked[: self._limit] if self._limit else ranked
+
+    def count(self) -> int:
+        """Number of OGs matching the predicates (ignores limit)."""
+        return sum(1 for og in self._index.object_graphs()
+                   if self._matches(og))

@@ -1,0 +1,15 @@
+"""3DR-tree baseline (Theodoridis, Vazirgiannis & Sellis, ICMCS 1996).
+
+The related-work index the paper argues against: salient objects are
+indexed by treating *time as a third R-tree dimension*, i.e. each
+trajectory becomes an ``(x, y, t)`` minimum bounding box.  The paper's
+critique — "simply treating the time as another dimension is not optimal
+since spatial and temporal features should be considered differently" —
+is demonstrated by the retrieval ablation bench: MBR proximity is a poor
+proxy for motion similarity.
+"""
+
+from repro.rtree3d.mbr import MBR3
+from repro.rtree3d.tree import RTree3D, RTree3DConfig
+
+__all__ = ["MBR3", "RTree3D", "RTree3DConfig"]

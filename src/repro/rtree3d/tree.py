@@ -1,0 +1,210 @@
+"""R-tree over 3-D trajectory boxes (Guttman-style, quadratic split)."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import IndexStateError, InvalidParameterError
+from repro.rtree3d.mbr import MBR3
+
+
+@dataclass
+class RTree3DConfig:
+    """Fan-out bounds of the tree."""
+
+    node_capacity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.node_capacity < 3:
+            raise InvalidParameterError(
+                f"node_capacity must be >= 3, got {self.node_capacity}"
+            )
+
+    @property
+    def min_fill(self) -> int:
+        """Minimum entries after a split (40% rule, at least 1)."""
+        return max(1, int(0.4 * self.node_capacity))
+
+
+class _Entry:
+    """Node entry: a box plus either a payload (leaf) or a child node."""
+
+    __slots__ = ("mbr", "payload", "child")
+
+    def __init__(self, mbr: MBR3, payload: Any = None,
+                 child: "_Node | None" = None):
+        self.mbr = mbr
+        self.payload = payload
+        self.child = child
+
+
+class _Node:
+    __slots__ = ("entries", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.entries: list[_Entry] = []
+        self.is_leaf = is_leaf
+
+    def mbr(self) -> MBR3:
+        box = self.entries[0].mbr
+        for entry in self.entries[1:]:
+            box = box.union(entry.mbr)
+        return box
+
+
+class RTree3D:
+    """Dynamic R-tree indexing trajectories by their ``(x, y, t)`` boxes."""
+
+    def __init__(self, config: RTree3DConfig | None = None):
+        self.config = config or RTree3DConfig()
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- insertion -----------------------------------------------------------
+
+    def insert(self, og, payload: Any = None) -> None:
+        """Insert a trajectory (anything ``MBR3.of_trajectory`` accepts)."""
+        entry = _Entry(MBR3.of_trajectory(og), payload if payload is not None else og)
+        split = self._insert(self._root, entry)
+        if split is not None:
+            old_root = self._root
+            self._root = _Node(is_leaf=False)
+            self._root.entries = [
+                _Entry(old_root.mbr(), child=old_root),
+                _Entry(split.mbr(), child=split),
+            ]
+        self._size += 1
+
+    def _insert(self, node: _Node, entry: _Entry) -> _Node | None:
+        """Recursive insert; returns the sibling node when ``node`` split."""
+        if node.is_leaf:
+            node.entries.append(entry)
+        else:
+            best = min(
+                node.entries,
+                key=lambda e: (e.mbr.enlargement(entry.mbr), e.mbr.volume()),
+            )
+            split_child = self._insert(best.child, entry)
+            best.mbr = best.child.mbr()
+            if split_child is not None:
+                node.entries.append(_Entry(split_child.mbr(), child=split_child))
+        if len(node.entries) > self.config.node_capacity:
+            return self._split(node)
+        return None
+
+    def _split(self, node: _Node) -> _Node:
+        """Guttman quadratic split; ``node`` keeps group A, returns B."""
+        entries = node.entries
+        # Pick the pair wasting the most volume as seeds.
+        best_pair = (0, 1)
+        worst_waste = -float("inf")
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = (
+                    entries[i].mbr.union(entries[j].mbr).volume()
+                    - entries[i].mbr.volume() - entries[j].mbr.volume()
+                )
+                if waste > worst_waste:
+                    worst_waste = waste
+                    best_pair = (i, j)
+        seed_a, seed_b = best_pair
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        box_a = entries[seed_a].mbr
+        box_b = entries[seed_b].mbr
+        rest = [e for k, e in enumerate(entries) if k not in best_pair]
+        min_fill = self.config.min_fill
+        while rest:
+            # Force-assign when a group must take everything remaining.
+            if len(group_a) + len(rest) <= min_fill:
+                group_a.extend(rest)
+                break
+            if len(group_b) + len(rest) <= min_fill:
+                group_b.extend(rest)
+                break
+            # Pick the entry with the strongest preference.
+            def preference(e: _Entry) -> float:
+                return abs(box_a.enlargement(e.mbr) - box_b.enlargement(e.mbr))
+            entry = max(rest, key=preference)
+            rest.remove(entry)
+            if box_a.enlargement(entry.mbr) <= box_b.enlargement(entry.mbr):
+                group_a.append(entry)
+                box_a = box_a.union(entry.mbr)
+            else:
+                group_b.append(entry)
+                box_b = box_b.union(entry.mbr)
+        node.entries = group_a
+        sibling = _Node(node.is_leaf)
+        sibling.entries = group_b
+        return sibling
+
+    # -- queries -----------------------------------------------------------------
+
+    def range_query(self, box: MBR3) -> list[Any]:
+        """Payloads of all trajectories whose MBR intersects ``box``."""
+        results: list[Any] = []
+
+        def visit(node: _Node) -> None:
+            for entry in node.entries:
+                if not entry.mbr.intersects(box):
+                    continue
+                if node.is_leaf:
+                    results.append(entry.payload)
+                else:
+                    visit(entry.child)
+
+        if self._size:
+            visit(self._root)
+        return results
+
+    def knn(self, og, k: int) -> list[tuple[float, Any]]:
+        """k nearest trajectories by *MBR distance* to the query's MBR.
+
+        This is the geometric proximity the 3DR-tree can offer — the
+        proxy for similarity whose weakness the paper points out.
+        Returns ``(mbr_distance, payload)`` pairs, ascending.
+        """
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        if self._size == 0:
+            raise IndexStateError("cannot search an empty 3DR-tree")
+        query = MBR3.of_trajectory(og)
+        heap: list[tuple[float, int, bool, Any]] = [
+            (0.0, next(self._counter), False, self._root)
+        ]
+        results: list[tuple[float, Any]] = []
+        while heap and len(results) < k:
+            dist, _, is_payload, item = heapq.heappop(heap)
+            if is_payload:
+                results.append((dist, item))
+                continue
+            node: _Node = item
+            for entry in node.entries:
+                d = query.min_distance(entry.mbr)
+                if node.is_leaf:
+                    heapq.heappush(
+                        heap, (d, next(self._counter), True, entry.payload)
+                    )
+                else:
+                    heapq.heappush(
+                        heap, (d, next(self._counter), False, entry.child)
+                    )
+        return results
+
+    # -- introspection ---------------------------------------------------------------
+
+    def height(self) -> int:
+        """Tree height (1 for a root-only tree)."""
+        h = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.entries[0].child
+            h += 1
+        return h

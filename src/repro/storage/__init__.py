@@ -1,0 +1,17 @@
+"""Persistence: OG/index serialization and the ``VideoDatabase`` facade."""
+
+from repro.storage.serialize import (
+    save_object_graphs,
+    load_object_graphs,
+    save_index,
+    load_index,
+)
+from repro.storage.database import VideoDatabase
+
+__all__ = [
+    "save_object_graphs",
+    "load_object_graphs",
+    "save_index",
+    "load_index",
+    "VideoDatabase",
+]

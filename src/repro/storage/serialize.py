@@ -1,0 +1,237 @@
+"""Serialization of Object Graphs and whole STRG-Index trees.
+
+OG sets are stored in a single NPZ (ragged sequences are flattened with an
+offset table).  Indexes are stored as NPZ too: the tree shape (root ->
+cluster -> leaf membership) is encoded in integer arrays alongside the
+centroid/OG payloads and the per-root Background Graphs (node attributes
+plus spatial edges), so a loaded index answers queries — including
+background-routed ones — identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.index import STRGIndex, STRGIndexConfig
+from repro.core.nodes import LeafRecord, RootRecord
+from repro.errors import StorageError
+from repro.graph.attributes import NodeAttributes
+from repro.graph.decomposition import BackgroundGraph
+from repro.graph.object_graph import ObjectGraph
+from repro.graph.rag import RegionAdjacencyGraph
+
+
+def _pack_ragged(arrays: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a list of (n_i, d) arrays into (sum n_i, d) + offsets."""
+    if arrays:
+        flat = np.concatenate([np.asarray(a, dtype=np.float64) for a in arrays])
+    else:
+        flat = np.zeros((0, 1))
+    offsets = np.cumsum([0] + [np.asarray(a).shape[0] for a in arrays])
+    return flat, offsets.astype(np.int64)
+
+
+def _unpack_ragged(flat: np.ndarray, offsets: np.ndarray) -> list[np.ndarray]:
+    """Inverse of :func:`_pack_ragged`."""
+    return [
+        flat[offsets[i]:offsets[i + 1]] for i in range(len(offsets) - 1)
+    ]
+
+
+def save_object_graphs(path: str | os.PathLike,
+                       ogs: Sequence[ObjectGraph]) -> None:
+    """Persist a set of OGs (values, frames, labels, ids) as NPZ."""
+    try:
+        flat, offsets = _pack_ragged([og.values for og in ogs])
+        frames_flat = (
+            np.concatenate([og.frames for og in ogs])
+            if ogs else np.zeros(0, dtype=np.int64)
+        )
+        labels = np.array(
+            [-1 if og.label is None else og.label for og in ogs],
+            dtype=np.int64,
+        )
+        ids = np.array([og.og_id for og in ogs], dtype=np.int64)
+        np.savez_compressed(path, values=flat, offsets=offsets,
+                            frames=frames_flat, labels=labels, ids=ids)
+    except OSError as exc:
+        raise StorageError(f"cannot write OGs to {path}: {exc}") from exc
+
+
+def load_object_graphs(path: str | os.PathLike) -> list[ObjectGraph]:
+    """Load OGs written by :func:`save_object_graphs`."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            values = _unpack_ragged(data["values"], data["offsets"])
+            frames = _unpack_ragged(
+                data["frames"].reshape(-1, 1), data["offsets"]
+            )
+            labels = data["labels"]
+            ids = data["ids"]
+    except (OSError, KeyError, ValueError) as exc:
+        raise StorageError(f"cannot read OGs from {path}: {exc}") from exc
+    ogs = []
+    for v, f, label, og_id in zip(values, frames, labels, ids):
+        og = ObjectGraph(
+            values=v,
+            frames=f.ravel().astype(np.int64),
+            label=None if label < 0 else int(label),
+            og_id=int(og_id),
+        )
+        ogs.append(og)
+    return ogs
+
+
+def _pack_backgrounds(roots: Sequence[RootRecord]) -> dict[str, np.ndarray]:
+    """Flatten the per-root Background Graphs into NPZ-friendly arrays.
+
+    Roots with ``background=None`` are encoded with a frame count of -1.
+    Node ids are re-serialized positionally; edges reference positions.
+    """
+    node_rows: list[list[float]] = []   # size, r, g, b, cx, cy
+    node_offsets = [0]
+    edge_rows: list[list[int]] = []     # root ordinal, u position, v position
+    frame_counts: list[int] = []
+    for root in roots:
+        bg = root.background
+        if bg is None:
+            frame_counts.append(-1)
+            node_offsets.append(node_offsets[-1])
+            continue
+        frame_counts.append(bg.frame_count)
+        ordering = {node: pos for pos, node in enumerate(bg.rag.nodes())}
+        for node in ordering:
+            attrs = bg.rag.node_attrs(node)
+            node_rows.append([float(attrs.size), *attrs.color,
+                              *attrs.centroid])
+        for u, v in bg.rag.edges():
+            edge_rows.append([len(frame_counts) - 1, ordering[u], ordering[v]])
+        node_offsets.append(node_offsets[-1] + len(ordering))
+    return {
+        "bg_nodes": np.asarray(node_rows, dtype=np.float64).reshape(-1, 6),
+        "bg_node_offsets": np.asarray(node_offsets, dtype=np.int64),
+        "bg_edges": np.asarray(edge_rows, dtype=np.int64).reshape(-1, 3),
+        "bg_frames": np.asarray(frame_counts, dtype=np.int64),
+    }
+
+
+def _unpack_backgrounds(data) -> list[BackgroundGraph | None]:
+    """Inverse of :func:`_pack_backgrounds`."""
+    nodes = data["bg_nodes"]
+    offsets = data["bg_node_offsets"]
+    edges = data["bg_edges"]
+    frame_counts = data["bg_frames"]
+    backgrounds: list[BackgroundGraph | None] = []
+    for ordinal, frames in enumerate(frame_counts):
+        if frames < 0:
+            backgrounds.append(None)
+            continue
+        rag = RegionAdjacencyGraph(frame_index=-1)
+        lo, hi = int(offsets[ordinal]), int(offsets[ordinal + 1])
+        for pos in range(lo, hi):
+            size, r, g, b, cx, cy = nodes[pos]
+            rag.add_node(pos - lo, NodeAttributes(
+                size=int(size), color=(r, g, b), centroid=(cx, cy)
+            ))
+        for root_ord, u, v in edges:
+            if int(root_ord) == ordinal:
+                rag.add_edge(int(u), int(v))
+        backgrounds.append(BackgroundGraph(rag, int(frames)))
+    return backgrounds
+
+
+def save_index(path: str | os.PathLike, index: STRGIndex) -> None:
+    """Persist an STRG-Index tree (structure + payloads) as NPZ."""
+    ogs: list[ObjectGraph] = []
+    keys: list[float] = []
+    leaf_of_og: list[int] = []   # cluster record ordinal per leaf record
+    centroids: list[np.ndarray] = []
+    cluster_root: list[int] = []  # root record ordinal per cluster record
+    refs: list = []
+    cluster_ordinal = 0
+    for root_ordinal, root_record in enumerate(index.root):
+        for cluster_record in root_record.cluster_node:
+            centroids.append(cluster_record.centroid)
+            cluster_root.append(root_ordinal)
+            for leaf_record in cluster_record.leaf:
+                ogs.append(leaf_record.og)
+                keys.append(leaf_record.key)
+                leaf_of_og.append(cluster_ordinal)
+                refs.append(leaf_record.clip_ref)
+            cluster_ordinal += 1
+    try:
+        og_flat, og_offsets = _pack_ragged([og.values for og in ogs])
+        cen_flat, cen_offsets = _pack_ragged(centroids)
+        labels = np.array(
+            [-1 if og.label is None else og.label for og in ogs],
+            dtype=np.int64,
+        )
+        config = index.config
+        config_json = json.dumps({
+            "leaf_capacity": config.leaf_capacity,
+            "bg_similarity_threshold": config.bg_similarity_threshold,
+            "n_clusters": config.n_clusters,
+            "k_max": config.k_max,
+            "em_iterations": config.em_iterations,
+            "metric_gap": config.metric_gap,
+            "seed": config.seed,
+        })
+        refs_json = json.dumps(refs, default=str)
+        np.savez_compressed(
+            path,
+            og_values=og_flat, og_offsets=og_offsets, og_labels=labels,
+            keys=np.asarray(keys, dtype=np.float64),
+            leaf_of_og=np.asarray(leaf_of_og, dtype=np.int64),
+            centroid_values=cen_flat, centroid_offsets=cen_offsets,
+            cluster_root=np.asarray(cluster_root, dtype=np.int64),
+            num_roots=np.int64(len(index.root)),
+            config=np.array(config_json),
+            refs=np.array(refs_json),
+            **_pack_backgrounds(index.root),
+        )
+    except OSError as exc:
+        raise StorageError(f"cannot write index to {path}: {exc}") from exc
+
+
+def load_index(path: str | os.PathLike) -> STRGIndex:
+    """Load an index written by :func:`save_index`."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            og_values = _unpack_ragged(data["og_values"], data["og_offsets"])
+            labels = data["og_labels"]
+            keys = data["keys"]
+            leaf_of_og = data["leaf_of_og"]
+            centroids = _unpack_ragged(
+                data["centroid_values"], data["centroid_offsets"]
+            )
+            cluster_root = data["cluster_root"]
+            num_roots = int(data["num_roots"])
+            config_kwargs = json.loads(str(data["config"]))
+            refs = json.loads(str(data["refs"]))
+            if "bg_frames" in data:
+                backgrounds = _unpack_backgrounds(data)
+            else:
+                backgrounds = [None] * num_roots
+    except (OSError, KeyError, ValueError) as exc:
+        raise StorageError(f"cannot read index from {path}: {exc}") from exc
+
+    index = STRGIndex(STRGIndexConfig(**config_kwargs))
+    roots = [RootRecord(i, backgrounds[i]) for i in range(num_roots)]
+    index.root = roots
+    index._next_root_id = num_roots
+    cluster_records = []
+    for centroid, root_ordinal in zip(centroids, cluster_root):
+        record = roots[int(root_ordinal)].cluster_node.add(centroid)
+        cluster_records.append(record)
+    for i, (values, label) in enumerate(zip(og_values, labels)):
+        og = ObjectGraph(
+            values=values, label=None if label < 0 else int(label)
+        )
+        record = cluster_records[int(leaf_of_og[i])]
+        ref = refs[i] if i < len(refs) else None
+        record.leaf.insert(LeafRecord(float(keys[i]), og, ref))
+    return index

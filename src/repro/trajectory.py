@@ -1,0 +1,165 @@
+"""Trajectory preprocessing toolkit.
+
+Object Graph value series coming out of real trackers are noisy and
+unevenly sampled; these transforms are the standard conditioning steps
+applied before distance computation or clustering:
+
+- :func:`smooth` — centered moving-average denoising;
+- :func:`resample` — uniform re-sampling to a target length;
+- :func:`simplify` — Douglas-Peucker polyline simplification;
+- :func:`normalize` — translation / scale invariance;
+- :func:`split_at_turns` — cut a trajectory at sharp direction changes
+  (useful for turning one long wandering track into motion-homogeneous
+  OGs, the unit the STRG-Index clusters best).
+
+All functions accept anything :func:`repro.distance.base.as_series`
+accepts and return plain ``(n, d)`` arrays.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distance.base import as_series, resample_series
+from repro.errors import InvalidParameterError
+
+
+def smooth(trajectory, window: int = 3) -> np.ndarray:
+    """Centered moving average with edge truncation.
+
+    ``window`` must be odd; a window of 1 is the identity.
+    """
+    arr = as_series(trajectory)
+    if window < 1 or window % 2 == 0:
+        raise InvalidParameterError(
+            f"window must be a positive odd integer, got {window}"
+        )
+    if window == 1 or arr.shape[0] == 1:
+        return arr.copy()
+    half = window // 2
+    out = np.empty_like(arr)
+    n = arr.shape[0]
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        out[i] = arr[lo:hi].mean(axis=0)
+    return out
+
+
+def resample(trajectory, length: int) -> np.ndarray:
+    """Uniform linear re-sampling to ``length`` nodes."""
+    return resample_series(as_series(trajectory), length)
+
+
+def _point_segment_distance(points: np.ndarray, start: np.ndarray,
+                            end: np.ndarray) -> np.ndarray:
+    """Distances from each point to the segment ``start -> end``."""
+    seg = end - start
+    seg_len2 = float(seg @ seg)
+    if seg_len2 == 0.0:
+        return np.sqrt(np.sum((points - start) ** 2, axis=1))
+    t = np.clip(((points - start) @ seg) / seg_len2, 0.0, 1.0)
+    proj = start + t[:, None] * seg
+    return np.sqrt(np.sum((points - proj) ** 2, axis=1))
+
+
+def simplify(trajectory, tolerance: float) -> np.ndarray:
+    """Douglas-Peucker simplification: drop nodes within ``tolerance`` of
+    the simplified polyline.  Endpoints are always kept."""
+    arr = as_series(trajectory)
+    if tolerance < 0:
+        raise InvalidParameterError(
+            f"tolerance must be >= 0, got {tolerance}"
+        )
+    n = arr.shape[0]
+    if n <= 2:
+        return arr.copy()
+    keep = np.zeros(n, dtype=bool)
+    keep[0] = keep[n - 1] = True
+    stack = [(0, n - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 2:
+            continue
+        inner = arr[lo + 1:hi]
+        dists = _point_segment_distance(inner, arr[lo], arr[hi])
+        worst = int(np.argmax(dists))
+        if dists[worst] > tolerance:
+            mid = lo + 1 + worst
+            keep[mid] = True
+            stack.append((lo, mid))
+            stack.append((mid, hi))
+    return arr[keep]
+
+
+def normalize(trajectory, translation: bool = True,
+              scale: bool = False) -> np.ndarray:
+    """Translate to a zero-mean origin and/or scale to unit RMS radius.
+
+    Makes EGED comparisons invariant to where (and optionally how large)
+    a motion happened — e.g. matching "a U-turn" anywhere in the frame.
+    """
+    arr = as_series(trajectory).copy()
+    if translation:
+        arr -= arr.mean(axis=0)
+    if scale:
+        radius = float(np.sqrt(np.mean(np.sum(arr ** 2, axis=1))))
+        if radius > 0:
+            arr /= radius
+    return arr
+
+
+def heading_angles(trajectory) -> np.ndarray:
+    """Per-step movement headings (radians), shape ``(n - 1,)``.
+
+    Zero-displacement steps repeat the previous heading (0 at the start).
+    """
+    arr = as_series(trajectory)[:, :2]
+    deltas = np.diff(arr, axis=0)
+    angles = np.zeros(deltas.shape[0], dtype=np.float64)
+    last = 0.0
+    for i, (dx, dy) in enumerate(deltas):
+        if dx != 0.0 or dy != 0.0:
+            last = math.atan2(dy, dx)
+        angles[i] = last
+    return angles
+
+
+def split_at_turns(trajectory, angle_threshold: float = math.pi / 3,
+                   min_segment_length: int = 4) -> list[np.ndarray]:
+    """Cut a trajectory wherever the heading turns sharply.
+
+    A cut is placed between steps whose headings differ by more than
+    ``angle_threshold``; segments shorter than ``min_segment_length``
+    are merged into their predecessor.
+    """
+    if not 0 < angle_threshold <= math.pi:
+        raise InvalidParameterError(
+            f"angle_threshold must be in (0, pi], got {angle_threshold}"
+        )
+    if min_segment_length < 2:
+        raise InvalidParameterError(
+            f"min_segment_length must be >= 2, got {min_segment_length}"
+        )
+    arr = as_series(trajectory)
+    n = arr.shape[0]
+    if n <= min_segment_length:
+        return [arr.copy()]
+    angles = heading_angles(arr)
+    cuts = [0]
+    for i in range(1, angles.shape[0]):
+        diff = abs((angles[i] - angles[i - 1] + math.pi) % (2 * math.pi)
+                   - math.pi)
+        if diff > angle_threshold and (i + 1) - cuts[-1] >= min_segment_length:
+            cuts.append(i + 1)
+    cuts.append(n)
+    segments = []
+    for lo, hi in zip(cuts, cuts[1:]):
+        if hi - lo < min_segment_length and segments:
+            # Merge runts into the previous segment.
+            segments[-1] = np.vstack([segments[-1], arr[lo:hi]])
+        else:
+            segments.append(arr[lo:hi].copy())
+    return segments

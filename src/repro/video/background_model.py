@@ -1,0 +1,110 @@
+"""Background-model segmentation (background subtraction).
+
+The paper's reference [22] (Oh, Hua & Liang) detects scene content by
+*background tracking*; for static surveillance cameras the classical
+realization is a running background model: the per-pixel temporal median
+of the frames is the background, and pixels deviating beyond a threshold
+are foreground.  :class:`BackgroundSubtractionSegmenter` packages this as
+a :class:`~repro.video.segmentation.Segmenter`, labeling the background
+as one region and each connected foreground blob as its own region —
+often a better fit for surveillance streams than color segmentation,
+and a drop-in alternative in the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, SegmentationError
+from repro.video.frames import VideoSegment
+from repro.video.segmentation import (
+    Segmenter,
+    _connected_components,
+    _merge_small_regions,
+)
+
+
+@dataclass
+class BackgroundSubtractionSegmenter(Segmenter):
+    """Segment frames against a fitted per-pixel median background.
+
+    Call :meth:`fit` with a video (or frame stack) before segmenting.
+    ``threshold`` is the per-pixel color distance separating foreground
+    from background; ``min_region_size`` prunes speckle blobs.
+    """
+
+    threshold: float = 30.0
+    min_region_size: int = 20
+    max_model_frames: int = 50
+    _background: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise InvalidParameterError(
+                f"threshold must be positive, got {self.threshold}"
+            )
+        if self.min_region_size < 1:
+            raise InvalidParameterError("min_region_size must be >= 1")
+        if self.max_model_frames < 1:
+            raise InvalidParameterError("max_model_frames must be >= 1")
+
+    def fit(self, video: VideoSegment | np.ndarray
+            ) -> "BackgroundSubtractionSegmenter":
+        """Estimate the background as the per-pixel temporal median.
+
+        At most ``max_model_frames`` evenly spaced frames are used.
+        Returns ``self`` for chaining.
+        """
+        frames = video.frames if isinstance(video, VideoSegment) else np.asarray(video)
+        if frames.ndim != 4 or frames.shape[3] != 3:
+            raise SegmentationError(
+                f"expected (T, H, W, 3) frames, got shape {frames.shape}"
+            )
+        step = max(1, frames.shape[0] // self.max_model_frames)
+        sample = frames[::step].astype(np.float64)
+        self._background = np.median(sample, axis=0)
+        return self
+
+    @property
+    def background_image(self) -> np.ndarray:
+        """The fitted background frame (float64 ``(H, W, 3)``)."""
+        if self._background is None:
+            raise SegmentationError("segmenter not fitted; call fit() first")
+        return self._background
+
+    def foreground_mask(self, image: np.ndarray) -> np.ndarray:
+        """Boolean mask of pixels deviating from the background model."""
+        background = self.background_image
+        image = np.asarray(image, dtype=np.float64)
+        if image.shape != background.shape:
+            raise SegmentationError(
+                f"frame shape {image.shape} does not match fitted "
+                f"background {background.shape}"
+            )
+        diff = np.sqrt(np.sum((image - background) ** 2, axis=2))
+        return diff > self.threshold
+
+    def segment(self, image: np.ndarray) -> np.ndarray:
+        """Label image: background = one region, each blob its own region."""
+        mask = self.foreground_mask(image)
+        # Component-label the foreground only: feed the mask as a feature
+        # image where background pixels share one value and foreground
+        # pixels another, then split foreground into 4-connected blobs.
+        features = np.asarray(image, dtype=np.float64).copy()
+        features[~mask] = 0.0
+        # Hard-separate foreground from background in feature space.
+        features[mask] += 1e4
+        labels = _connected_components(features, self.threshold)
+        # Force all background pixels into a single region id (disconnected
+        # background areas, e.g. enclosed by foreground, must still merge).
+        if np.any(~mask):
+            bg_ids = np.unique(labels[~mask])
+            merged_id = labels.max() + 1
+            labels[np.isin(labels, bg_ids)] = merged_id
+        _, compact = np.unique(labels.ravel(), return_inverse=True)
+        labels = compact.reshape(labels.shape).astype(np.int64)
+        return _merge_small_regions(
+            labels, np.asarray(image, dtype=np.float64), self.min_region_size
+        )

@@ -1,0 +1,99 @@
+"""Shot boundary detection and video parsing.
+
+The paper's first issue (Section 1) is "how to efficiently parse a long
+video into meaningful smaller units (i.e., shots or scenes)"; its STRG is
+built per segment with a stable background.  This module provides the
+standard color-histogram parser: consecutive-frame histogram differences
+spike at cuts, and each resulting shot becomes one pipeline/STRG unit —
+which is exactly what feeds the STRG-Index's multiple root records (one
+per distinct background).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.video.frames import VideoSegment
+
+
+@dataclass
+class ShotDetectorConfig:
+    """Histogram-difference cut detector parameters.
+
+    ``bins`` per channel; ``threshold`` on the normalized L1 histogram
+    difference in ``[0, 2]`` (0 = identical frames); ``min_shot_length``
+    suppresses spurious double-cuts.
+    """
+
+    bins: int = 8
+    threshold: float = 0.35
+    min_shot_length: int = 5
+
+    def __post_init__(self) -> None:
+        if self.bins < 2:
+            raise InvalidParameterError(f"bins must be >= 2, got {self.bins}")
+        if not 0.0 < self.threshold <= 2.0:
+            raise InvalidParameterError(
+                f"threshold must be in (0, 2], got {self.threshold}"
+            )
+        if self.min_shot_length < 1:
+            raise InvalidParameterError(
+                f"min_shot_length must be >= 1, got {self.min_shot_length}"
+            )
+
+
+def color_histogram(frame: np.ndarray, bins: int = 8) -> np.ndarray:
+    """Normalized joint per-channel color histogram, shape ``(3 * bins,)``."""
+    frame = np.asarray(frame)
+    histograms = []
+    for channel in range(3):
+        hist, _ = np.histogram(frame[..., channel], bins=bins,
+                               range=(0, 256))
+        histograms.append(hist)
+    out = np.concatenate(histograms).astype(np.float64)
+    total = out.sum()
+    return out / total if total > 0 else out
+
+
+def histogram_differences(video: VideoSegment, bins: int = 8) -> np.ndarray:
+    """L1 difference between consecutive frame histograms, ``(T - 1,)``."""
+    hists = [color_histogram(video.frame(t), bins)
+             for t in range(video.num_frames)]
+    return np.array([
+        float(np.abs(hists[t + 1] - hists[t]).sum())
+        for t in range(video.num_frames - 1)
+    ])
+
+
+def detect_shot_boundaries(video: VideoSegment,
+                           config: ShotDetectorConfig | None = None
+                           ) -> list[int]:
+    """Frame indices where a new shot starts (excluding frame 0).
+
+    A boundary at ``t`` means frames ``t-1`` and ``t`` belong to
+    different shots.
+    """
+    config = config or ShotDetectorConfig()
+    if video.num_frames < 2:
+        return []
+    diffs = histogram_differences(video, config.bins)
+    boundaries: list[int] = []
+    last_cut = 0
+    for t, diff in enumerate(diffs, start=1):
+        if diff > config.threshold and t - last_cut >= config.min_shot_length:
+            boundaries.append(t)
+            last_cut = t
+    return boundaries
+
+
+def split_into_shots(video: VideoSegment,
+                     config: ShotDetectorConfig | None = None
+                     ) -> list[VideoSegment]:
+    """Parse a video into its shots (each at least one frame long)."""
+    boundaries = detect_shot_boundaries(video, config)
+    starts = [0] + boundaries
+    stops = boundaries + [video.num_frames]
+    return [video.slice(a, b) for a, b in zip(starts, stops)]

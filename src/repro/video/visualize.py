@@ -1,0 +1,94 @@
+"""Terminal-friendly visualization helpers.
+
+The paper's Figures 1-3 show frames, segmentations and STRGs; these
+helpers give a dependency-free approximation for REPL and example use:
+ASCII renderings of label images and trajectory sets, and a one-line
+textual summary of a RAG.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graph.rag import RegionAdjacencyGraph
+
+#: Glyphs cycled over regions / trajectories.
+_GLYPHS = "#@%*+=o·:ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def render_label_image(labels: np.ndarray, max_width: int = 72) -> str:
+    """ASCII rendering of a segmentation label image.
+
+    Each region id gets a glyph; the image is downsampled to fit
+    ``max_width`` columns.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 2:
+        raise InvalidParameterError(
+            f"label image must be 2-D, got shape {labels.shape}"
+        )
+    h, w = labels.shape
+    step = max(1, int(np.ceil(w / max_width)))
+    sampled = labels[::step * 2, ::step]  # terminal cells are ~2x tall
+    ids = {int(v): i for i, v in enumerate(np.unique(sampled))}
+    lines = []
+    for row in sampled:
+        lines.append("".join(
+            _GLYPHS[ids[int(v)] % len(_GLYPHS)] for v in row
+        ))
+    return "\n".join(lines)
+
+
+def render_trajectories(ogs: Sequence, width: int = 64, height: int = 24,
+                        bounds: tuple[float, float, float, float] | None = None
+                        ) -> str:
+    """ASCII plot of a set of OG trajectories on a shared canvas.
+
+    ``bounds`` is ``(x_min, y_min, x_max, y_max)``; by default the union
+    bounding box of all trajectories.  Each OG gets a glyph; its start
+    point is marked ``S``.
+    """
+    if not ogs:
+        raise InvalidParameterError("need at least one trajectory")
+    if width < 2 or height < 2:
+        raise InvalidParameterError("canvas must be at least 2x2")
+    all_xy = np.vstack([np.asarray(getattr(og, "values", og))[:, :2]
+                        for og in ogs])
+    if bounds is None:
+        x0, y0 = all_xy.min(axis=0)
+        x1, y1 = all_xy.max(axis=0)
+    else:
+        x0, y0, x1, y1 = bounds
+    x_span = max(x1 - x0, 1e-9)
+    y_span = max(y1 - y0, 1e-9)
+    canvas = [[" "] * width for _ in range(height)]
+    for i, og in enumerate(ogs):
+        glyph = _GLYPHS[i % len(_GLYPHS)]
+        xy = np.asarray(getattr(og, "values", og))[:, :2]
+        for j, (x, y) in enumerate(xy):
+            col = int((x - x0) / x_span * (width - 1))
+            row = int((y - y0) / y_span * (height - 1))
+            if 0 <= row < height and 0 <= col < width:
+                canvas[row][col] = "S" if j == 0 else glyph
+    return "\n".join("".join(row) for row in canvas)
+
+
+def describe_rag(rag: RegionAdjacencyGraph, top: int = 5) -> list[str]:
+    """Textual summary of a RAG: counts plus its largest regions."""
+    lines = [
+        f"RAG(frame={rag.frame_index}): {len(rag)} regions, "
+        f"{rag.number_of_edges()} spatial edges"
+    ]
+    by_size = sorted(rag.nodes(), key=lambda n: -rag.node_attrs(n).size)
+    for node in by_size[:top]:
+        attrs = rag.node_attrs(node)
+        r, g, b = (int(c) for c in attrs.color)
+        lines.append(
+            f"  region {node}: {attrs.size} px, color=({r},{g},{b}), "
+            f"centroid=({attrs.centroid[0]:.1f}, {attrs.centroid[1]:.1f}), "
+            f"degree={rag.degree(node)}"
+        )
+    return lines

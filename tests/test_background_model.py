@@ -1,0 +1,115 @@
+"""Tests for background-subtraction segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, SegmentationError
+from repro.video.background_model import BackgroundSubtractionSegmenter
+from repro.video.frames import VideoSegment
+from repro.video.synthesize import (
+    Actor,
+    BackgroundSpec,
+    SceneRenderer,
+    linear_trajectory,
+)
+
+
+def moving_square_video(num_frames=10):
+    bg = BackgroundSpec(width=48, height=32, base_color=(100, 100, 100))
+    actor = Actor(
+        linear_trajectory((6.0, 16.0), (42.0, 16.0), num_frames),
+        [(0.0, 0.0, 6.0, 6.0, (220, 40, 40))],
+    )
+    return SceneRenderer(bg, [actor]).render(num_frames)
+
+
+class TestFitting:
+    def test_fit_recovers_static_background(self):
+        video = moving_square_video()
+        seg = BackgroundSubtractionSegmenter().fit(video)
+        # The mover occupies any pixel in a minority of frames, so the
+        # median is the clean background everywhere.
+        np.testing.assert_allclose(
+            seg.background_image,
+            np.full((32, 48, 3), 100.0),
+            atol=1.0,
+        )
+
+    def test_unfitted_raises(self):
+        seg = BackgroundSubtractionSegmenter()
+        with pytest.raises(SegmentationError):
+            seg.segment(np.zeros((32, 48, 3), dtype=np.uint8))
+
+    def test_fit_accepts_raw_array(self):
+        frames = np.zeros((4, 8, 8, 3), dtype=np.uint8)
+        seg = BackgroundSubtractionSegmenter().fit(frames)
+        assert seg.background_image.shape == (8, 8, 3)
+
+    def test_fit_rejects_bad_shape(self):
+        with pytest.raises(SegmentationError):
+            BackgroundSubtractionSegmenter().fit(np.zeros((4, 8, 8)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            BackgroundSubtractionSegmenter(threshold=0.0)
+        with pytest.raises(InvalidParameterError):
+            BackgroundSubtractionSegmenter(min_region_size=0)
+        with pytest.raises(InvalidParameterError):
+            BackgroundSubtractionSegmenter(max_model_frames=0)
+
+
+class TestSegmentation:
+    def test_mover_becomes_own_region(self):
+        video = moving_square_video()
+        seg = BackgroundSubtractionSegmenter(min_region_size=8).fit(video)
+        labels = seg.segment(video.frame(4))
+        assert len(np.unique(labels)) == 2  # background + the square
+
+    def test_foreground_mask_localizes_mover(self):
+        video = moving_square_video()
+        seg = BackgroundSubtractionSegmenter().fit(video)
+        mask = seg.foreground_mask(video.frame(0))
+        ys, xs = np.where(mask)
+        assert xs.mean() < 16  # mover starts on the left
+        assert 20 < mask.sum() < 80  # roughly the 6x6 square
+
+    def test_two_separate_movers_two_regions(self):
+        bg = BackgroundSpec(width=48, height=32, base_color=(100, 100, 100))
+        actors = [
+            Actor(linear_trajectory((8.0, 8.0), (40.0, 8.0), 8),
+                  [(0.0, 0.0, 5.0, 5.0, (220, 40, 40))]),
+            Actor(linear_trajectory((40.0, 24.0), (8.0, 24.0), 8),
+                  [(0.0, 0.0, 5.0, 5.0, (40, 40, 220))]),
+        ]
+        video = SceneRenderer(bg, actors).render(8)
+        seg = BackgroundSubtractionSegmenter(min_region_size=8).fit(video)
+        labels = seg.segment(video.frame(3))
+        assert len(np.unique(labels)) == 3
+
+    def test_enclosed_background_merges_with_outer(self):
+        # A ring-shaped foreground: the hole must still join the outer
+        # background region.
+        frames = np.full((6, 20, 20, 3), 100, dtype=np.uint8)
+        ring = frames.copy()
+        ring[:, 5:15, 5:15] = (250, 0, 0)
+        ring[:, 8:12, 8:12] = (100, 100, 100)
+        seg = BackgroundSubtractionSegmenter(min_region_size=4).fit(frames)
+        labels = seg.segment(ring[0])
+        # Exactly two regions: the ring and the (merged) background.
+        assert len(np.unique(labels)) == 2
+        assert labels[0, 0] == labels[10, 10]  # outer bg == hole bg
+
+    def test_frame_shape_mismatch(self):
+        seg = BackgroundSubtractionSegmenter().fit(
+            np.zeros((3, 8, 8, 3), dtype=np.uint8)
+        )
+        with pytest.raises(SegmentationError):
+            seg.segment(np.zeros((16, 16, 3), dtype=np.uint8))
+
+    def test_pipeline_compatible(self):
+        # The segmenter plugs into build_rag like any other Segmenter.
+        video = moving_square_video()
+        seg = BackgroundSubtractionSegmenter(min_region_size=8).fit(video)
+        rag = seg.build_rag(video.frame(4), frame_index=4)
+        assert len(rag) == 2
+        assert rag.number_of_edges() == 1

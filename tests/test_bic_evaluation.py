@@ -1,0 +1,174 @@
+"""Tests for BIC model selection (Eq. 8) and evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.bic import (
+    bic_curve,
+    bic_score,
+    num_free_parameters,
+    select_num_clusters,
+)
+from repro.clustering.em import EMClustering, EMConfig
+from repro.clustering.evaluation import (
+    clustering_error_rate,
+    distortion,
+    precision_recall,
+)
+from repro.clustering.kmeans import KMeansClustering, KMeansConfig
+from repro.errors import ClusteringError, InvalidParameterError
+
+
+def blob_ogs(k=3, n_per=6, separation=120.0, rng=None):
+    """k well-separated groups of short trajectories."""
+    rng = rng or np.random.default_rng(0)
+    ogs, labels = [], []
+    for label in range(k):
+        for _ in range(n_per):
+            length = int(rng.integers(6, 10))
+            base = np.linspace(0, 10, length)[:, None]
+            values = np.hstack([base + label * separation, base])
+            ogs.append(values + rng.normal(0, 0.5, values.shape))
+            labels.append(label)
+    return ogs, labels
+
+
+class TestFreeParameters:
+    def test_formula_d1(self):
+        # eta = (K - 1) + K d (d + 3) / 2 with d = 1 -> 3K - 1.
+        assert num_free_parameters(1) == 2
+        assert num_free_parameters(5) == 14
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            num_free_parameters(0)
+
+
+class TestBicScore:
+    def test_penalizes_parameters(self):
+        ogs, _ = blob_ogs(k=2)
+        result = EMClustering(EMConfig(n_clusters=2)).fit(ogs)
+        assert (bic_score(result, len(ogs))
+                < result.classification_log_likelihood)
+        assert (bic_score(result, len(ogs), likelihood="mixture")
+                < result.log_likelihood)
+
+    def test_classification_likelihood_finite(self):
+        ogs, _ = blob_ogs(k=2)
+        result = EMClustering(EMConfig(n_clusters=2)).fit(ogs)
+        assert np.isfinite(result.classification_log_likelihood)
+        # Winning-component likelihood upper-bounds each point's weighted
+        # mixture contribution minus the weight term, so it sits above
+        # the mixture likelihood for peaked responsibilities.
+        assert (result.classification_log_likelihood
+                >= result.log_likelihood - 1e-6)
+
+    def test_invalid_likelihood_kind(self):
+        ogs, _ = blob_ogs(k=2)
+        result = EMClustering(EMConfig(n_clusters=2)).fit(ogs)
+        with pytest.raises(InvalidParameterError):
+            bic_score(result, len(ogs), likelihood="bogus")
+
+    def test_requires_likelihood(self):
+        ogs, _ = blob_ogs(k=2)
+        km = KMeansClustering(KMeansConfig(n_clusters=2)).fit(ogs)
+        with pytest.raises(ClusteringError):
+            bic_score(km, len(ogs))
+
+    def test_invalid_num_items(self):
+        ogs, _ = blob_ogs(k=2)
+        result = EMClustering(EMConfig(n_clusters=2)).fit(ogs)
+        with pytest.raises(InvalidParameterError):
+            bic_score(result, 0)
+
+
+class TestSelectNumClusters:
+    def test_finds_true_k(self):
+        ogs, _ = blob_ogs(k=3, n_per=8)
+        best_k, scores = select_num_clusters(ogs, 1, 6, seed=1)
+        assert best_k == 3
+        assert len(scores) == 6
+
+    def test_peak_at_best_k(self):
+        ogs, _ = blob_ogs(k=2, n_per=8)
+        best_k, scores = select_num_clusters(ogs, 1, 5, seed=1)
+        assert scores[best_k - 1] == max(scores)
+
+    def test_k_range_clamped_to_data(self):
+        ogs, _ = blob_ogs(k=2, n_per=2)  # only 4 OGs
+        best_k, scores = select_num_clusters(ogs, 1, 15)
+        assert len(scores) == 4
+
+    def test_invalid_range(self):
+        ogs, _ = blob_ogs(k=2)
+        with pytest.raises(InvalidParameterError):
+            select_num_clusters(ogs, 3, 2)
+
+    def test_bic_curve_matches_select(self):
+        ogs, _ = blob_ogs(k=2, n_per=6)
+        scores = bic_curve(ogs, [1, 2, 3], seed=1)
+        assert len(scores) == 3
+
+
+class TestClusteringErrorRate:
+    def test_perfect(self):
+        assert clustering_error_rate([0, 0, 1, 1], [5, 5, 9, 9]) == 0.0
+
+    def test_half_wrong(self):
+        assert clustering_error_rate([0, 0, 1, 1], [0, 1, 0, 1]) == pytest.approx(50.0)
+
+    def test_label_permutation_invariant(self):
+        true = [0, 0, 1, 1, 2, 2]
+        pred = [2, 2, 0, 0, 1, 1]
+        assert clustering_error_rate(true, pred) == 0.0
+
+    def test_more_clusters_than_classes(self):
+        true = [0, 0, 0, 0]
+        pred = [0, 0, 1, 1]
+        assert clustering_error_rate(true, pred) == pytest.approx(50.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            clustering_error_rate([0, 1], [0, 1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            clustering_error_rate([], [])
+
+
+class TestDistortion:
+    def test_zero_for_identical(self):
+        centroids = [np.zeros((4, 2)), np.ones((4, 2)) * 50]
+        assert distortion(centroids, centroids) == pytest.approx(0.0)
+
+    def test_matching_is_order_invariant(self):
+        a = [np.zeros((4, 2)), np.ones((4, 2)) * 50]
+        b = [np.ones((4, 2)) * 50, np.zeros((4, 2))]
+        assert distortion(a, b) == pytest.approx(0.0)
+
+    def test_positive_when_displaced(self):
+        true = [np.zeros((4, 2))]
+        found = [np.ones((4, 2)) * 3]
+        assert distortion(true, found) > 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            distortion([], [np.zeros((2, 2))])
+
+
+class TestPrecisionRecall:
+    def test_perfect_retrieval(self):
+        p, r = precision_recall([1, 2, 3], [1, 2, 3])
+        assert p == 1.0 and r == 1.0
+
+    def test_half_precision(self):
+        p, r = precision_recall([1, 2, 3, 4], [1, 2])
+        assert p == 0.5 and r == 1.0
+
+    def test_half_recall(self):
+        p, r = precision_recall([1], [1, 2])
+        assert p == 1.0 and r == 0.5
+
+    def test_disjoint(self):
+        p, r = precision_recall([5, 6], [1, 2])
+        assert p == 0.0 and r == 0.0

@@ -1,0 +1,215 @@
+"""Tests for STRG decomposition (Section 2.3): ORGs, OG merging, BG."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph.attributes import NodeAttributes
+from repro.graph.decomposition import (
+    DecompositionConfig,
+    decompose,
+    extract_background_graph,
+    extract_object_region_graphs,
+    merge_object_region_graphs,
+)
+from repro.graph.object_graph import ObjectRegionGraph
+from repro.graph.rag import RegionAdjacencyGraph
+from repro.graph.strg import SpatioTemporalRegionGraph
+
+
+def node(size=100, color=(100.0, 100.0, 100.0), centroid=(0.0, 0.0)):
+    return NodeAttributes(size=size, color=color, centroid=centroid)
+
+
+def build_strg_with_mover(num_frames=5, speed=5.0):
+    """STRG: one static background region (id 0) and one mover (id 1)."""
+    strg = SpatioTemporalRegionGraph()
+    for t in range(num_frames):
+        rag = RegionAdjacencyGraph()
+        rag.add_node(0, node(size=5000, centroid=(50.0, 50.0)))
+        rag.add_node(1, node(size=100, color=(200.0, 0.0, 0.0),
+                             centroid=(10.0 + speed * t, 20.0)))
+        rag.add_edge(0, 1)
+        strg.append_rag(rag)
+    for t in range(num_frames - 1):
+        strg.add_temporal_edge((t, 0), (t + 1, 0))
+        strg.add_temporal_edge((t, 1), (t + 1, 1))
+    return strg
+
+
+def make_org(start_frame, centroids, size=100):
+    keys = [(start_frame + i, 1) for i in range(len(centroids))]
+    attrs = [node(size=size, centroid=tuple(c)) for c in centroids]
+    return ObjectRegionGraph(keys, attrs)
+
+
+class TestConfig:
+    def test_invalid_min_length(self):
+        with pytest.raises(InvalidParameterError):
+            DecompositionConfig(min_org_length=0)
+
+    def test_invalid_velocity(self):
+        with pytest.raises(InvalidParameterError):
+            DecompositionConfig(min_velocity=-1.0)
+
+
+class TestExtractORGs:
+    def test_mover_is_foreground(self):
+        strg = build_strg_with_mover()
+        fg, bg = extract_object_region_graphs(strg)
+        assert len(fg) == 1
+        assert len(bg) == 1
+        assert fg[0].mean_velocity() == pytest.approx(5.0)
+
+    def test_static_region_is_background(self):
+        strg = build_strg_with_mover(speed=0.0)
+        fg, bg = extract_object_region_graphs(strg)
+        assert len(fg) == 0
+        assert len(bg) == 2
+
+    def test_short_chain_is_background(self):
+        strg = build_strg_with_mover(num_frames=2)
+        config = DecompositionConfig(min_org_length=3)
+        fg, _ = extract_object_region_graphs(strg, config)
+        assert len(fg) == 0
+
+    def test_chains_cover_all_nodes(self):
+        strg = build_strg_with_mover()
+        fg, bg = extract_object_region_graphs(strg)
+        covered = set()
+        for org in fg + bg:
+            covered.update(org.node_keys)
+        assert covered == set(strg.nodes())
+
+
+class TestMergeORGs:
+    def test_co_moving_parts_merge(self):
+        # Head and body of one person: parallel trajectories, 4 px apart.
+        head = make_org(0, [(10.0 + 3 * t, 20.0) for t in range(5)])
+        body = make_org(0, [(10.0 + 3 * t, 24.0) for t in range(5)])
+        ogs = merge_object_region_graphs([head, body])
+        assert len(ogs) == 1
+        assert ogs[0].meta["num_orgs"] == 2
+
+    def test_opposite_directions_stay_separate(self):
+        right = make_org(0, [(10.0 + 3 * t, 20.0) for t in range(5)])
+        left = make_org(0, [(25.0 - 3 * t, 20.0) for t in range(5)])
+        ogs = merge_object_region_graphs([right, left])
+        assert len(ogs) == 2
+
+    def test_different_speeds_stay_separate(self):
+        slow = make_org(0, [(10.0 + 1 * t, 20.0) for t in range(5)])
+        fast = make_org(0, [(10.0 + 9 * t, 20.0) for t in range(5)])
+        ogs = merge_object_region_graphs([slow, fast])
+        assert len(ogs) == 2
+
+    def test_far_apart_stay_separate(self):
+        a = make_org(0, [(10.0 + 3 * t, 20.0) for t in range(5)])
+        b = make_org(0, [(10.0 + 3 * t, 150.0) for t in range(5)])
+        config = DecompositionConfig(gap_tolerance=40.0)
+        ogs = merge_object_region_graphs([a, b], config)
+        assert len(ogs) == 2
+
+    def test_non_overlapping_in_time_stay_separate(self):
+        a = make_org(0, [(10.0 + 3 * t, 20.0) for t in range(3)])
+        b = make_org(10, [(10.0 + 3 * t, 20.0) for t in range(3)])
+        ogs = merge_object_region_graphs([a, b])
+        assert len(ogs) == 2
+
+    def test_empty_input(self):
+        assert merge_object_region_graphs([]) == []
+
+    def test_transitive_merging(self):
+        # a-b close, b-c close, a-c far: union-find joins all three.
+        a = make_org(0, [(10.0 + 3 * t, 0.0) for t in range(5)])
+        b = make_org(0, [(10.0 + 3 * t, 30.0) for t in range(5)])
+        c = make_org(0, [(10.0 + 3 * t, 60.0) for t in range(5)])
+        config = DecompositionConfig(gap_tolerance=35.0)
+        ogs = merge_object_region_graphs([a, b, c], config)
+        assert len(ogs) == 1
+
+
+class TestBackgroundGraph:
+    def test_single_bg_node_per_chain(self):
+        strg = build_strg_with_mover(speed=0.0, num_frames=6)
+        _, bg_orgs = extract_object_region_graphs(strg)
+        bg = extract_background_graph(strg, bg_orgs)
+        assert len(bg) == 2  # two static chains -> two BG nodes
+        assert bg.frame_count == 6
+
+    def test_bg_size_much_smaller_than_per_frame_sum(self):
+        strg = build_strg_with_mover(speed=0.0, num_frames=20)
+        _, bg_orgs = extract_object_region_graphs(strg)
+        bg = extract_background_graph(strg, bg_orgs)
+        per_frame_total = sum(r.size_bytes() for r in strg.rags)
+        assert bg.size_bytes() * 5 < per_frame_total
+
+    def test_bg_inherits_spatial_adjacency(self):
+        strg = build_strg_with_mover(speed=0.0)
+        _, bg_orgs = extract_object_region_graphs(strg)
+        bg = extract_background_graph(strg, bg_orgs)
+        assert bg.rag.number_of_edges() == 1
+
+    def test_bg_self_similarity(self):
+        strg = build_strg_with_mover(speed=0.0)
+        _, bg_orgs = extract_object_region_graphs(strg)
+        bg = extract_background_graph(strg, bg_orgs)
+        assert bg.similarity(bg) == pytest.approx(1.0)
+
+    def test_large_bg_similarity_uses_matching_fallback(self):
+        # Two 20-region backgrounds: the exact clique search would blow
+        # up; the matching fallback must stay fast and score identical
+        # backgrounds as 1.0.
+        from repro.graph.decomposition import BackgroundGraph
+
+        rag = RegionAdjacencyGraph()
+        for i in range(20):
+            rag.add_node(i, node(size=100 + i,
+                                 color=(10.0 * i % 255, 50.0, 50.0),
+                                 centroid=(float(i) * 9.0, 5.0)))
+        bg = BackgroundGraph(rag, frame_count=5)
+        assert len(bg) * len(bg) > BackgroundGraph.MAX_EXACT_ASSOCIATION
+        assert bg.similarity(bg) == pytest.approx(1.0)
+
+    def test_large_dissimilar_bgs_score_low(self):
+        from repro.graph.decomposition import BackgroundGraph
+
+        a = RegionAdjacencyGraph()
+        b = RegionAdjacencyGraph()
+        for i in range(15):
+            a.add_node(i, node(color=(250.0, 0.0, 0.0),
+                               centroid=(float(i), 0.0)))
+            b.add_node(i, node(color=(0.0, 0.0, 250.0),
+                               centroid=(float(i), 0.0)))
+        bg_a = BackgroundGraph(a, 5)
+        bg_b = BackgroundGraph(b, 5)
+        assert bg_a.similarity(bg_b) == 0.0
+
+    def test_empty_bg_similarity(self):
+        strg = build_strg_with_mover(speed=0.0)
+        _, bg_orgs = extract_object_region_graphs(strg)
+        bg = extract_background_graph(strg, bg_orgs)
+        empty = extract_background_graph(SpatioTemporalRegionGraph(), [])
+        assert empty.similarity(empty) == 1.0
+        assert empty.similarity(bg) == 0.0
+
+
+class TestDecompose:
+    def test_full_decomposition(self):
+        strg = build_strg_with_mover()
+        result = decompose(strg)
+        assert len(result.object_graphs) == 1
+        assert len(result.background) == 1
+        og = result.object_graphs[0]
+        assert len(og) == 5
+        assert og.mean_velocity() == pytest.approx(5.0)
+
+    def test_og_trajectory_matches_motion(self):
+        strg = build_strg_with_mover(speed=4.0)
+        result = decompose(strg)
+        og = result.object_graphs[0]
+        np.testing.assert_allclose(
+            og.values[:, 0], [10.0, 14.0, 18.0, 22.0, 26.0]
+        )

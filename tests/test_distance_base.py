@@ -1,0 +1,138 @@
+"""Tests for repro.distance.base: coercion, counting, metric checking."""
+
+import numpy as np
+import pytest
+
+from repro.distance.base import (
+    CountingDistance,
+    as_series,
+    check_metric_axioms,
+    node_cost_matrix,
+    pairwise_matrix,
+    resample_series,
+)
+from repro.distance.eged import MetricEGED
+from repro.errors import DimensionMismatchError, EmptySequenceError
+from repro.graph.object_graph import ObjectGraph
+
+
+class TestAsSeries:
+    def test_1d_becomes_column(self):
+        out = as_series([1.0, 2.0, 3.0])
+        assert out.shape == (3, 1)
+
+    def test_2d_passthrough(self):
+        arr = np.ones((4, 2))
+        assert as_series(arr).shape == (4, 2)
+
+    def test_scalar_becomes_1x1(self):
+        assert as_series(5.0).shape == (1, 1)
+
+    def test_object_graph_values_used(self):
+        og = ObjectGraph.from_values(np.arange(6).reshape(3, 2))
+        out = as_series(og)
+        np.testing.assert_array_equal(out, og.values)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptySequenceError):
+            as_series(np.zeros((0, 2)))
+
+    def test_3d_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            as_series(np.zeros((2, 2, 2)))
+
+    def test_output_is_float64(self):
+        assert as_series([1, 2, 3]).dtype == np.float64
+
+
+class TestCountingDistance:
+    def test_counts_calls(self):
+        counter = CountingDistance(MetricEGED())
+        a, b = np.ones((3, 1)), np.zeros((4, 1))
+        counter(a, b)
+        counter(a, b)
+        assert counter.calls == 2
+
+    def test_reset(self):
+        counter = CountingDistance(MetricEGED())
+        counter(np.ones((2, 1)), np.ones((2, 1)))
+        counter.reset()
+        assert counter.calls == 0
+
+    def test_preserves_value(self):
+        inner = MetricEGED()
+        counter = CountingDistance(inner)
+        a, b = np.ones((3, 2)), np.zeros((4, 2))
+        assert counter(a, b) == inner(a, b)
+
+    def test_inherits_metric_flag(self):
+        assert CountingDistance(MetricEGED()).is_metric
+
+
+class TestPairwiseMatrix:
+    def test_symmetric_self_matrix(self):
+        items = [np.array([[float(i)]]) for i in range(4)]
+        mat = pairwise_matrix(MetricEGED(), items)
+        np.testing.assert_allclose(mat, mat.T)
+        assert np.all(np.diag(mat) == 0)
+
+    def test_rectangular(self):
+        a = [np.array([[0.0]]), np.array([[1.0]])]
+        b = [np.array([[2.0]])]
+        mat = pairwise_matrix(MetricEGED(), a, b)
+        assert mat.shape == (2, 1)
+
+
+class TestCheckMetricAxioms:
+    def test_metric_distance_passes(self, rng):
+        points = [rng.normal(size=(5, 2)) for _ in range(5)]
+        assert check_metric_axioms(MetricEGED(), points) == []
+
+    def test_detects_triangle_violation(self):
+        # A deliberately broken "distance".
+        def broken(x, y):
+            a = float(np.sum(x))
+            b = float(np.sum(y))
+            if a == b:
+                return 0.0
+            return (a - b) ** 2  # squared L1 violates the triangle inequality
+
+        points = [np.array([[0.0]]), np.array([[1.0]]), np.array([[2.0]])]
+        violations = check_metric_axioms(broken, points)
+        assert any("triangle" in v for v in violations)
+
+
+class TestResampleSeries:
+    def test_same_length_identity(self):
+        arr = np.arange(8, dtype=float).reshape(4, 2)
+        np.testing.assert_array_equal(resample_series(arr, 4), arr)
+
+    def test_upsample_preserves_endpoints(self):
+        arr = np.array([[0.0, 0.0], [10.0, 10.0]])
+        out = resample_series(arr, 5)
+        np.testing.assert_allclose(out[0], arr[0])
+        np.testing.assert_allclose(out[-1], arr[-1])
+
+    def test_downsample_monotone(self):
+        arr = np.linspace(0, 1, 20).reshape(-1, 1)
+        out = resample_series(arr, 5)
+        assert np.all(np.diff(out[:, 0]) > 0)
+
+    def test_length_one_repeats(self):
+        arr = np.array([[3.0, 4.0]])
+        out = resample_series(arr, 3)
+        assert out.shape == (3, 2)
+        np.testing.assert_array_equal(out, np.tile(arr, (3, 1)))
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(EmptySequenceError):
+            resample_series(np.ones((3, 1)), 0)
+
+
+class TestNodeCostMatrix:
+    def test_shape_and_values(self):
+        a = np.array([[0.0, 0.0], [3.0, 4.0]])
+        b = np.array([[0.0, 0.0]])
+        mat = node_cost_matrix(a, b)
+        assert mat.shape == (2, 1)
+        np.testing.assert_allclose(mat[:, 0], [0.0, 5.0])

@@ -1,0 +1,105 @@
+"""Tests for the EDR and discrete Frechet distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.base import check_metric_axioms
+from repro.distance.edr import EDRDistance, edr, edr_distance
+from repro.distance.frechet import FrechetDistance, discrete_frechet
+from repro.errors import InvalidParameterError
+
+series_strategy = st.lists(
+    st.floats(min_value=-50, max_value=50, allow_nan=False),
+    min_size=1, max_size=10,
+).map(lambda xs: np.asarray(xs, dtype=np.float64).reshape(-1, 1))
+
+
+class TestEDR:
+    def test_identical_zero(self, rng):
+        a = rng.normal(size=(8, 2))
+        assert edr(a, a, epsilon=0.0) == 0
+
+    def test_counts_mismatches(self):
+        a = np.array([[0.0], [0.0], [0.0]])
+        b = np.array([[0.0], [100.0], [0.0]])
+        assert edr(a, b, epsilon=1.0) == 1
+
+    def test_length_difference_cost(self):
+        a = np.zeros((3, 1))
+        b = np.zeros((7, 1))
+        assert edr(a, b, epsilon=1.0) == 4
+
+    def test_epsilon_widens_matching(self):
+        a = np.array([[0.0], [1.0]])
+        b = np.array([[0.4], [1.4]])
+        assert edr(a, b, epsilon=0.1) == 2
+        assert edr(a, b, epsilon=0.5) == 0
+
+    def test_normalized_in_unit_interval(self, rng):
+        a = rng.normal(size=(6, 2))
+        b = rng.normal(size=(9, 2))
+        assert 0.0 <= edr_distance(a, b) <= 1.0
+
+    def test_robust_to_single_outlier(self, rng):
+        # One wild outlier costs exactly one edit, not its magnitude.
+        a = rng.normal(size=(10, 2))
+        b = a.copy()
+        b[4] += 1_000.0
+        assert edr(a, b, epsilon=0.5) == pytest.approx(1, abs=1)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            edr(np.ones((2, 1)), np.ones((2, 1)), epsilon=-1.0)
+        with pytest.raises(InvalidParameterError):
+            EDRDistance(epsilon=-0.1)
+
+    @given(series_strategy, series_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_property_symmetric_and_bounded(self, a, b):
+        d = edr_distance(a, b, epsilon=1.0)
+        assert 0.0 <= d <= 1.0
+        assert d == pytest.approx(edr_distance(b, a, epsilon=1.0))
+
+
+class TestFrechet:
+    def test_identical_zero(self, rng):
+        a = rng.normal(size=(7, 2))
+        assert discrete_frechet(a, a) == pytest.approx(0.0)
+
+    def test_parallel_lines(self):
+        a = np.stack([np.arange(5.0), np.zeros(5)], axis=1)
+        b = np.stack([np.arange(5.0), np.full(5, 3.0)], axis=1)
+        assert discrete_frechet(a, b) == pytest.approx(3.0)
+
+    def test_single_points(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert discrete_frechet(a, b) == pytest.approx(5.0)
+
+    def test_dominated_by_worst_node(self):
+        a = np.zeros((5, 1))
+        b = np.zeros((5, 1))
+        b[2] = 50.0
+        assert discrete_frechet(a, b) == pytest.approx(50.0)
+
+    def test_at_least_endpoint_distances(self, rng):
+        a = rng.normal(size=(6, 2))
+        b = rng.normal(size=(8, 2))
+        lower = max(
+            float(np.linalg.norm(a[0] - b[0])),
+            float(np.linalg.norm(a[-1] - b[-1])),
+        )
+        assert discrete_frechet(a, b) >= lower - 1e-9
+
+    def test_metric_axioms(self, rng):
+        points = [rng.normal(size=(int(rng.integers(2, 8)), 2))
+                  for _ in range(6)]
+        assert check_metric_axioms(FrechetDistance(), points) == []
+
+    @given(series_strategy, series_strategy, series_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_property_triangle(self, a, b, c):
+        d = FrechetDistance()
+        assert d(a, c) <= d(a, b) + d(b, c) + 1e-7

@@ -1,0 +1,154 @@
+"""Tests for the Extended Graph Edit Distance (Definition 9, Theorem 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.base import check_metric_axioms
+from repro.distance.dtw import dtw
+from repro.distance.eged import EGED, MetricEGED, eged
+from repro.distance.erp import erp
+from repro.errors import InvalidParameterError
+
+# Reusable hypothesis strategy: short scalar-valued series.
+series_strategy = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    min_size=1, max_size=12,
+).map(lambda xs: np.asarray(xs, dtype=np.float64).reshape(-1, 1))
+
+
+class TestPaperExample:
+    """The worked example of Section 3.1 pins the semantics exactly."""
+
+    R = [0.0]
+    S = [1.0, 1.0]
+    T = [2.0, 2.0, 3.0]
+
+    def test_nonmetric_values(self):
+        assert eged(self.R, self.T) == pytest.approx(7.0)
+        assert eged(self.R, self.S) == pytest.approx(2.0)
+        assert eged(self.S, self.T) == pytest.approx(4.0)
+
+    def test_nonmetric_triangle_violation(self):
+        # 7 > 2 + 4: the paper's reason EGED is not a metric.
+        assert eged(self.R, self.T) > eged(self.R, self.S) + eged(self.S, self.T)
+
+    def test_metric_values_with_g0(self):
+        assert eged(self.R, self.T, gap=0.0) == pytest.approx(7.0)
+        assert eged(self.R, self.S, gap=0.0) == pytest.approx(2.0)
+        assert eged(self.S, self.T, gap=0.0) == pytest.approx(5.0)
+
+    def test_metric_triangle_holds(self):
+        d_rt = eged(self.R, self.T, gap=0.0)
+        d_rs = eged(self.R, self.S, gap=0.0)
+        d_st = eged(self.S, self.T, gap=0.0)
+        assert d_rt <= d_rs + d_st
+
+
+class TestNonMetricEGED:
+    def test_reflexive(self, rng):
+        a = rng.normal(size=(20, 2))
+        assert eged(a, a) == pytest.approx(0.0)
+
+    def test_symmetric(self, rng):
+        a = rng.normal(size=(15, 2))
+        b = rng.normal(size=(18, 2))
+        assert eged(a, b) == pytest.approx(eged(b, a))
+
+    def test_non_negative(self, rng):
+        for _ in range(10):
+            a = rng.normal(size=(rng.integers(1, 15), 2))
+            b = rng.normal(size=(rng.integers(1, 15), 2))
+            assert eged(a, b) >= 0.0
+
+    def test_handles_local_time_shift_cheaply(self):
+        # A trajectory and the same one with an extra interpolated node:
+        # the adaptive gap charges only the interpolation residual (~0).
+        a = np.array([[0.0], [2.0], [4.0], [6.0]])
+        shifted = np.array([[0.0], [1.0], [2.0], [4.0], [6.0]])  # 1 = midpoint(0, 2)
+        assert eged(a, shifted) == pytest.approx(0.0, abs=1e-9)
+
+    def test_dtw_gap_mode_matches_dtw_on_equal_series(self, rng):
+        # For identical series both are 0; for near series the DTW-gap mode
+        # should stay close to true DTW (same repeat semantics).
+        a = rng.normal(size=(10, 2))
+        assert eged(a, a, gap="dtw") == pytest.approx(dtw(a, a))
+
+    def test_invalid_gap_string(self):
+        with pytest.raises(InvalidParameterError):
+            eged([1.0], [2.0], gap="bogus")
+
+    def test_class_name(self):
+        assert EGED().name == "EGED"
+        assert EGED(mode="dtw").name == "EGED(dtw-gap)"
+
+    def test_class_invalid_mode(self):
+        with pytest.raises(InvalidParameterError):
+            EGED(mode="nope")
+
+    def test_vector_valued_nodes(self, rng):
+        a = rng.normal(size=(8, 3))
+        b = rng.normal(size=(9, 3))
+        assert eged(a, b) > 0
+
+    @given(series_strategy, series_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_property_symmetry(self, a, b):
+        assert eged(a, b) == pytest.approx(eged(b, a), rel=1e-9, abs=1e-9)
+
+    @given(series_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_property_reflexivity(self, a):
+        assert eged(a, a) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestMetricEGED:
+    def test_equals_erp(self, rng):
+        a = rng.normal(size=(12, 2))
+        b = rng.normal(size=(9, 2))
+        assert eged(a, b, gap=0.0) == pytest.approx(erp(a, b, 0.0))
+
+    def test_metric_axioms_empirically(self, rng):
+        points = [
+            rng.normal(size=(int(rng.integers(2, 10)), 2)) for _ in range(6)
+        ]
+        assert check_metric_axioms(MetricEGED(), points) == []
+
+    def test_nonzero_constant_gap_still_metric(self, rng):
+        points = [
+            rng.normal(size=(int(rng.integers(2, 8)), 1)) for _ in range(6)
+        ]
+        assert check_metric_axioms(MetricEGED(gap=3.0), points) == []
+
+    def test_is_metric_flag(self):
+        assert MetricEGED().is_metric
+        assert not EGED().is_metric
+
+    def test_identity_of_indiscernibles(self, rng):
+        a = rng.normal(size=(7, 2))
+        b = a + 0.5
+        assert MetricEGED()(a, a) == 0.0
+        assert MetricEGED()(a, b) > 0.0
+
+    @given(series_strategy, series_strategy, series_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_property_triangle_inequality(self, a, b, c):
+        d = MetricEGED()
+        assert d(a, c) <= d(a, b) + d(b, c) + 1e-7
+
+    @given(series_strategy, series_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_property_symmetry(self, a, b):
+        d = MetricEGED()
+        assert d(a, b) == pytest.approx(d(b, a), rel=1e-9, abs=1e-9)
+
+    def test_key_difference_lower_bounds_distance(self, rng):
+        # |d(q, c) - d(o, c)| <= d(q, o): the pruning bound of the
+        # STRG-Index leaf scan.
+        d = MetricEGED()
+        centroid = rng.normal(size=(10, 2))
+        for _ in range(10):
+            q = rng.normal(size=(int(rng.integers(2, 12)), 2))
+            o = rng.normal(size=(int(rng.integers(2, 12)), 2))
+            assert abs(d(q, centroid) - d(o, centroid)) <= d(q, o) + 1e-9

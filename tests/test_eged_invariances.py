@@ -1,0 +1,87 @@
+"""Invariance and homogeneity properties of the EGED family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.dtw import dtw
+from repro.distance.eged import eged
+from repro.distance.erp import erp
+
+series_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+    ),
+    min_size=1, max_size=10,
+).map(lambda pts: np.asarray(pts, dtype=np.float64))
+
+
+class TestTranslationInvariance:
+    """Non-metric EGED references only the *other* sequence's values, so a
+    common translation of both inputs cancels exactly."""
+
+    @given(series_strategy, series_strategy,
+           st.floats(min_value=-100, max_value=100, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_nonmetric_translation_invariant(self, a, b, shift):
+        offset = np.array([shift, -shift])
+        assert eged(a + offset, b + offset) == pytest.approx(
+            eged(a, b), rel=1e-9, abs=1e-6
+        )
+
+    def test_metric_not_translation_invariant(self):
+        # EGED_M's fixed gap anchors the space: translating unequal-length
+        # inputs changes the deletion costs.
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.0, 0.0], [1.0, 0.0]])
+        near = erp(a, b, gap=0.0)
+        far = erp(a + 100.0, b + 100.0, gap=0.0)
+        assert far > near
+
+
+class TestHomogeneity:
+    """ERP with gap 0 is positively homogeneous: d(c a, c b) = c d(a, b)."""
+
+    @given(series_strategy, series_strategy,
+           st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_metric_scaling(self, a, b, c):
+        assert erp(c * a, c * b, gap=0.0) == pytest.approx(
+            c * erp(a, b, gap=0.0), rel=1e-9, abs=1e-6
+        )
+
+    @given(series_strategy, series_strategy,
+           st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_nonmetric_scaling(self, a, b, c):
+        assert eged(c * a, c * b) == pytest.approx(
+            c * eged(a, b), rel=1e-9, abs=1e-6
+        )
+
+
+class TestGapModeRelations:
+    def test_dtw_gap_mode_bounded_by_dtw(self, rng):
+        # With repeat-gap semantics, the EGED DP has at least DTW's
+        # options, so it can never exceed DTW.
+        for _ in range(10):
+            a = rng.normal(size=(int(rng.integers(2, 10)), 2)) * 10
+            b = rng.normal(size=(int(rng.integers(2, 10)), 2)) * 10
+            assert eged(a, b, gap="dtw") <= dtw(a, b) + 1e-9
+
+    def test_adaptive_midpoint_cheaper_on_dense_resample(self, rng):
+        # Inserting midpoints is free for the adaptive gap but not for the
+        # repeat gap.
+        a = np.stack([np.arange(0.0, 10.0, 2.0), np.zeros(5)], axis=1)
+        dense = np.stack([np.arange(0.0, 9.0, 1.0), np.zeros(9)], axis=1)
+        assert eged(a, dense) == pytest.approx(0.0, abs=1e-9)
+        assert eged(a, dense, gap="dtw") >= 0.0
+
+    def test_concatenation_monotone(self, rng):
+        # Appending extra nodes to one side cannot decrease the metric
+        # distance to a fixed query (gap costs are non-negative).
+        q = rng.normal(size=(6, 2))
+        t = rng.normal(size=(8, 2))
+        extended = np.vstack([t, rng.normal(size=(3, 2)) + 50.0])
+        assert erp(q, extended) >= erp(q, t) - erp(t, extended) - 1e-9

@@ -1,0 +1,208 @@
+"""Tests for isomorphism (Defs. 3-5), most common subgraph (Def. 6),
+SimGraph (Eq. 1) and neighborhood graphs (Def. 7)."""
+
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.graph.attributes import AttributeTolerance, NodeAttributes
+from repro.graph.common_subgraph import most_common_subgraph, sim_graph
+from repro.graph.isomorphism import (
+    find_isomorphism,
+    find_subgraph_isomorphism,
+    is_isomorphic,
+)
+from repro.graph.neighborhood import neighborhood_graph
+from repro.graph.rag import RegionAdjacencyGraph
+
+LOOSE = AttributeTolerance(color=1000.0, size_ratio=0.0,
+                           spatial_distance=float("inf"))
+
+
+def node(size=10, color=(100.0, 100.0, 100.0), centroid=(0.0, 0.0)):
+    return NodeAttributes(size=size, color=color, centroid=centroid)
+
+
+def path_graph(colors, spacing=10.0):
+    """A path graph with one node per color."""
+    rag = RegionAdjacencyGraph()
+    for i, c in enumerate(colors):
+        rag.add_node(i, node(color=c, centroid=(i * spacing, 0.0)))
+    for i in range(len(colors) - 1):
+        rag.add_edge(i, i + 1)
+    return rag
+
+
+def star_graph(center_color, leaf_colors, radius=10.0):
+    """A star: center node 0, leaves 1..n."""
+    rag = RegionAdjacencyGraph()
+    rag.add_node(0, node(color=center_color))
+    for i, c in enumerate(leaf_colors, start=1):
+        rag.add_node(i, node(color=c, centroid=(radius * i, 0.0)))
+        rag.add_edge(0, i)
+    return rag
+
+
+RED = (200.0, 0.0, 0.0)
+GREEN = (0.0, 200.0, 0.0)
+BLUE = (0.0, 0.0, 200.0)
+GRAY = (100.0, 100.0, 100.0)
+
+
+class TestIsomorphism:
+    def test_identical_graphs(self):
+        a = path_graph([RED, GREEN, BLUE])
+        b = path_graph([RED, GREEN, BLUE])
+        assert is_isomorphic(a, b, LOOSE)
+
+    def test_mapping_respects_colors(self):
+        tol = AttributeTolerance(color=10.0, size_ratio=0.0,
+                                 spatial_distance=float("inf"))
+        a = path_graph([RED, GREEN])
+        b = path_graph([GREEN, RED])
+        mapping = find_isomorphism(a, b, tol)
+        assert mapping == {0: 1, 1: 0}
+
+    def test_different_sizes_not_isomorphic(self):
+        a = path_graph([RED, GREEN])
+        b = path_graph([RED, GREEN, BLUE])
+        assert not is_isomorphic(a, b, LOOSE)
+
+    def test_different_edge_counts_not_isomorphic(self):
+        a = path_graph([GRAY, GRAY, GRAY])         # path: 2 edges
+        b = star_graph(GRAY, [GRAY, GRAY])         # star: 2 edges, same
+        c = RegionAdjacencyGraph()                 # 3 isolated nodes
+        for i in range(3):
+            c.add_node(i, node())
+        assert not is_isomorphic(a, c, LOOSE)
+
+    def test_color_mismatch_blocks(self):
+        tol = AttributeTolerance(color=10.0, size_ratio=0.0)
+        a = path_graph([RED, GREEN])
+        b = path_graph([BLUE, GREEN])
+        assert not is_isomorphic(a, b, tol)
+
+
+class TestSubgraphIsomorphism:
+    def test_path_embeds_in_longer_path(self):
+        small = path_graph([GRAY, GRAY])
+        big = path_graph([GRAY, GRAY, GRAY, GRAY])
+        mapping = find_subgraph_isomorphism(small, big, LOOSE)
+        assert mapping is not None
+        u, v = mapping[0], mapping[1]
+        assert big.graph.has_edge(u, v)
+
+    def test_larger_pattern_fails(self):
+        small = path_graph([GRAY, GRAY])
+        big = path_graph([GRAY, GRAY, GRAY])
+        assert find_subgraph_isomorphism(big, small, LOOSE) is None
+
+    def test_star_embeds_in_bigger_star(self):
+        small = star_graph(RED, [GREEN, BLUE])
+        big = star_graph(RED, [GREEN, BLUE, GRAY])
+        tol = AttributeTolerance(color=10.0, size_ratio=0.0,
+                                 spatial_distance=float("inf"))
+        assert find_subgraph_isomorphism(small, big, tol) is not None
+
+    def test_induced_flag_forbids_extra_edges(self):
+        # Pattern: two disconnected nodes; target: an edge between them.
+        pattern = RegionAdjacencyGraph()
+        pattern.add_node(0, node())
+        pattern.add_node(1, node(centroid=(10.0, 0.0)))
+        target = path_graph([GRAY, GRAY])
+        assert find_subgraph_isomorphism(pattern, target, LOOSE) is not None
+        assert find_subgraph_isomorphism(
+            pattern, target, LOOSE, induced=True
+        ) is None
+
+
+class TestMostCommonSubgraph:
+    def test_identical_graphs_full_correspondence(self):
+        a = path_graph([RED, GREEN, BLUE])
+        b = path_graph([RED, GREEN, BLUE])
+        tol = AttributeTolerance(color=10.0, size_ratio=0.0,
+                                 spatial_distance=float("inf"))
+        common = most_common_subgraph(a, b, tol)
+        assert len(common) == 3
+
+    def test_partial_overlap(self):
+        tol = AttributeTolerance(color=10.0, size_ratio=0.0,
+                                 spatial_distance=float("inf"))
+        a = path_graph([RED, GREEN, BLUE])
+        b = path_graph([RED, GREEN, GRAY])
+        common = most_common_subgraph(a, b, tol)
+        assert len(common) == 2
+
+    def test_no_compatible_nodes(self):
+        tol = AttributeTolerance(color=10.0, size_ratio=0.0)
+        a = path_graph([RED])
+        b = path_graph([BLUE])
+        assert most_common_subgraph(a, b, tol) == []
+
+    def test_correspondence_pairs_reference_real_nodes(self):
+        a = star_graph(GRAY, [GRAY, GRAY])
+        b = star_graph(GRAY, [GRAY])
+        common = most_common_subgraph(a, b, LOOSE)
+        for u, v in common:
+            assert u in a
+            assert v in b
+
+
+class TestSimGraph:
+    def test_identical_is_one(self):
+        a = path_graph([RED, GREEN, BLUE])
+        tol = AttributeTolerance(color=10.0, size_ratio=0.0,
+                                 spatial_distance=float("inf"))
+        assert sim_graph(a, a, tol) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        tol = AttributeTolerance(color=10.0, size_ratio=0.0)
+        assert sim_graph(path_graph([RED]), path_graph([BLUE]), tol) == 0.0
+
+    def test_smaller_graph_fully_embedded(self):
+        # Eq. 1 normalizes by the smaller graph.
+        small = path_graph([GRAY, GRAY])
+        big = path_graph([GRAY, GRAY, GRAY, GRAY])
+        assert sim_graph(small, big, LOOSE) == pytest.approx(1.0)
+
+    def test_bounded(self):
+        tol = AttributeTolerance(color=50.0, size_ratio=0.0,
+                                 spatial_distance=float("inf"))
+        a = path_graph([RED, GREEN, GRAY])
+        b = path_graph([GREEN, GRAY, BLUE])
+        s = sim_graph(a, b, tol)
+        assert 0.0 <= s <= 1.0
+
+
+class TestNeighborhoodGraph:
+    def test_star_shape(self):
+        rag = star_graph(GRAY, [RED, GREEN, BLUE])
+        gn = neighborhood_graph(rag, 0)
+        assert len(gn) == 4
+        assert gn.number_of_edges() == 3
+
+    def test_excludes_edges_between_neighbors(self):
+        rag = path_graph([GRAY, GRAY, GRAY])
+        rag.add_edge(0, 2)  # make a triangle
+        gn = neighborhood_graph(rag, 1)
+        # Nodes 0, 1, 2; star edges (1,0), (1,2) only — not (0,2).
+        assert len(gn) == 3
+        assert gn.number_of_edges() == 2
+        assert not gn.graph.has_edge(0, 2)
+
+    def test_leaf_node(self):
+        rag = path_graph([GRAY, GRAY, GRAY])
+        gn = neighborhood_graph(rag, 0)
+        assert len(gn) == 2
+        assert gn.number_of_edges() == 1
+
+    def test_isolated_node(self):
+        rag = RegionAdjacencyGraph()
+        rag.add_node(0, node())
+        gn = neighborhood_graph(rag, 0)
+        assert len(gn) == 1
+        assert gn.number_of_edges() == 0
+
+    def test_unknown_node_rejected(self):
+        rag = path_graph([GRAY])
+        with pytest.raises(GraphStructureError):
+            neighborhood_graph(rag, 42)

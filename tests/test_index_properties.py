@@ -1,0 +1,126 @@
+"""Property-based invariants of the STRG-Index under mixed workloads.
+
+These tests drive the index with randomized build/insert/delete sequences
+and check the invariants that make it a correct metric index:
+
+- exact k-NN always equals brute force under EGED_M;
+- leaf keys always equal the metric distance to the owning centroid;
+- leaf key order is maintained under arbitrary insertion order;
+- the index never loses or duplicates OGs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import STRGIndex, STRGIndexConfig
+from repro.distance.eged import MetricEGED
+from repro.graph.object_graph import ObjectGraph
+
+
+def random_ogs(rng, count, n_blobs=3):
+    ogs = []
+    for i in range(count):
+        blob = i % n_blobs
+        length = int(rng.integers(4, 10))
+        base = np.linspace(0, 10, length)[:, None]
+        values = np.hstack([base + blob * 120.0, base])
+        ogs.append(ObjectGraph.from_values(
+            values + rng.normal(0, 1.0, values.shape), label=blob
+        ))
+    return ogs
+
+
+def collect_ids(index):
+    return [og.og_id for og in index.object_graphs()]
+
+
+class TestInvariants:
+    @given(seed=st.integers(0, 10_000),
+           n_initial=st.integers(4, 12),
+           n_inserts=st.integers(0, 10),
+           k=st.integers(1, 6))
+    @settings(max_examples=12, deadline=None)
+    def test_knn_matches_brute_force_after_mixed_workload(
+            self, seed, n_initial, n_inserts, k):
+        rng = np.random.default_rng(seed)
+        ogs = random_ogs(rng, n_initial + n_inserts)
+        index = STRGIndex(STRGIndexConfig(
+            n_clusters=min(3, n_initial), em_iterations=5,
+            leaf_capacity=8, seed=seed,
+        ))
+        index.build(ogs[:n_initial])
+        for og in ogs[n_initial:]:
+            index.insert(og)
+        # Delete every third OG.
+        alive = []
+        for i, og in enumerate(ogs):
+            if i % 3 == 0 and len(ogs) - (i // 3) > k:
+                assert index.delete(og.og_id)
+            else:
+                alive.append(og)
+        d = MetricEGED()
+        query = alive[0]
+        hits = index.knn(query, k)
+        brute = sorted(d(query, og) for og in alive)[:k]
+        assert [h[0] for h in hits] == pytest.approx(brute)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_no_ogs_lost_or_duplicated(self, seed):
+        rng = np.random.default_rng(seed)
+        ogs = random_ogs(rng, 15)
+        index = STRGIndex(STRGIndexConfig(n_clusters=3, em_iterations=4,
+                                          leaf_capacity=6, seed=seed))
+        index.build(ogs[:8])
+        for og in ogs[8:]:
+            index.insert(og)
+        ids = collect_ids(index)
+        assert sorted(ids) == sorted(og.og_id for og in ogs)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_leaf_keys_consistent_with_centroids(self, seed):
+        rng = np.random.default_rng(seed)
+        ogs = random_ogs(rng, 12)
+        index = STRGIndex(STRGIndexConfig(n_clusters=3, em_iterations=4,
+                                          leaf_capacity=5, seed=seed))
+        index.build(ogs[:6])
+        for og in ogs[6:]:
+            index.insert(og)
+        d = MetricEGED()
+        for root_record in index.root:
+            for record in root_record.cluster_node:
+                for leaf_record in record.leaf:
+                    expected = d(leaf_record.og, record.centroid)
+                    assert leaf_record.key == pytest.approx(expected)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_leaf_keys_sorted(self, seed):
+        rng = np.random.default_rng(seed)
+        ogs = random_ogs(rng, 14)
+        order = rng.permutation(len(ogs))
+        index = STRGIndex(STRGIndexConfig(n_clusters=2, em_iterations=4,
+                                          leaf_capacity=50, seed=seed))
+        index.build([ogs[int(order[0])], ogs[int(order[1])]])
+        for i in order[2:]:
+            index.insert(ogs[int(i)])
+        for root_record in index.root:
+            for record in root_record.cluster_node:
+                keys = record.leaf.keys
+                assert keys == sorted(keys)
+
+    @given(seed=st.integers(0, 10_000), radius=st.floats(0.0, 500.0))
+    @settings(max_examples=10, deadline=None)
+    def test_range_query_matches_brute_force(self, seed, radius):
+        rng = np.random.default_rng(seed)
+        ogs = random_ogs(rng, 12)
+        index = STRGIndex(STRGIndexConfig(n_clusters=3, em_iterations=4,
+                                          seed=seed))
+        index.build(ogs)
+        d = MetricEGED()
+        hits = {og.og_id for _, og, _ in index.range_query(ogs[0], radius)}
+        truth = {og.og_id for og in ogs if d(ogs[0], og) <= radius}
+        assert hits == truth

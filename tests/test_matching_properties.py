@@ -1,0 +1,114 @@
+"""Property-based tests for graph matching on random attributed graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.attributes import AttributeTolerance, NodeAttributes
+from repro.graph.common_subgraph import most_common_subgraph, sim_graph
+from repro.graph.isomorphism import (
+    find_isomorphism,
+    find_subgraph_isomorphism,
+    is_isomorphic,
+)
+from repro.graph.merge import is_embedding
+from repro.graph.rag import RegionAdjacencyGraph
+
+LOOSE = AttributeTolerance(color=1e9, size_ratio=0.0,
+                           spatial_distance=float("inf"))
+
+
+def random_graph(seed: int, n_nodes: int, edge_prob: float
+                 ) -> RegionAdjacencyGraph:
+    """A random attributed graph with distinct per-node colors."""
+    rng = np.random.default_rng(seed)
+    rag = RegionAdjacencyGraph()
+    for i in range(n_nodes):
+        rag.add_node(i, NodeAttributes(
+            size=int(rng.integers(10, 200)),
+            color=tuple(rng.uniform(0, 255, 3)),
+            centroid=(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+        ))
+    for i in range(n_nodes):
+        for j in range(i + 1, n_nodes):
+            if rng.random() < edge_prob:
+                rag.add_edge(i, j)
+    return rag
+
+
+def relabeled_copy(rag: RegionAdjacencyGraph, seed: int
+                   ) -> tuple[RegionAdjacencyGraph, dict[int, int]]:
+    """An isomorphic copy with permuted node ids."""
+    rng = np.random.default_rng(seed)
+    nodes = list(rag.nodes())
+    permuted = rng.permutation(len(nodes))
+    relabel = {old: int(new) for old, new in zip(nodes, permuted)}
+    out = RegionAdjacencyGraph(rag.frame_index)
+    for old in nodes:
+        out.add_node(relabel[old], rag.node_attrs(old))
+    for u, v in rag.edges():
+        out.add_edge(relabel[u], relabel[v], rag.edge_attrs(u, v))
+    return out, relabel
+
+
+class TestIsomorphismProperties:
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 7),
+           p=st.floats(0.0, 0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_relabeled_copy_is_isomorphic(self, seed, n, p):
+        g = random_graph(seed, n, p)
+        h, _ = relabeled_copy(g, seed + 1)
+        mapping = find_isomorphism(g, h, LOOSE)
+        assert mapping is not None
+        assert is_embedding(g, h, mapping, LOOSE)
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(3, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_induced_subgraph_embeds(self, seed, n):
+        g = random_graph(seed, n, 0.5)
+        keep = list(g.nodes())[: n - 1]
+        sub = g.subgraph(keep)
+        mapping = find_subgraph_isomorphism(sub, g, LOOSE)
+        assert mapping is not None
+        assert is_embedding(sub, g, mapping, LOOSE)
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_isomorphism_is_symmetric(self, seed, n):
+        g = random_graph(seed, n, 0.4)
+        h, _ = relabeled_copy(g, seed + 1)
+        assert is_isomorphic(g, h, LOOSE) == is_isomorphic(h, g, LOOSE)
+
+
+class TestCommonSubgraphProperties:
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 6),
+           p=st.floats(0.0, 0.8))
+    @settings(max_examples=20, deadline=None)
+    def test_self_mcs_is_full(self, seed, n, p):
+        g = random_graph(seed, n, p)
+        common = most_common_subgraph(g, g, LOOSE)
+        assert len(common) == n
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_mcs_size_bounded(self, seed, n):
+        g = random_graph(seed, n, 0.4)
+        h = random_graph(seed + 1, n + 1, 0.4)
+        common = most_common_subgraph(g, h, LOOSE)
+        assert len(common) <= min(len(g), len(h))
+        # Pairs are injective on both sides.
+        lefts = [u for u, _ in common]
+        rights = [v for _, v in common]
+        assert len(set(lefts)) == len(lefts)
+        assert len(set(rights)) == len(rights)
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 6),
+           m=st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_sim_graph_bounded_and_symmetric(self, seed, n, m):
+        g = random_graph(seed, n, 0.4)
+        h = random_graph(seed + 1, m, 0.4)
+        s = sim_graph(g, h, LOOSE)
+        assert 0.0 <= s <= 1.0
+        assert s == pytest.approx(sim_graph(h, g, LOOSE))

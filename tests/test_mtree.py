@@ -1,0 +1,201 @@
+"""Tests for the M-tree baseline index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.base import CountingDistance
+from repro.distance.eged import MetricEGED
+from repro.errors import IndexStateError, InvalidParameterError
+from repro.mtree.split import (
+    RandomPromotion,
+    SamplingPromotion,
+    make_policy,
+    partition_by_closer,
+)
+from repro.mtree.tree import MTree, MTreeConfig
+
+
+def random_series(rng, n=None):
+    n = n or int(rng.integers(2, 10))
+    return rng.normal(size=(n, 2)) * 10.0
+
+
+def brute_knn(distance, items, query, k):
+    return sorted(((distance(query, o), i) for i, o in enumerate(items)),
+                  key=lambda t: t[0])[:k]
+
+
+class TestSplitPolicies:
+    def test_partition_covers_all(self):
+        dmat = np.abs(np.subtract.outer(np.arange(6.0), np.arange(6.0)))
+        a, b, ra, rb = partition_by_closer(6, 0, 5, lambda i, j: dmat[i, j])
+        assert sorted(a + b) == list(range(6))
+        assert 0 in a and 5 in b
+
+    def test_partition_radii(self):
+        dmat = np.abs(np.subtract.outer(np.arange(6.0), np.arange(6.0)))
+        _, _, ra, rb = partition_by_closer(6, 0, 5, lambda i, j: dmat[i, j])
+        assert ra <= 2.0 and rb <= 2.0
+
+    def test_random_promotes_distinct(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            a, b = RandomPromotion().promote(5, lambda i, j: 1.0, rng)
+            assert a != b
+
+    def test_random_rejects_tiny_node(self):
+        with pytest.raises(InvalidParameterError):
+            RandomPromotion().promote(1, lambda i, j: 1.0,
+                                      np.random.default_rng(0))
+
+    def test_sampling_picks_better_pair(self):
+        # Points on a line: 0, 1, 2, ..., 9.  The best pivot pair splits
+        # the line in half; sampling with full coverage must find a pair
+        # whose max radius <= the random worst case.
+        values = np.arange(10.0)
+        def pairwise(i, j):
+            return abs(values[i] - values[j])
+        rng = np.random.default_rng(0)
+        a, b = SamplingPromotion(sample_size=45).promote(10, pairwise, rng)
+        _, _, ra, rb = partition_by_closer(10, a, b, pairwise)
+        assert max(ra, rb) <= 4.0
+
+    def test_make_policy(self):
+        assert make_policy("random").name == "random"
+        assert make_policy("sampling").name == "sampling"
+        with pytest.raises(InvalidParameterError):
+            make_policy("bogus")
+
+    def test_sampling_invalid_size(self):
+        with pytest.raises(InvalidParameterError):
+            SamplingPromotion(sample_size=0)
+
+
+class TestMTreeInsertSearch:
+    @pytest.fixture(params=["random", "sampling"])
+    def tree_and_items(self, request, rng):
+        distance = MetricEGED()
+        tree = MTree(distance, MTreeConfig(node_capacity=4,
+                                           split_policy=request.param))
+        items = [random_series(rng) for _ in range(40)]
+        for i, item in enumerate(items):
+            tree.insert(item, i)
+        return tree, items, distance
+
+    def test_size(self, tree_and_items):
+        tree, items, _ = tree_and_items
+        assert len(tree) == len(items)
+
+    def test_tree_grows_in_height(self, tree_and_items):
+        tree, _, _ = tree_and_items
+        assert tree.height() >= 2
+        assert tree.node_count() > 1
+
+    def test_knn_matches_brute_force(self, tree_and_items):
+        tree, items, distance = tree_and_items
+        query = items[3]
+        for k in (1, 5, 10):
+            hits = tree.knn(query, k)
+            brute = brute_knn(distance, items, query, k)
+            assert [h[0] for h in hits] == pytest.approx(
+                [b[0] for b in brute]
+            )
+
+    def test_knn_self_is_nearest(self, tree_and_items):
+        tree, items, _ = tree_and_items
+        hits = tree.knn(items[7], 1)
+        assert hits[0][0] == pytest.approx(0.0)
+
+    def test_knn_k_larger_than_size(self, tree_and_items):
+        tree, items, _ = tree_and_items
+        hits = tree.knn(items[0], 100)
+        assert len(hits) == len(items)
+
+    def test_range_query_matches_brute(self, tree_and_items):
+        tree, items, distance = tree_and_items
+        query = items[0]
+        radius = 30.0
+        hits = tree.range_query(query, radius)
+        expected = {i for i, o in enumerate(items)
+                    if distance(query, o) <= radius}
+        assert {h[1] for h in hits} == expected
+
+    def test_results_sorted(self, tree_and_items):
+        tree, items, _ = tree_and_items
+        hits = tree.knn(items[0], 10)
+        dists = [h[0] for h in hits]
+        assert dists == sorted(dists)
+
+
+class TestMTreeEdgeCases:
+    def test_empty_search_raises(self):
+        tree = MTree(MetricEGED())
+        with pytest.raises(IndexStateError):
+            tree.knn(np.zeros((2, 2)), 1)
+
+    def test_invalid_k(self):
+        tree = MTree(MetricEGED())
+        tree.insert(np.zeros((2, 2)))
+        with pytest.raises(InvalidParameterError):
+            tree.knn(np.zeros((2, 2)), 0)
+
+    def test_invalid_radius(self):
+        tree = MTree(MetricEGED())
+        tree.insert(np.zeros((2, 2)))
+        with pytest.raises(InvalidParameterError):
+            tree.range_query(np.zeros((2, 2)), -1.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            MTreeConfig(node_capacity=1)
+
+    def test_auto_ids(self):
+        tree = MTree(MetricEGED())
+        a = tree.insert(np.zeros((2, 2)))
+        b = tree.insert(np.ones((2, 2)))
+        assert a != b
+
+    def test_duplicate_objects_allowed(self):
+        tree = MTree(MetricEGED(), MTreeConfig(node_capacity=2))
+        for i in range(6):
+            tree.insert(np.zeros((2, 2)), i)
+        hits = tree.knn(np.zeros((2, 2)), 6)
+        assert len(hits) == 6
+        assert all(h[0] == 0.0 for h in hits)
+
+
+class TestDistancePruning:
+    def test_search_saves_distance_computations(self, rng):
+        # On clustered data (the paper's regime) the index must beat a
+        # linear scan on distance evaluations.
+        counter = CountingDistance(MetricEGED())
+        tree = MTree(counter, MTreeConfig(node_capacity=8))
+        items = []
+        for blob in range(6):
+            center = np.array([blob * 200.0, blob * 150.0])
+            for _ in range(20):
+                items.append(center + rng.normal(size=(6, 2)))
+        for i, item in enumerate(items):
+            tree.insert(item, i)
+        counter.reset()
+        tree.knn(items[0], 5)
+        assert counter.calls < len(items)
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_knn_always_matches_brute(self, k, seed):
+        rng = np.random.default_rng(seed)
+        distance = MetricEGED()
+        tree = MTree(distance, MTreeConfig(node_capacity=3, seed=seed))
+        items = [random_series(rng) for _ in range(20)]
+        for i, item in enumerate(items):
+            tree.insert(item, i)
+        query = random_series(rng)
+        hits = tree.knn(query, k)
+        brute = brute_knn(distance, items, query, min(k, len(items)))
+        assert [h[0] for h in hits] == pytest.approx([b[0] for b in brute])

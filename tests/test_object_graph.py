@@ -1,0 +1,177 @@
+"""Tests for ObjectGraph / ObjectRegionGraph (Sections 2.3.1-2.3.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptySequenceError, GraphStructureError
+from repro.graph.attributes import NodeAttributes
+from repro.graph.object_graph import ObjectGraph, ObjectRegionGraph
+
+
+def make_org(start_frame: int, centroids, size: int = 50,
+             color=(100.0, 100.0, 100.0)) -> ObjectRegionGraph:
+    """Helper: a straight ORG from a centroid list."""
+    keys = [(start_frame + i, i) for i in range(len(centroids))]
+    attrs = [NodeAttributes(size=size, color=color, centroid=tuple(c))
+             for c in centroids]
+    return ObjectRegionGraph(keys, attrs)
+
+
+class TestObjectRegionGraph:
+    def test_basic_properties(self):
+        org = make_org(3, [(0, 0), (1, 0), (2, 0)])
+        assert len(org) == 3
+        assert org.start_frame == 3
+        assert org.end_frame == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptySequenceError):
+            ObjectRegionGraph([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(GraphStructureError):
+            ObjectRegionGraph(
+                [(0, 0)],
+                [NodeAttributes(1, (0, 0, 0), (0, 0)),
+                 NodeAttributes(1, (0, 0, 0), (1, 1))],
+            )
+
+    def test_non_consecutive_frames_rejected(self):
+        attrs = [NodeAttributes(1, (0, 0, 0), (0, 0))] * 2
+        with pytest.raises(GraphStructureError):
+            ObjectRegionGraph([(0, 0), (2, 0)], attrs)
+
+    def test_mean_velocity(self):
+        org = make_org(0, [(0, 0), (3, 4), (6, 8)])
+        assert org.mean_velocity() == pytest.approx(5.0)
+
+    def test_single_node_velocity_zero(self):
+        org = make_org(0, [(5, 5)])
+        assert org.mean_velocity() == 0.0
+        assert org.mean_direction() == 0.0
+
+    def test_mean_direction(self):
+        org = make_org(0, [(0, 0), (1, 0), (2, 0)])  # moving +x
+        assert org.mean_direction() == pytest.approx(0.0)
+        org_up = make_org(0, [(0, 0), (0, 1)])  # moving +y
+        assert org_up.mean_direction() == pytest.approx(math.pi / 2)
+
+    def test_overlap_detection(self):
+        a = make_org(0, [(0, 0)] * 5)
+        b = make_org(4, [(0, 0)] * 3)
+        c = make_org(10, [(0, 0)] * 2)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_mean_centroid_gap(self):
+        a = make_org(0, [(0, 0), (1, 0)])
+        b = make_org(0, [(0, 3), (1, 3)])
+        assert a.mean_centroid_gap(b) == pytest.approx(3.0)
+
+    def test_gap_infinite_without_overlap(self):
+        a = make_org(0, [(0, 0)])
+        b = make_org(5, [(0, 0)])
+        assert a.mean_centroid_gap(b) == float("inf")
+
+    def test_centroids_array(self):
+        org = make_org(0, [(1, 2), (3, 4)])
+        np.testing.assert_array_equal(
+            org.centroids(), np.array([[1.0, 2.0], [3.0, 4.0]])
+        )
+
+
+class TestObjectGraph:
+    def test_from_values_scalar_column(self):
+        og = ObjectGraph.from_values([1.0, 2.0, 3.0])
+        assert og.values.shape == (3, 1)
+        assert og.dim == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptySequenceError):
+            ObjectGraph(values=np.zeros((0, 2)))
+
+    def test_frames_default_consecutive(self):
+        og = ObjectGraph.from_values(np.zeros((4, 2)))
+        np.testing.assert_array_equal(og.frames, [0, 1, 2, 3])
+
+    def test_frames_length_mismatch_rejected(self):
+        with pytest.raises(GraphStructureError):
+            ObjectGraph(values=np.zeros((3, 2)), frames=np.arange(5))
+
+    def test_sizes_length_mismatch_rejected(self):
+        with pytest.raises(GraphStructureError):
+            ObjectGraph(values=np.zeros((3, 2)), sizes=np.ones(2))
+
+    def test_velocities_and_mean(self):
+        og = ObjectGraph.from_values([[0.0, 0.0], [3.0, 4.0]])
+        np.testing.assert_allclose(og.velocities(), [5.0])
+        assert og.mean_velocity() == pytest.approx(5.0)
+
+    def test_single_point_velocity(self):
+        og = ObjectGraph.from_values([[1.0, 1.0]])
+        assert og.velocities().size == 0
+        assert og.mean_velocity() == 0.0
+
+    def test_bounding_box(self):
+        og = ObjectGraph.from_values([[0.0, 5.0], [10.0, 1.0]])
+        assert og.bounding_box() == (0.0, 1.0, 10.0, 5.0)
+
+    def test_unique_ids_and_hash(self):
+        a = ObjectGraph.from_values([[0.0, 0.0]])
+        b = ObjectGraph.from_values([[0.0, 0.0]])
+        assert a.og_id != b.og_id
+        assert a != b
+        assert len({a, b}) == 2
+
+    def test_size_bytes_positive_and_monotone(self):
+        short = ObjectGraph.from_values(np.zeros((5, 2)))
+        long = ObjectGraph.from_values(np.zeros((50, 2)))
+        assert 0 < short.size_bytes() < long.size_bytes()
+
+    def test_label_roundtrip(self):
+        og = ObjectGraph.from_values([[0.0, 0.0]], label=7)
+        assert og.label == 7
+
+
+class TestFromOrgs:
+    def test_merge_two_parallel_orgs(self):
+        # Two body parts moving together: merged centroid is the
+        # size-weighted mean.
+        a = make_org(0, [(0, 0), (1, 0)], size=100)
+        b = make_org(0, [(0, 2), (1, 2)], size=100)
+        og = ObjectGraph.from_orgs([a, b])
+        assert len(og) == 2
+        np.testing.assert_allclose(og.values[0], [0.0, 1.0])
+        np.testing.assert_allclose(og.sizes, [200.0, 200.0])
+
+    def test_size_weighted_centroid(self):
+        a = make_org(0, [(0.0, 0.0)], size=300)
+        b = make_org(0, [(0.0, 4.0)], size=100)
+        og = ObjectGraph.from_orgs([a, b])
+        np.testing.assert_allclose(og.values[0], [0.0, 1.0])
+
+    def test_staggered_orgs_cover_union(self):
+        a = make_org(0, [(0, 0), (1, 0), (2, 0)])
+        b = make_org(2, [(2, 0), (3, 0)])
+        og = ObjectGraph.from_orgs([a, b])
+        assert og.start_frame == 0
+        assert og.end_frame == 3
+        assert len(og) == 4
+
+    def test_gap_frames_interpolated(self):
+        a = make_org(0, [(0.0, 0.0)])
+        b = make_org(2, [(2.0, 0.0)])
+        og = ObjectGraph.from_orgs([a, b])
+        np.testing.assert_allclose(og.values[1], [1.0, 0.0])
+
+    def test_zero_orgs_rejected(self):
+        with pytest.raises(EmptySequenceError):
+            ObjectGraph.from_orgs([])
+
+    def test_meta_records_member_count(self):
+        a = make_org(0, [(0, 0)])
+        og = ObjectGraph.from_orgs([a])
+        assert og.meta["num_orgs"] == 1

@@ -1,0 +1,78 @@
+"""Package-level API contract: exports, error hierarchy, version."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version_present(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert int(major) >= 1
+
+    def test_core_types_importable(self):
+        from repro import (
+            EGED,
+            MetricEGED,
+            ObjectGraph,
+            STRGIndex,
+            SpatioTemporalRegionGraph,
+            VideoDatabase,
+            VideoPipeline,
+        )
+        assert all(t is not None for t in (
+            EGED, MetricEGED, ObjectGraph, STRGIndex,
+            SpatioTemporalRegionGraph, VideoDatabase, VideoPipeline,
+        ))
+
+
+class TestSubpackageExports:
+    @pytest.mark.parametrize("module_name", [
+        "repro.distance", "repro.graph", "repro.clustering",
+        "repro.mtree", "repro.core", "repro.datasets",
+        "repro.storage", "repro.video", "repro.rtree3d",
+    ])
+    def test_subpackage_all_resolves(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert getattr(module, name) is not None, f"{module_name}.{name}"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        error_types = [
+            errors.EmptySequenceError,
+            errors.DimensionMismatchError,
+            errors.InvalidParameterError,
+            errors.GraphStructureError,
+            errors.IndexStateError,
+            errors.ClusteringError,
+            errors.StorageError,
+            errors.SegmentationError,
+        ]
+        for error_type in error_types:
+            assert issubclass(error_type, errors.ReproError)
+
+    def test_value_errors_are_value_errors(self):
+        # Parameter/validation errors must also be ValueErrors so generic
+        # callers can catch them idiomatically.
+        assert issubclass(errors.InvalidParameterError, ValueError)
+        assert issubclass(errors.EmptySequenceError, ValueError)
+        assert issubclass(errors.GraphStructureError, ValueError)
+
+    def test_runtime_errors_are_runtime_errors(self):
+        assert issubclass(errors.IndexStateError, RuntimeError)
+        assert issubclass(errors.StorageError, RuntimeError)
+
+    def test_single_except_catches_everything(self):
+        from repro.distance.base import as_series
+
+        with pytest.raises(errors.ReproError):
+            as_series([])

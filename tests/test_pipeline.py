@@ -1,0 +1,132 @@
+"""Integration tests: the full frames -> STRG -> OG/BG -> index pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import STRGIndexConfig
+from repro.graph.decomposition import DecompositionConfig
+from repro.pipeline import PipelineConfig, VideoPipeline
+from repro.video.segmentation import GridSegmenter
+from repro.video.synthesize import (
+    Actor,
+    BackgroundSpec,
+    SceneRenderer,
+    linear_trajectory,
+    make_person,
+    make_vehicle,
+)
+
+
+def render_crossing(num_frames=12):
+    """Two vehicles crossing a static background in opposite directions."""
+    background = BackgroundSpec(
+        width=96, height=72, base_color=(100, 100, 100),
+        zones=[(0, 0, 96, 24, (60, 60, 140))],
+    )
+    scene = SceneRenderer(background)
+    scene.add_actor(Actor(
+        linear_trajectory((5.0, 40.0), (90.0, 40.0), num_frames),
+        make_vehicle((200, 40, 40)),
+    ))
+    scene.add_actor(Actor(
+        linear_trajectory((90.0, 58.0), (5.0, 58.0), num_frames),
+        make_vehicle((40, 200, 40)),
+    ))
+    return scene.render(num_frames, name="crossing")
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return VideoPipeline(PipelineConfig(
+        segmenter=GridSegmenter(min_region_size=10),
+        index=STRGIndexConfig(n_clusters=2, em_iterations=8),
+    ))
+
+
+class TestBuildSTRG:
+    def test_strg_dimensions(self, pipeline, tiny_video):
+        strg = pipeline.build_strg(tiny_video)
+        assert strg.num_frames == tiny_video.num_frames
+        assert strg.number_of_nodes() > 0
+        assert strg.number_of_temporal_edges() > 0
+
+    def test_tracking_links_most_regions(self, pipeline, tiny_video):
+        strg = pipeline.build_strg(tiny_video)
+        # The static background must be tracked across every frame pair.
+        per_pair = strg.number_of_temporal_edges() / (tiny_video.num_frames - 1)
+        assert per_pair >= 2.0
+
+
+class TestDecompose:
+    def test_two_movers_found(self, pipeline):
+        video = render_crossing()
+        decomposition = pipeline.decompose(video)
+        assert len(decomposition.object_graphs) == 2
+
+    def test_directions_opposite(self, pipeline):
+        video = render_crossing()
+        ogs = pipeline.decompose(video).object_graphs
+        dx = sorted(og.values[-1, 0] - og.values[0, 0] for og in ogs)
+        assert dx[0] < 0 < dx[1]
+
+    def test_background_has_regions(self, pipeline):
+        video = render_crossing()
+        decomposition = pipeline.decompose(video)
+        assert len(decomposition.background) >= 2  # wall zone + base
+
+    def test_trajectory_tracks_actor(self, pipeline):
+        video = render_crossing()
+        ogs = pipeline.decompose(video).object_graphs
+        rightward = max(ogs, key=lambda og: og.values[-1, 0] - og.values[0, 0])
+        # Actor 1 moves ~5 -> ~90 in x at y ~= 40.
+        assert rightward.values[0, 0] < 30.0
+        assert rightward.values[-1, 0] > 60.0
+        assert abs(np.mean(rightward.values[:, 1]) - 40.0) < 8.0
+
+
+class TestProcess:
+    def test_builds_index(self, pipeline):
+        video = render_crossing()
+        decomposition, index = pipeline.process(video)
+        assert len(index) == len(decomposition.object_graphs)
+
+    def test_incremental_ingest(self, pipeline):
+        first = render_crossing()
+        second = render_crossing(num_frames=10)
+        _, index = pipeline.process(first)
+        before = len(index)
+        decomposition, index = pipeline.process(second, index)
+        assert len(index) == before + len(decomposition.object_graphs)
+        # Same background -> still one root record.
+        assert len(index.root) == 1
+
+    def test_query_roundtrip(self, pipeline):
+        video = render_crossing()
+        decomposition, index = pipeline.process(video)
+        query = decomposition.object_graphs[0]
+        hits = index.knn(query, 1)
+        assert hits[0][0] == pytest.approx(0.0)
+        assert hits[0][1].og_id == query.og_id
+
+
+class TestPersonScene:
+    def test_multi_part_person_merged(self):
+        # A person is rendered as 3 differently colored parts; ORG merging
+        # must produce a single OG (Fig. 3 scenario).
+        background = BackgroundSpec(width=96, height=72,
+                                    base_color=(100, 100, 100))
+        scene = SceneRenderer(background)
+        scene.add_actor(Actor(
+            linear_trajectory((15.0, 40.0), (80.0, 40.0), 12),
+            make_person(),
+        ))
+        video = scene.render(12, name="walker")
+        pipeline = VideoPipeline(PipelineConfig(
+            segmenter=GridSegmenter(min_region_size=8),
+            decomposition=DecompositionConfig(gap_tolerance=25.0),
+            index=STRGIndexConfig(n_clusters=1, em_iterations=5),
+        ))
+        decomposition = pipeline.decompose(video)
+        assert len(decomposition.object_graphs) == 1
+        og = decomposition.object_graphs[0]
+        assert og.meta["num_orgs"] >= 2

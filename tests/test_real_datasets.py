@@ -1,0 +1,96 @@
+"""Tests for the simulated Lab/Traffic streams (Table 1 substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.real import (
+    STREAMS,
+    render_stream_segment,
+    simulate_stream_ogs,
+    stream_frame_count,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestStreamSpecs:
+    def test_four_streams(self):
+        assert set(STREAMS) == {"Lab1", "Lab2", "Traffic1", "Traffic2"}
+
+    def test_table1_og_counts(self):
+        assert STREAMS["Lab1"].n_ogs == 411
+        assert STREAMS["Lab2"].n_ogs == 147
+        assert STREAMS["Traffic1"].n_ogs == 195
+        assert STREAMS["Traffic2"].n_ogs == 203
+        assert sum(s.n_ogs for s in STREAMS.values()) == 956  # Table 1 total
+
+    def test_table1_durations(self):
+        # 40h38m, 4h12m, 15m, 12m.
+        assert STREAMS["Lab1"].duration_minutes == 2438
+        assert STREAMS["Lab2"].duration_minutes == 252
+        assert STREAMS["Traffic1"].duration_minutes == 15
+        assert STREAMS["Traffic2"].duration_minutes == 12
+
+    def test_table2_cluster_counts(self):
+        assert STREAMS["Lab1"].n_clusters == 9
+        assert STREAMS["Lab2"].n_clusters == 6
+        assert STREAMS["Traffic1"].n_clusters == 6
+        assert STREAMS["Traffic2"].n_clusters == 6
+
+    def test_frame_count(self):
+        assert stream_frame_count(STREAMS["Traffic2"]) == 12 * 60 * 10
+
+    def test_traffic_less_irregular_than_lab(self):
+        assert (STREAMS["Traffic1"].irregularity
+                < STREAMS["Lab1"].irregularity)
+
+
+class TestSimulatedOGs:
+    @pytest.mark.parametrize("name", list(STREAMS))
+    def test_og_count_matches_spec(self, name):
+        spec = STREAMS[name]
+        ogs = simulate_stream_ogs(spec)
+        assert len(ogs) == spec.n_ogs
+
+    def test_labels_cover_all_clusters(self):
+        spec = STREAMS["Traffic1"]
+        ogs = simulate_stream_ogs(spec)
+        assert {og.label for og in ogs} == set(range(spec.n_clusters))
+
+    def test_deterministic(self):
+        spec = STREAMS["Lab2"]
+        a = simulate_stream_ogs(spec)
+        b = simulate_stream_ogs(spec)
+        np.testing.assert_array_equal(a[0].values, b[0].values)
+
+    def test_lab_noisier_than_traffic(self):
+        # Irregularity scales point-level jitter, which shows up as
+        # trajectory jaggedness (mean second difference).
+        def jaggedness(name):
+            total = 0.0
+            ogs = simulate_stream_ogs(STREAMS[name])
+            for og in ogs:
+                second = np.diff(og.values, n=2, axis=0)
+                total += float(np.mean(np.abs(second)))
+            return total / len(ogs)
+        assert jaggedness("Lab2") > jaggedness("Traffic1") * 1.3
+
+    def test_meta_records_stream(self):
+        ogs = simulate_stream_ogs(STREAMS["Traffic2"])
+        assert ogs[0].meta["stream"] == "Traffic2"
+
+
+class TestRenderedStreams:
+    @pytest.mark.parametrize("name", ["Traffic1", "Lab1"])
+    def test_render_shape(self, name):
+        video = render_stream_segment(name, num_frames=8)
+        assert video.num_frames == 8
+        assert video.name == name
+        assert video.frames.dtype == np.uint8
+
+    def test_frames_change_over_time(self):
+        video = render_stream_segment("Traffic1", num_frames=20)
+        assert not np.array_equal(video.frame(0), video.frame(10))
+
+    def test_unknown_stream(self):
+        with pytest.raises(InvalidParameterError):
+            render_stream_segment("Parking3")

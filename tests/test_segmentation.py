@@ -1,0 +1,158 @@
+"""Tests for the mean-shift (EDISON substitute) and grid segmenters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, SegmentationError
+from repro.video.segmentation import (
+    GridSegmenter,
+    MeanShiftSegmenter,
+    _connected_components,
+    _merge_small_regions,
+)
+
+
+def two_tone_image(height=24, width=32):
+    """Left half dark, right half bright."""
+    image = np.full((height, width, 3), 40, dtype=np.uint8)
+    image[:, width // 2:] = 220
+    return image
+
+
+def three_region_image():
+    """Background plus two colored squares."""
+    image = np.full((40, 60, 3), 90, dtype=np.uint8)
+    image[5:15, 5:15] = (220, 40, 40)
+    image[25:35, 40:55] = (40, 40, 220)
+    return image
+
+
+class TestConnectedComponents:
+    def test_uniform_image_single_region(self):
+        features = np.zeros((5, 5, 3))
+        labels = _connected_components(features, 1.0)
+        assert len(np.unique(labels)) == 1
+
+    def test_two_halves(self):
+        features = np.zeros((4, 8, 3))
+        features[:, 4:] = 100.0
+        labels = _connected_components(features, 10.0)
+        assert len(np.unique(labels)) == 2
+
+    def test_threshold_merges(self):
+        features = np.zeros((4, 8, 3))
+        features[:, 4:] = 5.0
+        labels = _connected_components(features, 10.0)
+        assert len(np.unique(labels)) == 1
+
+    def test_disconnected_same_color_distinct(self):
+        features = np.zeros((5, 9, 3))
+        features[:, 4] = 100.0  # wall splits left/right
+        labels = _connected_components(features, 10.0)
+        assert len(np.unique(labels)) == 3
+
+
+class TestMergeSmallRegions:
+    def test_small_region_absorbed(self):
+        features = np.zeros((6, 6, 3))
+        features[2, 2] = 50.0  # single odd pixel
+        labels = _connected_components(features, 10.0)
+        assert len(np.unique(labels)) == 2
+        merged = _merge_small_regions(labels, features, min_size=4)
+        assert len(np.unique(merged)) == 1
+
+    def test_large_regions_kept(self):
+        features = np.zeros((4, 8, 3))
+        features[:, 4:] = 100.0
+        labels = _connected_components(features, 10.0)
+        merged = _merge_small_regions(labels, features, min_size=4)
+        assert len(np.unique(merged)) == 2
+
+    def test_labels_compacted(self):
+        features = np.zeros((6, 6, 3))
+        features[0, 0] = 50.0
+        labels = _connected_components(features, 10.0)
+        merged = _merge_small_regions(labels, features, min_size=3)
+        uniq = np.unique(merged)
+        np.testing.assert_array_equal(uniq, np.arange(len(uniq)))
+
+
+class TestGridSegmenter:
+    def test_two_tone(self):
+        labels = GridSegmenter(min_region_size=4).segment(two_tone_image())
+        assert len(np.unique(labels)) == 2
+
+    def test_three_regions(self):
+        labels = GridSegmenter(min_region_size=4).segment(three_region_image())
+        assert len(np.unique(labels)) == 3
+
+    def test_invalid_levels(self):
+        with pytest.raises(InvalidParameterError):
+            GridSegmenter(levels=1)
+
+    def test_invalid_shape(self):
+        with pytest.raises(SegmentationError):
+            GridSegmenter().segment(np.zeros((4, 4)))
+
+    def test_build_rag(self):
+        rag = GridSegmenter(min_region_size=4).build_rag(
+            three_region_image(), frame_index=7
+        )
+        assert len(rag) == 3
+        assert rag.frame_index == 7
+        # Both squares touch only the background.
+        assert rag.number_of_edges() == 2
+
+
+class TestMeanShiftSegmenter:
+    def test_two_tone(self):
+        seg = MeanShiftSegmenter(spatial_bandwidth=2, range_bandwidth=10.0,
+                                 min_region_size=8, max_iterations=3)
+        labels = seg.segment(two_tone_image())
+        assert len(np.unique(labels)) == 2
+
+    def test_three_regions(self):
+        seg = MeanShiftSegmenter(spatial_bandwidth=2, range_bandwidth=10.0,
+                                 min_region_size=8, max_iterations=3)
+        labels = seg.segment(three_region_image())
+        assert len(np.unique(labels)) == 3
+
+    def test_noise_robustness(self, rng):
+        # The paper chose EDISON for stability under small frame changes:
+        # mild pixel noise must not shatter the segmentation.
+        image = two_tone_image().astype(np.float64)
+        noisy = np.clip(image + rng.normal(0, 4.0, image.shape), 0, 255)
+        seg = MeanShiftSegmenter(spatial_bandwidth=2, range_bandwidth=12.0,
+                                 min_region_size=16, max_iterations=4)
+        labels = seg.segment(noisy.astype(np.uint8))
+        assert len(np.unique(labels)) == 2
+
+    def test_region_count_stable_across_frames(self, rng):
+        # Simulated consecutive frames = same scene + independent noise.
+        base = three_region_image().astype(np.float64)
+        seg = MeanShiftSegmenter(spatial_bandwidth=2, range_bandwidth=12.0,
+                                 min_region_size=16, max_iterations=4)
+        counts = []
+        for _ in range(3):
+            frame = np.clip(base + rng.normal(0, 3.0, base.shape), 0, 255)
+            counts.append(len(np.unique(seg.segment(frame.astype(np.uint8)))))
+        assert len(set(counts)) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            MeanShiftSegmenter(spatial_bandwidth=0)
+        with pytest.raises(InvalidParameterError):
+            MeanShiftSegmenter(range_bandwidth=0.0)
+        with pytest.raises(InvalidParameterError):
+            MeanShiftSegmenter(min_region_size=0)
+
+    def test_invalid_shape(self):
+        with pytest.raises(SegmentationError):
+            MeanShiftSegmenter().segment(np.zeros((4, 4)))
+
+    def test_rgb_mode(self):
+        seg = MeanShiftSegmenter(spatial_bandwidth=2, range_bandwidth=30.0,
+                                 min_region_size=8, max_iterations=2,
+                                 use_luv=False)
+        labels = seg.segment(two_tone_image())
+        assert len(np.unique(labels)) == 2

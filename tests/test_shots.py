@@ -1,0 +1,110 @@
+"""Tests for shot boundary detection and video parsing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.video.frames import VideoSegment
+from repro.video.shots import (
+    ShotDetectorConfig,
+    color_histogram,
+    detect_shot_boundaries,
+    histogram_differences,
+    split_into_shots,
+)
+
+
+def two_scene_video(len_a=10, len_b=8):
+    """A hard cut between a dark scene and a bright scene."""
+    frames = np.empty((len_a + len_b, 12, 16, 3), dtype=np.uint8)
+    frames[:len_a] = (30, 40, 50)
+    frames[len_a:] = (220, 200, 180)
+    return VideoSegment(frames, name="twoscene")
+
+
+class TestHistogram:
+    def test_normalized(self):
+        frame = np.random.default_rng(0).integers(
+            0, 255, (10, 10, 3)
+        ).astype(np.uint8)
+        hist = color_histogram(frame)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_identical_frames_zero_difference(self):
+        video = VideoSegment(np.zeros((3, 8, 8, 3), dtype=np.uint8))
+        diffs = histogram_differences(video)
+        np.testing.assert_allclose(diffs, 0.0)
+
+    def test_cut_spikes(self):
+        video = two_scene_video()
+        diffs = histogram_differences(video)
+        assert np.argmax(diffs) == 9  # between frame 9 and 10
+        assert diffs.max() > 1.0
+
+
+class TestDetection:
+    def test_single_cut_found(self):
+        boundaries = detect_shot_boundaries(two_scene_video())
+        assert boundaries == [10]
+
+    def test_no_cut_in_static_video(self):
+        video = VideoSegment(np.zeros((12, 8, 8, 3), dtype=np.uint8))
+        assert detect_shot_boundaries(video) == []
+
+    def test_gradual_change_below_threshold(self):
+        frames = np.stack([
+            np.full((8, 8, 3), 100 + t, dtype=np.uint8) for t in range(10)
+        ])
+        video = VideoSegment(frames)
+        assert detect_shot_boundaries(video) == []
+
+    def test_min_shot_length_suppresses_double_cuts(self):
+        # Three scenes with the middle one only 2 frames long.
+        frames = np.empty((14, 8, 8, 3), dtype=np.uint8)
+        frames[:6] = (20, 20, 20)
+        frames[6:8] = (230, 230, 230)
+        frames[8:] = (20, 120, 230)
+        video = VideoSegment(frames)
+        config = ShotDetectorConfig(min_shot_length=5)
+        boundaries = detect_shot_boundaries(video, config)
+        # The cut at t=8 falls within 5 frames of the first cut and is
+        # suppressed; by the time a new cut would be admissible the
+        # content no longer changes.
+        assert boundaries == [6]
+        # Without the suppression both cuts are reported.
+        eager = detect_shot_boundaries(
+            video, ShotDetectorConfig(min_shot_length=1)
+        )
+        assert eager == [6, 8]
+
+    def test_single_frame_video(self):
+        video = VideoSegment(np.zeros((1, 8, 8, 3), dtype=np.uint8))
+        assert detect_shot_boundaries(video) == []
+
+    def test_invalid_config(self):
+        with pytest.raises(InvalidParameterError):
+            ShotDetectorConfig(bins=1)
+        with pytest.raises(InvalidParameterError):
+            ShotDetectorConfig(threshold=0.0)
+        with pytest.raises(InvalidParameterError):
+            ShotDetectorConfig(min_shot_length=0)
+
+
+class TestSplit:
+    def test_split_covers_everything(self):
+        video = two_scene_video()
+        shots = split_into_shots(video)
+        assert sum(s.num_frames for s in shots) == video.num_frames
+        assert len(shots) == 2
+        assert shots[0].num_frames == 10
+
+    def test_static_video_single_shot(self):
+        video = VideoSegment(np.zeros((6, 8, 8, 3), dtype=np.uint8))
+        shots = split_into_shots(video)
+        assert len(shots) == 1
+        assert shots[0].num_frames == 6
+
+    def test_shot_contents_match_source(self):
+        video = two_scene_video()
+        shots = split_into_shots(video)
+        np.testing.assert_array_equal(shots[1].frame(0), video.frame(10))

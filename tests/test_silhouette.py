@@ -1,0 +1,67 @@
+"""Tests for silhouette analysis."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.silhouette import silhouette_samples, silhouette_score
+from repro.distance.lp import LpDistance
+from repro.errors import InvalidParameterError
+
+
+def blobs(separation=100.0, n_per=5, rng=None):
+    rng = rng or np.random.default_rng(0)
+    ogs, labels = [], []
+    for label in range(2):
+        for _ in range(n_per):
+            base = np.linspace(0, 5, 6)[:, None]
+            ogs.append(np.hstack([base + label * separation, base])
+                       + rng.normal(0, 0.3, (6, 2)))
+            labels.append(label)
+    return ogs, labels
+
+
+class TestSilhouette:
+    def test_well_separated_near_one(self):
+        ogs, labels = blobs(separation=200.0)
+        assert silhouette_score(ogs, labels) > 0.9
+
+    def test_random_assignment_near_zero_or_negative(self):
+        ogs, labels = blobs(separation=200.0)
+        rng = np.random.default_rng(1)
+        shuffled = rng.permutation(labels)
+        assert silhouette_score(ogs, shuffled) < 0.5
+
+    def test_wrong_assignment_negative(self):
+        ogs, labels = blobs(separation=200.0)
+        flipped = [1 - l for l in labels]
+        # Completely flipped labels are still a perfect partition, so the
+        # score stays high; instead swap one point across clusters.
+        labels_bad = list(labels)
+        labels_bad[0] = 1
+        samples = silhouette_samples(ogs, labels_bad)
+        assert samples[0] < 0  # the misassigned point protests
+
+    def test_samples_bounded(self):
+        ogs, labels = blobs()
+        samples = silhouette_samples(ogs, labels)
+        assert np.all(samples >= -1.0)
+        assert np.all(samples <= 1.0)
+
+    def test_singleton_cluster_zero(self):
+        ogs, _ = blobs(n_per=2)
+        labels = [0, 0, 0, 1]  # last point is a singleton
+        samples = silhouette_samples(ogs, labels)
+        assert samples[3] == 0.0
+
+    def test_custom_distance(self):
+        ogs, labels = blobs(separation=200.0)
+        assert silhouette_score(ogs, labels, LpDistance(2.0)) > 0.9
+
+    def test_validation(self):
+        ogs, labels = blobs()
+        with pytest.raises(InvalidParameterError):
+            silhouette_samples(ogs, labels[:-1])
+        with pytest.raises(InvalidParameterError):
+            silhouette_samples(ogs[:1], [0])
+        with pytest.raises(InvalidParameterError):
+            silhouette_samples(ogs, [0] * len(ogs))

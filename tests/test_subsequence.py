@@ -1,0 +1,85 @@
+"""Tests for subsequence EGED matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.erp import erp
+from repro.distance.subsequence import eged_subsequence
+from repro.graph.object_graph import ObjectGraph
+from repro.storage.database import VideoDatabase
+
+series_strategy = st.lists(
+    st.floats(min_value=-50, max_value=50, allow_nan=False),
+    min_size=1, max_size=8,
+).map(lambda xs: np.asarray(xs, dtype=np.float64).reshape(-1, 1))
+
+
+class TestEgedSubsequence:
+    def test_exact_window_found(self):
+        target = np.arange(20, dtype=float).reshape(-1, 1) * 10
+        query = target[7:12]
+        match = eged_subsequence(query, target)
+        assert match.cost == pytest.approx(0.0)
+        assert (match.start, match.stop) == (7, 12)
+
+    def test_whole_target_match(self):
+        target = np.arange(6, dtype=float).reshape(-1, 1)
+        match = eged_subsequence(target, target)
+        assert match.cost == pytest.approx(0.0)
+        assert (match.start, match.stop) == (0, 6)
+
+    def test_cost_at_most_full_distance(self, rng):
+        for _ in range(10):
+            q = rng.normal(size=(int(rng.integers(2, 8)), 2)) * 10
+            t = rng.normal(size=(int(rng.integers(2, 15)), 2)) * 10
+            assert eged_subsequence(q, t).cost <= erp(q, t) + 1e-9
+
+    def test_noisy_window_still_localized(self, rng):
+        target = np.zeros((30, 2))
+        target[:, 0] = np.arange(30)
+        query = target[10:18] + rng.normal(0, 0.1, (8, 2))
+        match = eged_subsequence(query, target)
+        assert 8 <= match.start <= 12
+        assert 16 <= match.stop <= 20
+
+    def test_window_bounds_valid(self, rng):
+        q = rng.normal(size=(5, 2))
+        t = rng.normal(size=(12, 2))
+        match = eged_subsequence(q, t)
+        assert 0 <= match.start <= match.stop <= 12
+
+    @given(series_strategy, series_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_property_bounded_by_full_erp(self, q, t):
+        assert eged_subsequence(q, t).cost <= erp(q, t) + 1e-7
+
+    def test_2d_query_in_trajectory(self):
+        # A U-turn hidden inside a longer wandering track.
+        leg = np.stack([np.arange(10.0), np.zeros(10)], axis=1)
+        uturn = np.vstack([
+            np.stack([np.arange(5.0) + 10, np.zeros(5)], axis=1),
+            np.stack([14.0 - np.arange(5.0), np.full(5, 2.0)], axis=1),
+        ])
+        tail = np.stack([np.arange(10.0), np.full(10, 2.0)], axis=1)[::-1]
+        target = np.vstack([leg, uturn, tail])
+        match = eged_subsequence(uturn, target)
+        assert match.cost == pytest.approx(0.0, abs=1e-9)
+        assert match.start == 10
+
+
+class TestDatabaseSubtrajectoryQuery:
+    def test_finds_containing_track(self):
+        db = VideoDatabase()
+        long_track = np.stack([np.arange(40.0) * 3, np.zeros(40)], axis=1)
+        other = np.stack([np.zeros(40), np.arange(40.0) * 3], axis=1)
+        ogs = [ObjectGraph.from_values(long_track),
+               ObjectGraph.from_values(other)]
+        db.ingest_object_graphs(ogs)
+        query = long_track[15:25]
+        hits = db.query_subtrajectory(query, k=2)
+        assert hits[0].og.og_id == ogs[0].og_id
+        assert hits[0].distance == pytest.approx(0.0, abs=1e-9)
+        assert hits[0].clip_ref == (15, 25)
+        assert hits[1].distance > hits[0].distance

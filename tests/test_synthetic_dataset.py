@@ -1,0 +1,103 @@
+"""Tests for the synthetic OG workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.patterns import ALL_PATTERNS, CANVAS
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_ogs
+from repro.errors import InvalidParameterError
+from repro.graph.object_graph import ObjectGraph
+
+
+class TestSyntheticConfig:
+    def test_defaults_valid(self):
+        config = SyntheticConfig()
+        assert config.num_ogs == 480
+        assert config.noise_fraction == 0.05
+
+    def test_invalid_num_ogs(self):
+        with pytest.raises(InvalidParameterError):
+            SyntheticConfig(num_ogs=0)
+
+    def test_invalid_noise(self):
+        with pytest.raises(InvalidParameterError):
+            SyntheticConfig(noise_fraction=1.5)
+        with pytest.raises(InvalidParameterError):
+            SyntheticConfig(noise_fraction=-0.1)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(InvalidParameterError):
+            SyntheticConfig(sigma=-1.0)
+
+    def test_empty_patterns_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SyntheticConfig(patterns=[])
+
+
+class TestGeneration:
+    def test_count_and_type(self):
+        ogs = generate_synthetic_ogs(SyntheticConfig(num_ogs=25, seed=1))
+        assert len(ogs) == 25
+        assert all(isinstance(og, ObjectGraph) for og in ogs)
+
+    def test_round_robin_labels(self):
+        ogs = generate_synthetic_ogs(SyntheticConfig(num_ogs=96, seed=1))
+        labels = {og.label for og in ogs}
+        assert labels == {p.pattern_id for p in ALL_PATTERNS}
+
+    def test_lengths_within_pattern_range(self):
+        ogs = generate_synthetic_ogs(SyntheticConfig(num_ogs=48, seed=2))
+        for og in ogs:
+            lo, hi = ALL_PATTERNS[og.label].length_range
+            assert lo <= len(og) <= hi
+
+    def test_deterministic_for_seed(self):
+        a = generate_synthetic_ogs(SyntheticConfig(num_ogs=10, seed=3))
+        b = generate_synthetic_ogs(SyntheticConfig(num_ogs=10, seed=3))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.values, y.values)
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic_ogs(SyntheticConfig(num_ogs=5, seed=1))
+        b = generate_synthetic_ogs(SyntheticConfig(num_ogs=5, seed=2))
+        assert not np.array_equal(a[0].values, b[0].values)
+
+    def test_zero_noise_stays_near_pattern(self):
+        config = SyntheticConfig(num_ogs=48, noise_fraction=0.0, sigma=0.0,
+                                 seed=4)
+        ogs = generate_synthetic_ogs(config)
+        for og in ogs:
+            pattern_path = ALL_PATTERNS[og.label].generate(len(og))
+            np.testing.assert_allclose(og.values, pattern_path, atol=1e-9)
+
+    def test_noise_increases_deviation(self):
+        base = SyntheticConfig(num_ogs=96, noise_fraction=0.05, sigma=0.0, seed=5)
+        noisy = SyntheticConfig(num_ogs=96, noise_fraction=0.30, sigma=0.0, seed=5)
+        def mean_dev(cfg):
+            total = 0.0
+            for og in generate_synthetic_ogs(cfg):
+                path = ALL_PATTERNS[og.label].generate(len(og))
+                total += float(np.mean(np.abs(og.values - path)))
+            return total / cfg.num_ogs
+        assert mean_dev(noisy) > mean_dev(base) * 2
+
+    def test_outliers_present_at_high_noise(self):
+        config = SyntheticConfig(num_ogs=48, noise_fraction=0.30, sigma=0.0,
+                                 jitter_scale=0.0, seed=6)
+        ogs = generate_synthetic_ogs(config)
+        out_of_line = 0
+        for og in ogs:
+            path = ALL_PATTERNS[og.label].generate(len(og))
+            deviation = np.linalg.norm(og.values - path, axis=1)
+            out_of_line += int(np.sum(deviation > 20.0))
+        assert out_of_line > 0
+
+    def test_metadata_attached(self):
+        ogs = generate_synthetic_ogs(SyntheticConfig(num_ogs=3, seed=7))
+        assert "pattern" in ogs[0].meta
+        assert "object_size" in ogs[0].meta
+
+    def test_subset_of_patterns(self):
+        config = SyntheticConfig(num_ogs=12, patterns=ALL_PATTERNS[:3], seed=8)
+        ogs = generate_synthetic_ogs(config)
+        assert {og.label for og in ogs} == {0, 1, 2}

@@ -1,0 +1,123 @@
+"""Tests for the Theorem 1 machinery: graph union + merged embeddings."""
+
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.graph.attributes import AttributeTolerance, NodeAttributes
+from repro.graph.isomorphism import find_subgraph_isomorphism
+from repro.graph.merge import (
+    combine_mappings,
+    is_embedding,
+    merge_isomorphic_pairs,
+    union_graphs,
+)
+from repro.graph.rag import RegionAdjacencyGraph
+
+LOOSE = AttributeTolerance(color=1000.0, size_ratio=0.0,
+                           spatial_distance=float("inf"))
+
+
+def node(color=(100.0, 100.0, 100.0), centroid=(0.0, 0.0)):
+    return NodeAttributes(size=10, color=color, centroid=centroid)
+
+
+def path(ids, colors=None):
+    rag = RegionAdjacencyGraph()
+    for i, nid in enumerate(ids):
+        color = colors[i] if colors else (100.0, 100.0, 100.0)
+        rag.add_node(nid, node(color=color, centroid=(float(nid) * 10, 0.0)))
+    for a, b in zip(ids, ids[1:]):
+        rag.add_edge(a, b)
+    return rag
+
+
+class TestUnionGraphs:
+    def test_disjoint_union(self):
+        a = path([0, 1])
+        b = path([10, 11])
+        u = union_graphs(a, b)
+        assert len(u) == 4
+        assert u.number_of_edges() == 2
+
+    def test_overlapping_identical_nodes_merge(self):
+        a = path([0, 1])
+        b = path([1, 2])
+        u = union_graphs(a, b)
+        assert len(u) == 3
+        assert u.number_of_edges() == 2
+
+    def test_conflicting_attributes_rejected(self):
+        a = RegionAdjacencyGraph()
+        a.add_node(0, node(color=(0.0, 0.0, 0.0)))
+        b = RegionAdjacencyGraph()
+        b.add_node(0, node(color=(255.0, 0.0, 0.0)))
+        with pytest.raises(GraphStructureError):
+            union_graphs(a, b)
+
+
+class TestCombineMappings:
+    def test_disjoint_sources(self):
+        assert combine_mappings({0: 5}, {1: 6}) == {0: 5, 1: 6}
+
+    def test_agreeing_overlap(self):
+        assert combine_mappings({0: 5, 1: 6}, {1: 6}) == {0: 5, 1: 6}
+
+    def test_disagreeing_overlap_rejected(self):
+        with pytest.raises(GraphStructureError):
+            combine_mappings({0: 5}, {0: 6})
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(GraphStructureError):
+            combine_mappings({0: 5}, {1: 5})
+
+
+class TestIsEmbedding:
+    def test_valid_embedding(self):
+        small = path([0, 1])
+        big = path([0, 1, 2])
+        mapping = find_subgraph_isomorphism(small, big, LOOSE)
+        assert is_embedding(small, big, mapping, LOOSE)
+
+    def test_missing_edge_detected(self):
+        pattern = path([0, 1])
+        target = RegionAdjacencyGraph()
+        target.add_node(5, node())
+        target.add_node(6, node(centroid=(50.0, 0.0)))
+        assert not is_embedding(pattern, target, {0: 5, 1: 6}, LOOSE)
+
+    def test_non_injective_detected(self):
+        pattern = path([0, 1])
+        target = path([5, 6])
+        assert not is_embedding(pattern, target, {0: 5, 1: 5}, LOOSE)
+
+    def test_incomplete_mapping_detected(self):
+        pattern = path([0, 1])
+        target = path([5, 6])
+        assert not is_embedding(pattern, target, {0: 5}, LOOSE)
+
+
+class TestTheorem1:
+    def test_merged_pairs_embed(self):
+        # G1 embeds in target1, G2 in target2; the merged pair embeds too.
+        g1 = path([0, 1])
+        target1 = path([100, 101, 102])
+        g2 = path([10, 11])
+        target2 = path([200, 201, 202])
+        f1 = find_subgraph_isomorphism(g1, target1, LOOSE)
+        f2 = find_subgraph_isomorphism(g2, target2, LOOSE)
+        union_pattern, union_target, combined = merge_isomorphic_pairs(
+            g1, f1, g2, f2, target1, target2, LOOSE
+        )
+        assert len(union_pattern) == 4
+        assert len(union_target) == 6
+        assert is_embedding(union_pattern, union_target, combined, LOOSE)
+
+    def test_violated_premises_detected(self):
+        # f2 deliberately maps into target1's id space, colliding with f1.
+        g1 = path([0, 1])
+        g2 = path([2, 3])
+        target = path([100, 101])
+        f1 = {0: 100, 1: 101}
+        f2 = {2: 100, 3: 101}  # collides -> combined not injective
+        with pytest.raises(GraphStructureError):
+            merge_isomorphic_pairs(g1, f1, g2, f2, target, target, LOOSE)

@@ -1,0 +1,114 @@
+"""Tests for graph-based tracking (Algorithm 1)."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph.attributes import AttributeTolerance, NodeAttributes
+from repro.graph.rag import RegionAdjacencyGraph
+from repro.graph.tracking import GraphTracker, TrackerConfig
+
+
+def node(size=100, color=(100.0, 100.0, 100.0), centroid=(0.0, 0.0)):
+    return NodeAttributes(size=size, color=color, centroid=centroid)
+
+
+RED = (200.0, 0.0, 0.0)
+GREEN = (0.0, 200.0, 0.0)
+BLUE = (0.0, 0.0, 200.0)
+
+
+def scene_frame(object_positions, frame_index=0):
+    """A RAG with one big background node plus colored object nodes.
+
+    ``object_positions`` maps (region_id, color) -> centroid.
+    """
+    rag = RegionAdjacencyGraph(frame_index)
+    rag.add_node(0, node(size=10000, color=(50.0, 50.0, 50.0),
+                         centroid=(50.0, 50.0)))
+    for rid, color, centroid in object_positions:
+        rag.add_node(rid, node(size=100, color=color, centroid=centroid))
+        rag.add_edge(0, rid)
+    return rag
+
+
+class TestTrackerConfig:
+    def test_invalid_threshold(self):
+        with pytest.raises(InvalidParameterError):
+            TrackerConfig(sim_threshold=1.5)
+
+    def test_invalid_gate(self):
+        with pytest.raises(InvalidParameterError):
+            TrackerConfig(max_candidate_distance=0.0)
+
+
+class TestTrackPair:
+    def test_stationary_objects_matched(self):
+        a = scene_frame([(1, RED, (10.0, 10.0)), (2, GREEN, (80.0, 80.0))], 0)
+        b = scene_frame([(1, RED, (10.0, 10.0)), (2, GREEN, (80.0, 80.0))], 1)
+        edges = GraphTracker().track_pair(a, b)
+        assert (1, 1) in edges
+        assert (2, 2) in edges
+
+    def test_moving_object_tracked(self):
+        a = scene_frame([(1, RED, (10.0, 50.0))], 0)
+        b = scene_frame([(5, RED, (15.0, 50.0))], 1)  # same object, new id
+        edges = GraphTracker().track_pair(a, b)
+        assert (1, 5) in edges
+
+    def test_color_swap_not_confused(self):
+        # Two objects swap nothing; each should track to its own color.
+        a = scene_frame([(1, RED, (10.0, 50.0)), (2, BLUE, (30.0, 50.0))], 0)
+        b = scene_frame([(7, BLUE, (32.0, 50.0)), (8, RED, (12.0, 50.0))], 1)
+        edges = dict(GraphTracker().track_pair(a, b))
+        assert edges.get(1) == 8
+        assert edges.get(2) == 7
+
+    def test_centroid_gate_blocks_teleport(self):
+        a = scene_frame([(1, RED, (0.0, 0.0))], 0)
+        b = scene_frame([(1, RED, (99.0, 99.0))], 1)
+        config = TrackerConfig(max_candidate_distance=20.0)
+        edges = GraphTracker(config).track_pair(a, b)
+        assert (1, 1) not in edges
+
+    def test_disappearing_object_no_edge(self):
+        a = scene_frame([(1, RED, (10.0, 10.0))], 0)
+        b = scene_frame([], 1)
+        edges = GraphTracker().track_pair(a, b)
+        assert all(src != 1 for src, _ in edges)
+
+    def test_appearing_object_no_source_edge(self):
+        a = scene_frame([], 0)
+        b = scene_frame([(1, RED, (10.0, 10.0))], 1)
+        edges = GraphTracker().track_pair(a, b)
+        assert all(dst != 1 for _, dst in edges)
+
+
+class TestBuildSTRG:
+    def test_chain_across_frames(self):
+        frames = [
+            scene_frame([(1, RED, (10.0 + 5.0 * t, 50.0))], t)
+            for t in range(4)
+        ]
+        strg = GraphTracker().build_strg(frames)
+        assert strg.num_frames == 4
+        # The object forms a 3-edge chain.
+        key = (0, 1)
+        chain = [key]
+        while strg.successors(chain[-1]):
+            chain.append(strg.successors(chain[-1])[0])
+        assert len(chain) == 4
+
+    def test_temporal_attrs_velocity(self):
+        frames = [
+            scene_frame([(1, RED, (10.0 + 5.0 * t, 50.0))], t)
+            for t in range(2)
+        ]
+        strg = GraphTracker().build_strg(frames)
+        succ = strg.successors((0, 1))
+        assert succ
+        attrs = strg.temporal_attrs((0, 1), succ[0])
+        assert attrs.velocity == pytest.approx(5.0)
+
+    def test_single_frame_no_edges(self):
+        strg = GraphTracker().build_strg([scene_frame([(1, RED, (0, 0))])])
+        assert strg.number_of_temporal_edges() == 0

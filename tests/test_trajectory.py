@@ -1,0 +1,170 @@
+"""Tests for the trajectory preprocessing toolkit."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.trajectory import (
+    heading_angles,
+    normalize,
+    resample,
+    simplify,
+    smooth,
+    split_at_turns,
+)
+
+series_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+    min_size=2, max_size=15,
+).map(lambda pts: np.asarray(pts, dtype=np.float64))
+
+
+class TestSmooth:
+    def test_window_one_identity(self):
+        arr = np.arange(10, dtype=float).reshape(-1, 2)
+        np.testing.assert_array_equal(smooth(arr, 1), arr)
+
+    def test_reduces_noise(self, rng):
+        clean = np.stack([np.linspace(0, 50, 40), np.zeros(40)], axis=1)
+        noisy = clean + rng.normal(0, 2.0, clean.shape)
+        smoothed = smooth(noisy, 5)
+        assert (np.abs(smoothed - clean).mean()
+                < np.abs(noisy - clean).mean())
+
+    def test_even_window_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            smooth(np.zeros((4, 2)), 2)
+
+    def test_preserves_constant(self):
+        arr = np.full((8, 2), 3.0)
+        np.testing.assert_allclose(smooth(arr, 5), arr)
+
+    @given(series_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_property_output_within_input_hull(self, arr):
+        out = smooth(arr, 3)
+        assert out.min() >= arr.min() - 1e-9
+        assert out.max() <= arr.max() + 1e-9
+
+
+class TestSimplify:
+    def test_straight_line_collapses_to_endpoints(self):
+        arr = np.stack([np.linspace(0, 10, 20), np.zeros(20)], axis=1)
+        out = simplify(arr, tolerance=0.01)
+        assert out.shape[0] == 2
+
+    def test_corner_kept(self):
+        arr = np.array([[0.0, 0.0], [5.0, 0.0], [5.0, 5.0]])
+        out = simplify(arr, tolerance=0.5)
+        assert out.shape[0] == 3
+
+    def test_zero_tolerance_keeps_non_collinear(self):
+        rng = np.random.default_rng(0)
+        arr = rng.normal(size=(10, 2)) * 10
+        out = simplify(arr, tolerance=0.0)
+        assert out.shape[0] >= 9  # generic points are not collinear
+
+    def test_endpoints_always_kept(self):
+        arr = np.array([[0.0, 0.0], [1.0, 0.1], [2.0, 0.0]])
+        out = simplify(arr, tolerance=10.0)
+        np.testing.assert_array_equal(out[0], arr[0])
+        np.testing.assert_array_equal(out[-1], arr[-1])
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            simplify(np.zeros((3, 2)), -1.0)
+
+    @given(series_strategy, st.floats(min_value=0.0, max_value=20.0))
+    @settings(max_examples=30, deadline=None)
+    def test_property_output_subset_of_input(self, arr, tol):
+        out = simplify(arr, tol)
+        in_rows = {tuple(row) for row in arr}
+        assert all(tuple(row) in in_rows for row in out)
+
+
+class TestNormalize:
+    def test_translation_centers(self):
+        arr = np.array([[10.0, 20.0], [12.0, 22.0]])
+        out = normalize(arr)
+        np.testing.assert_allclose(out.mean(axis=0), [0.0, 0.0], atol=1e-12)
+
+    def test_scale_unit_radius(self):
+        arr = np.array([[0.0, 0.0], [10.0, 0.0]])
+        out = normalize(arr, scale=True)
+        radius = np.sqrt(np.mean(np.sum(out ** 2, axis=1)))
+        assert radius == pytest.approx(1.0)
+
+    def test_no_translation_option(self):
+        arr = np.array([[10.0, 10.0], [12.0, 10.0]])
+        out = normalize(arr, translation=False)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_degenerate_point_scale_safe(self):
+        arr = np.array([[5.0, 5.0]])
+        out = normalize(arr, scale=True)
+        np.testing.assert_allclose(out, [[0.0, 0.0]])
+
+    def test_translation_invariance_for_eged(self):
+        from repro.distance.eged import eged
+
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(8, 2))
+        b = rng.normal(size=(10, 2))
+        shift = np.array([100.0, -50.0])
+        # Non-metric EGED's gaps reference the other sequence, so a common
+        # translation cancels out.
+        assert eged(a + shift, b + shift) == pytest.approx(eged(a, b))
+
+
+class TestHeadings:
+    def test_straight_right(self):
+        arr = np.stack([np.arange(5.0), np.zeros(5)], axis=1)
+        np.testing.assert_allclose(heading_angles(arr), 0.0)
+
+    def test_up(self):
+        arr = np.stack([np.zeros(3), np.arange(3.0)], axis=1)
+        np.testing.assert_allclose(heading_angles(arr), math.pi / 2)
+
+    def test_stationary_repeats_previous(self):
+        arr = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        angles = heading_angles(arr)
+        np.testing.assert_allclose(angles, [0.0, 0.0, 0.0])
+
+
+class TestSplitAtTurns:
+    def test_l_shape_splits_in_two(self):
+        leg1 = np.stack([np.arange(8.0), np.zeros(8)], axis=1)
+        leg2 = np.stack([np.full(8, 7.0), np.arange(1.0, 9.0)], axis=1)
+        arr = np.vstack([leg1, leg2])
+        segments = split_at_turns(arr)
+        assert len(segments) == 2
+
+    def test_straight_line_one_segment(self):
+        arr = np.stack([np.arange(12.0), np.zeros(12)], axis=1)
+        segments = split_at_turns(arr)
+        assert len(segments) == 1
+        assert segments[0].shape[0] == 12
+
+    def test_short_trajectory_unsplit(self):
+        arr = np.zeros((3, 2))
+        assert len(split_at_turns(arr)) == 1
+
+    def test_segments_cover_all_nodes(self):
+        rng = np.random.default_rng(2)
+        arr = np.cumsum(rng.normal(size=(30, 2)), axis=0)
+        segments = split_at_turns(arr, angle_threshold=math.pi / 2)
+        assert sum(s.shape[0] for s in segments) == 30
+
+    def test_invalid_parameters(self):
+        arr = np.zeros((10, 2))
+        with pytest.raises(InvalidParameterError):
+            split_at_turns(arr, angle_threshold=0.0)
+        with pytest.raises(InvalidParameterError):
+            split_at_turns(arr, min_segment_length=1)

@@ -1,0 +1,71 @@
+"""Tests for X-means-style cluster-count discovery."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.evaluation import clustering_error_rate
+from repro.clustering.xmeans import XMeansClustering, XMeansConfig
+from repro.errors import InvalidParameterError
+
+
+def blob_ogs(k=4, n_per=8, separation=150.0, seed=0):
+    rng = np.random.default_rng(seed)
+    ogs, labels = [], []
+    for label in range(k):
+        for _ in range(n_per):
+            length = int(rng.integers(6, 10))
+            base = np.linspace(0, 10, length)[:, None]
+            values = np.hstack([base + label * separation, base])
+            ogs.append(values + rng.normal(0, 0.5, values.shape))
+            labels.append(label)
+    return ogs, labels
+
+
+class TestConfig:
+    def test_invalid_range(self):
+        with pytest.raises(InvalidParameterError):
+            XMeansConfig(k_min=5, k_max=3)
+        with pytest.raises(InvalidParameterError):
+            XMeansConfig(k_min=0)
+
+    def test_invalid_min_cluster_size(self):
+        with pytest.raises(InvalidParameterError):
+            XMeansConfig(min_cluster_size=1)
+
+
+class TestDiscovery:
+    def test_finds_four_blobs_from_two(self):
+        ogs, labels = blob_ogs(k=4, n_per=8)
+        xm = XMeansClustering(XMeansConfig(k_min=2, k_max=8, seed=1))
+        result = xm.fit(ogs)
+        assert result.num_clusters == 4
+        assert clustering_error_rate(labels, result.assignments) == 0.0
+
+    def test_respects_k_max(self):
+        ogs, _ = blob_ogs(k=6, n_per=6)
+        xm = XMeansClustering(XMeansConfig(k_min=2, k_max=3, seed=1))
+        result = xm.fit(ogs)
+        assert result.num_clusters <= 3
+
+    def test_no_split_on_single_blob(self):
+        ogs, _ = blob_ogs(k=1, n_per=16)
+        xm = XMeansClustering(XMeansConfig(k_min=1, k_max=6, seed=1))
+        result = xm.fit(ogs)
+        assert result.num_clusters == 1
+
+    def test_small_clusters_not_split(self):
+        ogs, _ = blob_ogs(k=2, n_per=3)  # below 2 * min_cluster_size
+        xm = XMeansClustering(XMeansConfig(k_min=2, k_max=8,
+                                           min_cluster_size=4, seed=1))
+        result = xm.fit(ogs)
+        assert result.num_clusters == 2
+
+    def test_agrees_with_bic_sweep_on_clean_data(self):
+        from repro.clustering.bic import select_num_clusters
+
+        ogs, _ = blob_ogs(k=3, n_per=8)
+        sweep_k, _ = select_num_clusters(ogs, 1, 6, seed=1)
+        xm_result = XMeansClustering(
+            XMeansConfig(k_min=1, k_max=6, seed=1)
+        ).fit(ogs)
+        assert xm_result.num_clusters == sweep_k == 3
