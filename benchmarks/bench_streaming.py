@@ -10,9 +10,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-import pytest
-
 from conftest import format_table, record_result, short_patterns
 
 

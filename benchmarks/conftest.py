@@ -13,7 +13,6 @@ minutes; every module states its scale in its docstring.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import numpy as np

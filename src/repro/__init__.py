@@ -19,6 +19,8 @@ The package mirrors the paper's pipeline:
 - :mod:`repro.datasets` — the paper's synthetic workload (48 motion
   patterns, Pelleg+Vlachos style) and simulated surveillance streams.
 - :mod:`repro.storage` — serialization and the ``VideoDatabase`` facade.
+- :mod:`repro.resilience` — fault injection, retry/backoff policies,
+  quarantine, ingest journaling and crash recovery.
 """
 
 from repro.graph.object_graph import ObjectGraph
@@ -27,6 +29,7 @@ from repro.distance.eged import EGED, MetricEGED, eged
 from repro.core.index import STRGIndex
 from repro.pipeline import VideoPipeline, PipelineConfig
 from repro.query import Query
+from repro.resilience import FaultInjector, FaultPolicy, RetryPolicy
 from repro.storage.database import VideoDatabase
 
 __version__ = "1.0.0"
@@ -42,5 +45,8 @@ __all__ = [
     "PipelineConfig",
     "Query",
     "VideoDatabase",
+    "FaultInjector",
+    "FaultPolicy",
+    "RetryPolicy",
     "__version__",
 ]

@@ -4,6 +4,8 @@ Subcommands::
 
     strg-index demo                # synthetic end-to-end demo
     strg-index build  OUT.npz      # build an index from a simulated stream
+    strg-index ingest OUT.npz      # fault-tolerant batch ingest + journal
+    strg-index recover INDEX.npz   # inspect crash-recovery state
     strg-index query  INDEX.npz    # k-NN query with a synthetic trajectory
     strg-index bench               # tiny smoke benchmark
 
@@ -55,6 +57,71 @@ def _cmd_build(args: argparse.Namespace) -> int:
     print(f"stats: {db.stats()}")
     db.save(args.output)
     print(f"index saved to {args.output}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.datasets.real import STREAMS, render_stream_segment
+    from repro.errors import IngestDegradedError
+    from repro.resilience import FaultInjector, injected
+    from repro.storage.database import VideoDatabase
+
+    if args.stream not in STREAMS:
+        print(f"unknown stream {args.stream!r}; choose from {sorted(STREAMS)}",
+              file=sys.stderr)
+        return 2
+    from repro.storage.serialize import npz_path
+
+    journal = args.journal or (npz_path(args.output) + ".journal")
+    db = VideoDatabase(fault_policy=args.fault_policy, journal_path=journal)
+    rng = np.random.default_rng(args.seed)
+    videos = []
+    for i in range(args.segments):
+        video = render_stream_segment(args.stream, num_frames=args.frames,
+                                      rng=rng)
+        video.name = f"{args.stream}-{i:04d}"
+        videos.append(video)
+    injector = FaultInjector(seed=args.seed)
+    if args.fault_rate > 0:
+        injector.inject("decomposition", rate=args.fault_rate)
+    try:
+        with injected(injector):
+            report = db.ingest_many(videos)
+    except IngestDegradedError as exc:
+        print(f"ingest degraded: {exc}", file=sys.stderr)
+        print(f"health: {db.health()}", file=sys.stderr)
+        return 3
+    print(f"ingested {report['segments']} segment(s), "
+          f"{report['ogs']} OGs, {report['quarantined']} quarantined")
+    db.save(args.output)
+    print(f"index saved to {args.output} (journal: {journal})")
+    print(f"health: {db.health()}")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.errors import RecoveryError
+    from repro.storage.database import VideoDatabase
+
+    try:
+        db = VideoDatabase.recover(args.index, journal_path=args.journal)
+    except RecoveryError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 3
+    report = db.recovery
+    print(f"snapshot {report.snapshot_path}: "
+          f"{'loaded' if report.snapshot_loaded else 'UNUSABLE'} "
+          f"({report.snapshot_ogs} OGs)")
+    if report.snapshot_error:
+        print(f"  snapshot error: {report.snapshot_error}")
+    print(f"journal {report.journal_path}"
+          + (" (torn tail skipped)" if report.journal_truncated else ""))
+    print(f"pending segments (ingested but not in snapshot): "
+          f"{len(report.pending_segments)}")
+    for name in report.pending_segments[: args.limit]:
+        print(f"  {name}")
+    if report.quarantined_segments:
+        print(f"quarantined during ingest: {report.quarantined_segments}")
     return 0
 
 
@@ -162,6 +229,33 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--stream", default="Traffic1")
     build.add_argument("--frames", type=int, default=60)
     build.set_defaults(func=_cmd_build)
+
+    ingest = sub.add_parser(
+        "ingest", help="fault-tolerant batch ingest with journaling"
+    )
+    ingest.add_argument("output", help="output NPZ path")
+    ingest.add_argument("--stream", default="Traffic1")
+    ingest.add_argument("--segments", type=int, default=5)
+    ingest.add_argument("--frames", type=int, default=12)
+    ingest.add_argument("--fault-policy", default="retry-then-skip",
+                        choices=["fail-fast", "skip-and-quarantine",
+                                 "retry-then-skip"])
+    ingest.add_argument("--fault-rate", type=float, default=0.0,
+                        help="injected per-segment failure probability")
+    ingest.add_argument("--journal", default=None,
+                        help="journal path (default: <output>.journal)")
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.set_defaults(func=_cmd_ingest)
+
+    recover = sub.add_parser(
+        "recover", help="inspect snapshot + journal after a crash"
+    )
+    recover.add_argument("index", help="index NPZ path")
+    recover.add_argument("--journal", default=None,
+                         help="journal path (default: <index>.journal)")
+    recover.add_argument("--limit", type=int, default=10,
+                         help="max pending segments listed")
+    recover.set_defaults(func=_cmd_recover)
 
     query = sub.add_parser("query", help="k-NN query a saved index")
     query.add_argument("index", help="index NPZ path")

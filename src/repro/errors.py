@@ -42,3 +42,37 @@ class StorageError(ReproError, RuntimeError):
 
 class SegmentationError(ReproError, RuntimeError):
     """Region segmentation could not produce a valid labeling."""
+
+
+class DetailedError(ReproError):
+    """Base for errors that carry a machine-readable ``details`` dict.
+
+    ``details`` is safe to serialize (plain strings/numbers/lists) so
+    quarantine reports, journals and telemetry can record failures
+    without parsing the human-readable message.
+    """
+
+    def __init__(self, message: str = "", details: dict | None = None):
+        super().__init__(message)
+        self.details: dict = dict(details or {})
+
+
+class CorruptSegmentError(DetailedError, RuntimeError):
+    """A video segment's frame data is unusable (missing, malformed or
+    failing validation) and the segment cannot be ingested."""
+
+
+class IngestDegradedError(DetailedError, RuntimeError):
+    """Too many segments were quarantined during ingestion: the drop
+    tolerance of the active :class:`~repro.resilience.FaultPolicy` was
+    exceeded and the batch must be treated as failed."""
+
+
+class IndexCorruptionError(DetailedError, StorageError):
+    """A persisted index or OG file failed an integrity check (truncated
+    archive, checksum mismatch, or an unsupported format version)."""
+
+
+class RecoveryError(DetailedError, StorageError):
+    """Crash recovery could not reconstruct any usable state (no valid
+    snapshot and no readable ingest journal)."""

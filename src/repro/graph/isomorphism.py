@@ -9,7 +9,7 @@ same matcher serves both the exact semantics of Definition 4 (via the
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from typing import Iterator
 
 from repro.graph.attributes import AttributeTolerance
 from repro.graph.rag import RegionAdjacencyGraph

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.index import STRGIndex, STRGIndexConfig
+from repro.errors import CorruptSegmentError
 from repro.graph.decomposition import (
     DecompositionConfig,
     STRGDecomposition,
@@ -19,8 +22,26 @@ from repro.graph.decomposition import (
 )
 from repro.graph.strg import SpatioTemporalRegionGraph
 from repro.graph.tracking import GraphTracker, TrackerConfig
+from repro.resilience.faults import maybe_fail, maybe_transform
 from repro.video.frames import VideoSegment
 from repro.video.segmentation import GridSegmenter, Segmenter
+
+
+def _validate_frame(frame, t: int, segment: str) -> np.ndarray:
+    """Reject unusable frame data before it reaches the segmenter.
+
+    Real decoders hand back ``None`` or short reads for corrupted input;
+    the ``segmentation`` fault point simulates the same.  Raising a
+    typed :class:`CorruptSegmentError` here lets the ingest fault policy
+    quarantine the segment instead of crashing deep in the segmenter.
+    """
+    if (not isinstance(frame, np.ndarray) or frame.ndim != 3
+            or frame.shape[2] != 3 or frame.size == 0):
+        raise CorruptSegmentError(
+            f"segment {segment!r}: frame {t} is corrupt or missing",
+            details={"segment": segment, "frame": t},
+        )
+    return frame
 
 
 @dataclass
@@ -49,16 +70,26 @@ class VideoPipeline:
         self._tracker = GraphTracker(self.config.tracker)
 
     def build_strg(self, video: VideoSegment) -> SpatioTemporalRegionGraph:
-        """Segment every frame and assemble the STRG (Sections 2.1-2.2)."""
-        rags = [
-            self.config.segmenter.build_rag(video.frame(t), t)
-            for t in range(video.num_frames)
-        ]
+        """Segment every frame and assemble the STRG (Sections 2.1-2.2).
+
+        The ``segmentation`` (per frame) and ``tracking`` (per segment)
+        fault-injection points fire here; injected frame corruption is
+        caught by validation and surfaces as
+        :class:`~repro.errors.CorruptSegmentError`.
+        """
+        rags = []
+        for t in range(video.num_frames):
+            frame = maybe_transform("segmentation", video.frame(t))
+            frame = _validate_frame(frame, t, video.name)
+            maybe_fail("segmentation", segment=video.name, frame=t)
+            rags.append(self.config.segmenter.build_rag(frame, t))
+        maybe_fail("tracking", segment=video.name)
         return self._tracker.build_strg(rags)
 
     def decompose(self, video: VideoSegment) -> STRGDecomposition:
         """Full decomposition of a segment into OGs + BG (Section 2.3)."""
         strg = self.build_strg(video)
+        maybe_fail("decomposition", segment=video.name)
         return decompose(strg, self.config.decomposition)
 
     def process(self, video: VideoSegment,

@@ -1,0 +1,62 @@
+"""Fault tolerance: injection harness, retry policies, quarantine,
+journaling and crash recovery (see ``docs/RESILIENCE.md``).
+
+The paper's streaming claim (Sec. 5) only holds in practice if ingestion
+survives degraded input and persistence survives being killed.  This
+package supplies the machinery; ``repro.pipeline`` and ``repro.storage``
+wire it through the hot paths.
+"""
+
+from repro.resilience.faults import (
+    INJECTION_POINTS,
+    FaultInjector,
+    FaultSpec,
+    active,
+    injected,
+    install,
+    maybe_fail,
+    maybe_transform,
+    maybe_truncate,
+    uninstall,
+)
+from repro.resilience.journal import (
+    IngestJournal,
+    RecoveryReport,
+    read_journal,
+    replay_pending,
+)
+from repro.resilience.policy import (
+    RECOVERABLE_ERRORS,
+    FaultPolicy,
+    QuarantineRecord,
+    quarantine_record,
+)
+from repro.resilience.retry import (
+    RetryPolicy,
+    backoff_schedule,
+    call_with_retry,
+)
+
+__all__ = [
+    "INJECTION_POINTS",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultPolicy",
+    "IngestJournal",
+    "QuarantineRecord",
+    "RecoveryReport",
+    "RECOVERABLE_ERRORS",
+    "RetryPolicy",
+    "active",
+    "backoff_schedule",
+    "call_with_retry",
+    "injected",
+    "install",
+    "maybe_fail",
+    "maybe_transform",
+    "maybe_truncate",
+    "quarantine_record",
+    "read_journal",
+    "replay_pending",
+    "uninstall",
+]

@@ -1,0 +1,132 @@
+"""Append-only ingest journal for crash recovery.
+
+Each ingested (or quarantined) segment appends one JSON line; every
+successful snapshot save appends a ``checkpoint`` line.  After a crash,
+:meth:`VideoDatabase.recover` replays the journal against the last valid
+snapshot: segments journaled *after* the last checkpoint were ingested
+but never persisted, so they are reported as pending for re-ingestion.
+
+Writes are flushed and fsync'd per record, so a crash can lose at most
+the line being written.  A torn final line (the classic
+kill-mid-append artifact) is detected and skipped on read; garbage in
+the *middle* of the journal truncates the replay at that point — the
+records before it are still trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from dataclasses import dataclass, field
+from typing import IO
+
+logger = logging.getLogger(__name__)
+
+
+class IngestJournal:
+    """Append-only JSONL writer with per-record durability."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        self._fh: IO[str] | None = None
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (flush + fsync)."""
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, default=str) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "IngestJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_journal(path: str | os.PathLike) -> tuple[list[dict], bool]:
+    """Read a journal, tolerating a torn tail.
+
+    Returns ``(records, truncated)`` where ``truncated`` is True when a
+    malformed line stopped the replay early (records after it are
+    discarded).  A missing journal reads as ``([], False)``.
+    """
+    records: list[dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    logger.warning(
+                        "journal %s: malformed line %d; replay truncated",
+                        path, lineno + 1,
+                    )
+                    return records, True
+                if not isinstance(record, dict):
+                    logger.warning(
+                        "journal %s: non-object line %d; replay truncated",
+                        path, lineno + 1,
+                    )
+                    return records, True
+                records.append(record)
+    except FileNotFoundError:
+        return [], False
+    return records, False
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of :meth:`VideoDatabase.recover`."""
+
+    snapshot_loaded: bool
+    snapshot_path: str
+    snapshot_ogs: int
+    snapshot_error: str | None
+    journal_path: str
+    journal_truncated: bool
+    pending_segments: list[str] = field(default_factory=list)
+    quarantined_segments: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "snapshot_loaded": self.snapshot_loaded,
+            "snapshot_path": self.snapshot_path,
+            "snapshot_ogs": self.snapshot_ogs,
+            "snapshot_error": self.snapshot_error,
+            "journal_path": self.journal_path,
+            "journal_truncated": self.journal_truncated,
+            "pending_segments": list(self.pending_segments),
+            "quarantined_segments": list(self.quarantined_segments),
+        }
+
+
+def replay_pending(records: list[dict]) -> tuple[list[str], list[str]]:
+    """Split journal records into (pending, quarantined) segment names.
+
+    ``pending`` holds segments journaled as successfully ingested after
+    the last checkpoint — i.e. state the last snapshot does not contain.
+    """
+    pending: list[str] = []
+    quarantined: list[str] = []
+    for record in records:
+        event = record.get("event")
+        if event == "checkpoint":
+            pending.clear()
+        elif event == "segment":
+            name = str(record.get("segment"))
+            if record.get("status") == "ok":
+                pending.append(name)
+            else:
+                quarantined.append(name)
+    return pending, quarantined

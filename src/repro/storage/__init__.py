@@ -5,6 +5,7 @@ from repro.storage.serialize import (
     load_object_graphs,
     save_index,
     load_index,
+    npz_path,
 )
 from repro.storage.database import VideoDatabase
 
@@ -13,5 +14,6 @@ __all__ = [
     "load_object_graphs",
     "save_index",
     "load_index",
+    "npz_path",
     "VideoDatabase",
 ]

@@ -10,6 +10,7 @@ query by example clip or by example trajectory:
 
 from __future__ import annotations
 
+import logging
 import math
 import os
 from dataclasses import dataclass
@@ -19,11 +20,31 @@ import numpy as np
 
 from repro.core.index import STRGIndex
 from repro.core.size import index_size_bytes, strg_raw_size_bytes
-from repro.errors import IndexStateError
+from repro.errors import (
+    IndexStateError,
+    IngestDegradedError,
+    RecoveryError,
+    StorageError,
+)
 from repro.graph.object_graph import ObjectGraph
 from repro.pipeline import PipelineConfig, VideoPipeline
-from repro.storage.serialize import load_index, save_index
+from repro.resilience.journal import (
+    IngestJournal,
+    RecoveryReport,
+    read_journal,
+    replay_pending,
+)
+from repro.resilience.policy import (
+    RECOVERABLE_ERRORS,
+    FaultPolicy,
+    QuarantineRecord,
+    quarantine_record,
+)
+from repro.resilience.retry import RetryPolicy, call_with_retry
+from repro.storage.serialize import load_index, npz_path, save_index
 from repro.video.frames import VideoSegment
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -36,37 +57,167 @@ class QueryHit:
 
 
 class VideoDatabase:
-    """A content-based video database built on the STRG-Index."""
+    """A content-based video database built on the STRG-Index.
 
-    def __init__(self, config: PipelineConfig | None = None):
+    Ingestion is fault tolerant (see ``docs/RESILIENCE.md``): the
+    ``fault_policy`` decides whether a segment failing with a
+    recoverable error crashes the batch (``fail-fast``), is quarantined
+    (``skip-and-quarantine``), or is retried under ``retry_policy``
+    first (``retry-then-skip``, the default).  ``drop_tolerance`` bounds
+    the quarantined fraction — past it, ingestion escalates to
+    :class:`~repro.errors.IngestDegradedError`.  An optional
+    ``journal_path`` appends one JSONL record per segment plus one per
+    snapshot save, enabling :meth:`recover` after a crash.
+    """
+
+    def __init__(self, config: PipelineConfig | None = None, *,
+                 fault_policy: FaultPolicy | str = FaultPolicy.RETRY_THEN_SKIP,
+                 retry_policy: RetryPolicy | None = None,
+                 drop_tolerance: float = 0.5,
+                 drop_grace: int = 8,
+                 journal_path: str | os.PathLike | None = None):
         self.pipeline = VideoPipeline(config)
         self.index: STRGIndex | None = None
         self._ingested: list[str] = []
         self._raw_strg_bytes = 0
+        self.fault_policy = FaultPolicy.coerce(fault_policy)
+        self.retry_policy = retry_policy or RetryPolicy(max_attempts=3,
+                                                        base_delay=0.05)
+        self.drop_tolerance = drop_tolerance
+        self.drop_grace = drop_grace
+        self.quarantine: list[QuarantineRecord] = []
+        self._retries = 0
+        self._last_error: dict[str, Any] | None = None
+        self._journal = (IngestJournal(journal_path)
+                         if journal_path is not None else None)
+        self.recovery: RecoveryReport | None = None
 
     # -- ingestion -----------------------------------------------------------
 
     def ingest(self, video: VideoSegment, parse_shots: bool = False) -> int:
         """Run the full pipeline on a segment and index its OGs.
 
-        Returns the number of Object Graphs extracted.  Repeated calls
-        extend the same index (backgrounds are matched at the root level).
-        With ``parse_shots=True`` the video is first parsed into shots
-        (Section 1's "issue 1"); each shot is ingested as its own segment,
-        so scene changes land in separate root records.
+        Returns the number of Object Graphs extracted (0 when the
+        segment was quarantined under a skipping fault policy).
+        Repeated calls extend the same index (backgrounds are matched at
+        the root level).  With ``parse_shots=True`` the video is first
+        parsed into shots (Section 1's "issue 1"); each shot is ingested
+        as its own segment, so scene changes land in separate root
+        records.
         """
         if parse_shots:
             from repro.video.shots import split_into_shots
 
             return sum(self.ingest(shot) for shot in split_into_shots(video))
-        decomposition, self.index = self.pipeline.process(video, self.index)
+        attempts = 1
+        try:
+            if self.fault_policy is FaultPolicy.RETRY_THEN_SKIP:
+                def count_retry(attempt, exc, delay):
+                    nonlocal attempts
+                    attempts = attempt + 1
+                    self._retries += 1
+                    logger.info("segment %r attempt %d failed: %s",
+                                video.name, attempt, exc)
+
+                decomposition = call_with_retry(
+                    lambda: self.pipeline.decompose(video),
+                    self.retry_policy,
+                    retryable=RECOVERABLE_ERRORS,
+                    on_retry=count_retry,
+                )
+            else:
+                decomposition = self.pipeline.decompose(video)
+        except RECOVERABLE_ERRORS as exc:
+            self._record_error(video.name, exc)
+            if self.fault_policy is FaultPolicy.FAIL_FAST:
+                raise
+            self._quarantine(video.name, exc, attempts)
+            return 0
+        self._index_decomposition(video, decomposition)
         self._ingested.append(video.name)
         self._raw_strg_bytes += strg_raw_size_bytes(
             decomposition.object_graphs,
             decomposition.background,
             video.num_frames,
         )
-        return len(decomposition.object_graphs)
+        n = len(decomposition.object_graphs)
+        self._journal_append({"event": "segment", "segment": video.name,
+                              "ogs": n, "status": "ok"})
+        logger.debug("ingested segment %r: %d OGs", video.name, n)
+        return n
+
+    def ingest_many(self, videos: Sequence[VideoSegment],
+                    parse_shots: bool = False) -> dict[str, int]:
+        """Batch ingest; keeps going over quarantined segments.
+
+        Returns ``{"segments": ok_count, "quarantined": q_count,
+        "ogs": total_ogs}``.  :class:`~repro.errors.IngestDegradedError`
+        (drop tolerance exceeded) and non-recoverable errors propagate.
+        """
+        before_q = len(self.quarantine)
+        before_s = len(self._ingested)
+        ogs = 0
+        for video in videos:
+            ogs += self.ingest(video, parse_shots=parse_shots)
+        return {
+            "segments": len(self._ingested) - before_s,
+            "quarantined": len(self.quarantine) - before_q,
+            "ogs": ogs,
+        }
+
+    def _index_decomposition(self, video: VideoSegment,
+                             decomposition) -> None:
+        """Insert a decomposition's OGs into the index (build on first)."""
+        refs = [
+            {"video": video.name, "og": og.og_id}
+            for og in decomposition.object_graphs
+        ]
+        if self.index is None:
+            self.index = STRGIndex(self.pipeline.config.index)
+            if decomposition.object_graphs:
+                self.index.build(decomposition.object_graphs,
+                                 decomposition.background, refs)
+        else:
+            for og, ref in zip(decomposition.object_graphs, refs):
+                self.index.insert(og, decomposition.background, ref)
+
+    def _record_error(self, segment: str, exc: BaseException) -> None:
+        self._last_error = {
+            "segment": segment,
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+            "details": dict(getattr(exc, "details", {}) or {}),
+        }
+
+    def _quarantine(self, segment: str, exc: BaseException,
+                    attempts: int) -> None:
+        """Record a skipped segment and enforce the drop tolerance."""
+        record = quarantine_record(segment, exc, attempts)
+        self.quarantine.append(record)
+        self._journal_append({"event": "segment", "segment": segment,
+                              "ogs": 0, "status": "quarantined",
+                              "error": record.error_type})
+        logger.warning("quarantined segment %r after %d attempt(s): %s",
+                       segment, attempts, exc)
+        processed = len(self._ingested) + len(self.quarantine)
+        fraction = len(self.quarantine) / processed
+        if processed >= self.drop_grace and fraction > self.drop_tolerance:
+            logger.error("ingest degraded: %d/%d segments quarantined",
+                         len(self.quarantine), processed)
+            raise IngestDegradedError(
+                f"{len(self.quarantine)}/{processed} segments quarantined "
+                f"(tolerance {self.drop_tolerance:.0%})",
+                details={
+                    "quarantined": len(self.quarantine),
+                    "processed": processed,
+                    "tolerance": self.drop_tolerance,
+                    "last_segment": segment,
+                },
+            ) from exc
+
+    def _journal_append(self, record: dict) -> None:
+        if self._journal is not None:
+            self._journal.append(record)
 
     def ingest_object_graphs(self, ogs: Sequence[ObjectGraph],
                              source: str = "external") -> int:
@@ -215,10 +366,39 @@ class VideoDatabase:
             "index_bytes": index_size_bytes(self.index),
         }
 
+    def health(self) -> dict[str, Any]:
+        """Operational telemetry: counts, quarantine and last error.
+
+        Unlike :meth:`stats` (paper-facing size accounting), this is the
+        surface an operator watches: how many segments made it in, how
+        many were quarantined and why, how often stages were retried.
+        """
+        return {
+            "fault_policy": self.fault_policy.value,
+            "segments_ingested": len(self._ingested),
+            "ogs_indexed": 0 if self.index is None else len(self.index),
+            "quarantined": len(self.quarantine),
+            "quarantined_segments": [q.segment for q in self.quarantine],
+            "retries": self._retries,
+            "last_error": self._last_error,
+            "journal": None if self._journal is None else self._journal.path,
+        }
+
     def save(self, path: str | os.PathLike) -> None:
-        """Persist the index (see :func:`repro.storage.serialize.save_index`)."""
+        """Persist the index atomically and journal a checkpoint.
+
+        See :func:`repro.storage.serialize.save_index`: the write is
+        temp-file + fsync + rename, so a crash mid-save leaves any
+        previous snapshot at ``path`` intact.
+        """
         self._require_index()
         save_index(path, self.index)
+        self._journal_append({"event": "checkpoint",
+                              "path": npz_path(path),
+                              "ogs": len(self.index),
+                              "segments": len(self._ingested)})
+        logger.info("saved snapshot to %s (%d OGs)", npz_path(path),
+                    len(self.index))
 
     @classmethod
     def load(cls, path: str | os.PathLike,
@@ -227,4 +407,64 @@ class VideoDatabase:
         db = cls(config)
         db.index = load_index(path)
         db._ingested.append(f"loaded:{os.fspath(path)}")
+        return db
+
+    @classmethod
+    def recover(cls, path: str | os.PathLike,
+                journal_path: str | os.PathLike | None = None,
+                config: PipelineConfig | None = None) -> "VideoDatabase":
+        """Reconstruct state after a crash from snapshot + journal.
+
+        Loads the last complete snapshot at ``path`` (if any survives
+        integrity checks) and replays the ingest journal (default:
+        ``<path>.journal``) to find segments that were ingested after
+        the last checkpoint — i.e. work the snapshot does not contain.
+        The result's ``recovery`` attribute is a
+        :class:`~repro.resilience.journal.RecoveryReport` whose
+        ``pending_segments`` the caller should re-ingest.
+
+        Raises :class:`~repro.errors.RecoveryError` when neither a
+        usable snapshot nor a journal exists.
+        """
+        target = npz_path(path)
+        journal_path = (os.fspath(journal_path) if journal_path is not None
+                        else target + ".journal")
+        records, truncated = read_journal(journal_path)
+        snapshot_error: str | None = None
+        db: "VideoDatabase | None" = None
+        try:
+            db = cls.load(target, config)
+            snapshot_loaded = True
+        except StorageError as exc:
+            snapshot_error = f"{type(exc).__name__}: {exc}"
+            snapshot_loaded = False
+            logger.warning("recover: snapshot %s unusable: %s", target, exc)
+        if not snapshot_loaded:
+            if not records:
+                raise RecoveryError(
+                    f"nothing to recover at {target}: no valid snapshot "
+                    f"and no journal records at {journal_path}",
+                    details={"path": target, "journal": journal_path,
+                             "snapshot_error": snapshot_error},
+                )
+            db = cls(config)
+        pending, quarantined = replay_pending(records)
+        if not snapshot_loaded:
+            # No snapshot survived: every journaled-ok segment is pending.
+            pending = [str(r.get("segment")) for r in records
+                       if r.get("event") == "segment"
+                       and r.get("status") == "ok"]
+        db._journal = IngestJournal(journal_path)
+        db.recovery = RecoveryReport(
+            snapshot_loaded=snapshot_loaded,
+            snapshot_path=target,
+            snapshot_ogs=0 if db.index is None else len(db.index),
+            snapshot_error=snapshot_error,
+            journal_path=journal_path,
+            journal_truncated=truncated,
+            pending_segments=pending,
+            quarantined_segments=quarantined,
+        )
+        logger.info("recovered from %s: snapshot=%s, %d pending segment(s)",
+                    target, snapshot_loaded, len(pending))
         return db

@@ -6,23 +6,150 @@ cluster -> leaf membership) is encoded in integer arrays alongside the
 centroid/OG payloads and the per-root Background Graphs (node attributes
 plus spatial edges), so a loaded index answers queries — including
 background-routed ones — identically.
+
+Persistence is crash-safe (see ``docs/RESILIENCE.md``):
+
+- every write goes to a temp file in the destination directory, is
+  fsync'd, then atomically renamed over the target — an interrupted save
+  leaves the previous complete snapshot untouched;
+- every archive embeds a format-version header and a SHA-256 digest of
+  its payload arrays, verified on load.  Truncation, bit flips and
+  unknown versions raise :class:`~repro.errors.IndexCorruptionError`
+  instead of returning a silently wrong index.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import logging
 import os
+import tempfile
+import zipfile
+import zlib
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.index import STRGIndex, STRGIndexConfig
 from repro.core.nodes import LeafRecord, RootRecord
-from repro.errors import StorageError
+from repro.errors import IndexCorruptionError, StorageError
 from repro.graph.attributes import NodeAttributes
 from repro.graph.decomposition import BackgroundGraph
 from repro.graph.object_graph import ObjectGraph
 from repro.graph.rag import RegionAdjacencyGraph
+from repro.resilience.faults import maybe_fail, maybe_truncate
+
+logger = logging.getLogger(__name__)
+
+#: Current on-disk format.  Version 1 is the pre-checksum format (no
+#: header keys); it is still readable but gets no integrity verification.
+FORMAT_VERSION = 2
+
+_HEADER_KEYS = ("__format_version__", "__checksum__")
+
+
+def npz_path(path: str | os.PathLike) -> str:
+    """Normalize ``path`` the way :func:`numpy.savez_compressed` does.
+
+    NumPy appends ``.npz`` when the suffix is missing; doing the same
+    normalization once — and using it for writing, reading and error
+    messages — keeps ``save(path)`` / ``load(path)`` round-trips working
+    for suffix-less paths.
+    """
+    p = os.fspath(path)
+    return p if p.endswith(".npz") else p + ".npz"
+
+
+def _payload_digest(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over names, dtypes, shapes and bytes of payload arrays."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        if name in _HEADER_KEYS:
+            continue
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def _atomic_savez(path: str | os.PathLike,
+                  arrays: dict[str, np.ndarray]) -> str:
+    """Write ``arrays`` (plus integrity header) atomically; return path.
+
+    The ``storage.write`` injection point fires after the temp file is
+    complete but *before* the rename — exactly the window in which a
+    crash must not corrupt the destination.
+    """
+    target = npz_path(path)
+    arrays = dict(arrays)
+    arrays["__format_version__"] = np.int64(FORMAT_VERSION)
+    arrays["__checksum__"] = np.array(_payload_digest(arrays))
+    directory = os.path.dirname(target) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(target) + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        maybe_fail("storage.write", path=target)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
+    if maybe_truncate("storage.write", target):
+        logger.warning("injected truncation of %s", target)
+    return target
+
+
+def _verified_load(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Load an NPZ written by :func:`_atomic_savez` and verify integrity.
+
+    Raises :class:`StorageError` for a missing file and
+    :class:`IndexCorruptionError` for anything unreadable or failing the
+    checksum / version checks.
+    """
+    target = npz_path(path)
+    maybe_fail("storage.read", path=target)
+    try:
+        with np.load(target, allow_pickle=False) as data:
+            arrays = {name: np.array(data[name]) for name in data.files}
+    except FileNotFoundError as exc:
+        raise StorageError(f"cannot read {target}: {exc}") from exc
+    except (zipfile.BadZipFile, zlib.error, OSError, EOFError,
+            KeyError, ValueError) as exc:
+        raise IndexCorruptionError(
+            f"corrupt archive {target}: {exc}",
+            details={"path": target, "cause": type(exc).__name__},
+        ) from exc
+    if "__format_version__" not in arrays:
+        # Legacy (version 1) archive: readable, but carries no checksum.
+        logger.info("loading legacy (v1) archive %s without verification",
+                    target)
+        return arrays
+    version = int(arrays["__format_version__"])
+    if not 1 <= version <= FORMAT_VERSION:
+        raise IndexCorruptionError(
+            f"unsupported format version {version} in {target} "
+            f"(supported: 1..{FORMAT_VERSION})",
+            details={"path": target, "version": version,
+                     "supported": FORMAT_VERSION},
+        )
+    expected = str(arrays["__checksum__"])
+    actual = _payload_digest(arrays)
+    if actual != expected:
+        raise IndexCorruptionError(
+            f"checksum mismatch in {target}: payload was altered on disk",
+            details={"path": target, "expected": expected, "actual": actual},
+        )
+    return arrays
 
 
 def _pack_ragged(arrays: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
@@ -56,24 +183,29 @@ def save_object_graphs(path: str | os.PathLike,
             dtype=np.int64,
         )
         ids = np.array([og.og_id for og in ogs], dtype=np.int64)
-        np.savez_compressed(path, values=flat, offsets=offsets,
-                            frames=frames_flat, labels=labels, ids=ids)
+        _atomic_savez(path, dict(values=flat, offsets=offsets,
+                                 frames=frames_flat, labels=labels, ids=ids))
     except OSError as exc:
-        raise StorageError(f"cannot write OGs to {path}: {exc}") from exc
+        raise StorageError(
+            f"cannot write OGs to {npz_path(path)}: {exc}"
+        ) from exc
 
 
 def load_object_graphs(path: str | os.PathLike) -> list[ObjectGraph]:
     """Load OGs written by :func:`save_object_graphs`."""
+    data = _verified_load(path)
     try:
-        with np.load(path, allow_pickle=False) as data:
-            values = _unpack_ragged(data["values"], data["offsets"])
-            frames = _unpack_ragged(
-                data["frames"].reshape(-1, 1), data["offsets"]
-            )
-            labels = data["labels"]
-            ids = data["ids"]
-    except (OSError, KeyError, ValueError) as exc:
-        raise StorageError(f"cannot read OGs from {path}: {exc}") from exc
+        values = _unpack_ragged(data["values"], data["offsets"])
+        frames = _unpack_ragged(
+            data["frames"].reshape(-1, 1), data["offsets"]
+        )
+        labels = data["labels"]
+        ids = data["ids"]
+    except (KeyError, ValueError, IndexError) as exc:
+        raise IndexCorruptionError(
+            f"cannot read OGs from {npz_path(path)}: {exc}",
+            details={"path": npz_path(path), "cause": type(exc).__name__},
+        ) from exc
     ogs = []
     for v, f, label, og_id in zip(values, frames, labels, ids):
         og = ObjectGraph(
@@ -181,8 +313,7 @@ def save_index(path: str | os.PathLike, index: STRGIndex) -> None:
             "seed": config.seed,
         })
         refs_json = json.dumps(refs, default=str)
-        np.savez_compressed(
-            path,
+        _atomic_savez(path, dict(
             og_values=og_flat, og_offsets=og_offsets, og_labels=labels,
             keys=np.asarray(keys, dtype=np.float64),
             leaf_of_og=np.asarray(leaf_of_og, dtype=np.int64),
@@ -192,32 +323,38 @@ def save_index(path: str | os.PathLike, index: STRGIndex) -> None:
             config=np.array(config_json),
             refs=np.array(refs_json),
             **_pack_backgrounds(index.root),
-        )
+        ))
     except OSError as exc:
-        raise StorageError(f"cannot write index to {path}: {exc}") from exc
+        raise StorageError(
+            f"cannot write index to {npz_path(path)}: {exc}"
+        ) from exc
 
 
 def load_index(path: str | os.PathLike) -> STRGIndex:
     """Load an index written by :func:`save_index`."""
+    data = _verified_load(path)
     try:
-        with np.load(path, allow_pickle=False) as data:
-            og_values = _unpack_ragged(data["og_values"], data["og_offsets"])
-            labels = data["og_labels"]
-            keys = data["keys"]
-            leaf_of_og = data["leaf_of_og"]
-            centroids = _unpack_ragged(
-                data["centroid_values"], data["centroid_offsets"]
-            )
-            cluster_root = data["cluster_root"]
-            num_roots = int(data["num_roots"])
-            config_kwargs = json.loads(str(data["config"]))
-            refs = json.loads(str(data["refs"]))
-            if "bg_frames" in data:
-                backgrounds = _unpack_backgrounds(data)
-            else:
-                backgrounds = [None] * num_roots
-    except (OSError, KeyError, ValueError) as exc:
-        raise StorageError(f"cannot read index from {path}: {exc}") from exc
+        og_values = _unpack_ragged(data["og_values"], data["og_offsets"])
+        labels = data["og_labels"]
+        keys = data["keys"]
+        leaf_of_og = data["leaf_of_og"]
+        centroids = _unpack_ragged(
+            data["centroid_values"], data["centroid_offsets"]
+        )
+        cluster_root = data["cluster_root"]
+        num_roots = int(data["num_roots"])
+        config_kwargs = json.loads(str(data["config"]))
+        refs = json.loads(str(data["refs"]))
+        if "bg_frames" in data:
+            backgrounds = _unpack_backgrounds(data)
+        else:
+            backgrounds = [None] * num_roots
+    except (KeyError, ValueError, IndexError,
+            json.JSONDecodeError) as exc:
+        raise IndexCorruptionError(
+            f"cannot read index from {npz_path(path)}: {exc}",
+            details={"path": npz_path(path), "cause": type(exc).__name__},
+        ) from exc
 
     index = STRGIndex(STRGIndexConfig(**config_kwargs))
     roots = [RootRecord(i, backgrounds[i]) for i in range(num_roots)]

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import InvalidParameterError, SegmentationError
 from repro.video.background_model import BackgroundSubtractionSegmenter
-from repro.video.frames import VideoSegment
 from repro.video.synthesize import (
     Actor,
     BackgroundSpec,

@@ -1,7 +1,5 @@
 """Tests for EGED_M lower bounds, index deletion and motion queries."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given, settings

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.clustering.base import ClusteringResult, kmeanspp_init, validate_inputs
+from repro.clustering.base import kmeanspp_init, validate_inputs
 from repro.clustering.centroid import synthesize_centroid, weighted_mean_og
 from repro.clustering.em import EMClustering, EMConfig
 from repro.clustering.evaluation import clustering_error_rate

@@ -1,7 +1,5 @@
 """Tests for STRG decomposition (Section 2.3): ORGs, OG merging, BG."""
 
-import math
-
 import numpy as np
 import pytest
 

@@ -1,7 +1,6 @@
 """Tests for the EM configuration surface: textbook vs stabilized modes."""
 
 import numpy as np
-import pytest
 
 from repro.clustering.em import EMClustering, EMConfig
 from repro.clustering.evaluation import clustering_error_rate

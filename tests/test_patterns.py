@@ -6,7 +6,6 @@ import pytest
 from repro.datasets.patterns import (
     ALL_PATTERNS,
     CANVAS,
-    MotionPattern,
     pattern_by_id,
 )
 from repro.errors import InvalidParameterError

@@ -5,7 +5,6 @@ import math
 import numpy as np
 import pytest
 
-from repro.core.index import STRGIndex, STRGIndexConfig
 from repro.errors import IndexStateError, InvalidParameterError
 from repro.graph.object_graph import ObjectGraph
 from repro.query import Query

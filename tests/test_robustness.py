@@ -11,6 +11,8 @@ import pytest
 
 from repro.graph.decomposition import DecompositionConfig
 from repro.pipeline import PipelineConfig, VideoPipeline
+from repro.resilience import FaultInjector, RetryPolicy, injected
+from repro.storage.database import VideoDatabase
 from repro.video.background_model import BackgroundSubtractionSegmenter
 from repro.video.segmentation import GridSegmenter, MeanShiftSegmenter
 from repro.video.synthesize import (
@@ -114,3 +116,55 @@ class TestCameraJitter:
         rightward = [og for og in decomposition.object_graphs
                      if og.values[-1, 0] - og.values[0, 0] > 30.0]
         assert rightward
+
+
+def _segmenters():
+    """The two fast segmenters, as (name, factory(video)) pairs."""
+    return [
+        ("grid", lambda video: GridSegmenter(min_region_size=10)),
+        ("bgsub", lambda video: BackgroundSubtractionSegmenter(
+            threshold=40.0, min_region_size=16).fit(video)),
+    ]
+
+
+#: (scenario name, injector factory) — the degraded-input scenarios a
+#: long-running deployment must contain rather than crash on.
+DEGRADATION_SCENARIOS = [
+    ("corrupt-frames", lambda: FaultInjector().inject(
+        "segmentation", kind="corrupt", rate=1.0)),
+    ("segmenter-crash", lambda: FaultInjector().inject(
+        "segmentation", rate=1.0)),
+    ("tracking-crash", lambda: FaultInjector().inject(
+        "tracking", rate=1.0)),
+    ("decomposition-crash", lambda: FaultInjector().inject(
+        "decomposition", rate=1.0)),
+]
+
+
+class TestDegradedIngestion:
+    """Under the default fault policy a bad segment is quarantined —
+    ingestion survives and subsequent clean segments still index."""
+
+    @pytest.mark.parametrize("seg_name,seg_factory", _segmenters(),
+                             ids=[n for n, _ in _segmenters()])
+    @pytest.mark.parametrize("scenario,make_injector", DEGRADATION_SCENARIOS,
+                             ids=[n for n, _ in DEGRADATION_SCENARIOS])
+    def test_quarantine_not_crash(self, seg_name, seg_factory,
+                                  scenario, make_injector):
+        video = render_mover()
+        db = VideoDatabase(
+            PipelineConfig(segmenter=seg_factory(video),
+                           decomposition=DecompositionConfig(
+                               min_velocity=1.0)),
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+        )
+        with injected(make_injector()):
+            assert db.ingest(video) == 0          # quarantined, not raised
+        health = db.health()
+        assert health["quarantined"] == 1
+        assert health["retries"] >= 1             # default policy retried
+        assert health["last_error"] is not None
+        # The database is still healthy: a clean segment ingests fine.
+        assert db.ingest(video) >= 1
+        assert db.health()["segments_ingested"] == 1
+        assert db.health()["quarantined"] == 1

@@ -4,11 +4,11 @@ import numpy as np
 import pytest
 
 from repro.core.index import STRGIndex, STRGIndexConfig
-from repro.distance.eged import MetricEGED
-from repro.errors import IndexStateError, StorageError
+from repro.errors import IndexCorruptionError, IndexStateError, StorageError
 from repro.graph.object_graph import ObjectGraph
 from repro.storage.database import VideoDatabase
 from repro.storage.serialize import (
+    FORMAT_VERSION,
     load_index,
     load_object_graphs,
     save_index,
@@ -139,6 +139,106 @@ class TestIndexSerialization:
         assert loaded.root[0].background is None
         assert loaded.root[1].background is not None
         assert loaded.root[1].background.frame_count == 7
+
+
+class TestCorruptionDetection:
+    """Persisted archives must fail loudly, never load silently wrong."""
+
+    def _saved_index(self, tmp_path, name="index.npz"):
+        index = STRGIndex(STRGIndexConfig(n_clusters=3))
+        index.build(blob_ogs())
+        path = tmp_path / name
+        save_index(path, index)
+        return path
+
+    def test_truncated_npz_raises_typed_error(self, tmp_path):
+        path = self._saved_index(tmp_path)
+        size = path.stat().st_size
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+        with pytest.raises(IndexCorruptionError) as excinfo:
+            load_index(path)
+        assert excinfo.value.details["path"].endswith("index.npz")
+
+    @pytest.mark.parametrize("position", [0.1, 0.2, 0.3, 0.4, 0.5,
+                                          0.6, 0.7, 0.8, 0.9])
+    def test_flipped_byte_never_loads_silently_wrong(self, tmp_path, position):
+        # Some offsets land in benign zip metadata (timestamps, attrs):
+        # those loads may succeed, but then MUST return the exact index.
+        # Payload flips must raise the typed corruption error.
+        path = self._saved_index(tmp_path)
+        reference = load_index(path)
+        size = path.stat().st_size
+        offset = int(size * position)
+        with open(path, "r+b") as fh:
+            fh.seek(offset)
+            byte = fh.read(1)
+            fh.seek(offset)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        try:
+            loaded = load_index(path)
+        except IndexCorruptionError:
+            return
+        assert loaded.stats() == reference.stats()
+        for og_ref, og_new in zip(reference.object_graphs(),
+                                  loaded.object_graphs()):
+            np.testing.assert_array_equal(og_ref.values, og_new.values)
+
+    def test_wrong_version_header_raises(self, tmp_path):
+        path = self._saved_index(tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: np.array(data[name]) for name in data.files}
+        arrays["__format_version__"] = np.int64(FORMAT_VERSION + 99)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(IndexCorruptionError, match="version"):
+            load_index(path)
+
+    def test_corrupt_og_file_raises(self, tmp_path):
+        path = tmp_path / "ogs.npz"
+        save_object_graphs(path, blob_ogs())
+        with open(path, "r+b") as fh:
+            fh.truncate(60)
+        with pytest.raises(IndexCorruptionError):
+            load_object_graphs(path)
+
+    def test_checksum_survives_clean_roundtrip(self, tmp_path):
+        # The integrity header must not interfere with normal loads.
+        path = self._saved_index(tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            assert "__checksum__" in data.files
+            assert int(data["__format_version__"]) == FORMAT_VERSION
+        assert len(load_index(path)) == len(blob_ogs())
+
+    def test_legacy_archive_without_header_still_loads(self, tmp_path):
+        # Pre-resilience (v1) archives carry no header keys.
+        path = self._saved_index(tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: np.array(data[name]) for name in data.files
+                      if not name.startswith("__")}
+        np.savez_compressed(path, **arrays)
+        index = load_index(path)
+        assert len(index) == len(blob_ogs())
+
+
+class TestPathHandling:
+    def test_suffixless_og_roundtrip(self, tmp_path):
+        ogs = blob_ogs(k=1, n_per=2)
+        stem = tmp_path / "ogs"                  # numpy will append .npz
+        save_object_graphs(stem, ogs)
+        assert (tmp_path / "ogs.npz").exists()
+        assert len(load_object_graphs(stem)) == len(ogs)
+
+    def test_suffixless_index_roundtrip(self, tmp_path):
+        index = STRGIndex(STRGIndexConfig(n_clusters=2))
+        index.build(blob_ogs(k=2, n_per=3))
+        stem = tmp_path / "nested" / "idx"
+        stem.parent.mkdir()
+        save_index(stem, index)
+        assert load_index(stem).stats() == index.stats()
+
+    def test_error_messages_use_normalized_path(self, tmp_path):
+        with pytest.raises(StorageError, match=r"missing\.npz"):
+            load_index(tmp_path / "missing")
 
 
 class TestVideoDatabase:

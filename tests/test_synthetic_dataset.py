@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets.patterns import ALL_PATTERNS, CANVAS
+from repro.datasets.patterns import ALL_PATTERNS
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_ogs
 from repro.errors import InvalidParameterError
 from repro.graph.object_graph import ObjectGraph

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import InvalidParameterError
-from repro.graph.attributes import AttributeTolerance, NodeAttributes
+from repro.graph.attributes import NodeAttributes
 from repro.graph.rag import RegionAdjacencyGraph
 from repro.graph.tracking import GraphTracker, TrackerConfig
 

@@ -11,7 +11,6 @@ from repro.errors import InvalidParameterError
 from repro.trajectory import (
     heading_angles,
     normalize,
-    resample,
     simplify,
     smooth,
     split_at_turns,
