@@ -4,14 +4,30 @@ Not a paper figure — engineering benchmarks tracking the cost of the
 O(n*m) dynamic programs that dominate every experiment (Section 6.3's
 cost model).  Uses pytest-benchmark's statistical timing (multiple
 rounds), unlike the figure benches which run expensive sweeps once.
+
+``bench_batch_engine_report`` additionally compares the scalar per-pair
+loop against the vectorized batch kernels and the multi-process executor
+and archives a machine-readable ``benchmarks/results/BENCH_kernels.json``
+(ops/sec per variant, EM wall-clock, cache hit rates).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
 import numpy as np
 import pytest
 
+from conftest import RESULTS_DIR, format_table, record_result
+
 LENGTHS = (16, 32, 64)
+
+#: Scale of the batch-engine report: 256 series of 64 nodes.
+BATCH_N = 64
+BATCH_SIZE = 256
+SCALAR_SAMPLE = 48
 
 
 @pytest.fixture(scope="module")
@@ -21,6 +37,15 @@ def series_pairs():
         n: (rng.normal(size=(n, 2)) * 20, rng.normal(size=(n + 7, 2)) * 20)
         for n in LENGTHS
     }
+
+
+@pytest.fixture(scope="module")
+def series_batch():
+    rng = np.random.default_rng(1)
+    return [
+        np.asarray(rng.normal(size=(BATCH_N, 2)) * 20, dtype=np.float64)
+        for _ in range(BATCH_SIZE)
+    ]
 
 
 @pytest.mark.parametrize("length", LENGTHS)
@@ -67,3 +92,228 @@ def bench_lower_bound_vs_full_distance(benchmark, series_pairs):
     a, b = series_pairs[64]
     result = benchmark(eged_metric_lower_bound, a, b)
     assert result >= 0.0
+
+
+# -- batched / parallel variants ---------------------------------------------
+
+def _seed_eged(a: np.ndarray, b: np.ndarray, mode: str = "adaptive") -> float:
+    """The seed repo's ``_eged_dynamic``: cost matrices round-tripped
+    through ``.tolist()`` plus a rolling-row DP over Python floats.
+
+    Kept here verbatim as the *pre-batching* scalar baseline — the
+    production ``eged()`` now delegates to the batch kernel even for a
+    single pair, so timing it would compare the engine against itself.
+    """
+    from repro.distance.base import node_cost_matrix
+    from repro.distance.eged import _gap_values
+
+    n, m = a.shape[0], b.shape[0]
+    sub = node_cost_matrix(a, b).tolist()
+    mid_b = _gap_values(b, mode)
+    del_cost = np.sqrt(
+        np.sum((a[:, None, :] - mid_b[None, :, :]) ** 2, axis=2)
+    ).tolist()
+    mid_a = _gap_values(a, mode)
+    ins_cost = np.sqrt(
+        np.sum((b[:, None, :] - mid_a[None, :, :]) ** 2, axis=2)
+    ).tolist()
+    prev = [0.0] * (m + 1)
+    for j in range(m):
+        prev[j + 1] = prev[j] + ins_cost[j][0]
+    for i in range(n):
+        srow = sub[i]
+        drow = del_cost[i]
+        cur = [prev[0] + drow[0]]
+        last = cur[0]
+        for j in range(m):
+            best = prev[j] + srow[j]
+            cand = prev[j + 1] + drow[j + 1]
+            if cand < best:
+                best = cand
+            cand = last + ins_cost[j][i + 1]
+            if cand < best:
+                best = cand
+            cur.append(best)
+            last = best
+        prev = cur
+    return float(prev[m])
+
+
+def _engine_distances():
+    """kernel name -> (batch-capable Distance, pre-batching scalar loop).
+
+    ``erp``/``dtw``/``lcs_distance`` still *are* the rolling-row scalar
+    loops; EGED's scalar path delegates to the batch kernel, so its
+    baseline is the seed implementation preserved in :func:`_seed_eged`.
+    """
+    from repro.distance.dtw import DTW, dtw
+    from repro.distance.eged import EGED, MetricEGED
+    from repro.distance.erp import erp
+    from repro.distance.lcs import LCSDistance, lcs_distance
+
+    return {
+        "eged_adaptive": (EGED(), _seed_eged),
+        "eged_metric": (MetricEGED(), erp),
+        "dtw": (DTW(), dtw),
+        "lcs": (LCSDistance(epsilon=12.0),
+                lambda a, b: lcs_distance(a, b, 12.0)),
+    }
+
+
+@pytest.mark.parametrize("kernel", ["eged_adaptive", "eged_metric",
+                                    "dtw", "lcs"])
+def bench_one_vs_many_batched(benchmark, series_batch, kernel):
+    """One vectorized sweep over 64 series (the EM E-step shape)."""
+    from repro.distance.batch import one_vs_many
+
+    distance, _ = _engine_distances()[kernel]
+    items = series_batch[:64]
+    out = benchmark(one_vs_many, distance, series_batch[64], items)
+    assert out.shape == (64,) and np.all(out >= 0.0)
+
+
+def bench_one_vs_many_parallel(benchmark, series_batch):
+    """The same sweep through the process-pool executor."""
+    from repro.distance.eged import MetricEGED
+    from repro.parallel import DistanceExecutor
+
+    distance = MetricEGED()
+    with DistanceExecutor(workers=max(2, os.cpu_count() or 1),
+                          min_pairs=1) as ex:
+        ex.one_vs_many(distance, series_batch[0], series_batch[:8])  # warm up
+        out = benchmark(ex.one_vs_many, distance, series_batch[64],
+                        series_batch[:64])
+    assert out.shape == (64,)
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Best wall-clock of ``repeats`` runs — the standard defence against
+    scheduler jitter on a single-CPU container."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_batch_engine_report(series_batch):
+    """Scalar vs batch vs parallel throughput + EM wall-clock.
+
+    Times each variant (best of three runs) at the n=64 / batch=256 scale
+    (32 640 pairs for the full symmetric matrix), archives
+    ``benchmarks/results/BENCH_kernels.json`` and asserts the batched
+    pairwise matrix sustains at least 5x the scalar per-pair loop.
+    """
+    from repro.clustering.em import EMClustering, EMConfig
+    from repro.distance.base import Distance
+    from repro.distance.batch import pairwise_matrix
+    from repro.distance.cache import DistanceCache, set_default_cache
+    from repro.distance.eged import EGED
+    from repro.parallel import DistanceExecutor
+
+    items = series_batch
+    n_pairs = len(items) * (len(items) - 1) // 2
+    workers = os.cpu_count() or 1
+    report: dict = {
+        "config": {
+            "series_length": BATCH_N,
+            "batch_size": len(items),
+            "matrix_pairs": n_pairs,
+            "scalar_sample_pairs": SCALAR_SAMPLE,
+            "workers": workers,
+        },
+        "kernels": {},
+    }
+    rows = []
+    for name, (distance, scalar_fn) in _engine_distances().items():
+        sample = [(items[i], items[(7 * i + 1) % len(items)])
+                  for i in range(SCALAR_SAMPLE)]
+
+        def _scalar_loop():
+            for a, b in sample:
+                scalar_fn(a, b)
+
+        scalar_ops = SCALAR_SAMPLE / _best_of(_scalar_loop)
+        batch_ops = n_pairs / _best_of(
+            lambda: pairwise_matrix(distance, items)
+        )
+        with DistanceExecutor(workers=workers, min_pairs=1) as ex:
+            parallel_ops = n_pairs / _best_of(
+                lambda: pairwise_matrix(distance, items, executor=ex)
+            )
+        report["kernels"][name] = {
+            "scalar_ops_per_sec": scalar_ops,
+            "batch_ops_per_sec": batch_ops,
+            "parallel_ops_per_sec": parallel_ops,
+            "batch_speedup": batch_ops / scalar_ops,
+            "parallel_speedup": parallel_ops / scalar_ops,
+        }
+        rows.append([name, f"{scalar_ops:.0f}", f"{batch_ops:.0f}",
+                     f"{parallel_ops:.0f}",
+                     f"{batch_ops / scalar_ops:.1f}x"])
+
+    # EM wall-clock: the batched+cached engine vs a per-pair-only wrapper.
+    class _ScalarOnly(Distance):
+        """Hides ``compute_many``/``cache_token`` → per-pair, uncached."""
+
+        def __init__(self, inner):
+            self.inner = inner
+
+        def compute(self, a, b):
+            return self.inner.compute(a, b)
+
+    rng = np.random.default_rng(3)
+    em_series = [
+        np.asarray(rng.normal(size=(int(rng.integers(12, 20)), 2)) * 10)
+        for _ in range(64)
+    ]
+    cfg = dict(n_clusters=6, max_iterations=8, seed=0)
+    bench_cache = DistanceCache()
+    previous_cache = set_default_cache(bench_cache)
+    try:
+        t0 = time.perf_counter()
+        EMClustering(EMConfig(**cfg), distance=EGED()).fit(em_series)
+        batched_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        EMClustering(EMConfig(**cfg),
+                     distance=_ScalarOnly(EGED())).fit(em_series)
+        scalar_seconds = time.perf_counter() - t0
+    finally:
+        set_default_cache(previous_cache)
+    report["em_clustering"] = {
+        "ogs": len(em_series),
+        "n_clusters": cfg["n_clusters"],
+        "max_iterations": cfg["max_iterations"],
+        "scalar_seconds": scalar_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": scalar_seconds / batched_seconds,
+        "cache": bench_cache.stats.as_dict(),
+    }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_kernels.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    lines = format_table(
+        ["kernel", "scalar ops/s", "batch ops/s", "parallel ops/s",
+         "batch speedup"],
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        f"EM wall-clock: scalar {scalar_seconds:.2f}s vs batched "
+        f"{batched_seconds:.2f}s "
+        f"({scalar_seconds / batched_seconds:.1f}x, cache hit rate "
+        f"{bench_cache.stats.hit_rate():.0%})"
+    )
+    record_result("BENCH_kernels", lines)
+
+    for name, row in report["kernels"].items():
+        assert row["batch_speedup"] >= 5.0, (
+            f"{name}: batched pairwise matrix only "
+            f"{row['batch_speedup']:.1f}x over the scalar loop"
+        )
+    assert batched_seconds < scalar_seconds, (
+        "batched EM slower than the per-pair path"
+    )

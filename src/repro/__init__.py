@@ -21,12 +21,15 @@ The package mirrors the paper's pipeline:
 - :mod:`repro.storage` — serialization and the ``VideoDatabase`` facade.
 - :mod:`repro.resilience` — fault injection, retry/backoff policies,
   quarantine, ingest journaling and crash recovery.
+- :mod:`repro.parallel` — multi-process fan-out for the batched distance
+  kernels of :mod:`repro.distance.batch`.
 """
 
 from repro.graph.object_graph import ObjectGraph
 from repro.graph.strg import SpatioTemporalRegionGraph
 from repro.distance.eged import EGED, MetricEGED, eged
 from repro.core.index import STRGIndex
+from repro.parallel import DistanceExecutor
 from repro.pipeline import VideoPipeline, PipelineConfig
 from repro.query import Query
 from repro.resilience import FaultInjector, FaultPolicy, RetryPolicy
@@ -41,6 +44,7 @@ __all__ = [
     "MetricEGED",
     "eged",
     "STRGIndex",
+    "DistanceExecutor",
     "VideoPipeline",
     "PipelineConfig",
     "Query",

@@ -8,6 +8,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.distance.base import Distance, as_series
+from repro.distance.batch import supports_batch
+from repro.distance.cache import cached_one_vs_many
 from repro.errors import ClusteringError, InvalidParameterError
 
 
@@ -77,13 +79,28 @@ def validate_inputs(ogs: Sequence, k: int) -> list[np.ndarray]:
     return [as_series(og) for og in ogs]
 
 
+def distances_to_centroid(distance: Distance, series: list[np.ndarray],
+                          centroid: np.ndarray) -> np.ndarray:
+    """``(M,)`` distances from every OG to one centroid.
+
+    Batch-capable distances (EGED/ERP/DTW/LCS — all symmetric) run one
+    vectorized DP sweep through the memo cache, which is what makes the
+    E-step of EM an O(K) sequence of NumPy kernels instead of O(K M)
+    Python calls; other distances keep the per-pair ``(series, centroid)``
+    call order so asymmetric user distances behave as before.
+    """
+    if supports_batch(distance):
+        return cached_one_vs_many(distance, centroid, series)
+    return np.array([distance.compute(s, centroid) for s in series],
+                    dtype=np.float64)
+
+
 def distance_matrix_to_centroids(distance: Distance, series: list[np.ndarray],
                                  centroids: list[np.ndarray]) -> np.ndarray:
     """``(M, K)`` matrix of distances from every OG to every centroid."""
     out = np.empty((len(series), len(centroids)), dtype=np.float64)
-    for j, s in enumerate(series):
-        for k, c in enumerate(centroids):
-            out[j, k] = distance.compute(s, c)
+    for k, c in enumerate(centroids):
+        out[:, k] = distances_to_centroid(distance, series, c)
     return out
 
 
@@ -93,12 +110,13 @@ def kmeanspp_init(series: list[np.ndarray], k: int, distance: Distance,
 
     Gives every algorithm (EM, KM, KHM) the same competitive start, so the
     Figure 5/6 comparisons measure the update rules, not the seeding.
+    Because every seed centroid is a copy of an actual input series,
+    these distances are OG-vs-OG pairs that the memo cache reuses across
+    BIC's K-sweep and ``n_init`` restarts.
     """
     first = int(rng.integers(len(series)))
     centroids = [series[first].copy()]
-    closest = np.array(
-        [distance.compute(s, centroids[0]) for s in series], dtype=np.float64
-    )
+    closest = distances_to_centroid(distance, series, centroids[0])
     for _ in range(1, k):
         weights = closest ** 2
         total = weights.sum()
@@ -107,8 +125,6 @@ def kmeanspp_init(series: list[np.ndarray], k: int, distance: Distance,
         else:
             idx = int(rng.choice(len(series), p=weights / total))
         centroids.append(series[idx].copy())
-        new_d = np.array(
-            [distance.compute(s, centroids[-1]) for s in series]
-        )
+        new_d = distances_to_centroid(distance, series, centroids[-1])
         closest = np.minimum(closest, new_d)
     return centroids

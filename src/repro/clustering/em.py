@@ -287,11 +287,10 @@ class EMClustering:
     def predict(self, result: ClusteringResult, og) -> int:
         """Most probable component for a new OG (Eq. 7)."""
         from repro.distance.base import as_series
+        from repro.distance.cache import cached_one_vs_many
 
         series = as_series(og)
-        dist = np.array(
-            [self.distance.compute(series, c) for c in result.centroids]
-        )
+        dist = cached_one_vs_many(self.distance, series, result.centroids)
         log_dens = self._log_density(dist[None, :], result.sigmas)
         post = self._responsibilities(log_dens, result.weights)
         return int(np.argmax(post[0]))

@@ -26,6 +26,7 @@ from repro.core.nodes import (
     RootRecord,
 )
 from repro.distance.base import Distance, as_series
+from repro.distance.batch import one_vs_many, supports_batch
 from repro.distance.eged import EGED, MetricEGED
 from repro.errors import IndexStateError, InvalidParameterError
 from repro.graph.decomposition import BackgroundGraph
@@ -139,27 +140,68 @@ class STRGIndex:
             for c in range(result.num_clusters)
         ]
 
-        def place(og, cluster: int | None, ref) -> None:
-            """Insert one OG: into its EM cluster, or the nearest centroid."""
-            if cluster is not None:
-                record = records[cluster]
-                key = self.metric_distance(og, record.centroid)
-            else:
-                keys = [self.metric_distance(og, r.centroid) for r in records]
-                best = int(np.argmin(keys))
-                record = records[best]
-                key = keys[best]
-            record.leaf.insert(LeafRecord(key, og, ref))
-
         sampled_cluster = {
             og.og_id if isinstance(og, ObjectGraph) else id(og):
                 int(result.assignments[i])
             for i, og in enumerate(sample)
         }
-        for j, og in enumerate(ogs):
-            ref = clip_refs[j] if clip_refs is not None else None
-            key = og.og_id if isinstance(og, ObjectGraph) else id(og)
-            place(og, sampled_cluster.get(key), ref)
+        refs = list(clip_refs) if clip_refs is not None else [None] * len(ogs)
+        cluster_of = [
+            sampled_cluster.get(
+                og.og_id if isinstance(og, ObjectGraph) else id(og)
+            )
+            for og in ogs
+        ]
+        if supports_batch(self.metric_distance):
+            # Batched key computation: one DP sweep per (cluster, member
+            # group) for EM-assigned OGs, and one sweep per centroid over
+            # the out-of-sample OGs (the O(K M) assignment of Section
+            # 6.3's build cost) — the same evaluations as the per-pair
+            # path, so CountingDistance totals are unchanged.
+            og_series = [as_series(og) for og in ogs]
+            keys = np.empty(len(ogs), dtype=np.float64)
+            target = np.empty(len(ogs), dtype=np.int64)
+            grouped: dict[int, list[int]] = {}
+            unassigned: list[int] = []
+            for j, cluster in enumerate(cluster_of):
+                if cluster is None:
+                    unassigned.append(j)
+                else:
+                    grouped.setdefault(cluster, []).append(j)
+            for cluster, members in grouped.items():
+                target[members] = cluster
+                keys[members] = one_vs_many(
+                    self.metric_distance, records[cluster].centroid,
+                    [og_series[j] for j in members],
+                )
+            if unassigned:
+                cols = np.stack([
+                    one_vs_many(self.metric_distance, record.centroid,
+                                [og_series[j] for j in unassigned])
+                    for record in records
+                ], axis=1)
+                best = np.argmin(cols, axis=1)
+                keys[unassigned] = cols[np.arange(len(unassigned)), best]
+                target[unassigned] = best
+            for j, og in enumerate(ogs):
+                records[int(target[j])].leaf.insert(
+                    LeafRecord(float(keys[j]), og, refs[j])
+                )
+        else:
+            # Per-pair fallback preserving the (og, centroid) call order
+            # for arbitrary (possibly asymmetric) metric callables.
+            for j, og in enumerate(ogs):
+                cluster = cluster_of[j]
+                if cluster is not None:
+                    record = records[cluster]
+                    key = self.metric_distance(og, record.centroid)
+                else:
+                    pairs = [self.metric_distance(og, r.centroid)
+                             for r in records]
+                    best = int(np.argmin(pairs))
+                    record = records[best]
+                    key = pairs[best]
+                record.leaf.insert(LeafRecord(key, og, refs[j]))
         for record in list(records):
             if len(record.leaf) == 0:
                 root_record.cluster_node.remove(record)
@@ -186,15 +228,42 @@ class STRGIndex:
         cluster_node = root_record.cluster_node
         if len(cluster_node) == 0:
             record = cluster_node.add(as_series(og).copy())
+            key = float(self.metric_distance(og, record.centroid))
         else:
-            record = min(
-                cluster_node.records,
-                key=lambda r: self.metric_distance(og, r.centroid),
+            records = cluster_node.records
+            dists = self._keys_to_centroids(
+                og, [r.centroid for r in records]
             )
-        key = self.metric_distance(og, record.centroid)
+            best = int(np.argmin(dists))
+            record = records[best]
+            key = float(dists[best])
         record.leaf.insert(LeafRecord(key, og, clip_ref))
         if len(record.leaf) > self.config.leaf_capacity:
             self._maybe_split(cluster_node, record)
+
+    def _keys_to_centroids(self, og, centroids: list[np.ndarray]
+                           ) -> np.ndarray:
+        """Metric key of one OG/query against many centroids.
+
+        Batch-capable metrics run the kernel *centroid-first* — the same
+        direction :meth:`build` uses for the stored leaf keys — because
+        the vectorized DP is only mathematically (not bit-for-bit)
+        symmetric, and key lookups of already-indexed objects (e.g. a
+        ``range_query`` with radius 0) rely on exact key equality.
+        Other metrics keep the per-pair ``(og, centroid)`` call order,
+        matching their per-pair build path.
+        """
+        if supports_batch(self.metric_distance):
+            series = as_series(og)
+            return np.array(
+                [float(one_vs_many(self.metric_distance, c, [series])[0])
+                 for c in centroids],
+                dtype=np.float64,
+            )
+        return np.array(
+            [float(self.metric_distance(og, c)) for c in centroids],
+            dtype=np.float64,
+        )
 
     def _match_root(self, background: BackgroundGraph | None
                     ) -> RootRecord | None:
@@ -254,10 +323,19 @@ class STRGIndex:
             if members.size == 0:
                 continue
             new_record = cluster_node.add(two.centroids[c])
-            for j in members:
-                og = ogs[int(j)]
-                key = self.metric_distance(og, new_record.centroid)
-                new_record.leaf.insert(LeafRecord(key, og, refs[int(j)]))
+            member_ogs = [ogs[int(j)] for j in members]
+            if supports_batch(self.metric_distance):
+                # Built-in metrics are symmetric: one sweep keys the
+                # whole member group against the new centroid.
+                keys = one_vs_many(self.metric_distance,
+                                   new_record.centroid, member_ogs)
+            else:
+                keys = [self.metric_distance(og, new_record.centroid)
+                        for og in member_ogs]
+            for pos, j in enumerate(members):
+                new_record.leaf.insert(
+                    LeafRecord(float(keys[pos]), ogs[int(j)], refs[int(j)])
+                )
 
     def delete(self, og_id: int) -> bool:
         """Remove the OG with ``og_id`` from the index.
@@ -323,14 +401,22 @@ class STRGIndex:
             for root_record in root_records
             for record in root_record.cluster_node
         ]
-        if n_probe is not None:
-            records.sort(key=lambda r: self.cluster_distance(query, r.centroid))
-            records = records[:n_probe]
-        ranked = [
-            (self.metric_distance(query, record.centroid), record)
-            for record in records
-        ]
-        ranked.sort(key=lambda item: item[0])
+        ranked: list[tuple[float, ClusterRecord]] = []
+        if records:
+            if n_probe is not None:
+                probe = one_vs_many(
+                    self.cluster_distance, query,
+                    [r.centroid for r in records],
+                )
+                order = np.argsort(probe, kind="stable")[:n_probe]
+                records = [records[int(i)] for i in order]
+            key_qs = self._keys_to_centroids(
+                query, [r.centroid for r in records]
+            )
+            order = np.argsort(key_qs, kind="stable")
+            ranked = [
+                (float(key_qs[int(i)]), records[int(i)]) for i in order
+            ]
 
         best: list[tuple[float, ObjectGraph, Any]] = []
 
@@ -399,8 +485,13 @@ class STRGIndex:
             root_records = list(self.root)
         results: list[tuple[float, ObjectGraph, Any]] = []
         for root_record in root_records:
-            for record in root_record.cluster_node:
-                key_q = self.metric_distance(query, record.centroid)
+            records = list(root_record.cluster_node)
+            if not records:
+                continue
+            key_qs = self._keys_to_centroids(
+                query, [r.centroid for r in records]
+            )
+            for key_q, record in zip(key_qs, records):
                 for leaf_record in record.leaf:
                     if abs(leaf_record.key - key_q) > radius:
                         continue

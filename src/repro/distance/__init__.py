@@ -14,6 +14,21 @@ from repro.distance.base import (
     pairwise_matrix,
     check_metric_axioms,
 )
+from repro.distance.batch import (
+    batch_dtw,
+    batch_eged,
+    batch_erp,
+    batch_lcs,
+    one_vs_many,
+    supports_batch,
+)
+from repro.distance.cache import (
+    CacheStats,
+    DistanceCache,
+    cached_one_vs_many,
+    get_default_cache,
+    set_default_cache,
+)
 from repro.distance.lp import LpDistance, lp_distance
 from repro.distance.dtw import DTW, dtw
 from repro.distance.lcs import LCSDistance, lcs_length, lcs_distance
@@ -35,6 +50,17 @@ __all__ = [
     "as_series",
     "pairwise_matrix",
     "check_metric_axioms",
+    "batch_dtw",
+    "batch_eged",
+    "batch_erp",
+    "batch_lcs",
+    "one_vs_many",
+    "supports_batch",
+    "CacheStats",
+    "DistanceCache",
+    "cached_one_vs_many",
+    "get_default_cache",
+    "set_default_cache",
     "LpDistance",
     "lp_distance",
     "DTW",

@@ -72,6 +72,24 @@ class Distance(abc.ABC):
     def compute(self, a: np.ndarray, b: np.ndarray) -> float:
         """Distance between two normalized ``(n, d)`` series."""
 
+    def compute_many(self, query: np.ndarray,
+                     batch: Sequence[np.ndarray]) -> np.ndarray:
+        """Distances from ``query`` to every normalized series in ``batch``.
+
+        The default is a per-pair loop with the ``(query, item)`` argument
+        order preserved; the EGED/ERP/DTW/LCS kernels override it with the
+        wavefront-batched DPs of :mod:`repro.distance.batch`.
+        """
+        return np.array([self.compute(query, b) for b in batch],
+                        dtype=np.float64)
+
+    #: Hashable identity of the distance function *and* its parameters,
+    #: or ``None`` when results must not be memoized.  Distances exposing
+    #: a token promise to be symmetric and deterministic, which is what
+    #: lets :class:`repro.distance.cache.DistanceCache` store each pair
+    #: once under a canonical key.
+    cache_token: Any = None
+
     @property
     def name(self) -> str:
         """Short human-readable identifier (used in benchmark tables)."""
@@ -116,6 +134,18 @@ class CountingDistance(Distance):
         self.calls += 1
         return self.inner.compute(a, b)
 
+    def compute_many(self, query: np.ndarray,
+                     batch: Sequence[np.ndarray]) -> np.ndarray:
+        """Batched evaluation still counts one call per pair (the paper's
+        cost model charges per distance *evaluation*, however computed).
+
+        ``cache_token`` stays ``None`` so counting distances bypass the
+        memo cache — a cache hit would silently drop evaluations from the
+        Figure 7(b) counts.
+        """
+        self.calls += len(batch)
+        return self.inner.compute_many(query, batch)
+
     def reset(self) -> None:
         """Zero the call counter."""
         self.calls = 0
@@ -132,7 +162,14 @@ def pairwise_matrix(distance: Distance | Callable[[Any, Any], float],
 
     When ``others`` is omitted the matrix is the symmetric self-distance
     matrix of ``items`` and only the upper triangle is evaluated.
+    :class:`Distance` instances are evaluated one batched row at a time
+    (see :mod:`repro.distance.batch`); plain callables fall back to the
+    per-pair loop.
     """
+    if isinstance(distance, Distance):
+        from repro.distance.batch import pairwise_matrix as _batched
+
+        return _batched(distance, items, others)
     if others is None:
         n = len(items)
         out = np.zeros((n, n), dtype=np.float64)

@@ -1,0 +1,398 @@
+"""Batched distance kernels: one DP sweep for a whole batch of pairs.
+
+Every distance in this package is an O(n*m) dynamic program, and Section
+6.3's cost model makes those DPs the dominant cost of every experiment —
+EM evaluates EGED against every centroid each iteration, BIC repeats whole
+EM runs across K, and index build / k-NN pay per-pair calls.  The scalar
+kernels (:mod:`repro.distance.eged` etc.) run a rolling-row Python loop
+per pair; this module instead pads a batch of series to a common length
+and advances the recurrence one *row* at a time as NumPy operations over
+the entire batch, so P pairs cost roughly one NumPy-speed DP instead of P
+Python-loop DPs.
+
+Row-scan vectorization
+----------------------
+A DP row cannot be vectorized naively because ``cur[j]`` depends on
+``cur[j - 1]`` (the insert/left transition).  All four recurrences are
+min-plus (max-plus for LCS) linear along a row, so the row collapses to a
+prefix scan.  Writing ``E[j]`` for the part of cell ``j`` that depends
+only on the *previous* row and ``w[j]`` for the additive weight of the
+left transition into cell ``j``:
+
+    cur[j] = min(E[j], cur[j-1] + w[j])
+           = C[j] + min_{k <= j} (E[k] - C[k]),   C[j] = w[1] + ... + w[j]
+
+which is one ``cumsum`` plus one ``np.minimum.accumulate`` over the whole
+``(batch, row)`` plane.  For LCS the weight is zero and min becomes max,
+so the scan is exact integer arithmetic; for the real-valued kernels the
+re-association of the sums introduces rounding differences of order
+``1e-12`` relative to the scalar kernels (well inside the 1e-9 equivalence
+tolerance the test suite enforces).
+
+Padding
+-------
+Series are right-padded with zeros to the batch maximum length ``M``.
+Cells at column ``j`` only ever read columns ``<= j`` of the current and
+previous row, so the garbage computed in padded columns never reaches the
+cell ``(n, m_b)`` that is read out for a series of true length
+``m_b <= M``.  Batches are processed in length-sorted chunks (bounded by
+:data:`MAX_CELLS` DP cells) to limit both padding waste and peak memory.
+
+The public entry points are :func:`one_vs_many` and
+:func:`pairwise_matrix`; they dispatch through
+:meth:`repro.distance.base.Distance.compute_many`, which the four kernel
+classes override to land here.  Distances without a batched kernel (or
+plain callables) fall back to a per-pair loop with unchanged call order,
+so asymmetric user distances keep their semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.distance.base import (
+    Distance,
+    SeriesLike,
+    as_series,
+    check_same_dim,
+)
+
+try:  # optional: ~2x faster node-norm tensors when SciPy is around
+    from scipy.spatial.distance import cdist as _cdist
+except ImportError:  # pragma: no cover - exercised only without SciPy
+    _cdist = None
+
+#: Upper bound on ``batch * n * M`` DP cells processed per chunk; keeps the
+#: cost tensors (the largest is ``(batch, n, M + 1)`` float64) around a few
+#: tens of megabytes.
+MAX_CELLS = 4_000_000
+
+
+# -- padding / chunking -------------------------------------------------------
+
+
+def _normalize_batch(query: SeriesLike, items: Sequence[SeriesLike]
+                     ) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Coerce the query and every batch item to ``(n, d)`` series."""
+    a = as_series(query)
+    bs = []
+    for item in items:
+        b = as_series(item)
+        check_same_dim(a, b)
+        bs.append(b)
+    return a, bs
+
+
+def _pad(series: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Right-pad a list of ``(m_i, d)`` series with zeros to a common
+    length; returns the ``(B, M, d)`` tensor and the true lengths."""
+    lengths = np.array([s.shape[0] for s in series], dtype=np.int64)
+    big = int(lengths.max())
+    out = np.zeros((len(series), big, series[0].shape[1]), dtype=np.float64)
+    for i, s in enumerate(series):
+        out[i, : s.shape[0]] = s
+    return out, lengths
+
+
+def _chunked(kernel: Callable, a: np.ndarray, bs: list[np.ndarray],
+             *params) -> np.ndarray:
+    """Run ``kernel`` over length-sorted chunks of ``bs`` bounded by
+    :data:`MAX_CELLS` DP cells, scattering results back to input order."""
+    out = np.empty(len(bs), dtype=np.float64)
+    if not bs:
+        return out
+    n = a.shape[0]
+    order = sorted(range(len(bs)), key=lambda i: bs[i].shape[0])
+    pos = 0
+    while pos < len(order):
+        stop = pos + 1
+        while stop < len(order):
+            longest = bs[order[stop]].shape[0] + 1
+            if (stop - pos + 1) * n * longest > MAX_CELLS:
+                break
+            stop += 1
+        idx = order[pos:stop]
+        padded, lengths = _pad([bs[i] for i in idx])
+        out[idx] = kernel(a, padded, lengths, *params)
+        pos = stop
+    return out
+
+
+def _row_scan_min(e: np.ndarray, c: np.ndarray, scan: np.ndarray,
+                  out: np.ndarray) -> None:
+    """Min-plus prefix scan: ``cur[j] = min(E[j], cur[j-1] + w[j])`` with
+    ``c`` the prefix sums of the left-transition weights ``w``.  Runs
+    entirely in the preallocated ``scan``/``out`` buffers."""
+    np.subtract(e, c, out=scan)
+    np.minimum.accumulate(scan, axis=1, out=scan)
+    np.add(c, scan, out=out)
+
+
+def _norms_to(points: np.ndarray, ref: np.ndarray) -> np.ndarray:
+    """Batched L2 norms in DP-row-major layout.
+
+    ``points`` is ``(B, M, d)`` and ``ref`` is ``(R, d)``; the result is
+    ``(R, B, M)`` — the reference (DP row) axis first, so the per-row
+    slices taken inside the kernels are contiguous.  Both paths compute
+    ``sqrt(sum_k (p_k - r_k)^2)`` directly (no expanded ``|p|^2 + |r|^2 -
+    2 p.r`` form, whose cancellation would blow the 1e-9 scalar-equivalence
+    tolerance); SciPy's C loop is ~2x the NumPy path, which accumulates the
+    squared differences one attribute dimension at a time so no ``(B, M,
+    R, d)`` intermediate is ever materialized.
+    """
+    if _cdist is not None:
+        batch, big, dim = points.shape
+        return _cdist(ref, points.reshape(batch * big, dim)).reshape(
+            ref.shape[0], batch, big
+        )
+    out = np.square(points[None, :, :, 0] - ref[:, None, None, 0])
+    for k in range(1, ref.shape[1]):
+        diff = points[None, :, :, k] - ref[:, None, None, k]
+        out += np.square(diff, out=diff)
+    return np.sqrt(out, out=out)
+
+
+# -- kernels ------------------------------------------------------------------
+
+
+def _erp_kernel(a: np.ndarray, padded: np.ndarray, lengths: np.ndarray,
+                gap: np.ndarray) -> np.ndarray:
+    """Unconstrained ERP over one padded chunk."""
+    n = a.shape[0]
+    batch, big = padded.shape[0], padded.shape[1]
+    sub = _norms_to(padded, a)                       # (n, B, M)
+    gap_a = np.sqrt(np.sum((a - gap[None, :]) ** 2, axis=1))      # (n,)
+    gap_b = np.sqrt(np.sum((padded - gap[None, None, :]) ** 2, axis=2))
+    # Prefix sums of the insert weights double as DP row 0.
+    c = np.zeros((batch, big + 1), dtype=np.float64)
+    np.cumsum(gap_b, axis=1, out=c[:, 1:])
+    prev = c.copy()
+    e = np.empty_like(prev)
+    scan = np.empty_like(prev)
+    t1 = np.empty((batch, big), dtype=np.float64)
+    t2 = np.empty_like(t1)
+    for i in range(n):
+        e[:, 0] = prev[:, 0] + gap_a[i]
+        np.add(prev[:, :-1], sub[i], out=t1)
+        np.add(prev[:, 1:], gap_a[i], out=t2)
+        np.minimum(t1, t2, out=e[:, 1:])
+        _row_scan_min(e, c, scan, prev)
+    return prev[np.arange(batch), lengths]
+
+
+def _gap_states(padded: np.ndarray, lengths: np.ndarray,
+                mode: str) -> np.ndarray:
+    """Batched :func:`repro.distance.eged._gap_values`: per-item gap
+    reference values for alignment states ``0..m_i`` of each series."""
+    from repro.distance.eged import ADAPTIVE
+
+    batch, big, dim = padded.shape
+    # Zero-init: states past ``m_i`` are never read by the DP, but they do
+    # flow through the batched norm, so they must stay finite.
+    out = np.zeros((batch, big + 1, dim), dtype=np.float64)
+    out[:, 0] = padded[:, 0]
+    if mode == ADAPTIVE:
+        if big > 1:
+            out[:, 1:big] = (padded[:, :-1] + padded[:, 1:]) / 2.0
+        # State m_i clamps to the last *true* node, not the padding.
+        rows = np.arange(batch)
+        out[rows, lengths] = padded[rows, lengths - 1]
+    else:
+        out[:, 1:] = padded
+    return out
+
+
+def _eged_kernel(a: np.ndarray, padded: np.ndarray, lengths: np.ndarray,
+                 mode: str) -> np.ndarray:
+    """Non-metric EGED (adaptive or dtw gap policy) over one padded chunk."""
+    from repro.distance.eged import _gap_values
+
+    n = a.shape[0]
+    batch, big = padded.shape[0], padded.shape[1]
+    sub = _norms_to(padded, a)                       # (n, B, M)
+    mid_a = _gap_values(a, mode)                     # (n + 1, d)
+    mid_b = _gap_states(padded, lengths, mode)       # (B, M + 1, d)
+    # del_cost[i, b, j]: gap a[i] while b has consumed j nodes.
+    del_cost = _norms_to(mid_b, a)                   # (n, B, M + 1)
+    # ins_cost[i, b, j]: gap b[j] while a has consumed i nodes.
+    ins_cost = _norms_to(padded, mid_a)              # (n + 1, B, M)
+
+    # ins_cum[i]: the insert-only DP row for ``a`` consumed up to i — one
+    # vectorized prefix sum for all n+1 rows instead of n+1 in-loop calls.
+    ins_cum = np.zeros((n + 1, batch, big + 1), dtype=np.float64)
+    np.cumsum(ins_cost, axis=2, out=ins_cum[:, :, 1:])
+
+    prev = ins_cum[0].copy()
+    e = np.empty_like(prev)
+    scan = np.empty_like(prev)
+    t1 = np.empty((batch, big), dtype=np.float64)
+    t2 = np.empty_like(t1)
+    for i in range(n):
+        c = ins_cum[i + 1]
+        e[:, 0] = prev[:, 0] + del_cost[i][:, 0]
+        np.add(prev[:, :-1], sub[i], out=t1)
+        np.add(prev[:, 1:], del_cost[i][:, 1:], out=t2)
+        np.minimum(t1, t2, out=e[:, 1:])
+        _row_scan_min(e, c, scan, prev)
+    return prev[np.arange(batch), lengths]
+
+
+def _dtw_kernel(a: np.ndarray, padded: np.ndarray,
+                lengths: np.ndarray) -> np.ndarray:
+    """Unconstrained DTW over one padded chunk."""
+    n = a.shape[0]
+    batch, big = padded.shape[0], padded.shape[1]
+    cost = _norms_to(padded, a)                      # (n, B, M)
+    prev = np.full((batch, big + 1), np.inf)
+    prev[:, 0] = 0.0
+    v = np.empty_like(prev)
+    v[:, 0] = np.inf
+    s = np.zeros_like(prev)
+    scan = np.empty_like(prev)
+    t1 = np.empty((batch, big), dtype=np.float64)
+    for i in range(n):
+        crow = cost[i]
+        np.cumsum(crow, axis=1, out=s[:, 1:])
+        np.minimum(prev[:, :-1], prev[:, 1:], out=t1)
+        np.add(crow, t1, out=v[:, 1:])
+        _row_scan_min(v, s, scan, prev)
+    return prev[np.arange(batch), lengths]
+
+
+def _lcs_kernel(a: np.ndarray, padded: np.ndarray, lengths: np.ndarray,
+                epsilon: float, delta: int | None) -> np.ndarray:
+    """LCS *length* (exact integer DP) over one padded chunk."""
+    n = a.shape[0]
+    batch, big = padded.shape[0], padded.shape[1]
+    # match[i, b, j]: nodes a[i] and b[j] agree within epsilon in every
+    # attribute dimension (row-major in i, accumulated per dimension).
+    match = (
+        np.abs(padded[None, :, :, 0] - a[:, None, None, 0]) <= epsilon
+    )
+    for k in range(1, a.shape[1]):
+        match &= (
+            np.abs(padded[None, :, :, k] - a[:, None, None, k]) <= epsilon
+        )
+    if delta is not None:
+        ii, jj = np.indices((n, big))
+        match &= (np.abs(ii - jj) <= delta)[:, None, :]
+    prev = np.zeros((batch, big + 1), dtype=np.int64)
+    e = np.zeros_like(prev)
+    t1 = np.empty((batch, big), dtype=np.int64)
+    for i in range(n):
+        np.add(prev[:, :-1], 1, out=t1)
+        np.copyto(e[:, 1:], prev[:, 1:])
+        np.copyto(e[:, 1:], t1, where=match[i])
+        np.maximum.accumulate(e, axis=1, out=prev)
+    return prev[np.arange(batch), lengths].astype(np.float64)
+
+
+# -- batched entry points per kernel -----------------------------------------
+
+
+def batch_erp(query: SeriesLike, items: Sequence[SeriesLike],
+              gap: float | np.ndarray = 0.0) -> np.ndarray:
+    """Unconstrained ERP (= metric EGED_M) of ``query`` against every item."""
+    a, bs = _normalize_batch(query, items)
+    g = np.broadcast_to(
+        np.asarray(gap, dtype=np.float64), (a.shape[1],)
+    ).astype(np.float64)
+    return _chunked(_erp_kernel, a, bs, g)
+
+
+def batch_eged(query: SeriesLike, items: Sequence[SeriesLike],
+               mode: str = "adaptive") -> np.ndarray:
+    """Non-metric EGED (``adaptive`` or ``dtw`` gap policy) of ``query``
+    against every item."""
+    from repro.distance.eged import ADAPTIVE, DTW_GAP
+    from repro.errors import InvalidParameterError
+
+    if mode not in (ADAPTIVE, DTW_GAP):
+        raise InvalidParameterError(
+            f"mode must be 'adaptive' or 'dtw', got {mode!r}"
+        )
+    a, bs = _normalize_batch(query, items)
+    return _chunked(_eged_kernel, a, bs, mode)
+
+
+def batch_dtw(query: SeriesLike, items: Sequence[SeriesLike]) -> np.ndarray:
+    """Unconstrained DTW of ``query`` against every item.
+
+    Sakoe-Chiba-banded DTW is served by the scalar kernel (the band makes
+    the reachable region differ per pair, defeating shared-row batching).
+    """
+    a, bs = _normalize_batch(query, items)
+    return _chunked(_dtw_kernel, a, bs)
+
+
+def batch_lcs(query: SeriesLike, items: Sequence[SeriesLike],
+              epsilon: float = 1.0, delta: int | None = None) -> np.ndarray:
+    """LCS dissimilarity ``1 - |LCS| / min(n, m)`` of ``query`` against
+    every item (exact — the LCS DP is integer arithmetic)."""
+    a, bs = _normalize_batch(query, items)
+    common = _chunked(_lcs_kernel, a, bs, epsilon, delta)
+    if len(bs) == 0:
+        return common
+    mins = np.minimum(a.shape[0], np.array([b.shape[0] for b in bs]))
+    return 1.0 - common / mins
+
+
+# -- generic dispatch ---------------------------------------------------------
+
+
+def supports_batch(distance: Any) -> bool:
+    """True when ``distance`` overrides
+    :meth:`~repro.distance.base.Distance.compute_many` with a batched
+    kernel (all shipped kernels are symmetric, so callers may freely flip
+    the query/item roles on this path)."""
+    return (
+        isinstance(distance, Distance)
+        and type(distance).compute_many is not Distance.compute_many
+    )
+
+
+def one_vs_many(distance: Distance | Callable[[Any, Any], float],
+                query: SeriesLike,
+                items: Sequence[SeriesLike]) -> np.ndarray:
+    """Distances from ``query`` to every item, batched when possible.
+
+    :class:`~repro.distance.base.Distance` instances dispatch through
+    ``compute_many`` (batched for EGED/ERP/DTW/LCS, a loop otherwise);
+    plain callables are looped with the ``(query, item)`` argument order
+    preserved.
+    """
+    if isinstance(distance, Distance):
+        a, bs = _normalize_batch(query, items)
+        return distance.compute_many(a, bs)
+    return np.array([float(distance(query, item)) for item in items],
+                    dtype=np.float64)
+
+
+def pairwise_matrix(distance: Distance | Callable[[Any, Any], float],
+                    items: Sequence[SeriesLike],
+                    others: Sequence[SeriesLike] | None = None,
+                    executor: Any = None) -> np.ndarray:
+    """Dense distance matrix built row-by-row from batched sweeps.
+
+    Mirrors :func:`repro.distance.base.pairwise_matrix` (symmetric
+    self-distance matrix when ``others`` is omitted, with only the upper
+    triangle evaluated) but each row is a single batched DP.  Pass a
+    :class:`repro.parallel.DistanceExecutor` as ``executor`` to fan the
+    rows out across worker processes.
+    """
+    if executor is not None:
+        return executor.pairwise_matrix(distance, items, others)
+    if others is None:
+        n = len(items)
+        out = np.zeros((n, n), dtype=np.float64)
+        for i in range(n - 1):
+            row = one_vs_many(distance, items[i], items[i + 1:])
+            out[i, i + 1:] = row
+            out[i + 1:, i] = row
+        return out
+    out = np.empty((len(items), len(others)), dtype=np.float64)
+    for i, item in enumerate(items):
+        out[i] = one_vs_many(distance, item, others)
+    return out

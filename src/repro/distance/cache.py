@@ -1,0 +1,177 @@
+"""Content-hash-keyed memoization of distance evaluations.
+
+EM clustering recomputes OG-vs-centroid distances every iteration, BIC's
+K-sweep repeats whole EM runs, and ``n_init`` restarts re-seed from the
+same data — so the same (series, series) pairs are evaluated over and
+over.  Both k-means++ seeding and restarted warm starts measure against
+centroids that are *copies of actual input series*, which makes those
+pairs exact repeats across every K of a BIC sweep and every restart.
+
+:class:`DistanceCache` memoizes scalar distances under a key built from
+the distance's ``cache_token`` (its function + parameters) and a content
+hash of the two series.  Only distances that expose a ``cache_token``
+participate (EGED, MetricEGED, unconstrained ERP, DTW, LCS); the token is
+a promise that the distance is **deterministic and symmetric**, so each
+pair is stored once under a canonical (sorted) key.  Distances without a
+token — notably :class:`~repro.distance.base.CountingDistance`, whose
+whole purpose is to observe every evaluation — bypass the cache.
+
+The cache is bounded (least-recently-used eviction) and keeps hit/miss
+counters so benchmarks can report reuse rates.  A process-wide default
+instance serves the clustering layer; swap or disable it with
+:func:`set_default_cache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.distance.base import Distance, SeriesLike, as_series
+from repro.distance.batch import one_vs_many
+from repro.errors import InvalidParameterError
+
+#: Default bound on memoized pairs (~50 MB of keys + floats).
+DEFAULT_MAX_ENTRIES = 262_144
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed to the benchmarks.
+
+    ``hits``/``misses`` count cacheable lookups; ``bypasses`` counts
+    evaluations routed around the cache (no ``cache_token``);
+    ``evictions`` counts entries dropped by the LRU bound.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    bypasses: int = 0
+    evictions: int = 0
+
+    def hit_rate(self) -> float:
+        """Fraction of cacheable lookups served from memory."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate(),
+        }
+
+
+def series_digest(series: np.ndarray) -> bytes:
+    """16-byte content hash of a normalized ``(n, d)`` series."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.int64(series.shape[0]).tobytes())
+    h.update(np.int64(series.shape[1]).tobytes())
+    h.update(np.ascontiguousarray(series).tobytes())
+    return h.digest()
+
+
+@dataclass
+class DistanceCache:
+    """Bounded LRU memo of scalar distance evaluations."""
+
+    max_entries: int = DEFAULT_MAX_ENTRIES
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise InvalidParameterError(
+                f"max_entries must be >= 1, got {self.max_entries}"
+            )
+        self._store: OrderedDict[tuple, float] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop every entry and zero the counters."""
+        self._store.clear()
+        self.stats = CacheStats()
+
+    # -- lookups --------------------------------------------------------------
+
+    def one_vs_many(self, distance: Distance | Callable[[Any, Any], float],
+                    query: SeriesLike,
+                    items: Sequence[SeriesLike]) -> np.ndarray:
+        """Distances from ``query`` to every item, reusing memoized pairs.
+
+        Missing pairs are computed in one batched ``compute_many`` sweep
+        and stored; distances without a ``cache_token`` (or plain
+        callables) are forwarded untouched.
+        """
+        token = getattr(distance, "cache_token", None)
+        if token is None:
+            self.stats.bypasses += len(items)
+            return one_vs_many(distance, query, items)
+        a = as_series(query)
+        bs = [as_series(item) for item in items]
+        qd = series_digest(a)
+        keys = []
+        for b in bs:
+            bd = series_digest(b)
+            # Canonical order — cache_token promises symmetry.
+            keys.append((token, qd, bd) if qd <= bd else (token, bd, qd))
+        out = np.empty(len(bs), dtype=np.float64)
+        missing: list[int] = []
+        for i, key in enumerate(keys):
+            value = self._store.get(key)
+            if value is None:
+                missing.append(i)
+            else:
+                self._store.move_to_end(key)
+                out[i] = value
+        self.stats.hits += len(bs) - len(missing)
+        self.stats.misses += len(missing)
+        if missing:
+            computed = one_vs_many(distance, a, [bs[i] for i in missing])
+            for i, value in zip(missing, computed):
+                out[i] = value
+                self._put(keys[i], float(value))
+        return out
+
+    def _put(self, key: tuple, value: float) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+
+
+_default_cache: DistanceCache | None = DistanceCache()
+
+
+def get_default_cache() -> DistanceCache | None:
+    """The process-wide cache used by the clustering layer (or ``None``
+    when caching is disabled)."""
+    return _default_cache
+
+
+def set_default_cache(cache: DistanceCache | None) -> DistanceCache | None:
+    """Install (or, with ``None``, disable) the process-wide cache;
+    returns the previous one."""
+    global _default_cache
+    previous = _default_cache
+    _default_cache = cache
+    return previous
+
+
+def cached_one_vs_many(distance: Distance | Callable[[Any, Any], float],
+                       query: SeriesLike,
+                       items: Sequence[SeriesLike]) -> np.ndarray:
+    """:func:`repro.distance.batch.one_vs_many` through the default cache
+    (straight through when caching is disabled)."""
+    cache = get_default_cache()
+    if cache is None:
+        return one_vs_many(distance, query, items)
+    return cache.one_vs_many(distance, query, items)

@@ -62,6 +62,20 @@ class DTW(Distance):
     def compute(self, a: np.ndarray, b: np.ndarray) -> float:
         return dtw(a, b, self.window)
 
+    def compute_many(self, query: np.ndarray,
+                     batch: list[np.ndarray]) -> np.ndarray:
+        """Batched DP when unconstrained; the Sakoe-Chiba window (whose
+        reachable region differs per pair) stays on the scalar kernel."""
+        if self.window is not None:
+            return np.array([self.compute(query, b) for b in batch])
+        from repro.distance.batch import batch_dtw
+
+        return batch_dtw(query, batch)
+
+    @property
+    def cache_token(self):
+        return ("dtw", self.window)
+
     @property
     def name(self) -> str:
         return "DTW" if self.window is None else f"DTW(w={self.window})"

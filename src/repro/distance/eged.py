@@ -26,7 +26,7 @@ from typing import Union
 
 import numpy as np
 
-from repro.distance.base import Distance, node_cost_matrix
+from repro.distance.base import Distance
 from repro.distance.erp import erp
 from repro.errors import InvalidParameterError
 
@@ -72,40 +72,14 @@ def _eged_dynamic(a: np.ndarray, b: np.ndarray, mode: str) -> float:
     OG_t = {2, 2, 3} it yields EGED(r, t) = 7, EGED(r, s) = 2 and
     EGED(s, t) = 4, i.e. 7 > 2 + 4 — the triangle-inequality violation
     that motivates the metric specialization.
+
+    Delegates to the vectorized batch kernel with a batch of one (no
+    ``.tolist()`` round-trips, no Python-level inner loop); the test
+    suite keeps an independent naive DP as the equivalence reference.
     """
-    n, m = a.shape[0], b.shape[0]
-    sub = node_cost_matrix(a, b).tolist()
-    # del_cost[i][j]: charge for gapping a[i] while b has consumed j nodes.
-    mid_b = _gap_values(b, mode)
-    del_cost = np.sqrt(
-        np.sum((a[:, None, :] - mid_b[None, :, :]) ** 2, axis=2)
-    ).tolist()
-    # ins_cost[j][i]: charge for gapping b[j] while a has consumed i nodes.
-    mid_a = _gap_values(a, mode)
-    ins_cost = np.sqrt(
-        np.sum((b[:, None, :] - mid_a[None, :, :]) ** 2, axis=2)
-    ).tolist()
-    # Rolling-row DP over plain Python floats (see repro.distance.erp).
-    prev = [0.0] * (m + 1)
-    for j in range(m):
-        prev[j + 1] = prev[j] + ins_cost[j][0]
-    for i in range(n):
-        srow = sub[i]
-        drow = del_cost[i]
-        cur = [prev[0] + drow[0]]
-        last = cur[0]
-        for j in range(m):
-            best = prev[j] + srow[j]
-            cand = prev[j + 1] + drow[j + 1]
-            if cand < best:
-                best = cand
-            cand = last + ins_cost[j][i + 1]
-            if cand < best:
-                best = cand
-            cur.append(best)
-            last = best
-        prev = cur
-    return float(prev[m])
+    from repro.distance.batch import _chunked, _eged_kernel
+
+    return float(_chunked(_eged_kernel, a, [b], mode)[0])
 
 
 def eged(x, y, gap: GapSpec = ADAPTIVE) -> float:
@@ -161,6 +135,16 @@ class EGED(Distance):
     def compute(self, a: np.ndarray, b: np.ndarray) -> float:
         return _eged_dynamic(a, b, self.mode)
 
+    def compute_many(self, query: np.ndarray,
+                     batch: list[np.ndarray]) -> np.ndarray:
+        from repro.distance.batch import batch_eged
+
+        return batch_eged(query, batch, self.mode)
+
+    @property
+    def cache_token(self):
+        return ("eged", self.mode)
+
     @property
     def name(self) -> str:
         return "EGED" if self.mode == ADAPTIVE else "EGED(dtw-gap)"
@@ -182,6 +166,16 @@ class MetricEGED(Distance):
 
     def compute(self, a: np.ndarray, b: np.ndarray) -> float:
         return erp(a, b, self.gap)
+
+    def compute_many(self, query: np.ndarray,
+                     batch: list[np.ndarray]) -> np.ndarray:
+        from repro.distance.batch import batch_erp
+
+        return batch_erp(query, batch, self.gap)
+
+    @property
+    def cache_token(self):
+        return ("erp", self.gap, None)
 
     @property
     def name(self) -> str:

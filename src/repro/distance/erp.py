@@ -81,6 +81,23 @@ class ERP(Distance):
     def compute(self, a: np.ndarray, b: np.ndarray) -> float:
         return erp(a, b, self.gap, self.band)
 
+    def compute_many(self, query: np.ndarray,
+                     batch: list[np.ndarray]) -> np.ndarray:
+        """Batched DP for the unconstrained metric; the Sakoe-Chiba band
+        (an approximation with a per-pair reachable region) stays on the
+        scalar kernel."""
+        if self.band is not None:
+            return np.array([self.compute(query, b) for b in batch])
+        from repro.distance.batch import batch_erp
+
+        return batch_erp(query, batch, self.gap)
+
+    @property
+    def cache_token(self):
+        gap = np.asarray(self.gap, dtype=np.float64)
+        key = float(gap) if gap.ndim == 0 else ("vec", gap.tobytes())
+        return ("erp", key, self.band)
+
     @property
     def name(self) -> str:
         suffix = "" if self.band is None else f", band={self.band}"

@@ -70,6 +70,16 @@ class LCSDistance(Distance):
     def compute(self, a: np.ndarray, b: np.ndarray) -> float:
         return lcs_distance(a, b, self.epsilon, self.delta)
 
+    def compute_many(self, query: np.ndarray,
+                     batch: list[np.ndarray]) -> np.ndarray:
+        from repro.distance.batch import batch_lcs
+
+        return batch_lcs(query, batch, self.epsilon, self.delta)
+
+    @property
+    def cache_token(self):
+        return ("lcs", self.epsilon, self.delta)
+
     @property
     def name(self) -> str:
         return f"LCS(eps={self.epsilon:g})"

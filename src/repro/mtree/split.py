@@ -54,6 +54,10 @@ class SplitPolicy(abc.ABC):
     """Chooses the two promoted pivot entries of an overflowing node."""
 
     name = "abstract"
+    #: Policies that touch most entry pairs anyway (candidate scoring)
+    #: set this so the tree precomputes the full pairwise matrix in one
+    #: batched sweep instead of thousands of scalar DP calls.
+    wants_full_matrix = False
 
     @abc.abstractmethod
     def promote(self, n_entries: int, pairwise: PairwiseFn,
@@ -84,6 +88,7 @@ class SamplingPromotion(SplitPolicy):
     """
 
     name = "sampling"
+    wants_full_matrix = True
 
     def __init__(self, sample_size: int = 10):
         if sample_size < 1:

@@ -22,6 +22,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.distance.batch import one_vs_many, pairwise_matrix, supports_batch
 from repro.errors import IndexStateError, InvalidParameterError
 from repro.mtree.split import SplitPolicy, make_policy, partition_by_closer
 
@@ -120,6 +121,115 @@ class MTree:
         self._handle_overflow(path)
         return obj_id
 
+    def bulk_load(self, objects: list, object_ids: list | None = None,
+                  executor: Any = None) -> list:
+        """Bulk-construct an *empty* tree; returns the assigned ids.
+
+        Recursive k-center partition: each level greedily picks up to
+        ``node_capacity`` farthest-point pivots, assigns every object to
+        its closest pivot, and recurses per group.  Every level costs one
+        batched distance sweep per pivot instead of a per-object root-to-
+        leaf descent, so building from scratch is far cheaper than
+        repeated :meth:`insert` while producing a tree with the same
+        search invariants (covering radii bound members via the triangle
+        inequality).  Pass a :class:`repro.parallel.DistanceExecutor` to
+        fan the sweeps across worker processes.
+        """
+        if self._size != 0:
+            raise IndexStateError("bulk_load requires an empty M-tree")
+        objs = list(objects)
+        if object_ids is None:
+            ids = [next(self._id_counter) for _ in objs]
+        else:
+            ids = list(object_ids)
+            if len(ids) != len(objs):
+                raise InvalidParameterError(
+                    f"{len(objs)} objects but {len(ids)} ids"
+                )
+        if not objs:
+            return ids
+        self._root, _ = self._bulk_subtree(objs, ids, None, executor)
+        self._size = len(objs)
+        return ids
+
+    def _bulk_row(self, pivot: Any, objs: list,
+                  executor: Any = None) -> np.ndarray:
+        """Distances from one pivot to many objects, batched if possible."""
+        if supports_batch(self.distance):
+            if executor is not None:
+                return executor.one_vs_many(self.distance, pivot, objs)
+            return one_vs_many(self.distance, pivot, objs)
+        return np.array([float(self.distance(obj, pivot)) for obj in objs],
+                        dtype=np.float64)
+
+    def _bulk_subtree(self, objs: list, ids: list, parent_pivot: Any,
+                      executor: Any) -> tuple[_Node, float]:
+        """Build a subtree; returns ``(node, covering_radius)`` with the
+        radius measured from ``parent_pivot``."""
+        n = len(objs)
+        cap = self.config.node_capacity
+        if n <= cap:
+            node = _Node(is_leaf=True)
+            if parent_pivot is None:
+                dists = np.zeros(n, dtype=np.float64)
+            else:
+                dists = self._bulk_row(parent_pivot, objs, executor)
+            for obj, oid, d in zip(objs, ids, dists):
+                node.entries.append(_Entry(obj, oid, float(d)))
+            return node, float(np.max(dists, initial=0.0))
+        # Greedy farthest-point pivot selection (k-center seeding).
+        first = int(self._rng.integers(n))
+        pivot_idx = [first]
+        pivot_rows = [self._bulk_row(objs[first], objs, executor)]
+        closest = pivot_rows[0].copy()
+        while len(pivot_idx) < cap:
+            nxt = int(np.argmax(closest))
+            if closest[nxt] <= 0.0:
+                break  # every remaining object coincides with a pivot
+            pivot_idx.append(nxt)
+            pivot_rows.append(self._bulk_row(objs[nxt], objs, executor))
+            np.minimum(closest, pivot_rows[-1], out=closest)
+        if len(pivot_idx) == 1:
+            # All objects identical — distance cannot separate them, so
+            # deal round-robin into equal groups to guarantee the
+            # recursion shrinks.
+            deal = np.arange(n) % cap
+            group_list = [
+                (int(members[0]), members)
+                for g in range(cap)
+                if (members := np.where(deal == g)[0]).size
+            ]
+        else:
+            assign = np.argmin(np.vstack(pivot_rows), axis=0)
+            # Each pivot anchors its own group, so every group is a
+            # strict subset and the recursion terminates.
+            assign[np.array(pivot_idx)] = np.arange(len(pivot_idx))
+            group_list = [
+                (pi, members)
+                for p, pi in enumerate(pivot_idx)
+                if (members := np.where(assign == p)[0]).size
+            ]
+        child_pivots = [objs[pi] for pi, _ in group_list]
+        if parent_pivot is None:
+            pivot_d = np.zeros(len(group_list), dtype=np.float64)
+        else:
+            pivot_d = self._bulk_row(parent_pivot, child_pivots, executor)
+        node = _Node(is_leaf=False)
+        radius = 0.0
+        for (pi, members), child_pivot, d_parent in zip(
+                group_list, child_pivots, pivot_d):
+            child, child_radius = self._bulk_subtree(
+                [objs[int(i)] for i in members],
+                [ids[int(i)] for i in members],
+                child_pivot, executor,
+            )
+            node.entries.append(
+                _RoutingEntry(child_pivot, child_radius, child,
+                              float(d_parent))
+            )
+            radius = max(radius, float(d_parent) + child_radius)
+        return node, radius
+
     def _choose_leaf(self, obj: Any) -> list[tuple[_Node, Any, int]]:
         """Descend to the best leaf; returns the path as
         ``(node, parent_pivot, entry_index_in_parent)`` tuples."""
@@ -166,6 +276,18 @@ class MTree:
             e.obj if node.is_leaf else e.pivot for e in entries
         ]
         cache: dict[tuple[int, int], float] = {}
+        if (self.policy.wants_full_matrix
+                and supports_batch(self.distance)
+                and getattr(self.distance, "cache_token", None) is not None):
+            # Sampling promotion scores many candidate pairs and ends up
+            # touching most of the matrix; one batched sweep beats the
+            # lazy scalar fills.  CountingDistance keeps token=None, so
+            # evaluation-count benchmarks still measure the lazy path.
+            matrix = pairwise_matrix(self.distance, pivots_obj)
+            n = len(entries)
+            for i in range(n - 1):
+                for j in range(i + 1, n):
+                    cache[(i, j)] = float(matrix[i, j])
 
         def pairwise(i: int, j: int) -> float:
             key = (min(i, j), max(i, j))

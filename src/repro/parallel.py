@@ -1,0 +1,182 @@
+"""Process-level fan-out for large distance jobs.
+
+The batched kernels of :mod:`repro.distance.batch` already turn P
+Python-loop DPs into one NumPy-speed DP, but a single process still runs
+on one core.  :class:`DistanceExecutor` chunks big ``one_vs_many`` /
+``pairwise_matrix`` jobs across a ``ProcessPoolExecutor`` so multi-core
+machines scale the remaining NumPy work roughly linearly.
+
+Overhead model (why the thresholds exist)
+-----------------------------------------
+Spawning a pool costs tens of milliseconds and every task pickles its
+distance object and series chunk, so parallelism only pays when the DP
+work dwarfs that overhead:
+
+- jobs smaller than ``min_pairs`` pair evaluations run serially;
+- each worker receives ``chunks_per_worker`` tasks so stragglers (longer
+  series sort into later chunks) rebalance;
+- ``workers=0`` (or ``1``) forces the serial path — results are
+  *bit-identical* either way, because every pair's DP only reads its own
+  rows of the padded batch, so chunk boundaries cannot change values.
+  Tests use ``workers=0`` for determinism of scheduling, not of results.
+
+The executor only fans out :class:`~repro.distance.base.Distance`
+instances (they pickle as plain attribute bags); bare callables fall back
+to the serial path, which preserves their argument order and closure
+state.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.distance.base import Distance, SeriesLike, as_series
+from repro.distance.batch import one_vs_many
+from repro.errors import InvalidParameterError
+
+#: Default lower bound on pair evaluations before a pool is worth it.
+MIN_PARALLEL_PAIRS = 512
+
+
+def _worker_one_vs_many(distance: Distance, query: np.ndarray,
+                        chunk: list[np.ndarray]) -> np.ndarray:
+    """Worker task: one batched sweep over a chunk of series."""
+    return distance.compute_many(query, chunk)
+
+
+def _worker_rows(distance: Distance, items: list[np.ndarray],
+                 rows: list[int], symmetric: bool,
+                 others: list[np.ndarray] | None) -> list[np.ndarray]:
+    """Worker task: a set of matrix rows (upper-triangle tails when
+    ``symmetric``)."""
+    results = []
+    for i in rows:
+        targets = items[i + 1:] if symmetric else others
+        results.append(distance.compute_many(items[i], targets))
+    return results
+
+
+class DistanceExecutor:
+    """Fan distance jobs out across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` uses ``os.cpu_count()``, ``0`` or ``1``
+        disables the pool entirely (serial, deterministic scheduling).
+    min_pairs:
+        Smallest job (in pair evaluations) worth shipping to the pool.
+    chunks_per_worker:
+        Oversubscription factor for straggler rebalancing.
+
+    Usable as a context manager; the pool is created lazily on first
+    parallel job and torn down by :meth:`shutdown` / ``__exit__``.
+    """
+
+    def __init__(self, workers: int | None = None,
+                 min_pairs: int = MIN_PARALLEL_PAIRS,
+                 chunks_per_worker: int = 4):
+        if workers is not None and workers < 0:
+            raise InvalidParameterError(
+                f"workers must be >= 0, got {workers}"
+            )
+        if chunks_per_worker < 1:
+            raise InvalidParameterError(
+                f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
+            )
+        self.workers = (os.cpu_count() or 1) if workers is None else workers
+        self.min_pairs = min_pairs
+        self.chunks_per_worker = chunks_per_worker
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Tear the worker pool down (jobs submitted later re-create it)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "DistanceExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def _serial(self, n_pairs: int, distance: Any) -> bool:
+        return (
+            self.workers <= 1
+            or n_pairs < self.min_pairs
+            or not isinstance(distance, Distance)
+        )
+
+    # -- jobs -----------------------------------------------------------------
+
+    def one_vs_many(self, distance: Distance | Callable[[Any, Any], float],
+                    query: SeriesLike,
+                    items: Sequence[SeriesLike]) -> np.ndarray:
+        """Parallel :func:`repro.distance.batch.one_vs_many`."""
+        if self._serial(len(items), distance):
+            return one_vs_many(distance, query, items)
+        a = as_series(query)
+        bs = [as_series(item) for item in items]
+        n_chunks = min(len(bs), self.workers * self.chunks_per_worker)
+        bounds = np.linspace(0, len(bs), n_chunks + 1).astype(int)
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_worker_one_vs_many, distance, a, bs[lo:hi])
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        return np.concatenate([f.result() for f in futures])
+
+    def pairwise_matrix(self, distance: Distance | Callable[[Any, Any], float],
+                        items: Sequence[SeriesLike],
+                        others: Sequence[SeriesLike] | None = None
+                        ) -> np.ndarray:
+        """Parallel :func:`repro.distance.batch.pairwise_matrix`.
+
+        Rows are dealt to tasks in a round-robin so the shrinking
+        upper-triangle tails of the symmetric case balance out.
+        """
+        from repro.distance.batch import pairwise_matrix as serial_pairwise
+
+        symmetric = others is None
+        n = len(items)
+        n_pairs = n * (n - 1) // 2 if symmetric else n * len(others)
+        if self._serial(n_pairs, distance):
+            return serial_pairwise(distance, items, others)
+        items_n = [as_series(item) for item in items]
+        others_n = None if symmetric else [as_series(o) for o in others]
+        row_count = n - 1 if symmetric else n
+        n_tasks = max(1, min(row_count, self.workers * self.chunks_per_worker))
+        row_sets: list[list[int]] = [[] for _ in range(n_tasks)]
+        for i in range(row_count):
+            row_sets[i % n_tasks].append(i)
+        pool = self._ensure_pool()
+        futures = {
+            pool.submit(_worker_rows, distance, items_n, rows, symmetric,
+                        others_n): rows
+            for rows in row_sets if rows
+        }
+        if symmetric:
+            out = np.zeros((n, n), dtype=np.float64)
+            for future, rows in futures.items():
+                for i, row in zip(rows, future.result()):
+                    out[i, i + 1:] = row
+                    out[i + 1:, i] = row
+            return out
+        out = np.empty((n, len(others)), dtype=np.float64)
+        for future, rows in futures.items():
+            for i, row in zip(rows, future.result()):
+                out[i] = row
+        return out

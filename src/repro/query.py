@@ -19,6 +19,7 @@ are returned in index order.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Callable
@@ -26,6 +27,7 @@ from typing import Callable
 import numpy as np
 
 from repro.distance.base import Distance
+from repro.distance.batch import one_vs_many
 from repro.errors import IndexStateError, InvalidParameterError
 from repro.graph.attributes import angle_difference
 from repro.graph.object_graph import ObjectGraph
@@ -168,12 +170,16 @@ class Query:
             results = [QueryResult(og) for og in candidates]
             return results[: self._limit] if self._limit else results
         distance = self._distance or self._index.metric_distance
-        ranked = sorted(
-            (QueryResult(og, float(distance(self._example, og)))
-             for og in candidates),
-            key=lambda r: r.distance,
-        )
-        return ranked[: self._limit] if self._limit else ranked
+        # One batched sweep ranks every candidate; with a limit,
+        # heapq.nsmallest is O(N log k) instead of a full O(N log N) sort
+        # (both are stable, so ties keep index order either way).
+        dists = one_vs_many(distance, self._example, candidates)
+        results = [QueryResult(og, float(d))
+                   for og, d in zip(candidates, dists)]
+        if self._limit is not None and self._limit < len(results):
+            return heapq.nsmallest(self._limit, results,
+                                   key=lambda r: r.distance)
+        return sorted(results, key=lambda r: r.distance)
 
     def count(self) -> int:
         """Number of OGs matching the predicates (ignores limit)."""
