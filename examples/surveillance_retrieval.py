@@ -48,7 +48,7 @@ def main() -> None:
     # Query by trajectory: "anything moving left-to-right across the room".
     walk = np.stack([np.linspace(10, 150, 20), np.full(20, 95.0)], axis=1)
     print("\nquerying with a left-to-right walking trajectory ...")
-    for hit in db.query_trajectory(walk, k=3):
+    for hit in db.knn(walk, k=3):
         direction = "right" if hit.og.values[-1, 0] > hit.og.values[0, 0] else "left"
         print(f"  d={hit.distance:8.2f}  OG {hit.og.og_id} "
               f"moves {direction}ward over {len(hit.og)} frames")

@@ -1,6 +1,14 @@
 """Reproduction of *STRG-Index: Spatio-Temporal Region Graph Indexing for
 Large Video Databases* (Lee, Oh, Hwang — SIGMOD 2005).
 
+The blessed public surface is small (see ``docs/API.md``):
+
+    >>> import repro
+    >>> db = repro.open_database("corpus.npz")
+    >>> db.ingest(video_segment)
+    >>> hits = db.knn(example_trajectory, k=5)
+    >>> repro.observability.configure(enabled=True)   # tracing + metrics
+
 The package mirrors the paper's pipeline:
 
 - :mod:`repro.video` — frame containers, synthetic video rendering and
@@ -23,34 +31,44 @@ The package mirrors the paper's pipeline:
   quarantine, ingest journaling and crash recovery.
 - :mod:`repro.parallel` — multi-process fan-out for the batched distance
   kernels of :mod:`repro.distance.batch`.
+- :mod:`repro.observability` — tracing spans, a metrics registry
+  (JSON / Prometheus exporters) and profiling hooks through every hot
+  path, behind one ``configure(enabled=...)`` switch.
 """
 
+from repro import observability
+from repro.api import open_database
+from repro.core.index import STRGIndex, STRGIndexConfig
+from repro.distance.eged import EGED, MetricEGED, eged
 from repro.graph.object_graph import ObjectGraph
 from repro.graph.strg import SpatioTemporalRegionGraph
-from repro.distance.eged import EGED, MetricEGED, eged
-from repro.core.index import STRGIndex
 from repro.parallel import DistanceExecutor
-from repro.pipeline import VideoPipeline, PipelineConfig
-from repro.query import Query
+from repro.pipeline import PipelineConfig, VideoPipeline
+from repro.query import Query, QueryResult
 from repro.resilience import FaultInjector, FaultPolicy, RetryPolicy
-from repro.storage.database import VideoDatabase
+from repro.storage.database import QueryHit, VideoDatabase
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "ObjectGraph",
-    "SpatioTemporalRegionGraph",
-    "EGED",
-    "MetricEGED",
-    "eged",
-    "STRGIndex",
     "DistanceExecutor",
-    "VideoPipeline",
-    "PipelineConfig",
-    "Query",
-    "VideoDatabase",
+    "EGED",
     "FaultInjector",
     "FaultPolicy",
+    "MetricEGED",
+    "ObjectGraph",
+    "PipelineConfig",
+    "Query",
+    "QueryHit",
+    "QueryResult",
     "RetryPolicy",
+    "STRGIndex",
+    "STRGIndexConfig",
+    "SpatioTemporalRegionGraph",
+    "VideoDatabase",
+    "VideoPipeline",
     "__version__",
+    "eged",
+    "observability",
+    "open_database",
 ]

@@ -1,0 +1,67 @@
+"""The unified entry point: :func:`open_database`.
+
+The package grew three inconsistent front doors — ``VideoDatabase``,
+``STRGIndex(STRGIndexConfig)`` and ``VideoPipeline(PipelineConfig)`` —
+each constructed differently and queried differently.  This module puts
+one function in front of all of them::
+
+    import repro
+
+    db = repro.open_database("corpus.npz")      # load or create
+    db.ingest(video)
+    hits = db.knn(example, k=5)                 # similarity search
+    rows = db.query().velocity(minimum=2.0).run()   # attribute search
+    db.save()                                   # back to corpus.npz
+
+``open_database`` always returns a
+:class:`~repro.storage.database.VideoDatabase`; the older constructors
+remain supported and are thin layers over the same machinery.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.pipeline import PipelineConfig
+from repro.storage.database import VideoDatabase
+from repro.storage.serialize import npz_path
+
+
+def open_database(path: str | os.PathLike | None = None, *,
+                  config: PipelineConfig | None = None,
+                  create: bool = True,
+                  **kwargs) -> VideoDatabase:
+    """Open (or create) a video database.
+
+    Parameters
+    ----------
+    path:
+        Snapshot location.  When a snapshot exists there, it is loaded;
+        otherwise a fresh database is created *bound* to that path, so a
+        later ``db.save()`` needs no argument.  ``None`` gives an
+        unbound in-memory database.
+    config:
+        :class:`~repro.pipeline.PipelineConfig` for the extraction
+        pipeline and index (used both for fresh databases and as the
+        pipeline config of loaded ones).
+    create:
+        With ``create=False`` a missing snapshot raises
+        ``FileNotFoundError`` instead of creating an empty database.
+    **kwargs:
+        Forwarded to :class:`~repro.storage.database.VideoDatabase`
+        (``fault_policy``, ``retry_policy``, ``drop_tolerance``,
+        ``journal_path``, ...).
+    """
+    if path is None:
+        return VideoDatabase(config, **kwargs)
+    target = npz_path(path)
+    if os.path.exists(target):
+        return VideoDatabase.load(target, config, **kwargs)
+    if not create:
+        raise FileNotFoundError(
+            f"no database snapshot at {target} (pass create=True to start "
+            "an empty one)"
+        )
+    db = VideoDatabase(config, **kwargs)
+    db.path = target
+    return db

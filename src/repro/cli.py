@@ -21,6 +21,45 @@ import time
 import numpy as np
 
 
+def _start_observability(args: argparse.Namespace) -> bool:
+    """Enable tracing/metrics when ``--observe`` (or an export path) is set."""
+    observe = bool(getattr(args, "observe", False)
+                   or getattr(args, "trace_out", None)
+                   or getattr(args, "metrics_out", None))
+    if observe:
+        from repro import observability
+
+        observability.configure(enabled=True, reset_state=True)
+    return observe
+
+
+def _report_observability(args: argparse.Namespace) -> None:
+    """Print the span tree and write any requested exports."""
+    from repro import observability
+
+    tree = observability.render_trace_tree()
+    if tree:
+        print("-- trace " + "-" * 40)
+        print(tree)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        observability.export_trace_jsonl(trace_out)
+        print(f"trace written to {trace_out}")
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        observability.export_metrics_prometheus(metrics_out)
+        print(f"metrics written to {metrics_out}")
+
+
+def _add_observe_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--observe", action="store_true",
+                     help="enable tracing/metrics and print the span tree")
+    sub.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write the span trace as JSONL (implies --observe)")
+    sub.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write Prometheus metrics (implies --observe)")
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.core.index import STRGIndex, STRGIndexConfig
     from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_ogs
@@ -72,6 +111,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         return 2
     from repro.storage.serialize import npz_path
 
+    observe = _start_observability(args)
     journal = args.journal or (npz_path(args.output) + ".journal")
     db = VideoDatabase(fault_policy=args.fault_policy, journal_path=journal)
     rng = np.random.default_rng(args.seed)
@@ -96,6 +136,8 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     db.save(args.output)
     print(f"index saved to {args.output} (journal: {journal})")
     print(f"health: {db.health()}")
+    if observe:
+        _report_observability(args)
     return 0
 
 
@@ -126,16 +168,19 @@ def _cmd_recover(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.api import open_database
     from repro.datasets.patterns import pattern_by_id
-    from repro.storage.database import VideoDatabase
 
-    db = VideoDatabase.load(args.index)
+    observe = _start_observability(args)
+    db = open_database(args.index, create=False)
     pattern = pattern_by_id(args.pattern)
     trajectory = pattern.generate(32)
-    hits = db.query_trajectory(trajectory, k=args.k)
+    hits = db.knn(trajectory, k=args.k)
     print(f"{args.k}-NN for pattern {pattern.name}:")
     for hit in hits:
         print(f"  d={hit.distance:8.2f}  og={hit.og.og_id}  ref={hit.clip_ref}")
+    if observe:
+        _report_observability(args)
     return 0
 
 
@@ -245,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--journal", default=None,
                         help="journal path (default: <output>.journal)")
     ingest.add_argument("--seed", type=int, default=0)
+    _add_observe_options(ingest)
     ingest.set_defaults(func=_cmd_ingest)
 
     recover = sub.add_parser(
@@ -261,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("index", help="index NPZ path")
     query.add_argument("--pattern", type=int, default=0)
     query.add_argument("-k", type=int, default=5)
+    _add_observe_options(query)
     query.set_defaults(func=_cmd_query)
 
     bench = sub.add_parser("bench", help="smoke benchmark vs M-tree")

@@ -48,6 +48,7 @@ from repro.clustering.centroid import weighted_mean_og
 from repro.distance.base import Distance
 from repro.distance.eged import EGED
 from repro.errors import ClusteringError, InvalidParameterError
+from repro.observability import OBS
 
 _LOG_2PI = float(np.log(2.0 * np.pi))
 _MIN_SIGMA = 1e-3
@@ -185,7 +186,11 @@ class EMClustering:
         cfg = self.config
         best: ClusteringResult | None = None
         for restart in range(cfg.n_init):
-            result = self._fit_once(ogs, cfg.seed + restart)
+            with OBS.span("clustering.em.fit", k=cfg.n_clusters,
+                          restart=restart) as sp:
+                result = self._fit_once(ogs, cfg.seed + restart)
+                sp.set(iterations=result.n_iterations,
+                       converged=result.converged)
             if (best is None or result.classification_log_likelihood
                     > best.classification_log_likelihood):
                 best = result
@@ -217,6 +222,7 @@ class EMClustering:
 
         for iteration in range(1, cfg.max_iterations + 1):
             started = time.perf_counter()
+            OBS.count("em.iterations")
             # E-step (Eq. 5).
             log_dens = self._log_density(dist, sigmas)
             responsibilities = self._responsibilities(log_dens, posterior_weights)

@@ -32,6 +32,7 @@ from repro.clustering.centroid import weighted_mean_og
 from repro.distance.base import Distance
 from repro.distance.eged import EGED
 from repro.errors import InvalidParameterError
+from repro.observability import OBS
 
 _EPS = 1e-8
 
@@ -71,6 +72,12 @@ class KHMClustering:
 
     def fit(self, ogs: Sequence) -> ClusteringResult:
         """Run KHM to convergence of the performance function."""
+        with OBS.span("clustering.khm.fit", k=self.config.n_clusters) as sp:
+            result = self._fit(ogs)
+            sp.set(iterations=result.n_iterations, converged=result.converged)
+            return result
+
+    def _fit(self, ogs: Sequence) -> ClusteringResult:
         cfg = self.config
         series = validate_inputs(ogs, cfg.n_clusters)
         rng = np.random.default_rng(cfg.seed)
@@ -87,6 +94,7 @@ class KHMClustering:
 
         for iteration in range(1, cfg.max_iterations + 1):
             started = time.perf_counter()
+            OBS.count("khm.iterations")
             d = np.maximum(dist, _EPS)
             inv_p2 = d ** (-cfg.p - 2.0)
             inv_p = d ** (-cfg.p)

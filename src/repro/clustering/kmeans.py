@@ -24,6 +24,7 @@ from repro.clustering.centroid import weighted_mean_og
 from repro.distance.base import Distance
 from repro.distance.eged import EGED
 from repro.errors import InvalidParameterError
+from repro.observability import OBS
 
 
 @dataclass
@@ -55,6 +56,13 @@ class KMeansClustering:
 
     def fit(self, ogs: Sequence) -> ClusteringResult:
         """Run K-Means to a fixed point (or the iteration cap)."""
+        with OBS.span("clustering.kmeans.fit",
+                      k=self.config.n_clusters) as sp:
+            result = self._fit(ogs)
+            sp.set(iterations=result.n_iterations, converged=result.converged)
+            return result
+
+    def _fit(self, ogs: Sequence) -> ClusteringResult:
         cfg = self.config
         series = validate_inputs(ogs, cfg.n_clusters)
         rng = np.random.default_rng(cfg.seed)
@@ -70,6 +78,7 @@ class KMeansClustering:
 
         for iteration in range(1, cfg.max_iterations + 1):
             started = time.perf_counter()
+            OBS.count("kmeans.iterations")
             new_assignments = np.argmin(dist, axis=1)
             for c in range(k):
                 members = np.where(new_assignments == c)[0]

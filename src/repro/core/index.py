@@ -31,6 +31,7 @@ from repro.distance.eged import EGED, MetricEGED
 from repro.errors import IndexStateError, InvalidParameterError
 from repro.graph.decomposition import BackgroundGraph
 from repro.graph.object_graph import ObjectGraph
+from repro.observability import OBS
 
 
 @dataclass
@@ -109,6 +110,12 @@ class STRGIndex:
             raise InvalidParameterError(
                 f"{len(ogs)} OGs but {len(clip_refs)} clip refs"
             )
+        with OBS.span("index.build", ogs=len(ogs)):
+            return self._build(ogs, background, clip_refs)
+
+    def _build(self, ogs: Sequence[ObjectGraph],
+               background: BackgroundGraph | None,
+               clip_refs: Sequence[Any] | None) -> RootRecord:
         sample_size = self.config.cluster_sample_size
         rng = np.random.default_rng(self.config.seed)
         if sample_size is not None and sample_size < len(ogs):
@@ -218,28 +225,29 @@ class STRGIndex:
         (or the only/first record when no background is given), then the
         cluster whose centroid is nearest under the metric distance.
         """
-        if not self.root:
-            self.build([og], background, [clip_ref])
-            return
-        root_record = self._match_root(background)
-        if root_record is None:
-            self.build([og], background, [clip_ref])
-            return
-        cluster_node = root_record.cluster_node
-        if len(cluster_node) == 0:
-            record = cluster_node.add(as_series(og).copy())
-            key = float(self.metric_distance(og, record.centroid))
-        else:
-            records = cluster_node.records
-            dists = self._keys_to_centroids(
-                og, [r.centroid for r in records]
-            )
-            best = int(np.argmin(dists))
-            record = records[best]
-            key = float(dists[best])
-        record.leaf.insert(LeafRecord(key, og, clip_ref))
-        if len(record.leaf) > self.config.leaf_capacity:
-            self._maybe_split(cluster_node, record)
+        with OBS.span("index.insert"):
+            if not self.root:
+                self.build([og], background, [clip_ref])
+                return
+            root_record = self._match_root(background)
+            if root_record is None:
+                self.build([og], background, [clip_ref])
+                return
+            cluster_node = root_record.cluster_node
+            if len(cluster_node) == 0:
+                record = cluster_node.add(as_series(og).copy())
+                key = float(self.metric_distance(og, record.centroid))
+            else:
+                records = cluster_node.records
+                dists = self._keys_to_centroids(
+                    og, [r.centroid for r in records]
+                )
+                best = int(np.argmin(dists))
+                record = records[best]
+                key = float(dists[best])
+            record.leaf.insert(LeafRecord(key, og, clip_ref))
+            if len(record.leaf) > self.config.leaf_capacity:
+                self._maybe_split(cluster_node, record)
 
     def _keys_to_centroids(self, og, centroids: list[np.ndarray]
                            ) -> np.ndarray:
@@ -385,6 +393,15 @@ class STRGIndex:
             raise InvalidParameterError(f"n_probe must be >= 1, got {n_probe}")
         if not self.root:
             raise IndexStateError("cannot search an empty STRG-Index")
+        with OBS.span("index.knn", k=k, n_probe=n_probe) as sp:
+            OBS.count("index.knn_queries")
+            best = self._knn(query, k, background, n_probe)
+            sp.set(hits=len(best))
+            return best
+
+    def _knn(self, query: ObjectGraph | np.ndarray, k: int,
+             background: BackgroundGraph | None,
+             n_probe: int | None) -> list[tuple[float, ObjectGraph, Any]]:
         if background is not None:
             matched = self._match_root(background)
             root_records = [matched] if matched is not None else list(self.root)
@@ -430,6 +447,7 @@ class STRGIndex:
             # Whole-cluster prune: nearest possible member is
             # max(key_q - max_key, 0).
             if key_q - leaf.max_key() > kth_best():
+                OBS.count("index.clusters_pruned")
                 continue
             self._scan_leaf(leaf, query, key_q, k, best, kth_best)
         return best
@@ -437,6 +455,7 @@ class STRGIndex:
     def _scan_leaf(self, leaf: LeafNode, query, key_q: float, k: int,
                    best: list, kth_best) -> None:
         """Expand outward from the query key position in a sorted leaf."""
+        OBS.count("index.leaf_scans")
         keys = leaf.keys
         records = leaf.records
         pos = bisect.bisect_left(keys, key_q)
@@ -478,6 +497,14 @@ class STRGIndex:
             raise InvalidParameterError(f"radius must be >= 0, got {radius}")
         if not self.root:
             raise IndexStateError("cannot search an empty STRG-Index")
+        with OBS.span("index.range_query", radius=radius) as sp:
+            results = self._range_query(query, radius, background)
+            sp.set(hits=len(results))
+            return results
+
+    def _range_query(self, query, radius: float,
+                     background: BackgroundGraph | None
+                     ) -> list[tuple[float, ObjectGraph, Any]]:
         if background is not None:
             matched = self._match_root(background)
             root_records = [matched] if matched is not None else list(self.root)

@@ -23,12 +23,12 @@ from repro.distance.batch import (
     supports_batch,
 )
 from repro.distance.cache import (
-    CacheStats,
     DistanceCache,
     cached_one_vs_many,
     get_default_cache,
     set_default_cache,
 )
+from repro.observability.registry import CacheStats
 from repro.distance.lp import LpDistance, lp_distance
 from repro.distance.dtw import DTW, dtw
 from repro.distance.lcs import LCSDistance, lcs_length, lcs_distance

@@ -58,6 +58,7 @@ from repro.distance.base import (
     as_series,
     check_same_dim,
 )
+from repro.observability import OBS
 
 try:  # optional: ~2x faster node-norm tensors when SciPy is around
     from scipy.spatial.distance import cdist as _cdist
@@ -363,6 +364,8 @@ def one_vs_many(distance: Distance | Callable[[Any, Any], float],
     plain callables are looped with the ``(query, item)`` argument order
     preserved.
     """
+    if OBS.enabled:
+        OBS.count("distance.pairs_computed", len(items))
     if isinstance(distance, Distance):
         a, bs = _normalize_batch(query, items)
         return distance.compute_many(a, bs)

@@ -25,6 +25,7 @@ instance serves the clustering layer; swap or disable it with
 from __future__ import annotations
 
 import hashlib
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -34,38 +35,25 @@ import numpy as np
 from repro.distance.base import Distance, SeriesLike, as_series
 from repro.distance.batch import one_vs_many
 from repro.errors import InvalidParameterError
+from repro.observability.registry import CacheStats as _CacheStats
 
 #: Default bound on memoized pairs (~50 MB of keys + floats).
 DEFAULT_MAX_ENTRIES = 262_144
 
 
-@dataclass
-class CacheStats:
-    """Counters exposed to the benchmarks.
-
-    ``hits``/``misses`` count cacheable lookups; ``bypasses`` counts
-    evaluations routed around the cache (no ``cache_token``);
-    ``evictions`` counts entries dropped by the LRU bound.
-    """
-
-    hits: int = 0
-    misses: int = 0
-    bypasses: int = 0
-    evictions: int = 0
-
-    def hit_rate(self) -> float:
-        """Fraction of cacheable lookups served from memory."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def as_dict(self) -> dict[str, int | float]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "bypasses": self.bypasses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate(),
-        }
+def __getattr__(name: str):
+    # CacheStats moved to repro.observability.registry (the blessed home
+    # for telemetry types); keep the old import path working with a nudge.
+    if name == "CacheStats":
+        warnings.warn(
+            "repro.distance.cache.CacheStats moved to "
+            "repro.observability.registry; cache counters are also "
+            "available via repro.observability.metrics()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _CacheStats
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def series_digest(series: np.ndarray) -> bytes:
@@ -82,7 +70,7 @@ class DistanceCache:
     """Bounded LRU memo of scalar distance evaluations."""
 
     max_entries: int = DEFAULT_MAX_ENTRIES
-    stats: CacheStats = field(default_factory=CacheStats)
+    stats: _CacheStats = field(default_factory=_CacheStats)
 
     def __post_init__(self) -> None:
         if self.max_entries < 1:
@@ -97,7 +85,7 @@ class DistanceCache:
     def clear(self) -> None:
         """Drop every entry and zero the counters."""
         self._store.clear()
-        self.stats = CacheStats()
+        self.stats = _CacheStats()
 
     # -- lookups --------------------------------------------------------------
 

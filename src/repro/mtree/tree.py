@@ -25,6 +25,7 @@ import numpy as np
 from repro.distance.batch import one_vs_many, pairwise_matrix, supports_batch
 from repro.errors import IndexStateError, InvalidParameterError
 from repro.mtree.split import SplitPolicy, make_policy, partition_by_closer
+from repro.observability import OBS
 
 DistanceFn = Callable[[Any, Any], float]
 
@@ -357,6 +358,7 @@ class MTree:
         ]
         while pending:
             bound, _, node, d_parent = heapq.heappop(pending)
+            OBS.count("mtree.node_visits")
             if bound > kth_bound():
                 continue
             if node.is_leaf:
@@ -393,6 +395,7 @@ class MTree:
         results: list[tuple[float, Any, Any]] = []
 
         def visit(node: _Node, d_parent: float) -> None:
+            OBS.count("mtree.node_visits")
             if node.is_leaf:
                 for entry in node.entries:
                     if abs(d_parent - entry.dist_to_parent) > radius:

@@ -1,0 +1,245 @@
+"""Process-global metrics: counters, gauges and fixed-bucket histograms.
+
+The registry is the single sink for every quantitative signal the
+pipeline emits — distance pairs computed, cache hits, leaf scans, EM
+iterations, quarantined segments — so operators (and benchmarks) read
+one surface instead of poking private attributes of the cache, the
+executor or the index.  Two export formats are supported:
+
+- :meth:`MetricsRegistry.as_dict` — flat ``{name: value}`` JSON-able
+  snapshot (histograms expand into ``name.count`` / ``name.sum`` /
+  ``name.bucket_le_X`` entries);
+- :meth:`MetricsRegistry.to_prometheus` — the Prometheus text exposition
+  format (``.`` in metric names becomes ``_``).
+
+Instruments are created on first use (``registry.counter("x").inc()``)
+and are deliberately dependency-free and cheap: a counter increment is a
+dict lookup plus an integer add.  The registry is *not* thread-locked —
+signals are advisory telemetry, and the GIL keeps int adds atomic enough
+for that purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+#: Default histogram buckets (seconds-flavored, but unit-agnostic).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+@dataclass
+class CacheStats:
+    """Counters of :class:`repro.distance.cache.DistanceCache`.
+
+    ``hits``/``misses`` count cacheable lookups; ``bypasses`` counts
+    evaluations routed around the cache (no ``cache_token``);
+    ``evictions`` counts entries dropped by the LRU bound.
+
+    .. note:: This class moved here from ``repro.distance.cache`` when
+       the observability layer became the blessed home for telemetry
+       types; the old import path still works but warns.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    bypasses: int = 0
+    evictions: int = 0
+
+    def hit_rate(self) -> float:
+        """Fraction of cacheable lookups served from memory."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate(),
+        }
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise InvalidParameterError(
+                f"counter {self.name!r} cannot decrease (inc {n})"
+            )
+        self.value += n
+
+
+class Gauge:
+    """Last-written-value metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches the
+    rest.  ``observe`` is O(len(buckets)) with no allocation.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "inf_count", "total", "count")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise InvalidParameterError(
+                f"histogram {name!r} buckets must be ascending and non-empty"
+            )
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * len(self.buckets)
+        self.inf_count = 0
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.total += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.inf_count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at +Inf."""
+        out = []
+        running = 0
+        for bound, c in zip(self.buckets, self.counts):
+            running += c
+            out.append((bound, running))
+        out.append((float("inf"), running + self.inf_count))
+        return out
+
+
+class MetricsRegistry:
+    """Name-addressed store of counters, gauges and histograms.
+
+    Instruments are created lazily and are unique per name; asking for an
+    existing name with a different instrument kind raises.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def _get(self, name: str, kind: type, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise InvalidParameterError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    def value(self, name: str, default=None):
+        """Current scalar value of a counter/gauge (``default`` if absent)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            return metric.count
+        return metric.value
+
+    def reset(self) -> None:
+        """Drop every registered instrument."""
+        self._metrics.clear()
+
+    # -- export ---------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, int | float]:
+        """Flat JSON-able snapshot, histogram buckets expanded."""
+        out: dict[str, int | float] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[f"{name}.count"] = metric.count
+                out[f"{name}.sum"] = metric.total
+                for bound, cum in metric.cumulative():
+                    label = "inf" if bound == float("inf") else repr(bound)
+                    out[f"{name}.bucket_le_{label}"] = cum
+            else:
+                out[name] = metric.value
+        return out
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition format (one ``# TYPE`` per metric)."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            flat = _prom_name(prefix, name)
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {flat} counter")
+                lines.append(f"{flat} {_prom_value(metric.value)}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {flat} gauge")
+                lines.append(f"{flat} {_prom_value(metric.value)}")
+            else:
+                lines.append(f"# TYPE {flat} histogram")
+                for bound, cum in metric.cumulative():
+                    le = "+Inf" if bound == float("inf") else _prom_value(bound)
+                    lines.append(f'{flat}_bucket{{le="{le}"}} {cum}')
+                lines.append(f"{flat}_sum {_prom_value(metric.total)}")
+                lines.append(f"{flat}_count {metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    """``cache.hit-rate`` -> ``repro_cache_hit_rate``."""
+    flat = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)

@@ -37,6 +37,7 @@ import numpy as np
 from repro.distance.base import Distance, SeriesLike, as_series
 from repro.distance.batch import one_vs_many
 from repro.errors import InvalidParameterError
+from repro.observability import OBS
 
 #: Default lower bound on pair evaluations before a pool is worth it.
 MIN_PARALLEL_PAIRS = 512
@@ -126,18 +127,25 @@ class DistanceExecutor:
                     items: Sequence[SeriesLike]) -> np.ndarray:
         """Parallel :func:`repro.distance.batch.one_vs_many`."""
         if self._serial(len(items), distance):
-            return one_vs_many(distance, query, items)
-        a = as_series(query)
-        bs = [as_series(item) for item in items]
-        n_chunks = min(len(bs), self.workers * self.chunks_per_worker)
-        bounds = np.linspace(0, len(bs), n_chunks + 1).astype(int)
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(_worker_one_vs_many, distance, a, bs[lo:hi])
-            for lo, hi in zip(bounds[:-1], bounds[1:])
-            if hi > lo
-        ]
-        return np.concatenate([f.result() for f in futures])
+            with OBS.span("parallel.one_vs_many", items=len(items),
+                          mode="serial"):
+                return one_vs_many(distance, query, items)
+        with OBS.span("parallel.one_vs_many", items=len(items), mode="pool"):
+            a = as_series(query)
+            bs = [as_series(item) for item in items]
+            n_chunks = min(len(bs), self.workers * self.chunks_per_worker)
+            bounds = np.linspace(0, len(bs), n_chunks + 1).astype(int)
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(_worker_one_vs_many, distance, a, bs[lo:hi])
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+                if hi > lo
+            ]
+            if OBS.enabled:
+                OBS.count("parallel.jobs")
+                OBS.count("parallel.chunks", len(futures))
+                OBS.count("distance.pairs_computed", len(bs))
+            return np.concatenate([f.result() for f in futures])
 
     def pairwise_matrix(self, distance: Distance | Callable[[Any, Any], float],
                         items: Sequence[SeriesLike],
@@ -154,29 +162,37 @@ class DistanceExecutor:
         n = len(items)
         n_pairs = n * (n - 1) // 2 if symmetric else n * len(others)
         if self._serial(n_pairs, distance):
-            return serial_pairwise(distance, items, others)
-        items_n = [as_series(item) for item in items]
-        others_n = None if symmetric else [as_series(o) for o in others]
-        row_count = n - 1 if symmetric else n
-        n_tasks = max(1, min(row_count, self.workers * self.chunks_per_worker))
-        row_sets: list[list[int]] = [[] for _ in range(n_tasks)]
-        for i in range(row_count):
-            row_sets[i % n_tasks].append(i)
-        pool = self._ensure_pool()
-        futures = {
-            pool.submit(_worker_rows, distance, items_n, rows, symmetric,
-                        others_n): rows
-            for rows in row_sets if rows
-        }
-        if symmetric:
-            out = np.zeros((n, n), dtype=np.float64)
+            with OBS.span("parallel.pairwise_matrix", pairs=n_pairs,
+                          mode="serial"):
+                return serial_pairwise(distance, items, others)
+        with OBS.span("parallel.pairwise_matrix", pairs=n_pairs, mode="pool"):
+            items_n = [as_series(item) for item in items]
+            others_n = None if symmetric else [as_series(o) for o in others]
+            row_count = n - 1 if symmetric else n
+            n_tasks = max(1, min(row_count,
+                                 self.workers * self.chunks_per_worker))
+            row_sets: list[list[int]] = [[] for _ in range(n_tasks)]
+            for i in range(row_count):
+                row_sets[i % n_tasks].append(i)
+            pool = self._ensure_pool()
+            futures = {
+                pool.submit(_worker_rows, distance, items_n, rows, symmetric,
+                            others_n): rows
+                for rows in row_sets if rows
+            }
+            if OBS.enabled:
+                OBS.count("parallel.jobs")
+                OBS.count("parallel.chunks", len(futures))
+                OBS.count("distance.pairs_computed", n_pairs)
+            if symmetric:
+                out = np.zeros((n, n), dtype=np.float64)
+                for future, rows in futures.items():
+                    for i, row in zip(rows, future.result()):
+                        out[i, i + 1:] = row
+                        out[i + 1:, i] = row
+                return out
+            out = np.empty((n, len(others)), dtype=np.float64)
             for future, rows in futures.items():
                 for i, row in zip(rows, future.result()):
-                    out[i, i + 1:] = row
-                    out[i + 1:, i] = row
+                    out[i] = row
             return out
-        out = np.empty((n, len(others)), dtype=np.float64)
-        for future, rows in futures.items():
-            for i, row in zip(rows, future.result()):
-                out[i] = row
-        return out

@@ -22,6 +22,7 @@ from repro.graph.decomposition import (
 )
 from repro.graph.strg import SpatioTemporalRegionGraph
 from repro.graph.tracking import GraphTracker, TrackerConfig
+from repro.observability import OBS
 from repro.resilience.faults import maybe_fail, maybe_transform
 from repro.video.frames import VideoSegment
 from repro.video.segmentation import GridSegmenter, Segmenter
@@ -68,6 +69,10 @@ class VideoPipeline:
     def __init__(self, config: PipelineConfig | None = None):
         self.config = config or PipelineConfig()
         self._tracker = GraphTracker(self.config.tracker)
+        #: The most recent index produced by :meth:`process` (lets
+        #: ``Query(pipeline)`` and ``repro.open_database`` treat a
+        #: pipeline like any other queryable source).
+        self.index: STRGIndex | None = None
 
     def build_strg(self, video: VideoSegment) -> SpatioTemporalRegionGraph:
         """Segment every frame and assemble the STRG (Sections 2.1-2.2).
@@ -77,20 +82,24 @@ class VideoPipeline:
         caught by validation and surfaces as
         :class:`~repro.errors.CorruptSegmentError`.
         """
-        rags = []
-        for t in range(video.num_frames):
-            frame = maybe_transform("segmentation", video.frame(t))
-            frame = _validate_frame(frame, t, video.name)
-            maybe_fail("segmentation", segment=video.name, frame=t)
-            rags.append(self.config.segmenter.build_rag(frame, t))
-        maybe_fail("tracking", segment=video.name)
-        return self._tracker.build_strg(rags)
+        with OBS.span("pipeline.segmentation", segment=video.name,
+                      frames=video.num_frames):
+            rags = []
+            for t in range(video.num_frames):
+                frame = maybe_transform("segmentation", video.frame(t))
+                frame = _validate_frame(frame, t, video.name)
+                maybe_fail("segmentation", segment=video.name, frame=t)
+                rags.append(self.config.segmenter.build_rag(frame, t))
+        with OBS.span("pipeline.tracking", segment=video.name):
+            maybe_fail("tracking", segment=video.name)
+            return self._tracker.build_strg(rags)
 
     def decompose(self, video: VideoSegment) -> STRGDecomposition:
         """Full decomposition of a segment into OGs + BG (Section 2.3)."""
         strg = self.build_strg(video)
-        maybe_fail("decomposition", segment=video.name)
-        return decompose(strg, self.config.decomposition)
+        with OBS.span("pipeline.decomposition", segment=video.name):
+            maybe_fail("decomposition", segment=video.name)
+            return decompose(strg, self.config.decomposition)
 
     def process(self, video: VideoSegment,
                 index: STRGIndex | None = None
@@ -114,4 +123,5 @@ class VideoPipeline:
         else:
             for og, ref in zip(decomposition.object_graphs, refs):
                 index.insert(og, decomposition.background, ref)
+        self.index = index
         return decomposition, index

@@ -31,6 +31,7 @@ from repro.distance.batch import one_vs_many
 from repro.errors import IndexStateError, InvalidParameterError
 from repro.graph.attributes import angle_difference
 from repro.graph.object_graph import ObjectGraph
+from repro.observability import OBS
 
 
 @dataclass
@@ -42,18 +43,43 @@ class QueryResult:
 
 
 class Query:
-    """Composable retrieval over a :class:`~repro.storage.database.VideoDatabase`
-    or a bare :class:`~repro.core.index.STRGIndex`."""
+    """Composable retrieval over any queryable source.
+
+    Accepts a :class:`~repro.storage.database.VideoDatabase`, a bare
+    :class:`~repro.core.index.STRGIndex`, or a
+    :class:`~repro.pipeline.VideoPipeline` — anything that either *is*
+    an index (has ``object_graphs``) or *carries* one via an ``index``
+    attribute.  A source whose index does not exist yet (an empty
+    database, a pipeline that has not processed a segment) is accepted
+    and resolved lazily at :meth:`run` time, where it yields ``[]``.
+    """
 
     def __init__(self, source):
-        index = getattr(source, "index", source)
-        if index is None or not hasattr(index, "object_graphs"):
-            raise IndexStateError("query source has no index")
-        self._index = index
+        if not (hasattr(source, "object_graphs") or hasattr(source, "index")):
+            raise IndexStateError(
+                f"{type(source).__name__} is not queryable: it has neither "
+                "an 'object_graphs' iterator nor an 'index' attribute"
+            )
+        self._source = source
         self._predicates: list[Callable[[ObjectGraph], bool]] = []
         self._example = None
         self._distance: Distance | None = None
         self._limit: int | None = None
+
+    def _resolve_index(self):
+        """The live index behind the source (``None`` when empty).
+
+        Resolved per :meth:`run`, so a query built over a fresh database
+        or pipeline sees whatever index exists when it executes.
+        """
+        if hasattr(self._source, "object_graphs"):
+            return self._source
+        index = self._source.index
+        if index is not None and not hasattr(index, "object_graphs"):
+            raise IndexStateError(
+                f"source index {type(index).__name__} has no object_graphs"
+            )
+        return index
 
     # -- ranking -------------------------------------------------------------
 
@@ -151,9 +177,9 @@ class Query:
         return self.where(predicate)
 
     def limit(self, k: int) -> "Query":
-        """Cap the number of results."""
-        if k < 1:
-            raise InvalidParameterError(f"limit must be >= 1, got {k}")
+        """Cap the number of results (``0`` legally yields no results)."""
+        if k < 0:
+            raise InvalidParameterError(f"limit must be >= 0, got {k}")
         self._limit = k
         return self
 
@@ -163,25 +189,41 @@ class Query:
         return all(predicate(og) for predicate in self._predicates)
 
     def run(self) -> list[QueryResult]:
-        """Execute: filter by all predicates, then rank (if requested)."""
-        candidates = [og for og in self._index.object_graphs()
-                      if self._matches(og)]
-        if self._example is None:
-            results = [QueryResult(og) for og in candidates]
-            return results[: self._limit] if self._limit else results
-        distance = self._distance or self._index.metric_distance
-        # One batched sweep ranks every candidate; with a limit,
-        # heapq.nsmallest is O(N log k) instead of a full O(N log N) sort
-        # (both are stable, so ties keep index order either way).
-        dists = one_vs_many(distance, self._example, candidates)
-        results = [QueryResult(og, float(d))
-                   for og, d in zip(candidates, dists)]
-        if self._limit is not None and self._limit < len(results):
-            return heapq.nsmallest(self._limit, results,
-                                   key=lambda r: r.distance)
-        return sorted(results, key=lambda r: r.distance)
+        """Execute: filter by all predicates, then rank (if requested).
+
+        An empty or not-yet-built index and a ``limit(0)`` both yield
+        ``[]`` — a query over nothing has no results, not an error.
+        """
+        with OBS.span("query.run", ranked=self._example is not None) as sp:
+            index = self._resolve_index()
+            if index is None or self._limit == 0:
+                return []
+            candidates = [og for og in index.object_graphs()
+                          if self._matches(og)]
+            sp.set(candidates=len(candidates))
+            if self._example is None:
+                results = [QueryResult(og) for og in candidates]
+                if self._limit is not None:
+                    return results[: self._limit]
+                return results
+            if not candidates:
+                return []
+            distance = self._distance or index.metric_distance
+            # One batched sweep ranks every candidate; with a limit,
+            # heapq.nsmallest is O(N log k) instead of a full O(N log N)
+            # sort (both are stable, so ties keep index order either way).
+            dists = one_vs_many(distance, self._example, candidates)
+            results = [QueryResult(og, float(d))
+                       for og, d in zip(candidates, dists)]
+            if self._limit is not None and self._limit < len(results):
+                return heapq.nsmallest(self._limit, results,
+                                       key=lambda r: r.distance)
+            return sorted(results, key=lambda r: r.distance)
 
     def count(self) -> int:
         """Number of OGs matching the predicates (ignores limit)."""
-        return sum(1 for og in self._index.object_graphs()
+        index = self._resolve_index()
+        if index is None:
+            return 0
+        return sum(1 for og in index.object_graphs()
                    if self._matches(og))

@@ -13,6 +13,7 @@ from __future__ import annotations
 import logging
 import math
 import os
+import warnings
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -27,6 +28,7 @@ from repro.errors import (
     StorageError,
 )
 from repro.graph.object_graph import ObjectGraph
+from repro.observability import OBS
 from repro.pipeline import PipelineConfig, VideoPipeline
 from repro.resilience.journal import (
     IngestJournal,
@@ -91,6 +93,9 @@ class VideoDatabase:
         self._journal = (IngestJournal(journal_path)
                          if journal_path is not None else None)
         self.recovery: RecoveryReport | None = None
+        #: Default snapshot location used by :meth:`save`; set by
+        #: :func:`repro.open_database`, :meth:`load` and :meth:`recover`.
+        self.path: str | None = None
 
     # -- ingestion -----------------------------------------------------------
 
@@ -109,42 +114,48 @@ class VideoDatabase:
             from repro.video.shots import split_into_shots
 
             return sum(self.ingest(shot) for shot in split_into_shots(video))
-        attempts = 1
-        try:
-            if self.fault_policy is FaultPolicy.RETRY_THEN_SKIP:
-                def count_retry(attempt, exc, delay):
-                    nonlocal attempts
-                    attempts = attempt + 1
-                    self._retries += 1
-                    logger.info("segment %r attempt %d failed: %s",
-                                video.name, attempt, exc)
+        with OBS.span("ingest.segment", segment=video.name) as sp:
+            attempts = 1
+            try:
+                if self.fault_policy is FaultPolicy.RETRY_THEN_SKIP:
+                    def count_retry(attempt, exc, delay):
+                        nonlocal attempts
+                        attempts = attempt + 1
+                        self._retries += 1
+                        OBS.count("ingest.retries")
+                        logger.info("segment %r attempt %d failed: %s",
+                                    video.name, attempt, exc)
 
-                decomposition = call_with_retry(
-                    lambda: self.pipeline.decompose(video),
-                    self.retry_policy,
-                    retryable=RECOVERABLE_ERRORS,
-                    on_retry=count_retry,
-                )
-            else:
-                decomposition = self.pipeline.decompose(video)
-        except RECOVERABLE_ERRORS as exc:
-            self._record_error(video.name, exc)
-            if self.fault_policy is FaultPolicy.FAIL_FAST:
-                raise
-            self._quarantine(video.name, exc, attempts)
-            return 0
-        self._index_decomposition(video, decomposition)
-        self._ingested.append(video.name)
-        self._raw_strg_bytes += strg_raw_size_bytes(
-            decomposition.object_graphs,
-            decomposition.background,
-            video.num_frames,
-        )
-        n = len(decomposition.object_graphs)
-        self._journal_append({"event": "segment", "segment": video.name,
-                              "ogs": n, "status": "ok"})
-        logger.debug("ingested segment %r: %d OGs", video.name, n)
-        return n
+                    decomposition = call_with_retry(
+                        lambda: self.pipeline.decompose(video),
+                        self.retry_policy,
+                        retryable=RECOVERABLE_ERRORS,
+                        on_retry=count_retry,
+                    )
+                else:
+                    decomposition = self.pipeline.decompose(video)
+            except RECOVERABLE_ERRORS as exc:
+                self._record_error(video.name, exc)
+                if self.fault_policy is FaultPolicy.FAIL_FAST:
+                    raise
+                OBS.count("ingest.segments_quarantined")
+                sp.set(status="quarantined")
+                self._quarantine(video.name, exc, attempts)
+                return 0
+            self._index_decomposition(video, decomposition)
+            self._ingested.append(video.name)
+            self._raw_strg_bytes += strg_raw_size_bytes(
+                decomposition.object_graphs,
+                decomposition.background,
+                video.num_frames,
+            )
+            n = len(decomposition.object_graphs)
+            OBS.count("ingest.segments_ok")
+            sp.set(status="ok", ogs=n)
+            self._journal_append({"event": "segment", "segment": video.name,
+                                  "ogs": n, "status": "ok"})
+            logger.debug("ingested segment %r: %d OGs", video.name, n)
+            return n
 
     def ingest_many(self, videos: Sequence[VideoSegment],
                     parse_shots: bool = False) -> dict[str, int]:
@@ -256,14 +267,41 @@ class VideoDatabase:
         ranked = sorted(hits.values(), key=lambda h: h.distance)
         return ranked[:k]
 
-    def query_trajectory(self, values: np.ndarray, k: int = 5) -> list[QueryHit]:
-        """Query by a raw trajectory (``(n, 2)`` array of positions)."""
+    def knn(self, example: ObjectGraph | np.ndarray, k: int = 5
+            ) -> list[QueryHit]:
+        """The ``k`` indexed OGs nearest to an example motion.
+
+        ``example`` is either an :class:`ObjectGraph` or a raw
+        trajectory (``(n, 2)`` array of positions); raw values are
+        wrapped into a query OG first.
+        """
         self._require_index()
-        og = ObjectGraph.from_values(values)
+        og = (example if isinstance(example, ObjectGraph)
+              else ObjectGraph.from_values(np.asarray(example, dtype=float)))
         return [
             QueryHit(d, match, ref)
             for d, match, ref in self.index.knn(og, k)
         ]
+
+    def query(self) -> "Query":
+        """A fluent :class:`repro.query.Query` builder over this database.
+
+        ``db.query().similar_to(values).limit(k).run()`` is equivalent
+        to building ``Query(db)`` by hand.
+        """
+        from repro.query import Query
+
+        return Query(self)
+
+    def query_trajectory(self, values: np.ndarray, k: int = 5) -> list[QueryHit]:
+        """Deprecated alias of :meth:`knn` (kept for older callers)."""
+        warnings.warn(
+            "VideoDatabase.query_trajectory is deprecated; use "
+            "VideoDatabase.knn (or db.query().example(...).run())",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.knn(values, k)
 
     def query_by_motion(self, direction: float | None = None,
                         direction_tolerance: float = math.pi / 4,
@@ -384,15 +422,25 @@ class VideoDatabase:
             "journal": None if self._journal is None else self._journal.path,
         }
 
-    def save(self, path: str | os.PathLike) -> None:
+    def save(self, path: str | os.PathLike | None = None) -> None:
         """Persist the index atomically and journal a checkpoint.
 
-        See :func:`repro.storage.serialize.save_index`: the write is
+        ``path`` defaults to the database's bound :attr:`path` (set by
+        :func:`repro.open_database` / :meth:`load`).  See
+        :func:`repro.storage.serialize.save_index`: the write is
         temp-file + fsync + rename, so a crash mid-save leaves any
         previous snapshot at ``path`` intact.
         """
+        if path is None:
+            path = self.path
+        if path is None:
+            raise StorageError(
+                "save() needs a path: none given and the database has no "
+                "bound path (open it with repro.open_database(path))"
+            )
         self._require_index()
         save_index(path, self.index)
+        self.path = npz_path(path)
         self._journal_append({"event": "checkpoint",
                               "path": npz_path(path),
                               "ogs": len(self.index),
@@ -402,11 +450,17 @@ class VideoDatabase:
 
     @classmethod
     def load(cls, path: str | os.PathLike,
-             config: PipelineConfig | None = None) -> "VideoDatabase":
-        """Restore a database from a saved index."""
-        db = cls(config)
+             config: PipelineConfig | None = None,
+             **kwargs) -> "VideoDatabase":
+        """Restore a database from a saved index.
+
+        ``**kwargs`` are the constructor's resilience options
+        (``fault_policy``, ``retry_policy``, ``journal_path``, ...).
+        """
+        db = cls(config, **kwargs)
         db.index = load_index(path)
         db._ingested.append(f"loaded:{os.fspath(path)}")
+        db.path = npz_path(path)
         return db
 
     @classmethod
@@ -448,6 +502,7 @@ class VideoDatabase:
                              "snapshot_error": snapshot_error},
                 )
             db = cls(config)
+        db.path = target
         pending, quarantined = replay_pending(records)
         if not snapshot_loaded:
             # No snapshot survived: every journaled-ok segment is pending.

@@ -118,19 +118,29 @@ class TestRanking:
 
 
 class TestValidation:
-    def test_empty_source_rejected(self):
+    def test_empty_database_yields_no_results(self):
+        # A database with no index yet is queryable — it just has no rows.
+        assert Query(VideoDatabase()).run() == []
+        assert Query(VideoDatabase()).count() == 0
+
+    def test_unqueryable_source_rejected(self):
         with pytest.raises(IndexStateError):
-            Query(VideoDatabase())
+            Query(object())
 
     def test_bare_index_accepted(self, db):
         database, ogs = db
         hits = Query(database.index).run()
         assert len(hits) == 3
 
-    def test_invalid_limit(self, db):
+    def test_limit_zero_yields_empty(self, db):
+        database, ogs = db
+        assert Query(database).limit(0).run() == []
+        assert Query(database).similar_to(ogs[0]).limit(0).run() == []
+
+    def test_negative_limit_rejected(self, db):
         database, _ = db
         with pytest.raises(InvalidParameterError):
-            Query(database).limit(0)
+            Query(database).limit(-1)
 
     def test_velocity_needs_bound(self, db):
         database, _ = db

@@ -331,8 +331,8 @@ class TestAcceptance50Segments:
         clean.ingest_many(survivors)
         assert clean.stats()["ogs"] == db.stats()["ogs"]
         query = np.stack([np.linspace(4, 44, 6), np.full(6, 16.0)], axis=1)
-        hits_faulted = db.query_trajectory(query, k=5)
-        hits_clean = clean.query_trajectory(query, k=5)
+        hits_faulted = db.knn(query, k=5)
+        hits_clean = clean.knn(query, k=5)
         assert len(hits_faulted) == len(hits_clean)
         assert [h.distance for h in hits_faulted] == pytest.approx(
             [h.distance for h in hits_clean]

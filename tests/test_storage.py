@@ -250,15 +250,27 @@ class TestVideoDatabase:
         assert stats["ogs"] == n
         assert stats["raw_strg_bytes"] > stats["index_bytes"]
 
-    def test_query_trajectory(self, tiny_video):
+    def test_knn_by_trajectory(self, tiny_video):
         db = VideoDatabase()
         db.ingest(tiny_video)
         trajectory = np.stack([
             np.linspace(5, 90, 12), np.full(12, 40.0)
         ], axis=1)
-        hits = db.query_trajectory(trajectory, k=1)
+        hits = db.knn(trajectory, k=1)
         assert len(hits) == 1
         assert hits[0].distance >= 0.0
+
+    def test_query_trajectory_deprecated_alias(self, tiny_video):
+        db = VideoDatabase()
+        db.ingest(tiny_video)
+        trajectory = np.stack([
+            np.linspace(5, 90, 12), np.full(12, 40.0)
+        ], axis=1)
+        with pytest.warns(DeprecationWarning, match="query_trajectory"):
+            hits = db.query_trajectory(trajectory, k=1)
+        assert [h.og.og_id for h in hits] == [
+            h.og.og_id for h in db.knn(trajectory, k=1)
+        ]
 
     def test_query_clip(self, tiny_video):
         db = VideoDatabase()
@@ -270,7 +282,7 @@ class TestVideoDatabase:
     def test_empty_query_rejected(self):
         db = VideoDatabase()
         with pytest.raises(IndexStateError):
-            db.query_trajectory(np.zeros((3, 2)))
+            db.knn(np.zeros((3, 2)))
 
     def test_ingest_object_graphs(self):
         db = VideoDatabase()
