@@ -19,6 +19,7 @@ Archives ``benchmarks/results/BENCH_observability.json`` plus the trace
 from __future__ import annotations
 
 import json
+import threading
 import time
 
 import numpy as np
@@ -198,3 +199,58 @@ def bench_observability_report():
         f"disabled observability costs {disabled_pct:.2f}% on the kernel "
         "sweep (budget: 3%)"
     )
+
+
+#: Contention shape: serving-worker counts hammering shared instruments.
+CONTENTION_THREADS = 8
+CONTENTION_OPS = 20_000
+
+
+def bench_registry_contention():
+    """Locked instruments stay exact and fast under thread contention.
+
+    The serving layer's worker threads bump shared counters/histograms on
+    every request, so the registry locks added for thread safety sit on
+    the request path.  This micro-bench hammers one counter and one
+    histogram from ``CONTENTION_THREADS`` threads, asserts the totals are
+    *exact* (the whole point of the locks — unlocked ``+=`` drops
+    increments under the interpreter's thread switches), and records the
+    single-thread vs contended throughput so a lock-convoy regression
+    shows up as an ops/s cliff.
+    """
+    def hammer(registry: MetricsRegistry, threads: int) -> float:
+        counter = registry.counter("contention.ops")
+        histogram = registry.histogram("contention.latency")
+
+        def work():
+            for i in range(CONTENTION_OPS):
+                counter.inc()
+                histogram.observe(0.001 * (i % 7))
+
+        pool = [threading.Thread(target=work) for _ in range(threads)]
+        t0 = time.perf_counter()
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        elapsed = time.perf_counter() - t0
+
+        total = threads * CONTENTION_OPS
+        assert registry.value("contention.ops") == total
+        assert registry.histogram("contention.latency").count == total
+        return 2 * total / elapsed  # counter + histogram ops
+
+    single_ops = hammer(MetricsRegistry(), 1)
+    contended_ops = hammer(MetricsRegistry(), CONTENTION_THREADS)
+
+    rows = [
+        ["1 thread", f"{single_ops / 1e6:.2f}"],
+        [f"{CONTENTION_THREADS} threads", f"{contended_ops / 1e6:.2f}"],
+    ]
+    lines = format_table(["contention", "M ops/s"], rows)
+    lines.append("")
+    lines.append(
+        f"totals exact at {CONTENTION_THREADS}x{CONTENTION_OPS} increments "
+        "per instrument"
+    )
+    record_result("BENCH_registry_contention", lines)

@@ -34,6 +34,10 @@ The package mirrors the paper's pipeline:
 - :mod:`repro.observability` — tracing spans, a metrics registry
   (JSON / Prometheus exporters) and profiling hooks through every hot
   path, behind one ``configure(enabled=...)`` switch.
+- :mod:`repro.serving` — sharded scatter-gather indexes, copy-on-write
+  snapshots with live swaps, a thread-pool query service with admission
+  control and deadlines, and closed-/open-loop load generators (see
+  ``docs/SERVING.md``).
 """
 
 from repro import observability
@@ -46,24 +50,38 @@ from repro.parallel import DistanceExecutor
 from repro.pipeline import PipelineConfig, VideoPipeline
 from repro.query import Query, QueryResult
 from repro.resilience import FaultInjector, FaultPolicy, RetryPolicy
+from repro.serving import (
+    IndexSnapshot,
+    LiveIndex,
+    QueryService,
+    ServiceConfig,
+    ShardedIndex,
+    ShardedIndexConfig,
+)
 from repro.storage.database import QueryHit, VideoDatabase
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DistanceExecutor",
     "EGED",
     "FaultInjector",
     "FaultPolicy",
+    "IndexSnapshot",
+    "LiveIndex",
     "MetricEGED",
     "ObjectGraph",
     "PipelineConfig",
     "Query",
     "QueryHit",
     "QueryResult",
+    "QueryService",
     "RetryPolicy",
     "STRGIndex",
     "STRGIndexConfig",
+    "ServiceConfig",
+    "ShardedIndex",
+    "ShardedIndexConfig",
     "SpatioTemporalRegionGraph",
     "VideoDatabase",
     "VideoPipeline",

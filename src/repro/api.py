@@ -50,7 +50,10 @@ def open_database(path: str | os.PathLike | None = None, *,
     **kwargs:
         Forwarded to :class:`~repro.storage.database.VideoDatabase`
         (``fault_policy``, ``retry_policy``, ``drop_tolerance``,
-        ``journal_path``, ...).
+        ``journal_path``, ``shards``, ``placement``, ...).  With
+        ``shards=N`` a fresh database maintains a sharded index (see
+        ``docs/SERVING.md``); a sharded snapshot at ``path`` is
+        detected and loaded as such automatically.
     """
     if path is None:
         return VideoDatabase(config, **kwargs)

@@ -8,6 +8,8 @@ Subcommands::
     strg-index recover INDEX.npz   # inspect crash-recovery state
     strg-index query  INDEX.npz    # k-NN query with a synthetic trajectory
     strg-index bench               # tiny smoke benchmark
+    strg-index serve  INDEX.npz    # drive the query service on an index
+    strg-index bench-load          # closed-loop load benchmark at N shards
 
 Every subcommand prints human-readable progress to stdout.
 """
@@ -254,6 +256,82 @@ def _cmd_motion(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import open_database
+    from repro.serving import (
+        LiveIndex,
+        QueryService,
+        ServiceConfig,
+        ShardedIndex,
+        ShardedIndexConfig,
+        run_open_loop,
+    )
+
+    observe = _start_observability(args)
+    db = open_database(args.index, create=False)
+    index = db.index
+    if args.shards is not None and getattr(index, "shards", None) is None:
+        # Monolithic snapshot + --shards: reshard its OGs in memory.
+        print(f"resharding {len(index)} OGs across {args.shards} shard(s)...")
+        sharded = ShardedIndex(ShardedIndexConfig(
+            num_shards=args.shards, index=index.config))
+        sharded.build(list(index.object_graphs()))
+        index = sharded
+    live = LiveIndex(index)
+    queries = [og for _, og in zip(range(64), live.snapshot.index.object_graphs())]
+    print(f"serving {live!r} with {args.workers} worker(s); "
+          f"driving {args.rate:.0f} req/s for {args.duration:.1f}s")
+    with QueryService(live, ServiceConfig(
+            workers=args.workers, queue_depth=args.queue_depth,
+            default_deadline=args.deadline)) as service:
+        report = run_open_loop(service, queries, k=args.k,
+                               rate=args.rate, duration=args.duration)
+    print(report)
+    if observe:
+        _report_observability(args)
+    return 0
+
+
+def _cmd_bench_load(args: argparse.Namespace) -> int:
+    from repro.core.index import STRGIndexConfig
+    from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_ogs
+    from repro.serving import (
+        LiveIndex,
+        QueryService,
+        ServiceConfig,
+        ShardedIndex,
+        ShardedIndexConfig,
+        run_closed_loop,
+    )
+
+    observe = _start_observability(args)
+    ogs = generate_synthetic_ogs(
+        SyntheticConfig(num_ogs=args.num_ogs, seed=args.seed))
+    queries = generate_synthetic_ogs(SyntheticConfig(num_ogs=32, seed=99))
+    throughput = {}
+    for shards in args.shards:
+        index = ShardedIndex(ShardedIndexConfig(
+            num_shards=shards,
+            index=STRGIndexConfig(n_clusters=args.clusters)))
+        started = time.perf_counter()
+        index.build(ogs)
+        build_s = time.perf_counter() - started
+        with QueryService(LiveIndex(index), ServiceConfig(
+                workers=args.workers, queue_depth=args.queue_depth)) as svc:
+            report = run_closed_loop(svc, queries, k=args.k,
+                                     num_requests=args.requests,
+                                     concurrency=args.concurrency)
+        throughput[shards] = report.throughput
+        print(f"{shards} shard(s) (built in {build_s:.1f}s): {report}")
+    if len(throughput) > 1:
+        low, high = min(throughput), max(throughput)
+        print(f"speedup {high} vs {low} shard(s): "
+              f"{throughput[high] / throughput[low]:.2f}x")
+    if observe:
+        _report_observability(args)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -330,6 +408,40 @@ def build_parser() -> argparse.ArgumentParser:
     motion.add_argument("--min-duration", type=int, default=None)
     motion.add_argument("--limit", type=int, default=10)
     motion.set_defaults(func=_cmd_motion)
+
+    serve = sub.add_parser(
+        "serve", help="run the query service over a saved index"
+    )
+    serve.add_argument("index", help="index NPZ path (monolithic or sharded)")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="reshard a monolithic snapshot across N shards")
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--queue-depth", type=int, default=64)
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-request deadline in seconds")
+    serve.add_argument("--rate", type=float, default=50.0,
+                       help="offered load in requests/second")
+    serve.add_argument("--duration", type=float, default=2.0,
+                       help="seconds of open-loop load to drive")
+    serve.add_argument("-k", type=int, default=5)
+    _add_observe_options(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    bench_load = sub.add_parser(
+        "bench-load", help="closed-loop serving benchmark at several shard counts"
+    )
+    bench_load.add_argument("--shards", type=int, nargs="+", default=[1, 4])
+    bench_load.add_argument("--num-ogs", type=int, default=480)
+    bench_load.add_argument("--clusters", type=int, default=10,
+                            help="per-shard cluster count")
+    bench_load.add_argument("--requests", type=int, default=64)
+    bench_load.add_argument("--concurrency", type=int, default=2)
+    bench_load.add_argument("--workers", type=int, default=2)
+    bench_load.add_argument("--queue-depth", type=int, default=64)
+    bench_load.add_argument("-k", type=int, default=10)
+    bench_load.add_argument("--seed", type=int, default=0)
+    _add_observe_options(bench_load)
+    bench_load.set_defaults(func=_cmd_bench_load)
     return parser
 
 

@@ -86,6 +86,31 @@ class STRGIndex:
         self.cluster_distance = cluster_distance or EGED()
         self.root: list[RootRecord] = []
         self._next_root_id = 0
+        #: Bumped on every structural change (build/insert/delete/split).
+        #: Readers that cache derived structures (e.g. the serving layer's
+        #: pivot bounds) compare this to detect staleness.
+        self.mutations = 0
+        #: Set by :meth:`freeze`; frozen indexes reject mutation, which is
+        #: what lets published serving snapshots be shared across threads.
+        self.frozen = False
+
+    def freeze(self) -> "STRGIndex":
+        """Mark the index immutable (mutations raise ``IndexStateError``).
+
+        Freezing is how the serving layer guarantees snapshot isolation:
+        readers share a frozen index while writers accumulate into a new
+        one.  Returns ``self`` for chaining.  There is no unfreeze — build
+        a new index (or deep-copy this one) to mutate again.
+        """
+        self.frozen = True
+        return self
+
+    def _check_mutable(self) -> None:
+        if self.frozen:
+            raise IndexStateError(
+                "index is frozen (published as a serving snapshot); "
+                "mutate a copy instead"
+            )
 
     # -- construction (Algorithm 2) -----------------------------------------
 
@@ -110,6 +135,8 @@ class STRGIndex:
             raise InvalidParameterError(
                 f"{len(ogs)} OGs but {len(clip_refs)} clip refs"
             )
+        self._check_mutable()
+        self.mutations += 1
         with OBS.span("index.build", ogs=len(ogs)):
             return self._build(ogs, background, clip_refs)
 
@@ -225,6 +252,8 @@ class STRGIndex:
         (or the only/first record when no background is given), then the
         cluster whose centroid is nearest under the metric distance.
         """
+        self._check_mutable()
+        self.mutations += 1
         with OBS.span("index.insert"):
             if not self.root:
                 self.build([og], background, [clip_ref])
@@ -353,6 +382,8 @@ class STRGIndex:
         are "updated as the member OGs are changed such as inserting,
         deleting".  Returns ``True`` when the OG was found.
         """
+        self._check_mutable()
+        self.mutations += 1
         for root_record in list(self.root):
             cluster_node = root_record.cluster_node
             for record in list(cluster_node.records):
@@ -437,20 +468,42 @@ class STRGIndex:
 
         best: list[tuple[float, ObjectGraph, Any]] = []
 
-        def kth_best() -> float:
-            return best[-1][0] if len(best) == k else float("inf")
+        def kth_best() -> tuple[float, float]:
+            # (distance, og_id) of the current k-th hit.  Ordering by the
+            # pair makes tie-breaking deterministic: equal distances are
+            # resolved by og_id, so a sharded search over the same corpus
+            # returns bit-identical answers regardless of scan order.
+            if len(best) == k:
+                return (best[-1][0], best[-1][1].og_id)
+            return (float("inf"), float("inf"))
 
         for key_q, record in ranked:
             leaf = record.leaf
             if len(leaf) == 0:
                 continue
             # Whole-cluster prune: nearest possible member is
-            # max(key_q - max_key, 0).
-            if key_q - leaf.max_key() > kth_best():
+            # max(key_q - max_key, 0).  Strict >: a candidate whose lower
+            # bound ties the k-th distance can still win on og_id.
+            if key_q - leaf.max_key() > kth_best()[0]:
                 OBS.count("index.clusters_pruned")
                 continue
             self._scan_leaf(leaf, query, key_q, k, best, kth_best)
         return best
+
+    def _evaluate(self, query, og: ObjectGraph) -> float:
+        """Query-to-candidate metric distance for a returned hit.
+
+        Routed through the batched kernel (query-first, batch of one)
+        whenever the metric supports it: the kernel is bit-invariant to
+        batch composition, so the sharded serving layer — which evaluates
+        whole candidate windows in one batched sweep — returns distances
+        bit-identical to this per-record path.  Metrics without a batch
+        kernel (e.g. counting wrappers in tests) keep the plain scalar
+        call.
+        """
+        if supports_batch(self.metric_distance):
+            return float(one_vs_many(self.metric_distance, query, [og])[0])
+        return float(self.metric_distance(query, og))
 
     def _scan_leaf(self, leaf: LeafNode, query, key_q: float, k: int,
                    best: list, kth_best) -> None:
@@ -473,7 +526,7 @@ class STRGIndex:
                 idx = right
                 right += 1
             gap = abs(keys[idx] - key_q)
-            if gap > kth_best():
+            if gap > kth_best()[0]:
                 # All remaining records in this direction are farther in
                 # key space; if both directions exceed, we are done.
                 if go_left:
@@ -482,10 +535,10 @@ class STRGIndex:
                     right = n
                 continue
             record = records[idx]
-            d = self.metric_distance(query, record.og)
-            if d < kth_best():
+            d = self._evaluate(query, record.og)
+            if (d, record.og.og_id) < kth_best():
                 entry = (d, record.og, record.clip_ref)
-                bisect.insort(best, entry, key=lambda e: e[0])
+                bisect.insort(best, entry, key=lambda e: (e[0], e[1].og_id))
                 if len(best) > k:
                     best.pop()
 
@@ -522,12 +575,29 @@ class STRGIndex:
                 for leaf_record in record.leaf:
                     if abs(leaf_record.key - key_q) > radius:
                         continue
-                    d = self.metric_distance(query, leaf_record.og)
+                    d = self._evaluate(query, leaf_record.og)
                     if d <= radius:
                         results.append((d, leaf_record.og, leaf_record.clip_ref))
-        return sorted(results, key=lambda item: item[0])
+        return sorted(results, key=lambda item: (item[0], item[1].og_id))
 
     # -- introspection -----------------------------------------------------------
+
+    def cluster_records(self, background: BackgroundGraph | None = None
+                        ) -> list[ClusterRecord]:
+        """Cluster records in stable order (optionally BG-routed).
+
+        With a ``background``, the records of the best-matching root are
+        returned (all records when nothing matches) — the same routing
+        :meth:`knn` applies.  The serving layer's sharded scatter-gather
+        iterates this list directly so it can share one global bound
+        across shards.
+        """
+        if background is not None:
+            matched = self._match_root(background)
+            roots = [matched] if matched is not None else list(self.root)
+        else:
+            roots = list(self.root)
+        return [record for root in roots for record in root.cluster_node]
 
     def object_graphs(self):
         """Iterate over every indexed OG (all roots, clusters, leaves)."""

@@ -17,14 +17,18 @@ token — notably :class:`~repro.distance.base.CountingDistance`, whose
 whole purpose is to observe every evaluation — bypass the cache.
 
 The cache is bounded (least-recently-used eviction) and keeps hit/miss
-counters so benchmarks can report reuse rates.  A process-wide default
-instance serves the clustering layer; swap or disable it with
-:func:`set_default_cache`.
+counters so benchmarks can report reuse rates.  It is safe for
+concurrent use — the serving layer's worker threads share it — with a
+lock around probe and store phases; distance computation for misses runs
+*outside* the lock so concurrent readers only serialise on bookkeeping,
+never on DP kernels.  A process-wide default instance serves the
+clustering layer; swap or disable it with :func:`set_default_cache`.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -78,14 +82,16 @@ class DistanceCache:
                 f"max_entries must be >= 1, got {self.max_entries}"
             )
         self._store: OrderedDict[tuple, float] = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._store)
 
     def clear(self) -> None:
         """Drop every entry and zero the counters."""
-        self._store.clear()
-        self.stats = _CacheStats()
+        with self._lock:
+            self._store.clear()
+            self.stats = _CacheStats()
 
     # -- lookups --------------------------------------------------------------
 
@@ -100,7 +106,8 @@ class DistanceCache:
         """
         token = getattr(distance, "cache_token", None)
         if token is None:
-            self.stats.bypasses += len(items)
+            with self._lock:
+                self.stats.bypasses += len(items)
             return one_vs_many(distance, query, items)
         a = as_series(query)
         bs = [as_series(item) for item in items]
@@ -112,23 +119,28 @@ class DistanceCache:
             keys.append((token, qd, bd) if qd <= bd else (token, bd, qd))
         out = np.empty(len(bs), dtype=np.float64)
         missing: list[int] = []
-        for i, key in enumerate(keys):
-            value = self._store.get(key)
-            if value is None:
-                missing.append(i)
-            else:
-                self._store.move_to_end(key)
-                out[i] = value
-        self.stats.hits += len(bs) - len(missing)
-        self.stats.misses += len(missing)
+        with self._lock:
+            for i, key in enumerate(keys):
+                value = self._store.get(key)
+                if value is None:
+                    missing.append(i)
+                else:
+                    self._store.move_to_end(key)
+                    out[i] = value
+            self.stats.hits += len(bs) - len(missing)
+            self.stats.misses += len(missing)
         if missing:
+            # Kernels run unlocked: concurrent readers only serialise on
+            # the probe/store bookkeeping above and below.
             computed = one_vs_many(distance, a, [bs[i] for i in missing])
-            for i, value in zip(missing, computed):
-                out[i] = value
-                self._put(keys[i], float(value))
+            with self._lock:
+                for i, value in zip(missing, computed):
+                    out[i] = value
+                    self._put(keys[i], float(value))
         return out
 
     def _put(self, key: tuple, value: float) -> None:
+        # Caller holds self._lock.
         self._store[key] = value
         self._store.move_to_end(key)
         while len(self._store) > self.max_entries:

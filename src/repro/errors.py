@@ -76,3 +76,28 @@ class IndexCorruptionError(DetailedError, StorageError):
 class RecoveryError(DetailedError, StorageError):
     """Crash recovery could not reconstruct any usable state (no valid
     snapshot and no readable ingest journal)."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """Base class for errors raised by the ``repro.serving`` subsystem."""
+
+
+class ServiceOverloadError(ServingError):
+    """The query service's admission queue is full: the request was
+    rejected instead of queued (backpressure, not failure — retry later
+    or shed load upstream)."""
+
+
+class DeadlineExceededError(ServingError):
+    """A request's deadline elapsed before it could be served."""
+
+
+class ServiceStoppedError(ServingError):
+    """A request was submitted to a service that is draining or has shut
+    down."""
+
+
+class ShardUnavailableError(DetailedError, ServingError):
+    """A shard failed while serving a scatter-gather query.  Callers
+    using the degraded-read path receive partial results flagged
+    ``degraded=True`` instead of this error."""

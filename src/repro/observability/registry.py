@@ -14,13 +14,17 @@ executor or the index.  Two export formats are supported:
 
 Instruments are created on first use (``registry.counter("x").inc()``)
 and are deliberately dependency-free and cheap: a counter increment is a
-dict lookup plus an integer add.  The registry is *not* thread-locked —
-signals are advisory telemetry, and the GIL keeps int adds atomic enough
-for that purpose.
+dict lookup, a lock acquire and an integer add.  The registry is
+thread-safe — the serving layer updates it from worker threads, so
+instrument creation is guarded by a registry lock and each instrument
+serialises its own updates (``+=`` on an attribute is a read-modify-write
+that the GIL does **not** make atomic).  Exports snapshot the instrument
+table before iterating, so they never race a concurrent registration.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.errors import InvalidParameterError
@@ -63,39 +67,44 @@ class CacheStats:
 
 
 class Counter:
-    """Monotonically increasing integer metric."""
+    """Monotonically increasing integer metric (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int | float = 1) -> None:
         if n < 0:
             raise InvalidParameterError(
                 f"counter {self.name!r} cannot decrease (inc {n})"
             )
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 class Gauge:
-    """Last-written-value metric."""
+    """Last-written-value metric (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = float(value)
 
     def inc(self, n: float = 1.0) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def dec(self, n: float = 1.0) -> None:
-        self.value -= n
+        with self._lock:
+            self.value -= n
 
 
 class Histogram:
@@ -105,7 +114,8 @@ class Histogram:
     rest.  ``observe`` is O(len(buckets)) with no allocation.
     """
 
-    __slots__ = ("name", "buckets", "counts", "inf_count", "total", "count")
+    __slots__ = ("name", "buckets", "counts", "inf_count", "total", "count",
+                 "_lock")
 
     def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
         if not buckets or list(buckets) != sorted(buckets):
@@ -118,25 +128,28 @@ class Histogram:
         self.inf_count = 0
         self.total = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.total += value
-        self.count += 1
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.inf_count += 1
+        with self._lock:
+            self.total += value
+            self.count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    return
+            self.inf_count += 1
 
     def cumulative(self) -> list[tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, ending at +Inf."""
         out = []
-        running = 0
-        for bound, c in zip(self.buckets, self.counts):
-            running += c
-            out.append((bound, running))
-        out.append((float("inf"), running + self.inf_count))
+        with self._lock:
+            running = 0
+            for bound, c in zip(self.buckets, self.counts):
+                running += c
+                out.append((bound, running))
+            out.append((float("inf"), running + self.inf_count))
         return out
 
 
@@ -149,6 +162,7 @@ class MetricsRegistry:
 
     def __init__(self):
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -159,9 +173,12 @@ class MetricsRegistry:
     def _get(self, name: str, kind: type, factory):
         metric = self._metrics.get(name)
         if metric is None:
-            metric = factory()
-            self._metrics[name] = metric
-        elif not isinstance(metric, kind):
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = factory()
+                    self._metrics[name] = metric
+        if not isinstance(metric, kind):
             raise InvalidParameterError(
                 f"metric {name!r} already registered as "
                 f"{type(metric).__name__}, not {kind.__name__}"
@@ -189,15 +206,22 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every registered instrument."""
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
+
+    def _snapshot(self) -> dict[str, Counter | Gauge | Histogram]:
+        """Stable copy of the instrument table for iteration."""
+        with self._lock:
+            return dict(self._metrics)
 
     # -- export ---------------------------------------------------------------
 
     def as_dict(self) -> dict[str, int | float]:
         """Flat JSON-able snapshot, histogram buckets expanded."""
         out: dict[str, int | float] = {}
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        metrics = self._snapshot()
+        for name in sorted(metrics):
+            metric = metrics[name]
             if isinstance(metric, Histogram):
                 out[f"{name}.count"] = metric.count
                 out[f"{name}.sum"] = metric.total
@@ -211,8 +235,9 @@ class MetricsRegistry:
     def to_prometheus(self, prefix: str = "repro") -> str:
         """Prometheus text exposition format (one ``# TYPE`` per metric)."""
         lines: list[str] = []
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        metrics = self._snapshot()
+        for name in sorted(metrics):
+            metric = metrics[name]
             flat = _prom_name(prefix, name)
             if isinstance(metric, Counter):
                 lines.append(f"# TYPE {flat} counter")

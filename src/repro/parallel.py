@@ -29,6 +29,7 @@ state.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence
 
@@ -93,19 +94,25 @@ class DistanceExecutor:
         self.min_pairs = min_pairs
         self.chunks_per_worker = chunks_per_worker
         self._pool: ProcessPoolExecutor | None = None
+        # Serving worker threads share one executor; guard lazy pool
+        # creation/teardown so two threads can't race a double-create.
+        self._pool_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------------
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
 
     def shutdown(self) -> None:
         """Tear the worker pool down (jobs submitted later re-create it)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
 
     def __enter__(self) -> "DistanceExecutor":
         return self

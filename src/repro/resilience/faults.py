@@ -30,6 +30,7 @@ from repro.errors import (
     CorruptSegmentError,
     InvalidParameterError,
     SegmentationError,
+    ShardUnavailableError,
 )
 
 #: The named injection points compiled into the library.
@@ -39,6 +40,7 @@ INJECTION_POINTS = (
     "decomposition",    # per segment, before OG/BG decomposition
     "storage.write",    # after the temp file is written, before rename
     "storage.read",     # before a persisted file is opened
+    "serving.shard",    # before a shard is scanned during scatter-gather
 )
 
 #: Default exception raised per point when a ``raise`` fault fires.
@@ -59,6 +61,10 @@ _DEFAULT_ERRORS: dict[str, Callable[[str, int], Exception]] = {
     ),
     "storage.read": lambda point, n: OSError(
         f"injected I/O failure at {point}#{n}"
+    ),
+    "serving.shard": lambda point, n: ShardUnavailableError(
+        f"injected shard failure at {point}#{n}",
+        details={"point": point, "ordinal": n},
     ),
 }
 

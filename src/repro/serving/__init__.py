@@ -1,0 +1,42 @@
+"""repro.serving — sharded, concurrent query serving with live swaps.
+
+Layers, bottom up:
+
+- :mod:`repro.serving.sharding` — :class:`ShardedIndex` partitions the
+  corpus across N :class:`~repro.core.index.STRGIndex` shards and runs
+  exact scatter-gather k-NN / range queries whose results are
+  bit-identical to a monolithic index.
+- :mod:`repro.serving.snapshot` — :class:`IndexSnapshot` /
+  :class:`LiveIndex` give copy-on-write ingestion: readers query an
+  immutable published snapshot while writes buffer and compact into the
+  next one, swapped in atomically.
+- :mod:`repro.serving.service` — :class:`QueryService` fronts a live
+  index with worker threads, bounded admission, per-request deadlines
+  and graceful shutdown.
+- :mod:`repro.serving.loadgen` — closed-/open-loop load generators
+  reporting throughput and p50/p95/p99 latency.
+"""
+
+from repro.serving.loadgen import LoadReport, run_closed_loop, run_open_loop
+from repro.serving.service import QueryResponse, QueryService, ServiceConfig
+from repro.serving.sharding import (
+    ShardedIndex,
+    ShardedIndexConfig,
+    ShardedSearchResult,
+)
+from repro.serving.snapshot import IndexSnapshot, LiveIndex, LiveIndexConfig
+
+__all__ = [
+    "IndexSnapshot",
+    "LiveIndex",
+    "LiveIndexConfig",
+    "LoadReport",
+    "QueryResponse",
+    "QueryService",
+    "ServiceConfig",
+    "ShardedIndex",
+    "ShardedIndexConfig",
+    "ShardedSearchResult",
+    "run_closed_loop",
+    "run_open_loop",
+]

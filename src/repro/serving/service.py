@@ -1,0 +1,283 @@
+"""Thread-pool query service with admission control and deadlines.
+
+:class:`QueryService` fronts a :class:`~repro.serving.snapshot.LiveIndex`
+with a bounded request queue and a pool of worker threads:
+
+- **Admission control** — requests beyond ``queue_depth`` are rejected
+  immediately with :class:`~repro.errors.ServiceOverloadError` rather
+  than queued without bound.  A saturated service sheds load; it never
+  hangs the caller.
+- **Deadlines** — each request carries an optional deadline.  A request
+  whose deadline elapses while it sits in the queue fails fast with
+  :class:`~repro.errors.DeadlineExceededError` instead of wasting a
+  worker on an answer nobody is waiting for.
+- **Snapshot isolation** — a worker resolves the published snapshot
+  once, at execution time, and serves the whole request from it.
+  Concurrent compactions swap the published snapshot for *later*
+  requests; in-flight ones are unaffected.
+- **Graceful shutdown** — :meth:`drain` blocks until queued work
+  finishes; :meth:`shutdown` additionally stops the workers.  Requests
+  submitted after shutdown get :class:`~repro.errors.ServiceStoppedError`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    ServiceOverloadError,
+    ServiceStoppedError,
+)
+from repro.graph.decomposition import BackgroundGraph
+from repro.observability import OBS
+from repro.serving.snapshot import IndexSnapshot, LiveIndex
+
+_SHUTDOWN = object()  # queue sentinel that stops a worker
+
+
+@dataclass
+class ServiceConfig:
+    """Sizing and policy for a :class:`QueryService`.
+
+    ``workers``           worker threads draining the queue.
+    ``queue_depth``       max queued (not yet executing) requests; beyond
+                          this, submissions are rejected.
+    ``default_deadline``  per-request deadline in seconds applied when a
+                          submission doesn't carry its own (``None`` =
+                          no deadline).
+    """
+
+    workers: int = 2
+    queue_depth: int = 64
+    default_deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise InvalidParameterError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.queue_depth < 1:
+            raise InvalidParameterError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise InvalidParameterError(
+                f"default_deadline must be > 0, got {self.default_deadline}"
+            )
+
+
+@dataclass
+class QueryResponse:
+    """A served query: hits plus the serving metadata callers need to
+    interpret them (which snapshot answered, whether shards were lost)."""
+
+    hits: list[tuple[float, Any, Any]]
+    snapshot_version: int
+    degraded: bool = False
+    failed_shards: list[int] = field(default_factory=list)
+    latency: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "hits": [
+                {"distance": d, "og_id": og.og_id, "clip_ref": ref}
+                for d, og, ref in self.hits
+            ],
+            "snapshot_version": self.snapshot_version,
+            "degraded": self.degraded,
+            "failed_shards": self.failed_shards,
+            "latency": self.latency,
+        }
+
+
+@dataclass
+class _Request:
+    kind: str  # "knn" | "range"
+    query: Any
+    arg: Any  # k for knn, radius for range
+    background: BackgroundGraph | None
+    deadline: float | None  # absolute time.monotonic() cutoff
+    enqueued: float
+    future: Future
+
+
+class QueryService:
+    """Concurrent query frontend over a :class:`LiveIndex`.
+
+    Workers start in the constructor; use as a context manager (or call
+    :meth:`shutdown`) to stop them.  ``submit_knn``/``submit_range``
+    return :class:`concurrent.futures.Future` objects resolving to
+    :class:`QueryResponse`; ``knn``/``range_query`` are their blocking
+    conveniences.
+    """
+
+    def __init__(self, live: LiveIndex,
+                 config: ServiceConfig | None = None):
+        self.live = live
+        self.config = config or ServiceConfig()
+        self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_depth)
+        self._stopped = False
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"query-worker-{i}", daemon=True)
+            for i in range(self.config.workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission -----------------------------------------------------------
+
+    def submit_knn(self, query, k: int,
+                   background: BackgroundGraph | None = None,
+                   deadline: float | None = None) -> Future:
+        """Enqueue a k-NN request; rejects instead of blocking when full."""
+        return self._submit("knn", query, k, background, deadline)
+
+    def submit_range(self, query, radius: float,
+                     background: BackgroundGraph | None = None,
+                     deadline: float | None = None) -> Future:
+        """Enqueue a range request; rejects instead of blocking when full."""
+        return self._submit("range", query, radius, background, deadline)
+
+    def knn(self, query, k: int,
+            background: BackgroundGraph | None = None,
+            deadline: float | None = None) -> QueryResponse:
+        """Submit a k-NN request and block for its response."""
+        return self.submit_knn(query, k, background, deadline).result()
+
+    def range_query(self, query, radius: float,
+                    background: BackgroundGraph | None = None,
+                    deadline: float | None = None) -> QueryResponse:
+        """Submit a range request and block for its response."""
+        return self.submit_range(query, radius, background, deadline).result()
+
+    def _submit(self, kind: str, query, arg,
+                background: BackgroundGraph | None,
+                deadline: float | None) -> Future:
+        if self._stopped:
+            raise ServiceStoppedError(
+                "query service is stopped; no new requests accepted"
+            )
+        if deadline is None:
+            deadline = self.config.default_deadline
+        if deadline is not None and deadline <= 0:
+            raise InvalidParameterError(
+                f"deadline must be > 0 seconds, got {deadline}"
+            )
+        now = time.monotonic()
+        request = _Request(
+            kind=kind, query=query, arg=arg, background=background,
+            deadline=None if deadline is None else now + deadline,
+            enqueued=now, future=Future(),
+        )
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            OBS.count("serving.requests_rejected")
+            raise ServiceOverloadError(
+                f"admission queue full ({self.config.queue_depth} deep); "
+                "retry later or shed load upstream"
+            ) from None
+        OBS.count("serving.requests_accepted")
+        OBS.gauge("serving.queue_depth", self._queue.qsize())
+        return request.future
+
+    # -- workers --------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _SHUTDOWN:
+                    return
+                self._serve(item)
+            finally:
+                self._queue.task_done()
+
+    def _serve(self, request: _Request) -> None:
+        if not request.future.set_running_or_notify_cancel():
+            return
+        now = time.monotonic()
+        if request.deadline is not None and now > request.deadline:
+            OBS.count("serving.deadline_exceeded")
+            request.future.set_exception(DeadlineExceededError(
+                f"deadline elapsed after {now - request.enqueued:.3f}s "
+                "in queue"
+            ))
+            return
+        snapshot: IndexSnapshot = self.live.snapshot
+        try:
+            if request.kind == "knn":
+                result = snapshot.knn_detailed(request.query, request.arg,
+                                               request.background)
+            else:
+                result = snapshot.range_query_detailed(
+                    request.query, request.arg, request.background)
+            latency = time.monotonic() - request.enqueued
+            OBS.observe("serving.latency", latency)
+            OBS.count("serving.requests_served")
+            request.future.set_result(QueryResponse(
+                hits=result.hits,
+                snapshot_version=snapshot.version,
+                degraded=result.degraded,
+                failed_shards=list(result.failed_shards),
+                latency=latency,
+            ))
+        except BaseException as exc:  # noqa: BLE001 — relayed to the caller
+            OBS.count("serving.request_errors")
+            request.future.set_exception(exc)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Block until every queued request has been served.
+
+        The service keeps accepting new requests; this only waits for
+        the current backlog.
+        """
+        self._queue.join()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting requests, then stop the workers.
+
+        With ``wait=True`` (default) queued requests are served before
+        the workers exit — a graceful drain.  Idempotent.
+        """
+        if self._stopped:
+            if wait:
+                for worker in self._workers:
+                    worker.join()
+            return
+        self._stopped = True
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)  # after queued work; workers drain it
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(workers={self.config.workers}, "
+            f"queue_depth={self.config.queue_depth}, "
+            f"stopped={self._stopped})"
+        )
+
+
+__all__ = ["QueryResponse", "QueryService", "ServiceConfig"]

@@ -1,0 +1,776 @@
+"""``ShardedIndex`` — the STRG-Index partitioned for serving.
+
+The monolithic :class:`~repro.core.index.STRGIndex` answers one query at
+a time against one tree.  The serving layer partitions the corpus across
+N shards — each its own ``STRGIndex`` — and answers queries by
+scatter-gather with **one global bound shared across shards**, so a
+sharded search never evaluates more candidates than a monolithic scan:
+
+- **Placement.**  ``"affine"`` (default) runs a coarse EM clustering and
+  assigns each OG to the shard whose *pivot* (coarse centroid) is
+  nearest, with a balance cap so no shard degenerates into the whole
+  corpus.  ``"hash"`` places by ``og_id % num_shards`` — uniform, but
+  with no locality to prune on.
+- **Granularity.**  Every shard gets the same per-shard
+  :class:`~repro.core.index.STRGIndexConfig`, so the fleet's total
+  cluster count — and with it the tightness of every leaf window —
+  grows with the shard count.
+- **Pivot filters.**  Affine shards precompute each record's metric
+  distance to *every* shard pivot.  At query time a single batched
+  sweep against the pivots turns those stored keys into triangle
+  lower bounds: the more shards, the more reference points, the more
+  candidates are discarded before the kernel ever sees them.
+- **Batched scans.**  Cluster ranking is one batched kernel invocation
+  across *all* shards (pivots included), and candidate windows are
+  accumulated across clusters and evaluated in large flushes — the
+  per-invocation overhead that dominates scalar scans is paid a handful
+  of times per query, not once per leaf.
+
+Search is **exact**: every prune is justified by a metric lower bound
+(with a tiny relative slack absorbing the batched kernels' float
+asymmetry), and ties are broken by ``(distance, og_id)`` — so the hits,
+their order *and their float distances* are bit-identical to the
+monolithic index for any shard count.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.clustering.em import EMClustering, EMConfig
+from repro.core.index import STRGIndex, STRGIndexConfig
+from repro.core.nodes import ClusterRecord, LeafRecord
+from repro.distance.base import Distance, as_series
+from repro.distance.batch import one_vs_many, supports_batch
+from repro.errors import (
+    IndexStateError,
+    InvalidParameterError,
+    ShardUnavailableError,
+)
+from repro.graph.decomposition import BackgroundGraph
+from repro.graph.object_graph import ObjectGraph
+from repro.observability import OBS
+from repro.resilience.faults import maybe_fail
+
+#: Supported placement strategies.
+PLACEMENTS = ("affine", "hash")
+
+
+@dataclass
+class ShardedIndexConfig:
+    """Tuning of the sharded serving index.
+
+    ``index`` configures every per-shard ``STRGIndex`` (identical across
+    shards, so total cluster granularity scales with ``num_shards``).
+    ``balance_factor`` caps a shard at ``balance_factor * M / num_shards``
+    members during affine placement; overflow spills to the next-nearest
+    pivot.  ``eval_batch`` is the candidate-flush size of the scatter
+    scan: larger flushes amortize kernel-call overhead, smaller ones
+    tighten the pruning bound more often.  ``prune_slack`` is the
+    relative slack added to every pruning comparison to absorb the
+    batched kernels' float asymmetry — raising it never makes results
+    wrong, only scans slightly larger.
+    """
+
+    num_shards: int = 4
+    placement: str = "affine"
+    index: STRGIndexConfig = field(default_factory=STRGIndexConfig)
+    coarse_sample_size: int = 128
+    coarse_iterations: int = 10
+    balance_factor: float = 1.3
+    seed: int = 0
+    eval_batch: int = 32
+    prune_slack: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise InvalidParameterError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.placement not in PLACEMENTS:
+            raise InvalidParameterError(
+                f"unknown placement {self.placement!r}; "
+                f"expected one of {PLACEMENTS}"
+            )
+        if self.coarse_sample_size < 2:
+            raise InvalidParameterError(
+                f"coarse_sample_size must be >= 2, got {self.coarse_sample_size}"
+            )
+        if self.balance_factor < 1.0:
+            raise InvalidParameterError(
+                f"balance_factor must be >= 1.0, got {self.balance_factor}"
+            )
+        if self.eval_batch < 1:
+            raise InvalidParameterError(
+                f"eval_batch must be >= 1, got {self.eval_batch}"
+            )
+        if self.prune_slack < 0.0:
+            raise InvalidParameterError(
+                f"prune_slack must be >= 0, got {self.prune_slack}"
+            )
+
+
+@dataclass
+class ShardedSearchResult:
+    """Scatter-gather outcome: hits plus degradation telemetry.
+
+    ``hits`` are ``(distance, og, clip_ref)`` tuples sorted by
+    ``(distance, og_id)``.  When a shard fails mid-search (fault
+    injection, or a real per-shard backend error) the degraded-read path
+    sets ``degraded`` and lists the ``failed_shards`` whose candidates
+    are missing from ``hits``.
+    """
+
+    hits: list[tuple[float, ObjectGraph, Any]]
+    degraded: bool = False
+    failed_shards: list[int] = field(default_factory=list)
+
+
+class _ClusterCache:
+    """Immutable per-cluster scan cache.
+
+    Everything the scatter scan needs without touching the OGs again:
+    normalized member series, their sorted keys, and — under affine
+    placement — the triangle-bound ingredients against every shard
+    pivot (``centroid_pd[p] = d(pivot_p, centroid)`` and
+    ``member_pd[i, p] = d(pivot_p, member_i)``).
+    """
+
+    __slots__ = ("centroid_series", "member_series", "keys", "max_key",
+                 "centroid_pd", "member_pd")
+
+    def __init__(self, centroid_series, member_series, keys, max_key,
+                 centroid_pd, member_pd):
+        self.centroid_series = centroid_series
+        self.member_series = member_series
+        self.keys = keys
+        self.max_key = max_key
+        self.centroid_pd = centroid_pd
+        self.member_pd = member_pd
+
+
+class _ShardBounds:
+    """Scan caches for one shard, keyed by cluster-record identity.
+
+    Valid only while the shard's mutation counter is unchanged; stale
+    caches are rebuilt lazily on the next search (searches stay exact
+    throughout — a rebuild changes cost, never results).
+    """
+
+    __slots__ = ("mutations", "by_record")
+
+    def __init__(self, mutations: int, by_record: dict[int, _ClusterCache]):
+        self.mutations = mutations
+        self.by_record = by_record
+
+
+class ShardedIndex:
+    """N ``STRGIndex`` shards behind one exact scatter-gather search."""
+
+    def __init__(self, config: ShardedIndexConfig | None = None,
+                 metric_distance: Distance | Callable | None = None,
+                 cluster_distance: Distance | None = None,
+                 executor: Any = None):
+        self.config = config or ShardedIndexConfig()
+        self.shards: list[STRGIndex] = [
+            STRGIndex(self.config.index, metric_distance=metric_distance,
+                      cluster_distance=cluster_distance)
+            for _ in range(self.config.num_shards)
+        ]
+        #: Shared metric (leaf keys, pivot keys and query evaluation).
+        self.metric_distance = self.shards[0].metric_distance
+        self.cluster_distance = self.shards[0].cluster_distance
+        #: Affine shard pivots (coarse centroids); ``None`` for hash
+        #: placement or before the first build.
+        self.pivots: list[np.ndarray] | None = None
+        #: Optional :class:`~repro.parallel.DistanceExecutor` for fanning
+        #: large candidate flushes out across worker processes.
+        self.executor = executor
+        self.frozen = False
+        self._bounds: tuple[_ShardBounds | None, ...] | None = None
+        self._bounds_lock = threading.Lock()
+
+    # -- construction ---------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def _check_mutable(self) -> None:
+        if self.frozen:
+            raise IndexStateError(
+                "sharded index is frozen (published as a serving "
+                "snapshot); mutate a clone instead"
+            )
+
+    def build(self, ogs: Sequence[ObjectGraph],
+              background: BackgroundGraph | None = None,
+              clip_refs: Sequence[Any] | None = None) -> None:
+        """Partition ``ogs`` across the shards and build each one."""
+        if not ogs:
+            raise IndexStateError("cannot build a sharded index from zero OGs")
+        if clip_refs is not None and len(clip_refs) != len(ogs):
+            raise InvalidParameterError(
+                f"{len(ogs)} OGs but {len(clip_refs)} clip refs"
+            )
+        self._check_mutable()
+        refs = list(clip_refs) if clip_refs is not None else [None] * len(ogs)
+        with OBS.span("serving.shard_build", ogs=len(ogs),
+                      shards=self.num_shards):
+            assignment = self._place(ogs)
+            for s in range(self.num_shards):
+                members = [og for og, a in zip(ogs, assignment) if a == s]
+                member_refs = [r for r, a in zip(refs, assignment) if a == s]
+                if members:
+                    self.shards[s].build(members, background, member_refs)
+            self.refresh_bounds()
+
+    def _place(self, ogs: Sequence[ObjectGraph]) -> list[int]:
+        """Shard id per OG (fits affine pivots on the first build)."""
+        if self.config.placement == "hash":
+            return [int(og.og_id) % self.num_shards for og in ogs]
+        if self.pivots is None:
+            self.pivots = self._fit_pivots(ogs)
+        return self._assign_affine(ogs)
+
+    def _fit_pivots(self, ogs: Sequence[ObjectGraph]) -> list[np.ndarray]:
+        """Coarse EM centroids used as shard pivots (one per shard)."""
+        rng = np.random.default_rng(self.config.seed)
+        sample: Sequence[ObjectGraph] = ogs
+        if self.config.coarse_sample_size < len(ogs):
+            idx = rng.choice(len(ogs), size=self.config.coarse_sample_size,
+                             replace=False)
+            sample = [ogs[int(i)] for i in sorted(idx)]
+        k = min(self.num_shards, len(sample))
+        em = EMClustering(
+            EMConfig(n_clusters=k,
+                     max_iterations=self.config.coarse_iterations,
+                     seed=self.config.seed),
+            distance=self.cluster_distance,
+        )
+        result = em.fit(list(sample))
+        pivots = [np.asarray(result.centroids[c], dtype=np.float64)
+                  for c in range(result.num_clusters)]
+        while len(pivots) < self.num_shards:
+            # Degenerate coarse fit: duplicate pivots; the balance cap
+            # still spreads members across the extra shards.
+            pivots.append(pivots[len(pivots) % max(1, len(pivots))].copy())
+        return pivots
+
+    def _pivot_distances(self, ogs: Sequence[ObjectGraph]) -> np.ndarray:
+        """``(len(ogs), num_shards)`` matrix of pivot-first distances."""
+        series = [as_series(og) for og in ogs]
+        return np.stack(
+            [one_vs_many(self.metric_distance, pivot, series)
+             for pivot in self.pivots],
+            axis=1,
+        )
+
+    def _assign_affine(self, ogs: Sequence[ObjectGraph]) -> list[int]:
+        """Nearest-pivot placement under the balance cap (deterministic)."""
+        cols = self._pivot_distances(ogs)
+        counts = [len(shard) for shard in self.shards]
+        cap = max(1, math.ceil(
+            self.config.balance_factor
+            * (len(ogs) + sum(counts)) / self.num_shards
+        ))
+        order = np.argsort(cols, axis=1, kind="stable")
+        assignment: list[int] = []
+        for j in range(len(ogs)):
+            chosen = int(order[j, 0])
+            for s in order[j]:
+                if counts[int(s)] < cap:
+                    chosen = int(s)
+                    break
+            counts[chosen] += 1
+            assignment.append(chosen)
+        return assignment
+
+    # -- maintenance ----------------------------------------------------------
+
+    def insert(self, og: ObjectGraph,
+               background: BackgroundGraph | None = None,
+               clip_ref: Any = None) -> None:
+        """Insert one OG into its shard (bounds go stale until refresh)."""
+        self._check_mutable()
+        if len(self) == 0 and self.pivots is None \
+                and self.config.placement == "affine":
+            self.build([og], background, [clip_ref])
+            return
+        if self.config.placement == "hash":
+            target = int(og.og_id) % self.num_shards
+        else:
+            dists = self._pivot_distances([og])[0]
+            target = int(np.argmin(dists))
+        self.shards[target].insert(og, background, clip_ref)
+
+    def delete(self, og_id: int) -> bool:
+        """Remove the OG with ``og_id`` from whichever shard holds it."""
+        self._check_mutable()
+        return any(shard.delete(og_id) for shard in self.shards)
+
+    def freeze(self) -> "ShardedIndex":
+        """Freeze every shard (and this wrapper) for snapshot publishing."""
+        for shard in self.shards:
+            shard.freeze()
+        self.frozen = True
+        return self
+
+    def clone(self) -> "ShardedIndex":
+        """A deep, *mutable* copy sharing no state with this index.
+
+        The copy-on-write path of the serving snapshot manager: clone the
+        published (frozen) index, apply buffered writes to the clone, and
+        publish it as the next snapshot.
+        """
+        dup = ShardedIndex.__new__(ShardedIndex)
+        dup.config = self.config
+        dup.shards = copy.deepcopy(self.shards)
+        for shard in dup.shards:
+            shard.frozen = False
+        dup.metric_distance = dup.shards[0].metric_distance
+        dup.cluster_distance = dup.shards[0].cluster_distance
+        dup.pivots = ([p.copy() for p in self.pivots]
+                      if self.pivots is not None else None)
+        dup.executor = self.executor
+        dup.frozen = False
+        dup._bounds = None
+        dup._bounds_lock = threading.Lock()
+        return dup
+
+    # -- scan caches ----------------------------------------------------------
+
+    def refresh_bounds(self) -> None:
+        """(Re)compute the per-cluster scan caches and pivot bounds.
+
+        One batched sweep per shard and pivot keys every cluster
+        centroid and member against every shard pivot.  Hash placement
+        has no pivots and caches only series/keys (searches stay exact,
+        just without triangle filters).
+        """
+        with self._bounds_lock:
+            previous = self._bounds or (None,) * self.num_shards
+            bounds: list[_ShardBounds | None] = []
+            for s, shard in enumerate(self.shards):
+                prior = previous[s] if s < len(previous) else None
+                if prior is not None and prior.mutations == shard.mutations:
+                    bounds.append(prior)
+                    continue
+                bounds.append(self._compute_shard_bounds(s))
+            self._bounds = tuple(bounds)
+
+    def _compute_shard_bounds(self, s: int) -> _ShardBounds:
+        shard = self.shards[s]
+        records = shard.cluster_records()
+        if not records:
+            return _ShardBounds(shard.mutations, {})
+        centroid_series = [np.asarray(r.centroid, dtype=np.float64)
+                           for r in records]
+        member_series = [[as_series(r.og) for r in record.leaf]
+                         for record in records]
+        centroid_pd = member_pd = None
+        if self.pivots is not None:
+            # One pivot-first sweep per pivot over every centroid and
+            # every member of the shard, split back per cluster.
+            flat = [srs for members in member_series for srs in members]
+            spans = []
+            start = 0
+            for members in member_series:
+                spans.append((start, start + len(members)))
+                start += len(members)
+            cpd_cols = []
+            mpd_cols = []
+            for pivot in self.pivots:
+                cpd_cols.append(one_vs_many(self.metric_distance, pivot,
+                                            centroid_series))
+                mpd_cols.append(
+                    one_vs_many(self.metric_distance, pivot, flat)
+                    if flat else np.empty(0)
+                )
+            centroid_pd = np.stack(cpd_cols, axis=1)
+            flat_pd = np.stack(mpd_cols, axis=1) if flat else \
+                np.empty((0, self.num_shards))
+            member_pd = [flat_pd[lo:hi] for lo, hi in spans]
+        by_record: dict[int, _ClusterCache] = {}
+        for i, record in enumerate(records):
+            by_record[id(record)] = _ClusterCache(
+                centroid_series=centroid_series[i],
+                member_series=member_series[i],
+                keys=np.asarray(record.leaf.keys, dtype=np.float64),
+                max_key=record.leaf.max_key(),
+                centroid_pd=(centroid_pd[i] if centroid_pd is not None
+                             else None),
+                member_pd=(member_pd[i] if member_pd is not None else None),
+            )
+        return _ShardBounds(shard.mutations, by_record)
+
+    def _fresh_bounds(self) -> tuple[_ShardBounds | None, ...]:
+        """Current scan caches; recompute stale shards first."""
+        bounds = self._bounds
+        if bounds is not None and len(bounds) == self.num_shards and all(
+            b is not None and b.mutations == shard.mutations
+            for b, shard in zip(bounds, self.shards)
+        ):
+            return bounds
+        self.refresh_bounds()
+        return self._bounds
+
+    def _slack(self, bound: float) -> float:
+        if not math.isfinite(bound):
+            return 0.0
+        return self.config.prune_slack * (1.0 + abs(bound))
+
+    # -- search ---------------------------------------------------------------
+
+    def knn(self, query: ObjectGraph | np.ndarray, k: int,
+            background: BackgroundGraph | None = None
+            ) -> list[tuple[float, ObjectGraph, Any]]:
+        """Exact k-NN over all shards, as ``(distance, og, clip_ref)``.
+
+        Bit-identical to the monolithic ``STRGIndex.knn`` over the same
+        corpus (ties broken by og_id).  Shard failures propagate; use
+        :meth:`knn_detailed` for degraded partial reads.
+        """
+        return self._search_knn(query, k, background, degrade=False).hits
+
+    def knn_detailed(self, query: ObjectGraph | np.ndarray, k: int,
+                     background: BackgroundGraph | None = None
+                     ) -> ShardedSearchResult:
+        """k-NN with per-shard failure degradation.
+
+        A shard raising :class:`~repro.errors.ShardUnavailableError`
+        (e.g. under fault injection) is skipped; the result carries the
+        surviving hits with ``degraded=True``.
+        """
+        return self._search_knn(query, k, background, degrade=True)
+
+    def _search_knn(self, query, k: int,
+                    background: BackgroundGraph | None,
+                    degrade: bool) -> ShardedSearchResult:
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        if len(self) == 0:
+            raise IndexStateError("cannot search an empty sharded index")
+        with OBS.span("serving.knn", k=k, shards=self.num_shards) as sp:
+            OBS.count("serving.knn_queries")
+            result = self._scatter_gather(query, k, background, degrade)
+            sp.set(hits=len(result.hits), degraded=result.degraded)
+            return result
+
+    def _gather(self, background: BackgroundGraph | None, degrade: bool
+                ) -> tuple[list[tuple[ClusterRecord, _ClusterCache]],
+                           list[int]]:
+        """Collect ``(cluster_record, scan_cache)`` pairs from live shards.
+
+        The shard fault-injection point fires here, before any kernel
+        work: a failed shard contributes no clusters and the search
+        degrades to partial results (or raises, on the strict path).
+        """
+        bounds = self._fresh_bounds()
+        clusters: list[tuple[ClusterRecord, _ClusterCache]] = []
+        failed: list[int] = []
+        for s, shard in enumerate(self.shards):
+            if len(shard) == 0:
+                continue
+            try:
+                maybe_fail("serving.shard", shard=s)
+            except ShardUnavailableError:
+                if not degrade:
+                    raise
+                OBS.count("serving.shards_failed")
+                failed.append(s)
+                continue
+            sb = bounds[s]
+            for record in shard.cluster_records(background):
+                if len(record.leaf) == 0:
+                    continue
+                cache = sb.by_record.get(id(record)) if sb is not None \
+                    else None
+                if cache is None:
+                    # A record the cache pass missed (mutated mid-gather
+                    # on an unsynchronized writer): scan it uncached.
+                    cache = self._uncached(record)
+                clusters.append((record, cache))
+        return clusters, failed
+
+    def _uncached(self, record: ClusterRecord) -> _ClusterCache:
+        return _ClusterCache(
+            centroid_series=np.asarray(record.centroid, dtype=np.float64),
+            member_series=[as_series(r.og) for r in record.leaf],
+            keys=np.asarray(record.leaf.keys, dtype=np.float64),
+            max_key=record.leaf.max_key(),
+            centroid_pd=None,
+            member_pd=None,
+        )
+
+    def _rank(self, series: np.ndarray, clusters: list
+              ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Query distances to every centroid and pivot, in one sweep.
+
+        Returns ``(key_qs, pivot_qs)``.  Pivots piggyback on the cluster
+        ranking batch so the whole scatter pays a single fixed kernel
+        invocation.  Metrics without a batch kernel fall back to per-pair
+        calls in ``(query, centroid)`` order (keeps counting wrappers'
+        bookkeeping deterministic); pivots are skipped on that path.
+        """
+        centroids = [cache.centroid_series for _, cache in clusters]
+        if not supports_batch(self.metric_distance):
+            key_qs = np.array(
+                [float(self.metric_distance(series, c)) for c in centroids],
+                dtype=np.float64,
+            )
+            return key_qs, None
+        if self.pivots is not None:
+            batch = one_vs_many(self.metric_distance, series,
+                                list(self.pivots) + centroids)
+            return batch[self.num_shards:], batch[:self.num_shards]
+        return one_vs_many(self.metric_distance, series, centroids), None
+
+    def _scatter_gather(self, query, k: int,
+                        background: BackgroundGraph | None,
+                        degrade: bool) -> ShardedSearchResult:
+        series = as_series(query)
+        clusters, failed = self._gather(background, degrade)
+        if not clusters:
+            return ShardedSearchResult([], bool(failed), failed)
+        key_qs, pivot_qs = self._rank(series, clusters)
+
+        best: list[tuple[float, ObjectGraph, Any]] = []
+
+        def kth() -> tuple[float, float]:
+            if len(best) == k:
+                return (best[-1][0], best[-1][1].og_id)
+            return (float("inf"), float("inf"))
+
+        def flush(pending: list[tuple[float, LeafRecord, np.ndarray]]) -> None:
+            # Evaluate pending candidates best-first in ``eval_batch``
+            # chunks, re-checking each survivor's stored lower bound
+            # against the bound as it tightens — candidates windowed
+            # under an older, looser bound are dropped without ever
+            # paying the kernel for them.
+            pending.sort(key=lambda c: c[0])
+            start = 0
+            while start < len(pending):
+                bound = kth()[0]
+                slack = self._slack(bound)
+                stop = start
+                end = min(len(pending), start + self.config.eval_batch)
+                while stop < end and pending[stop][0] <= bound + slack:
+                    stop += 1
+                if stop == start:
+                    # Sorted by lower bound: everything further is
+                    # provably outside the current kth distance.
+                    OBS.count("serving.candidates_requeued_pruned",
+                              len(pending) - start)
+                    break
+                chunk = pending[start:stop]
+                items = [srs for _, _, srs in chunk]
+                if self.executor is not None:
+                    dists = self.executor.one_vs_many(self.metric_distance,
+                                                      series, items)
+                else:
+                    dists = one_vs_many(self.metric_distance, series, items)
+                OBS.count("serving.candidates_evaluated", len(chunk))
+                for (_, rec, _), d in zip(chunk, dists):
+                    d = float(d)
+                    if (d, rec.og.og_id) < kth():
+                        _insort(best, (d, rec.og, rec.clip_ref))
+                        if len(best) > k:
+                            best.pop()
+                start = stop
+            pending.clear()
+
+        # Scan leaves in global key order: the nearest cluster anywhere
+        # in the fleet seeds the bound, and every later window is cut by
+        # it — one shared bound across all shards, exactly as the
+        # monolithic index shares one bound across its clusters.
+        # Candidates accumulate across clusters and are evaluated in
+        # ``eval_batch``-sized kernel flushes.
+        order = np.argsort(key_qs, kind="stable")
+        pending: list[tuple[float, LeafRecord, np.ndarray]] = []
+        for i in order:
+            if len(pending) >= self.config.eval_batch:
+                flush(pending)
+            record, cache = clusters[int(i)]
+            key_q = float(key_qs[int(i)])
+            bound = kth()[0]
+            slack = self._slack(bound)
+            if key_q - cache.max_key > bound + slack:
+                OBS.count("serving.clusters_pruned")
+                continue
+            if pivot_qs is not None and cache.centroid_pd is not None:
+                # Triangle bound via the pivot fleet: every member o of
+                # this cluster has d(q, o) >= |d(q,P) - d(P,c)| - max_key
+                # for each pivot P; take the tightest.
+                lb = float(np.max(np.abs(pivot_qs - cache.centroid_pd))) \
+                    - cache.max_key
+                if lb > bound + slack:
+                    OBS.count("serving.clusters_pruned")
+                    continue
+            self._window(record, cache, key_q, pivot_qs, bound, slack,
+                         pending)
+        flush(pending)
+        return ShardedSearchResult(best, bool(failed), failed)
+
+    def _window(self, record: ClusterRecord, cache: _ClusterCache,
+                key_q: float, pivot_qs: np.ndarray | None, bound: float,
+                slack: float, pending: list) -> None:
+        """Append this leaf's surviving candidates to ``pending``.
+
+        Survivors pass every available 1-D metric projection: the stored
+        centroid key (``|key - key_q| <= bound``) and, under affine
+        placement, the key to *each* shard pivot.  Each candidate is
+        queued with its tightest lower bound so a later flush can
+        re-check it against the bound current *then*.
+        """
+        OBS.count("serving.leaf_scans")
+        keys = cache.keys
+        if math.isinf(bound):
+            idx = np.arange(len(keys))
+        else:
+            lo = int(np.searchsorted(keys, key_q - bound - slack,
+                                     side="left"))
+            hi = int(np.searchsorted(keys, key_q + bound + slack,
+                                     side="right"))
+            idx = np.arange(lo, hi)
+        if len(idx) == 0:
+            return
+        lbs = np.abs(keys[idx] - key_q)
+        if pivot_qs is not None and cache.member_pd is not None:
+            gaps = np.abs(cache.member_pd[idx] - pivot_qs).max(axis=1)
+            if not math.isinf(bound):
+                keep = gaps <= bound + slack
+                idx, lbs, gaps = idx[keep], lbs[keep], gaps[keep]
+            lbs = np.maximum(lbs, gaps)
+        records = record.leaf.records
+        members = cache.member_series
+        pending.extend(
+            (float(lb), records[int(i)], members[int(i)])
+            for lb, i in zip(lbs, idx)
+        )
+
+    def range_query(self, query, radius: float,
+                    background: BackgroundGraph | None = None
+                    ) -> list[tuple[float, ObjectGraph, Any]]:
+        """All OGs within ``radius``, merged across shards."""
+        return self._search_range(query, radius, background,
+                                  degrade=False).hits
+
+    def range_query_detailed(self, query, radius: float,
+                             background: BackgroundGraph | None = None
+                             ) -> ShardedSearchResult:
+        """Range query with per-shard failure degradation."""
+        return self._search_range(query, radius, background, degrade=True)
+
+    def _search_range(self, query, radius: float,
+                      background: BackgroundGraph | None,
+                      degrade: bool) -> ShardedSearchResult:
+        if radius < 0:
+            raise InvalidParameterError(f"radius must be >= 0, got {radius}")
+        if len(self) == 0:
+            raise IndexStateError("cannot search an empty sharded index")
+        with OBS.span("serving.range_query", radius=radius) as sp:
+            series = as_series(query)
+            clusters, failed = self._gather(background, degrade)
+            hits: list[tuple[float, ObjectGraph, Any]] = []
+            if clusters:
+                key_qs, pivot_qs = self._rank(series, clusters)
+                slack = self._slack(radius)
+                pending: list[tuple[float, LeafRecord, np.ndarray]] = []
+                for (record, cache), key_q in zip(clusters, key_qs):
+                    key_q = float(key_q)
+                    if key_q - cache.max_key > radius + slack:
+                        OBS.count("serving.clusters_pruned")
+                        continue
+                    if pivot_qs is not None \
+                            and cache.centroid_pd is not None:
+                        lb = float(np.max(np.abs(
+                            pivot_qs - cache.centroid_pd))) - cache.max_key
+                        if lb > radius + slack:
+                            OBS.count("serving.clusters_pruned")
+                            continue
+                    self._window(record, cache, key_q, pivot_qs, radius,
+                                 slack, pending)
+                if pending:
+                    items = [srs for _, _, srs in pending]
+                    if self.executor is not None:
+                        dists = self.executor.one_vs_many(
+                            self.metric_distance, series, items)
+                    else:
+                        dists = one_vs_many(self.metric_distance, series,
+                                            items)
+                    OBS.count("serving.candidates_evaluated", len(pending))
+                    for (_, rec, _), d in zip(pending, dists):
+                        if float(d) <= radius:
+                            hits.append((float(d), rec.og, rec.clip_ref))
+            hits.sort(key=lambda h: (h[0], h[1].og_id))
+            sp.set(hits=len(hits), degraded=bool(failed))
+            return ShardedSearchResult(hits, bool(failed), failed)
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path) -> str:
+        """Persist shards + placement; see
+        :func:`repro.storage.serialize.save_sharded_index`."""
+        from repro.storage.serialize import save_sharded_index
+
+        return save_sharded_index(path, self)
+
+    @classmethod
+    def load(cls, path) -> "ShardedIndex":
+        """Load an index saved by :meth:`save`."""
+        from repro.storage.serialize import load_sharded_index
+
+        return load_sharded_index(path)
+
+    # -- introspection --------------------------------------------------------
+
+    def object_graphs(self) -> Iterator[ObjectGraph]:
+        """Iterate every indexed OG, shard by shard."""
+        for shard in self.shards:
+            yield from shard.object_graphs()
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def num_clusters(self) -> int:
+        return sum(shard.num_clusters() for shard in self.shards)
+
+    def shard_sizes(self) -> list[int]:
+        """OG count per shard (placement balance diagnostics)."""
+        return [len(shard) for shard in self.shards]
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "shards": self.num_shards,
+            "placement": self.config.placement,
+            "shard_sizes": self.shard_sizes(),
+            "cluster_records": self.num_clusters(),
+            "leaf_records": len(self),
+            "frozen": self.frozen,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedIndex(shards={self.num_shards}, "
+            f"placement={self.config.placement!r}, ogs={len(self)})"
+        )
+
+
+def _insort(best: list, entry: tuple) -> None:
+    """Insert ``entry`` into ``best`` ordered by ``(distance, og_id)``."""
+    key = (entry[0], entry[1].og_id)
+    lo, hi = 0, len(best)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if (best[mid][0], best[mid][1].og_id) < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    best.insert(lo, entry)

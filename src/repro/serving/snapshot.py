@@ -1,0 +1,274 @@
+"""Copy-on-write snapshots: queries never block on ingestion.
+
+The serving layer separates reads from writes with an immutable
+*published snapshot*:
+
+- Readers always query the :class:`IndexSnapshot` that was current when
+  their request started.  Snapshots are frozen — the underlying index
+  rejects mutation — so a scan can never observe a half-applied insert.
+- Writers append to a buffer on the :class:`LiveIndex`; nothing touches
+  the published tree.
+- :meth:`LiveIndex.compact` clones the published index, applies the
+  buffered writes to the clone, freezes it and *atomically publishes*
+  it as the next snapshot (a single reference assignment).  In-flight
+  queries keep reading the previous snapshot; new queries see the new
+  one.  Ingestion throughput costs a clone per compaction, and reads
+  never take a lock.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graph.decomposition import BackgroundGraph
+from repro.graph.object_graph import ObjectGraph
+from repro.observability import OBS
+from repro.serving.sharding import ShardedIndex, ShardedSearchResult
+
+
+def _clone_index(index: Any) -> Any:
+    """Deep, mutable copy of a (possibly frozen) index."""
+    if hasattr(index, "clone"):
+        return index.clone()
+    dup = copy.deepcopy(index)
+    dup.frozen = False
+    return dup
+
+
+class IndexSnapshot:
+    """An immutable, versioned view of the index.
+
+    Wraps a frozen index (sharded or monolithic) and delegates reads.
+    Snapshots are cheap value objects: the expensive part — the frozen
+    tree — is shared by reference and never mutated.
+    """
+
+    __slots__ = ("version", "index")
+
+    def __init__(self, version: int, index: Any):
+        self.version = version
+        self.index = index
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def knn(self, query: ObjectGraph | np.ndarray, k: int,
+            background: BackgroundGraph | None = None
+            ) -> list[tuple[float, ObjectGraph, Any]]:
+        return self.index.knn(query, k, background)
+
+    def knn_detailed(self, query: ObjectGraph | np.ndarray, k: int,
+                     background: BackgroundGraph | None = None
+                     ) -> ShardedSearchResult:
+        """Degraded-read k-NN (uniform over sharded/monolithic indexes)."""
+        if hasattr(self.index, "knn_detailed"):
+            return self.index.knn_detailed(query, k, background)
+        return ShardedSearchResult(self.index.knn(query, k, background))
+
+    def range_query(self, query, radius: float,
+                    background: BackgroundGraph | None = None
+                    ) -> list[tuple[float, ObjectGraph, Any]]:
+        return self.index.range_query(query, radius, background)
+
+    def range_query_detailed(self, query, radius: float,
+                             background: BackgroundGraph | None = None
+                             ) -> ShardedSearchResult:
+        if hasattr(self.index, "range_query_detailed"):
+            return self.index.range_query_detailed(query, radius, background)
+        return ShardedSearchResult(self.index.range_query(query, radius,
+                                                          background))
+
+    def __repr__(self) -> str:
+        return f"IndexSnapshot(version={self.version}, ogs={len(self)})"
+
+
+@dataclass
+class _BufferedWrite:
+    """One buffered mutation, applied at the next compaction."""
+
+    op: str  # "insert" | "delete"
+    og: ObjectGraph | None = None
+    background: BackgroundGraph | None = None
+    clip_ref: Any = None
+    og_id: int | None = None
+
+
+@dataclass
+class LiveIndexConfig:
+    """Compaction policy for a :class:`LiveIndex`.
+
+    ``auto_compact_threshold`` triggers a synchronous compaction from
+    the writer's thread once that many writes are buffered (``None``
+    leaves compaction entirely to explicit :meth:`LiveIndex.compact`
+    calls).
+    """
+
+    auto_compact_threshold: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.auto_compact_threshold is not None \
+                and self.auto_compact_threshold < 1:
+            raise InvalidParameterError(
+                "auto_compact_threshold must be >= 1 or None, "
+                f"got {self.auto_compact_threshold}"
+            )
+
+
+class LiveIndex:
+    """A queryable index with copy-on-write ingestion.
+
+    Reads go to the published :class:`IndexSnapshot`; writes buffer and
+    take effect at the next :meth:`compact`.  All methods are
+    thread-safe: reads are lock-free (one reference load), writes hold a
+    short buffer lock, compactions serialize among themselves.
+    """
+
+    def __init__(self, index: Any,
+                 config: LiveIndexConfig | None = None):
+        self.config = config or LiveIndexConfig()
+        index.freeze()
+        self._snapshot = IndexSnapshot(1, index)
+        self._buffer: list[_BufferedWrite] = []
+        self._buffer_lock = threading.Lock()
+        self._compact_lock = threading.Lock()
+        OBS.gauge("serving.snapshot_version", 1)
+
+    # -- reads ----------------------------------------------------------------
+
+    @property
+    def snapshot(self) -> IndexSnapshot:
+        """The currently published snapshot (lock-free, immutable)."""
+        return self._snapshot
+
+    @property
+    def version(self) -> int:
+        return self._snapshot.version
+
+    def knn(self, query, k: int,
+            background: BackgroundGraph | None = None):
+        return self._snapshot.knn(query, k, background)
+
+    def knn_detailed(self, query, k: int,
+                     background: BackgroundGraph | None = None
+                     ) -> ShardedSearchResult:
+        return self._snapshot.knn_detailed(query, k, background)
+
+    def range_query(self, query, radius: float,
+                    background: BackgroundGraph | None = None):
+        return self._snapshot.range_query(query, radius, background)
+
+    def range_query_detailed(self, query, radius: float,
+                             background: BackgroundGraph | None = None
+                             ) -> ShardedSearchResult:
+        return self._snapshot.range_query_detailed(query, radius, background)
+
+    def __len__(self) -> int:
+        return len(self._snapshot)
+
+    # -- writes ---------------------------------------------------------------
+
+    @property
+    def pending_writes(self) -> int:
+        """Buffered mutations not yet visible to readers."""
+        return len(self._buffer)
+
+    def insert(self, og: ObjectGraph,
+               background: BackgroundGraph | None = None,
+               clip_ref: Any = None) -> None:
+        """Buffer one insert (visible after the next compaction)."""
+        self._append(_BufferedWrite("insert", og=og, background=background,
+                                    clip_ref=clip_ref))
+
+    def bulk_insert(self, ogs: Sequence[ObjectGraph],
+                    background: BackgroundGraph | None = None,
+                    clip_refs: Sequence[Any] | None = None) -> None:
+        """Buffer a batch of inserts."""
+        if clip_refs is not None and len(clip_refs) != len(ogs):
+            raise InvalidParameterError(
+                f"{len(ogs)} OGs but {len(clip_refs)} clip refs"
+            )
+        refs = list(clip_refs) if clip_refs is not None else [None] * len(ogs)
+        writes = [
+            _BufferedWrite("insert", og=og, background=background,
+                           clip_ref=ref)
+            for og, ref in zip(ogs, refs)
+        ]
+        with self._buffer_lock:
+            self._buffer.extend(writes)
+            OBS.gauge("serving.write_buffer", len(self._buffer))
+        self._maybe_auto_compact()
+
+    def delete(self, og_id: int) -> None:
+        """Buffer one delete (takes effect at the next compaction)."""
+        self._append(_BufferedWrite("delete", og_id=og_id))
+
+    def _append(self, write: _BufferedWrite) -> None:
+        with self._buffer_lock:
+            self._buffer.append(write)
+            OBS.gauge("serving.write_buffer", len(self._buffer))
+        self._maybe_auto_compact()
+
+    def _maybe_auto_compact(self) -> None:
+        threshold = self.config.auto_compact_threshold
+        if threshold is not None and len(self._buffer) >= threshold:
+            self.compact()
+
+    # -- compaction -----------------------------------------------------------
+
+    def compact(self) -> IndexSnapshot:
+        """Apply buffered writes and publish a new snapshot.
+
+        Readers are never blocked: the whole clone-and-apply runs on a
+        private copy, and publication is one reference assignment.
+        Writes that arrive *during* a compaction stay buffered for the
+        next one.  Returns the snapshot current after the call (the
+        unchanged one when the buffer was empty).
+        """
+        with self._compact_lock:
+            with self._buffer_lock:
+                batch = self._buffer
+                self._buffer = []
+                OBS.gauge("serving.write_buffer", 0)
+            if not batch:
+                return self._snapshot
+            with OBS.span("serving.compact", writes=len(batch)):
+                previous = self._snapshot
+                working = _clone_index(previous.index)
+                for write in batch:
+                    if write.op == "insert":
+                        working.insert(write.og, write.background,
+                                       write.clip_ref)
+                    else:
+                        working.delete(write.og_id)
+                if isinstance(working, ShardedIndex):
+                    working.refresh_bounds()
+                working.freeze()
+                published = IndexSnapshot(previous.version + 1, working)
+                self._snapshot = published
+                OBS.count("serving.compactions")
+                OBS.gauge("serving.snapshot_version", published.version)
+                return published
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveIndex(version={self.version}, ogs={len(self)}, "
+            f"pending={self.pending_writes})"
+        )
+
+
+# Callable alias used by the query service: any function taking a
+# snapshot and returning a response payload.
+SnapshotReader = Callable[[IndexSnapshot], Any]
+
+__all__ = [
+    "IndexSnapshot",
+    "LiveIndex",
+    "LiveIndexConfig",
+    "SnapshotReader",
+]

@@ -70,6 +70,12 @@ class VideoDatabase:
     :class:`~repro.errors.IngestDegradedError`.  An optional
     ``journal_path`` appends one JSONL record per segment plus one per
     snapshot save, enabling :meth:`recover` after a crash.
+
+    With ``shards`` set, the database maintains a
+    :class:`~repro.serving.sharding.ShardedIndex` of that many shards
+    instead of a monolithic tree — query results stay bit-identical,
+    and the index plugs straight into the serving layer
+    (``LiveIndex`` / ``QueryService``).
     """
 
     def __init__(self, config: PipelineConfig | None = None, *,
@@ -77,9 +83,13 @@ class VideoDatabase:
                  retry_policy: RetryPolicy | None = None,
                  drop_tolerance: float = 0.5,
                  drop_grace: int = 8,
-                 journal_path: str | os.PathLike | None = None):
+                 journal_path: str | os.PathLike | None = None,
+                 shards: int | None = None,
+                 placement: str = "affine"):
         self.pipeline = VideoPipeline(config)
         self.index: STRGIndex | None = None
+        self.shards = shards
+        self.placement = placement
         self._ingested: list[str] = []
         self._raw_strg_bytes = 0
         self.fault_policy = FaultPolicy.coerce(fault_policy)
@@ -176,6 +186,18 @@ class VideoDatabase:
             "ogs": ogs,
         }
 
+    def _make_index(self):
+        """A fresh index honouring the database's sharding settings."""
+        if self.shards is None:
+            return STRGIndex(self.pipeline.config.index)
+        from repro.serving.sharding import ShardedIndex, ShardedIndexConfig
+
+        return ShardedIndex(ShardedIndexConfig(
+            num_shards=self.shards,
+            placement=self.placement,
+            index=self.pipeline.config.index,
+        ))
+
     def _index_decomposition(self, video: VideoSegment,
                              decomposition) -> None:
         """Insert a decomposition's OGs into the index (build on first)."""
@@ -184,7 +206,7 @@ class VideoDatabase:
             for og in decomposition.object_graphs
         ]
         if self.index is None:
-            self.index = STRGIndex(self.pipeline.config.index)
+            self.index = self._make_index()
             if decomposition.object_graphs:
                 self.index.build(decomposition.object_graphs,
                                  decomposition.background, refs)
@@ -236,7 +258,7 @@ class VideoDatabase:
         if not ogs:
             return 0
         if self.index is None:
-            self.index = STRGIndex(self.pipeline.config.index)
+            self.index = self._make_index()
             self.index.build(list(ogs))
         else:
             for og in ogs:
@@ -395,14 +417,19 @@ class VideoDatabase:
         """Database statistics, including the Eq. 9 vs Eq. 10 sizes."""
         if self.index is None:
             return {"segments": len(self._ingested), "ogs": 0}
-        return {
+        trees = getattr(self.index, "shards", None) or [self.index]
+        out = {
             "segments": len(self._ingested),
             "ogs": len(self.index),
             "clusters": self.index.num_clusters(),
-            "backgrounds": len(self.index.root),
+            "backgrounds": sum(len(tree.root) for tree in trees),
             "raw_strg_bytes": self._raw_strg_bytes,
-            "index_bytes": index_size_bytes(self.index),
+            "index_bytes": sum(index_size_bytes(tree) for tree in trees),
         }
+        if self.shards is not None:
+            out["shards"] = len(trees)
+            out["shard_sizes"] = self.index.shard_sizes()
+        return out
 
     def health(self) -> dict[str, Any]:
         """Operational telemetry: counts, quarantine and last error.
@@ -439,7 +466,10 @@ class VideoDatabase:
                 "bound path (open it with repro.open_database(path))"
             )
         self._require_index()
-        save_index(path, self.index)
+        if getattr(self.index, "shards", None) is not None:
+            self.index.save(path)
+        else:
+            save_index(path, self.index)
         self.path = npz_path(path)
         self._journal_append({"event": "checkpoint",
                               "path": npz_path(path),
@@ -458,7 +488,16 @@ class VideoDatabase:
         (``fault_policy``, ``retry_policy``, ``journal_path``, ...).
         """
         db = cls(config, **kwargs)
-        db.index = load_index(path)
+        from repro.storage.serialize import is_sharded_snapshot
+
+        if is_sharded_snapshot(path):
+            from repro.serving.sharding import ShardedIndex
+
+            db.index = ShardedIndex.load(path)
+            db.shards = db.index.num_shards
+            db.placement = db.index.config.placement
+        else:
+            db.index = load_index(path)
         db._ingested.append(f"loaded:{os.fspath(path)}")
         db.path = npz_path(path)
         return db

@@ -372,3 +372,101 @@ def load_index(path: str | os.PathLike) -> STRGIndex:
         ref = refs[i] if i < len(refs) else None
         record.leaf.insert(LeafRecord(float(keys[i]), og, ref))
     return index
+
+
+# -- sharded indexes ----------------------------------------------------------
+#
+# A sharded index persists as one *meta* archive at ``path`` (placement,
+# pivots, serving config, and a ``kind`` marker distinguishing it from a
+# monolithic snapshot) plus one ordinary index archive per shard at
+# ``<base>.shard<i>.npz``.  Every file goes through the same atomic
+# write + checksum machinery as the monolithic format.
+
+_SHARDED_KIND = "sharded_index"
+
+
+def _shard_path(path: str | os.PathLike, ordinal: int) -> str:
+    base = npz_path(path)[:-len(".npz")]
+    return f"{base}.shard{ordinal}.npz"
+
+
+def is_sharded_snapshot(path: str | os.PathLike) -> bool:
+    """True when ``path`` holds a sharded-index meta archive."""
+    target = npz_path(path)
+    if not os.path.exists(target):
+        return False
+    try:
+        with np.load(target, allow_pickle=False) as data:
+            return "kind" in data.files and str(data["kind"]) == _SHARDED_KIND
+    except (zipfile.BadZipFile, zlib.error, OSError, EOFError,
+            KeyError, ValueError):
+        return False
+
+
+def save_sharded_index(path: str | os.PathLike, index) -> str:
+    """Persist a :class:`~repro.serving.sharding.ShardedIndex`.
+
+    Writes ``<base>.shard<i>.npz`` per shard (via :func:`save_index`)
+    and the meta archive last, so a crash mid-save never leaves a meta
+    file pointing at missing shards.  Returns the meta archive path.
+    """
+    for ordinal, shard in enumerate(index.shards):
+        save_index(_shard_path(path, ordinal), shard)
+    config = index.config
+    pivots = index.pivots if index.pivots is not None else []
+    pivot_flat, pivot_offsets = _pack_ragged(list(pivots))
+    config_json = json.dumps({
+        "num_shards": config.num_shards,
+        "placement": config.placement,
+        "coarse_sample_size": config.coarse_sample_size,
+        "coarse_iterations": config.coarse_iterations,
+        "balance_factor": config.balance_factor,
+        "seed": config.seed,
+        "eval_batch": config.eval_batch,
+        "prune_slack": config.prune_slack,
+    })
+    try:
+        return _atomic_savez(path, dict(
+            kind=np.array(_SHARDED_KIND),
+            num_shards=np.int64(len(index.shards)),
+            has_pivots=np.int64(index.pivots is not None),
+            pivot_values=pivot_flat, pivot_offsets=pivot_offsets,
+            serving_config=np.array(config_json),
+        ))
+    except OSError as exc:
+        raise StorageError(
+            f"cannot write sharded index to {npz_path(path)}: {exc}"
+        ) from exc
+
+
+def load_sharded_index(path: str | os.PathLike):
+    """Load a sharded index written by :func:`save_sharded_index`."""
+    from repro.serving.sharding import ShardedIndex, ShardedIndexConfig
+
+    data = _verified_load(path)
+    try:
+        if str(data["kind"]) != _SHARDED_KIND:
+            raise IndexCorruptionError(
+                f"{npz_path(path)} is not a sharded-index archive "
+                f"(kind={str(data['kind'])!r})",
+                details={"path": npz_path(path)},
+            )
+        num_shards = int(data["num_shards"])
+        has_pivots = bool(int(data["has_pivots"]))
+        pivots = _unpack_ragged(data["pivot_values"], data["pivot_offsets"])
+        serving_kwargs = json.loads(str(data["serving_config"]))
+    except (KeyError, ValueError, json.JSONDecodeError) as exc:
+        raise IndexCorruptionError(
+            f"cannot read sharded index from {npz_path(path)}: {exc}",
+            details={"path": npz_path(path), "cause": type(exc).__name__},
+        ) from exc
+    shards = [load_index(_shard_path(path, i)) for i in range(num_shards)]
+    config = ShardedIndexConfig(index=shards[0].config, **serving_kwargs)
+    index = ShardedIndex(config)
+    index.shards = shards
+    index.metric_distance = shards[0].metric_distance
+    index.cluster_distance = shards[0].cluster_distance
+    index.pivots = ([np.asarray(p, dtype=np.float64) for p in pivots]
+                    if has_pivots else None)
+    index.refresh_bounds()
+    return index

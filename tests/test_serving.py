@@ -1,0 +1,413 @@
+"""Sharded serving: bit-identity, placement, persistence, degradation,
+snapshots, the query service and the load generators."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.index import STRGIndex, STRGIndexConfig
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_ogs
+from repro.errors import (
+    DeadlineExceededError,
+    IndexStateError,
+    InvalidParameterError,
+    ServiceOverloadError,
+    ServiceStoppedError,
+    ShardUnavailableError,
+)
+from repro.resilience import FaultInjector, injected
+from repro.serving import (
+    LiveIndex,
+    LiveIndexConfig,
+    QueryService,
+    ServiceConfig,
+    ShardedIndex,
+    ShardedIndexConfig,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serving.sharding import ShardedSearchResult
+
+K = 5
+RADIUS = 60.0
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_synthetic_ogs(SyntheticConfig(num_ogs=96, seed=0))
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return generate_synthetic_ogs(SyntheticConfig(num_ogs=6, seed=99))
+
+
+@pytest.fixture(scope="module")
+def mono(corpus):
+    index = STRGIndex(STRGIndexConfig(n_clusters=4))
+    index.build(corpus)
+    return index
+
+
+def _sharded(corpus, num_shards, placement):
+    index = ShardedIndex(ShardedIndexConfig(
+        num_shards=num_shards, placement=placement,
+        index=STRGIndexConfig(n_clusters=4),
+    ))
+    index.build(corpus)
+    return index
+
+
+@pytest.fixture(scope="module",
+                params=[(n, p) for p in ("hash", "affine")
+                        for n in (1, 2, 4)],
+                ids=lambda sp: f"{sp[1]}-{sp[0]}")
+def sharded(request, corpus):
+    num_shards, placement = request.param
+    return _sharded(corpus, num_shards, placement)
+
+
+class TestBitIdentity:
+    def test_knn_matches_monolithic(self, sharded, mono, queries):
+        for query in queries:
+            expected = mono.knn(query, K)
+            got = sharded.knn(query, K)
+            assert [(d, og.og_id) for d, og, _ in got] == \
+                   [(d, og.og_id) for d, og, _ in expected]
+
+    def test_range_matches_monolithic(self, sharded, mono, queries):
+        for query in queries:
+            expected = mono.range_query(query, RADIUS)
+            got = sharded.range_query(query, RADIUS)
+            assert [(d, og.og_id) for d, og, _ in got] == \
+                   [(d, og.og_id) for d, og, _ in expected]
+
+    def test_shards_partition_corpus(self, sharded, corpus):
+        assert sum(sharded.shard_sizes()) == len(corpus) == len(sharded)
+        ids = sorted(og.og_id for og in sharded.object_graphs())
+        assert ids == sorted(og.og_id for og in corpus)
+
+
+class TestShardedIndexBasics:
+    def test_invalid_config(self):
+        with pytest.raises(InvalidParameterError):
+            ShardedIndexConfig(num_shards=0)
+        with pytest.raises(InvalidParameterError):
+            ShardedIndexConfig(placement="mystery")
+        with pytest.raises(InvalidParameterError):
+            ShardedIndexConfig(eval_batch=0)
+
+    def test_invalid_queries(self, sharded):
+        with pytest.raises(InvalidParameterError):
+            sharded.knn(np.zeros((4, 2)), 0)
+        with pytest.raises(InvalidParameterError):
+            sharded.range_query(np.zeros((4, 2)), -1.0)
+
+    def test_empty_index_rejects_search(self):
+        empty = ShardedIndex(ShardedIndexConfig(num_shards=2))
+        with pytest.raises(IndexStateError):
+            empty.knn(np.zeros((4, 2)), 1)
+
+    def test_insert_and_delete(self, corpus):
+        index = _sharded(corpus[:32], 2, "hash")
+        extra = corpus[32]
+        index.insert(extra)
+        index.refresh_bounds()
+        assert len(index) == 33
+        hits = index.knn(extra, 1)
+        assert hits[0][1].og_id == extra.og_id
+        assert index.delete(extra.og_id)
+        assert not index.delete(extra.og_id)
+        assert len(index) == 32
+
+    def test_freeze_blocks_mutation(self, corpus):
+        index = _sharded(corpus[:16], 2, "hash")
+        index.freeze()
+        with pytest.raises(IndexStateError):
+            index.insert(corpus[20])
+        with pytest.raises(IndexStateError):
+            index.delete(corpus[0].og_id)
+
+    def test_clone_is_mutable_and_independent(self, corpus):
+        index = _sharded(corpus[:16], 2, "hash").freeze()
+        dup = index.clone()
+        dup.insert(corpus[30])
+        assert len(dup) == 17
+        assert len(index) == 16
+
+    def test_stats_shape(self, sharded):
+        stats = sharded.stats()
+        assert stats["leaf_records"] == len(sharded)
+        assert len(stats["shard_sizes"]) == stats["shards"]
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("placement", ["hash", "affine"])
+    def test_round_trip(self, corpus, queries, tmp_path, placement):
+        from repro.storage.serialize import is_sharded_snapshot
+
+        index = _sharded(corpus[:48], 3, placement)
+        expected = [index.knn(q, K) for q in queries]
+        path = tmp_path / "serving-idx"
+        index.save(path)
+        assert is_sharded_snapshot(path)
+        loaded = ShardedIndex.load(path)
+        assert len(loaded) == len(index)
+        assert loaded.config.placement == placement
+        for exp, query in zip(expected, queries):
+            got = loaded.knn(query, K)
+            assert [d for d, _, _ in got] == [d for d, _, _ in exp]
+
+    def test_monolithic_snapshot_not_sharded(self, mono, tmp_path):
+        from repro.storage.serialize import is_sharded_snapshot, save_index
+
+        path = tmp_path / "mono"
+        save_index(path, mono)
+        assert not is_sharded_snapshot(path)
+        assert not is_sharded_snapshot(tmp_path / "missing")
+
+
+class TestDegradedReads:
+    def test_shard_failure_degrades(self, corpus, queries):
+        index = _sharded(corpus, 2, "hash")
+        lost = {og.og_id for og in index.shards[0].object_graphs()}
+        with injected(FaultInjector().inject("serving.shard", at={0})):
+            result = index.knn_detailed(queries[0], K)
+        assert result.degraded
+        assert result.failed_shards == [0]
+        assert len(result.hits) == K
+        assert all(og.og_id not in lost for _, og, _ in result.hits)
+        # Next query runs clean: the injector fired only at ordinal 0.
+
+    def test_strict_path_raises(self, corpus, queries):
+        index = _sharded(corpus, 2, "hash")
+        with injected(FaultInjector().inject("serving.shard", at={0})):
+            with pytest.raises(ShardUnavailableError):
+                index.knn(queries[0], K)
+
+    def test_range_degrades_too(self, corpus, queries):
+        index = _sharded(corpus, 2, "hash")
+        clean = index.range_query(queries[0], RADIUS)
+        with injected(FaultInjector().inject("serving.shard", at={0})):
+            result = index.range_query_detailed(queries[0], RADIUS)
+        assert result.degraded and result.failed_shards == [0]
+        assert len(result.hits) <= len(clean)
+
+
+class TestLiveIndex:
+    def test_writes_invisible_until_compact(self, corpus):
+        live = LiveIndex(_sharded(corpus[:32], 2, "hash"))
+        assert live.version == 1
+        for og in corpus[32:40]:
+            live.insert(og)
+        assert live.pending_writes == 8
+        assert len(live) == 32  # readers still see snapshot v1
+        snapshot = live.compact()
+        assert snapshot.version == 2 and live.version == 2
+        assert len(live) == 40 and live.pending_writes == 0
+
+    def test_buffered_delete(self, corpus):
+        live = LiveIndex(_sharded(corpus[:16], 2, "hash"))
+        live.delete(corpus[0].og_id)
+        assert len(live) == 16
+        live.compact()
+        assert len(live) == 15
+
+    def test_empty_compact_keeps_snapshot(self, corpus):
+        live = LiveIndex(_sharded(corpus[:16], 2, "hash"))
+        before = live.snapshot
+        assert live.compact() is before
+
+    def test_auto_compact(self, corpus):
+        live = LiveIndex(_sharded(corpus[:16], 2, "hash"),
+                         LiveIndexConfig(auto_compact_threshold=4))
+        live.bulk_insert(corpus[16:20])
+        assert live.version == 2 and len(live) == 20
+
+    def test_monolithic_index_works_too(self, mono, queries):
+        import copy
+
+        live = LiveIndex(copy.deepcopy(mono))
+        hits = live.knn_detailed(queries[0], K)
+        assert isinstance(hits, ShardedSearchResult)
+        assert not hits.degraded and len(hits.hits) == K
+
+
+class _BlockingIndex:
+    """Stub index whose queries block until released (service tests)."""
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.frozen = False
+
+    def freeze(self):
+        self.frozen = True
+        return self
+
+    def __len__(self):
+        return 1
+
+    def knn_detailed(self, query, k, background=None):
+        self.entered.set()
+        assert self.release.wait(10.0), "test never released the stub"
+        return ShardedSearchResult(hits=[(0.0, query, None)])
+
+    def range_query_detailed(self, query, radius, background=None):
+        return self.knn_detailed(query, radius, background)
+
+
+class TestQueryService:
+    def test_serves_real_queries(self, corpus, queries):
+        live = LiveIndex(_sharded(corpus[:32], 2, "affine"))
+        with QueryService(live, ServiceConfig(workers=2)) as service:
+            response = service.knn(queries[0], K)
+        assert len(response.hits) == K
+        assert response.snapshot_version == 1
+        assert not response.degraded and response.latency > 0
+        payload = response.as_dict()
+        assert payload["snapshot_version"] == 1
+        assert len(payload["hits"]) == K
+
+    def test_admission_control_rejects_when_full(self, corpus):
+        stub = _BlockingIndex()
+        live = LiveIndex(stub)
+        service = QueryService(live, ServiceConfig(workers=1, queue_depth=1))
+        try:
+            first = service.submit_knn(corpus[0], 1)
+            assert stub.entered.wait(5.0)
+            second = service.submit_knn(corpus[1], 1)  # fills the queue
+            with pytest.raises(ServiceOverloadError):
+                service.submit_knn(corpus[2], 1)
+        finally:
+            stub.release.set()
+            service.shutdown()
+        assert first.result(5.0).hits and second.result(5.0).hits
+
+    def test_deadline_exceeded_in_queue(self, corpus):
+        stub = _BlockingIndex()
+        service = QueryService(LiveIndex(stub),
+                               ServiceConfig(workers=1, queue_depth=4))
+        try:
+            blocker = service.submit_knn(corpus[0], 1)
+            assert stub.entered.wait(5.0)
+            doomed = service.submit_knn(corpus[1], 1, deadline=0.01)
+            threading.Event().wait(0.05)  # let the deadline lapse
+        finally:
+            stub.release.set()
+            service.shutdown()
+        assert blocker.result(5.0).hits
+        with pytest.raises(DeadlineExceededError):
+            doomed.result(5.0)
+
+    def test_stopped_service_rejects(self, corpus, queries):
+        live = LiveIndex(_sharded(corpus[:16], 1, "hash"))
+        service = QueryService(live, ServiceConfig(workers=1))
+        service.shutdown()
+        with pytest.raises(ServiceStoppedError):
+            service.knn(queries[0], 1)
+        service.shutdown()  # idempotent
+
+    def test_query_errors_relayed(self, corpus):
+        live = LiveIndex(_sharded(corpus[:16], 1, "hash"))
+        with QueryService(live, ServiceConfig(workers=1)) as service:
+            with pytest.raises(InvalidParameterError):
+                service.knn(corpus[0], 0)
+
+
+class TestLoadGenerators:
+    def test_closed_loop(self, corpus, queries):
+        live = LiveIndex(_sharded(corpus[:32], 2, "affine"))
+        with QueryService(live, ServiceConfig(workers=2)) as service:
+            report = run_closed_loop(service, queries, k=K,
+                                     num_requests=12, concurrency=2)
+        assert report.requests_sent == 12 and report.responses == 12
+        assert report.rejected == 0 and report.errors == 0
+        assert report.throughput > 0
+        assert report.percentile(50) <= report.percentile(99)
+        payload = report.as_dict()
+        assert payload["latency"]["p99"] >= payload["latency"]["p50"]
+        assert "closed-loop" in str(report)
+
+    def test_open_loop(self, corpus, queries):
+        live = LiveIndex(_sharded(corpus[:32], 2, "affine"))
+        with QueryService(live, ServiceConfig(workers=2)) as service:
+            report = run_open_loop(service, queries, k=K,
+                                   rate=100.0, duration=0.3)
+        assert report.requests_sent > 0
+        assert report.responses + report.rejected + report.errors \
+            + report.deadline_exceeded == report.requests_sent
+
+    def test_parameter_validation(self, corpus, queries):
+        live = LiveIndex(_sharded(corpus[:16], 1, "hash"))
+        with QueryService(live, ServiceConfig(workers=1)) as service:
+            with pytest.raises(InvalidParameterError):
+                run_closed_loop(service, queries, num_requests=4,
+                                duration=1.0)
+            with pytest.raises(InvalidParameterError):
+                run_closed_loop(service, queries)
+            with pytest.raises(InvalidParameterError):
+                run_open_loop(service, queries, rate=0.0, duration=1.0)
+
+
+class TestDatabaseIntegration:
+    def test_sharded_database_round_trip(self, corpus, tmp_path):
+        from repro.api import open_database
+
+        db = open_database(tmp_path / "db", shards=2, placement="hash")
+        db.ingest_object_graphs(corpus[:24])
+        assert db.index.num_shards == 2
+        stats = db.stats()
+        assert stats["shards"] == 2 and sum(stats["shard_sizes"]) == 24
+        expected = [(h.distance, h.og.og_id) for h in db.knn(corpus[0], K)]
+        db.save()
+        reopened = open_database(tmp_path / "db", create=False)
+        assert reopened.shards == 2
+        got = [(h.distance, h.og.og_id) for h in reopened.knn(corpus[0], K)]
+        assert [d for d, _ in got] == [d for d, _ in expected]
+
+    def test_service_config_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ServiceConfig(workers=0)
+        with pytest.raises(InvalidParameterError):
+            ServiceConfig(queue_depth=0)
+        with pytest.raises(InvalidParameterError):
+            ServiceConfig(default_deadline=0.0)
+        with pytest.raises(InvalidParameterError):
+            LiveIndexConfig(auto_compact_threshold=0)
+
+
+class TestServingCLI:
+    def test_bench_load_smoke(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench-load", "--shards", "1", "2", "--num-ogs", "48",
+                     "--clusters", "3", "--requests", "8",
+                     "--concurrency", "1", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 shard(s)" in out and "2 shard(s)" in out
+        assert "speedup" in out
+
+    def test_serve_smoke(self, corpus, tmp_path, capsys):
+        from repro.cli import main
+
+        index = _sharded(corpus[:24], 2, "hash")
+        path = tmp_path / "served"
+        index.save(path)
+        assert main(["serve", str(path), "--rate", "20", "--duration",
+                     "0.3", "--workers", "1", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "open-loop" in out
+
+    def test_serve_reshards_monolithic(self, mono, tmp_path, capsys):
+        from repro.cli import main
+        from repro.storage.serialize import save_index
+
+        path = tmp_path / "mono"
+        save_index(path, mono)
+        assert main(["serve", str(path), "--shards", "2", "--rate", "20",
+                     "--duration", "0.2", "-k", "3"]) == 0
+        assert "resharding" in capsys.readouterr().out
