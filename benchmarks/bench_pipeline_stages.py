@@ -3,11 +3,22 @@
 Not a paper figure — engineering benchmarks for the substrate stages
 (segmentation, RAG construction, tracking, decomposition) on a rendered
 traffic segment, so regressions in any stage are visible independently.
+
+``bench_pipeline_stage_report`` additionally archives the stage timings
+as machine-readable ``benchmarks/results/BENCH_pipeline.json`` (best-of-3
+wall-clock per stage), so the ingest trajectory is tracked across PRs
+like the kernels/serving benches — pytest-benchmark's terminal-only
+output is not diffable.
 """
 
 from __future__ import annotations
 
+import json
+import time
+
 import pytest
+
+from conftest import RESULTS_DIR, format_table, record_result
 
 
 @pytest.fixture(scope="module")
@@ -75,3 +86,50 @@ def bench_full_decomposition(benchmark, traffic_video):
         pipeline.decompose, args=(traffic_video,), rounds=1, iterations=1
     )
     assert len(decomposition.background) >= 1
+
+
+def bench_pipeline_stage_report(traffic_video, traffic_rags):
+    """Archive per-stage best-of-3 timings as BENCH_pipeline.json."""
+    from repro.graph.tracking import GraphTracker
+    from repro.pipeline import VideoPipeline
+    from repro.video.regions import rag_from_labels
+    from repro.video.segmentation import GridSegmenter, MeanShiftSegmenter
+
+    frame = traffic_video.frame(0)
+    grid = GridSegmenter(min_region_size=10)
+    meanshift = MeanShiftSegmenter(spatial_bandwidth=2, range_bandwidth=10.0,
+                                   max_iterations=3, min_region_size=16)
+    grid_labels = grid.segment(frame)
+    tracker = GraphTracker()
+    pipeline = VideoPipeline()
+    stages = {
+        "grid_segmentation": lambda: grid.segment(frame),
+        "meanshift_segmentation": lambda: meanshift.segment(frame),
+        "rag_construction": lambda: rag_from_labels(frame, grid_labels, 0),
+        "tracking_frame_pair": lambda: tracker.track_pair(
+            traffic_rags[0], traffic_rags[1]),
+        "full_decomposition": lambda: pipeline.decompose(traffic_video),
+    }
+    timings = {}
+    for name, fn in stages.items():
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        timings[name] = best
+    report = {
+        "config": {"frames": traffic_video.num_frames,
+                   "frame_size": f"{traffic_video.height}"
+                                 f"x{traffic_video.width}",
+                   "best_of": 3},
+        "stage_seconds": timings,
+    }
+    (RESULTS_DIR / "BENCH_pipeline.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    rows = [[name, f"{seconds * 1e3:.2f}"]
+            for name, seconds in timings.items()]
+    record_result("BENCH_pipeline",
+                  format_table(["stage", "ms (best of 3)"], rows))
+    assert timings["full_decomposition"] > 0.0

@@ -29,8 +29,9 @@ The package mirrors the paper's pipeline:
 - :mod:`repro.storage` — serialization and the ``VideoDatabase`` facade.
 - :mod:`repro.resilience` — fault injection, retry/backoff policies,
   quarantine, ingest journaling and crash recovery.
-- :mod:`repro.parallel` — multi-process fan-out for the batched distance
-  kernels of :mod:`repro.distance.batch`.
+- :mod:`repro.parallel` — multi-process fan-out: distance jobs
+  (:class:`DistanceExecutor`) and ordered frame-parallel ingest
+  (:func:`ordered_chunk_map`).
 - :mod:`repro.observability` — tracing spans, a metrics registry
   (JSON / Prometheus exporters) and profiling hooks through every hot
   path, behind one ``configure(enabled=...)`` switch.
@@ -46,7 +47,7 @@ from repro.core.index import STRGIndex, STRGIndexConfig
 from repro.distance.eged import EGED, MetricEGED, eged
 from repro.graph.object_graph import ObjectGraph
 from repro.graph.strg import SpatioTemporalRegionGraph
-from repro.parallel import DistanceExecutor
+from repro.parallel import DistanceExecutor, ordered_chunk_map
 from repro.pipeline import PipelineConfig, VideoPipeline
 from repro.query import Query, QueryResult
 from repro.resilience import FaultInjector, FaultPolicy, RetryPolicy
@@ -60,7 +61,7 @@ from repro.serving import (
 )
 from repro.storage.database import QueryHit, VideoDatabase
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DistanceExecutor",
@@ -89,4 +90,5 @@ __all__ = [
     "eged",
     "observability",
     "open_database",
+    "ordered_chunk_map",
 ]

@@ -128,7 +128,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         injector.inject("decomposition", rate=args.fault_rate)
     try:
         with injected(injector):
-            report = db.ingest_many(videos)
+            report = db.ingest_many(videos, workers=args.workers)
     except IngestDegradedError as exc:
         print(f"ingest degraded: {exc}", file=sys.stderr)
         print(f"health: {db.health()}", file=sys.stderr)
@@ -368,6 +368,10 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--journal", default=None,
                         help="journal path (default: <output>.journal)")
     ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--workers", type=int, default=None,
+                        help="frame-parallel segmentation workers per "
+                             "segment (results are identical at any "
+                             "worker count; default serial)")
     _add_observe_options(ingest)
     ingest.set_defaults(func=_cmd_ingest)
 

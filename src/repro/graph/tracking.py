@@ -14,7 +14,7 @@ teleport between consecutive frames).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.errors import InvalidParameterError
 from repro.graph.attributes import AttributeTolerance
@@ -101,14 +101,29 @@ class GraphTracker:
                 edges.append((v, max_node))
         return edges
 
-    def build_strg(self, rags: Sequence[RegionAdjacencyGraph]
-                   ) -> SpatioTemporalRegionGraph:
-        """Assemble a full STRG: append each RAG, then track every
-        consecutive pair and materialize the temporal edges."""
+    def track_stream(self, rags: Iterable[RegionAdjacencyGraph]
+                     ) -> SpatioTemporalRegionGraph:
+        """Assemble an STRG from an ordered stream of RAGs.
+
+        Each RAG is appended and tracked against its predecessor as soon
+        as it arrives, so a lazy producer (the frame-parallel
+        segmentation fan-out) overlaps with tracking.  Tracking frame
+        pair ``(m, m+1)`` only reads those two RAGs, so the result is
+        identical to appending everything first and tracking after —
+        :meth:`build_strg` delegates here.
+        """
         strg = SpatioTemporalRegionGraph()
+        m = -1
         for rag in rags:
             strg.append_rag(rag)
-        for m in range(len(rags) - 1):
-            for src, dst in self.track_pair(strg.rag(m), strg.rag(m + 1)):
-                strg.add_temporal_edge((m, src), (m + 1, dst))
+            m += 1
+            if m > 0:
+                for src, dst in self.track_pair(strg.rag(m - 1), strg.rag(m)):
+                    strg.add_temporal_edge((m - 1, src), (m, dst))
         return strg
+
+    def build_strg(self, rags: Sequence[RegionAdjacencyGraph]
+                   ) -> SpatioTemporalRegionGraph:
+        """Assemble a full STRG: append each RAG and track every
+        consecutive pair, materializing the temporal edges."""
+        return self.track_stream(rags)

@@ -1,10 +1,16 @@
-"""Process-level fan-out for large distance jobs.
+"""Process-level fan-out: distance jobs and ordered chunk maps.
 
 The batched kernels of :mod:`repro.distance.batch` already turn P
 Python-loop DPs into one NumPy-speed DP, but a single process still runs
 on one core.  :class:`DistanceExecutor` chunks big ``one_vs_many`` /
 ``pairwise_matrix`` jobs across a ``ProcessPoolExecutor`` so multi-core
 machines scale the remaining NumPy work roughly linearly.
+
+:func:`ordered_chunk_map` generalizes the same idea beyond distance
+work: an ordered process-pool ``map`` over contiguous item chunks,
+streaming results out in item order.  The ingestion pipeline uses it to
+segment frames and build RAGs in parallel while the sequential tracker
+consumes completed RAGs in frame order.
 
 Overhead model (why the thresholds exist)
 -----------------------------------------
@@ -42,6 +48,80 @@ from repro.observability import OBS
 
 #: Default lower bound on pair evaluations before a pool is worth it.
 MIN_PARALLEL_PAIRS = 512
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def chunk_bounds(n: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into at most ``n_chunks`` contiguous, balanced,
+    non-empty ``(lo, hi)`` slices."""
+    if n <= 0:
+        return []
+    bounds = np.linspace(0, n, min(n, max(1, n_chunks)) + 1).astype(int)
+    return [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo]
+
+
+def _run_chunk(fn: Callable[[int, list], list], start: int,
+               chunk: list) -> list:
+    """Worker task: apply a chunk function to one contiguous slice."""
+    return fn(start, chunk)
+
+
+def ordered_chunk_map(fn: Callable[[int, list], list], items: Sequence,
+                      *, workers: int | None = None,
+                      chunks_per_worker: int = 2,
+                      force_pool: bool = False):
+    """Map ``fn`` over contiguous chunks of ``items``, yielding per-item
+    results **in item order**.
+
+    ``fn(start, chunk)`` receives the chunk's offset into ``items`` and
+    must return one result per chunk element; it (and the items) must
+    pickle.  All chunks are submitted to a process pool up front and
+    results stream out in order as the leading chunk completes — so a
+    sequential consumer (the :class:`~repro.graph.tracking.GraphTracker`)
+    overlaps with computation of the trailing chunks.
+
+    Chunking never changes results: ``fn`` sees the same ``(start,
+    chunk)`` slices on the serial path, which is used when ``workers``
+    (resolved against :func:`usable_cpus`) is 1 — or when the machine
+    only exposes one core, where a pool is pure overhead.  ``force_pool``
+    overrides that guard so tests can exercise the pool path anywhere.
+    """
+    if chunks_per_worker < 1:
+        raise InvalidParameterError(
+            f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
+        )
+    if workers is not None and workers < 0:
+        raise InvalidParameterError(f"workers must be >= 0, got {workers}")
+    n = len(items)
+    requested = usable_cpus() if workers in (None, 0) else workers
+    effective = requested if force_pool else min(requested, usable_cpus())
+    use_pool = n > 1 and (effective > 1 or (force_pool and requested > 1))
+    if not use_pool:
+        with OBS.span("parallel.map", items=n, mode="serial"):
+            for start, stop in chunk_bounds(n, max(1, requested)):
+                yield from fn(start, list(items[start:stop]))
+        return
+    with OBS.span("parallel.map", items=n, mode="pool",
+                  workers=max(2, effective)):
+        slices = chunk_bounds(n, max(2, effective) * chunks_per_worker)
+        with ProcessPoolExecutor(max_workers=max(2, effective)) as pool:
+            futures = [
+                pool.submit(_run_chunk, fn, start, list(items[start:stop]))
+                for start, stop in slices
+            ]
+            if OBS.enabled:
+                OBS.count("parallel.map_jobs")
+                OBS.count("parallel.map_chunks", len(futures))
+            for future in futures:
+                yield from future.result()
 
 
 def _worker_one_vs_many(distance: Distance, query: np.ndarray,

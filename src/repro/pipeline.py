@@ -10,11 +10,12 @@ result to the :class:`~repro.core.index.STRGIndex`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
 from repro.core.index import STRGIndex, STRGIndexConfig
-from repro.errors import CorruptSegmentError
+from repro.errors import CorruptSegmentError, InvalidParameterError
 from repro.graph.decomposition import (
     DecompositionConfig,
     STRGDecomposition,
@@ -23,9 +24,17 @@ from repro.graph.decomposition import (
 from repro.graph.strg import SpatioTemporalRegionGraph
 from repro.graph.tracking import GraphTracker, TrackerConfig
 from repro.observability import OBS
+from repro.parallel import ordered_chunk_map
 from repro.resilience.faults import maybe_fail, maybe_transform
 from repro.video.frames import VideoSegment
 from repro.video.segmentation import GridSegmenter, Segmenter
+
+
+def _segment_chunk(segmenter: Segmenter, start: int,
+                   frames: list[np.ndarray]):
+    """Chunk task for :func:`repro.parallel.ordered_chunk_map`: build the
+    RAGs of a contiguous run of validated frames."""
+    return segmenter.build_rags(frames, start)
 
 
 def _validate_frame(frame, t: int, segment: str) -> np.ndarray:
@@ -74,43 +83,86 @@ class VideoPipeline:
         #: pipeline like any other queryable source).
         self.index: STRGIndex | None = None
 
-    def build_strg(self, video: VideoSegment) -> SpatioTemporalRegionGraph:
+    def build_strg(self, video: VideoSegment,
+                   workers: int | None = None,
+                   force_pool: bool = False) -> SpatioTemporalRegionGraph:
         """Segment every frame and assemble the STRG (Sections 2.1-2.2).
 
         The ``segmentation`` (per frame) and ``tracking`` (per segment)
         fault-injection points fire here; injected frame corruption is
         caught by validation and surfaces as
         :class:`~repro.errors.CorruptSegmentError`.
+
+        With ``workers > 1`` the per-frame segmentation + RAG work fans
+        out across a process pool while the sequential
+        :class:`~repro.graph.tracking.GraphTracker` consumes completed
+        RAGs in frame order, overlapping segmentation with tracking.
+        Results are **bit-identical** at any worker count: every fault
+        hook fires in this process, in frame order, *before* the fan-out
+        (same hook/RNG sequence as serial), and the pure per-frame
+        kernels are chunking-invariant.  ``force_pool`` exercises the
+        pool even on single-core machines (for tests — a pool there is
+        overhead, not speedup).
         """
+        if workers is not None and workers < 0:
+            raise InvalidParameterError(
+                f"workers must be >= 0, got {workers}"
+            )
+        n = video.num_frames
+        parallel = (workers is not None and workers > 1) or force_pool
+        if not parallel:
+            with OBS.span("pipeline.segmentation", segment=video.name,
+                          frames=n):
+                rags = []
+                for t in range(n):
+                    frame = maybe_transform("segmentation", video.frame(t))
+                    frame = _validate_frame(frame, t, video.name)
+                    maybe_fail("segmentation", segment=video.name, frame=t)
+                    rags.append(self.config.segmenter.build_rag(frame, t))
+            with OBS.span("pipeline.tracking", segment=video.name):
+                maybe_fail("tracking", segment=video.name)
+                return self._tracker.build_strg(rags)
+        # Parallel path: evaluate every fault hook up front, in frame
+        # order, so injection/quarantine decisions cannot depend on
+        # worker scheduling; workers then run pure computation.
         with OBS.span("pipeline.segmentation", segment=video.name,
-                      frames=video.num_frames):
-            rags = []
-            for t in range(video.num_frames):
+                      frames=n, workers=workers, mode="parallel"):
+            frames = []
+            for t in range(n):
                 frame = maybe_transform("segmentation", video.frame(t))
                 frame = _validate_frame(frame, t, video.name)
                 maybe_fail("segmentation", segment=video.name, frame=t)
-                rags.append(self.config.segmenter.build_rag(frame, t))
-        with OBS.span("pipeline.tracking", segment=video.name):
+                frames.append(frame)
+        with OBS.span("pipeline.tracking", segment=video.name,
+                      mode="overlapped"):
             maybe_fail("tracking", segment=video.name)
-            return self._tracker.build_strg(rags)
+            rag_stream = ordered_chunk_map(
+                partial(_segment_chunk, self.config.segmenter), frames,
+                workers=workers, force_pool=force_pool,
+            )
+            return self._tracker.track_stream(rag_stream)
 
-    def decompose(self, video: VideoSegment) -> STRGDecomposition:
+    def decompose(self, video: VideoSegment,
+                  workers: int | None = None,
+                  force_pool: bool = False) -> STRGDecomposition:
         """Full decomposition of a segment into OGs + BG (Section 2.3)."""
-        strg = self.build_strg(video)
+        strg = self.build_strg(video, workers=workers, force_pool=force_pool)
         with OBS.span("pipeline.decomposition", segment=video.name):
             maybe_fail("decomposition", segment=video.name)
             return decompose(strg, self.config.decomposition)
 
     def process(self, video: VideoSegment,
-                index: STRGIndex | None = None
+                index: STRGIndex | None = None,
+                workers: int | None = None
                 ) -> tuple[STRGDecomposition, STRGIndex]:
         """Decompose a segment and (build or extend) an STRG-Index.
 
         Returns the decomposition and the index.  When ``index`` is given,
         the segment's OGs are inserted into it (background-matched at the
-        root level); otherwise a fresh index is built.
+        root level); otherwise a fresh index is built.  ``workers``
+        controls frame-parallel segmentation (see :meth:`build_strg`).
         """
-        decomposition = self.decompose(video)
+        decomposition = self.decompose(video, workers=workers)
         refs = [
             {"video": video.name, "og": og.og_id}
             for og in decomposition.object_graphs

@@ -109,7 +109,8 @@ class VideoDatabase:
 
     # -- ingestion -----------------------------------------------------------
 
-    def ingest(self, video: VideoSegment, parse_shots: bool = False) -> int:
+    def ingest(self, video: VideoSegment, parse_shots: bool = False,
+               workers: int | None = None) -> int:
         """Run the full pipeline on a segment and index its OGs.
 
         Returns the number of Object Graphs extracted (0 when the
@@ -119,12 +120,23 @@ class VideoDatabase:
         parsed into shots (Section 1's "issue 1"); each shot is ingested
         as its own segment, so scene changes land in separate root
         records.
+
+        ``workers > 1`` fans the segment's per-frame segmentation + RAG
+        construction out across worker processes (see
+        :meth:`VideoPipeline.build_strg <repro.pipeline.VideoPipeline.build_strg>`).
+        Fault-injection points, quarantine decisions, journal ordering
+        and index contents are identical at every worker count: the
+        hooks fire in the coordinator, in frame order, before any
+        fan-out, and a retry re-runs the whole decomposition exactly as
+        the serial path does.
         """
         if parse_shots:
             from repro.video.shots import split_into_shots
 
-            return sum(self.ingest(shot) for shot in split_into_shots(video))
-        with OBS.span("ingest.segment", segment=video.name) as sp:
+            return sum(self.ingest(shot, workers=workers)
+                       for shot in split_into_shots(video))
+        with OBS.span("ingest.segment", segment=video.name,
+                      workers=workers) as sp:
             attempts = 1
             try:
                 if self.fault_policy is FaultPolicy.RETRY_THEN_SKIP:
@@ -137,13 +149,15 @@ class VideoDatabase:
                                     video.name, attempt, exc)
 
                     decomposition = call_with_retry(
-                        lambda: self.pipeline.decompose(video),
+                        lambda: self.pipeline.decompose(video,
+                                                        workers=workers),
                         self.retry_policy,
                         retryable=RECOVERABLE_ERRORS,
                         on_retry=count_retry,
                     )
                 else:
-                    decomposition = self.pipeline.decompose(video)
+                    decomposition = self.pipeline.decompose(video,
+                                                            workers=workers)
             except RECOVERABLE_ERRORS as exc:
                 self._record_error(video.name, exc)
                 if self.fault_policy is FaultPolicy.FAIL_FAST:
@@ -168,18 +182,22 @@ class VideoDatabase:
             return n
 
     def ingest_many(self, videos: Sequence[VideoSegment],
-                    parse_shots: bool = False) -> dict[str, int]:
+                    parse_shots: bool = False,
+                    workers: int | None = None) -> dict[str, int]:
         """Batch ingest; keeps going over quarantined segments.
 
         Returns ``{"segments": ok_count, "quarantined": q_count,
         "ogs": total_ogs}``.  :class:`~repro.errors.IngestDegradedError`
         (drop tolerance exceeded) and non-recoverable errors propagate.
+        Segments are journaled strictly in input order; ``workers``
+        parallelizes within each segment (see :meth:`ingest`).
         """
         before_q = len(self.quarantine)
         before_s = len(self._ingested)
         ogs = 0
         for video in videos:
-            ogs += self.ingest(video, parse_shots=parse_shots)
+            ogs += self.ingest(video, parse_shots=parse_shots,
+                               workers=workers)
         return {
             "segments": len(self._ingested) - before_s,
             "quarantined": len(self.quarantine) - before_q,

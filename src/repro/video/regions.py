@@ -49,26 +49,33 @@ def region_statistics(image: np.ndarray, labels: np.ndarray
     return out
 
 
+def adjacent_label_pairs(labels: np.ndarray) -> np.ndarray:
+    """Deduplicated 4-connected adjacency pairs of a label image.
+
+    Returns a ``(P, 2)`` int64 array of unordered pairs ``(a, b)`` with
+    ``a < b``, sorted lexicographically.  Fully vectorized: boundary
+    edges are encoded as ``lo * K + hi`` single integers and deduplicated
+    with one :func:`np.unique` — no Python-level set of tuples.
+    """
+    left = np.concatenate([labels[:, :-1].ravel(), labels[:-1, :].ravel()])
+    right = np.concatenate([labels[:, 1:].ravel(), labels[1:, :].ravel()])
+    diff = left != right
+    left, right = left[diff], right[diff]
+    if left.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    lo = np.minimum(left, right).astype(np.int64)
+    hi = np.maximum(left, right).astype(np.int64)
+    span = int(hi.max()) + 1
+    codes = np.unique(lo * span + hi)
+    return np.stack(np.divmod(codes, span), axis=1)
+
+
 def region_adjacency(labels: np.ndarray) -> set[tuple[int, int]]:
     """4-connected adjacency between distinct regions of a label image.
 
     Returns unordered pairs ``(a, b)`` with ``a < b``.
     """
-    pairs: set[tuple[int, int]] = set()
-    horizontal = np.stack(
-        [labels[:, :-1].ravel(), labels[:, 1:].ravel()], axis=1
-    )
-    vertical = np.stack(
-        [labels[:-1, :].ravel(), labels[1:, :].ravel()], axis=1
-    )
-    for edges in (horizontal, vertical):
-        diff = edges[edges[:, 0] != edges[:, 1]]
-        if diff.size == 0:
-            continue
-        lo = np.minimum(diff[:, 0], diff[:, 1])
-        hi = np.maximum(diff[:, 0], diff[:, 1])
-        pairs.update(zip(lo.tolist(), hi.tolist()))
-    return pairs
+    return set(map(tuple, adjacent_label_pairs(labels).tolist()))
 
 
 def rag_from_labels(image: np.ndarray, labels: np.ndarray,

@@ -8,12 +8,20 @@ Meer), chosen because it is stable across small frame-to-frame changes.
    every pixel's color iteratively moves to the mean of spatially-near
    pixels whose color lies within the range bandwidth;
 2. *clustering*: 4-connected pixels whose filtered colors differ by less
-   than the range bandwidth are merged into regions (union-find);
+   than the range bandwidth are merged into regions;
 3. *pruning*: regions below ``min_region_size`` are absorbed into the most
    color-similar adjacent region.
 
 :class:`GridSegmenter` is a fast color-quantizing fallback for large
 parameter sweeps; it shares steps 2-3.
+
+Every step is fully vectorized.  Component labeling uses an iterative
+min-label propagation sweep (pointer jumping over the flat pixel array)
+instead of a per-pixel Python union-find; the partition it computes is
+identical (same 4-connectivity relation), only the pre-compaction
+representative per component differs (component minimum instead of a
+union-find root), so compacted labels can be a permutation of the old
+implementation's.
 """
 
 from __future__ import annotations
@@ -25,58 +33,147 @@ import numpy as np
 
 from repro.errors import InvalidParameterError, SegmentationError
 from repro.graph.rag import RegionAdjacencyGraph
+from repro.observability import OBS
 from repro.video.color import rgb_to_luv
-from repro.video.regions import rag_from_labels
+from repro.video.regions import adjacent_label_pairs, rag_from_labels
+
+#: Bits per channel for the exact-equality fast path (3 x 21 = 63 bits).
+_ENCODE_BITS = 21
 
 
-class _UnionFind:
-    """Array-backed union-find with path halving, for pixel labeling."""
+def _encode_exact(features: np.ndarray) -> np.ndarray | None:
+    """Pack an integer-valued ``(..., C)`` feature image into one int64
+    channel, or ``None`` when the values don't fit.
 
-    def __init__(self, n: int):
-        self.parent = np.arange(n, dtype=np.int64)
+    Used by the threshold-0 fast path: two pixels are 4-connected iff
+    their encoded values are equal, which replaces a per-pair float norm
+    (with ``sqrt``) by one integer comparison.
+    """
+    if features.ndim < 2 or features.shape[-1] > 3:
+        return None
+    ints = features.astype(np.int64)
+    if (ints != features).any() or ints.min() < 0 \
+            or ints.max() >= (1 << _ENCODE_BITS):
+        return None
+    encoded = ints[..., 0]
+    for c in range(1, features.shape[-1]):
+        encoded = (encoded << _ENCODE_BITS) | ints[..., c]
+    return encoded
 
-    def find(self, i: int) -> int:
-        parent = self.parent
-        while parent[i] != i:
-            parent[i] = parent[parent[i]]
-            i = parent[i]
-        return i
 
-    def union(self, i: int, j: int) -> None:
-        ri, rj = self.find(i), self.find(j)
-        if ri != rj:
-            self.parent[rj] = ri
+def _edge_masks(features: np.ndarray, threshold: float
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """4-connectivity masks of a ``(..., H, W, C)`` feature image.
+
+    Returns ``(right_ok, down_ok)`` boolean arrays of shapes
+    ``(..., H, W-1)`` and ``(..., H-1, W)``: whether each pixel is
+    connected to its right / lower neighbor.  With ``threshold <= 0`` the
+    float-norm predicate degenerates to exact equality, which is computed
+    without any float arithmetic (integer-encoded when possible).
+    """
+    if threshold <= 0.0:
+        encoded = _encode_exact(features)
+        if encoded is not None:
+            right_ok = encoded[..., :, :-1] == encoded[..., :, 1:]
+            down_ok = encoded[..., :-1, :] == encoded[..., 1:, :]
+            return right_ok, down_ok
+        right_ok = np.all(
+            features[..., :, :-1, :] == features[..., :, 1:, :], axis=-1
+        )
+        down_ok = np.all(
+            features[..., :-1, :, :] == features[..., 1:, :, :], axis=-1
+        )
+        return right_ok, down_ok
+    dh = features[..., :, :-1, :] - features[..., :, 1:, :]
+    right_ok = np.sqrt(np.sum(dh * dh, axis=-1)) <= threshold
+    dv = features[..., :-1, :, :] - features[..., 1:, :, :]
+    down_ok = np.sqrt(np.sum(dv * dv, axis=-1)) <= threshold
+    return right_ok, down_ok
+
+
+def _propagate_min_labels(labels: np.ndarray, right_ok: np.ndarray,
+                          down_ok: np.ndarray) -> np.ndarray:
+    """Connected components by min-label propagation + pointer jumping.
+
+    ``labels`` is an ``(H, W)`` (or ``(B, H, W)``) int64 array of unique
+    initial labels (flat pixel indices).  Each round every pixel takes the
+    minimum label over itself and its 4-connected neighbors, then the
+    label array is treated as a pointer forest (``label`` is a pixel
+    index) and compressed by repeated gathers (``f = f[f]``) until stable.
+    The fixpoint assigns every pixel the minimum initial label of its
+    component — the same partition a union-find would produce.  Rounds
+    are O(log diameter) thanks to the pointer jumping, every operation a
+    whole-array numpy primitive.
+    """
+    sentinel = labels.size  # larger than any label
+    rounds = 0
+    while True:
+        rounds += 1
+        m = labels
+        cand = m.copy()
+        np.minimum(cand[..., :, :-1],
+                   np.where(right_ok, m[..., :, 1:], sentinel),
+                   out=cand[..., :, :-1])
+        np.minimum(cand[..., :, 1:],
+                   np.where(right_ok, m[..., :, :-1], sentinel),
+                   out=cand[..., :, 1:])
+        np.minimum(cand[..., :-1, :],
+                   np.where(down_ok, m[..., 1:, :], sentinel),
+                   out=cand[..., :-1, :])
+        np.minimum(cand[..., 1:, :],
+                   np.where(down_ok, m[..., :-1, :], sentinel),
+                   out=cand[..., 1:, :])
+        flat = cand.ravel()
+        prev = m.ravel()
+        flat = np.minimum(flat, prev[flat])
+        while True:
+            hopped = flat[flat]
+            if np.array_equal(hopped, flat):
+                break
+            flat = hopped
+        if np.array_equal(flat, prev):
+            break
+        labels = flat.reshape(labels.shape)
+    if OBS.enabled:
+        OBS.count("segmentation.cc_rounds", rounds)
+    return labels
 
 
 def _connected_components(features: np.ndarray, threshold: float) -> np.ndarray:
     """Label 4-connected pixels whose feature distance is <= threshold.
 
     ``features`` is ``(H, W, C)``; returns ``(H, W)`` int labels compacted
-    to ``0..R-1``.
+    to ``0..R-1``.  Pure numpy: min-label propagation instead of the old
+    per-pixel Python union-find (same partition, labels possibly permuted).
     """
     h, w = features.shape[:2]
-    uf = _UnionFind(h * w)
-    flat = features.reshape(h * w, -1)
+    right_ok, down_ok = _edge_masks(features, threshold)
+    labels = np.arange(h * w, dtype=np.int64).reshape(h, w)
+    labels = _propagate_min_labels(labels, right_ok, down_ok)
+    _, compact = np.unique(labels.ravel(), return_inverse=True)
+    return compact.reshape(h, w).astype(np.int64)
 
-    def link(idx_a: np.ndarray, idx_b: np.ndarray) -> None:
-        diff = flat[idx_a] - flat[idx_b]
-        close = np.sqrt(np.sum(diff * diff, axis=1)) <= threshold
-        for a, b in zip(idx_a[close], idx_b[close]):
-            uf.union(int(a), int(b))
 
-    idx = np.arange(h * w).reshape(h, w)
-    link(idx[:, :-1].ravel(), idx[:, 1:].ravel())
-    link(idx[:-1, :].ravel(), idx[1:, :].ravel())
-
-    roots = np.array([uf.find(i) for i in range(h * w)], dtype=np.int64)
-    _, labels = np.unique(roots, return_inverse=True)
-    return labels.reshape(h, w).astype(np.int64)
+def _region_means(inverse: np.ndarray, flat_feat: np.ndarray,
+                  counts: np.ndarray) -> np.ndarray:
+    """Per-region feature means via one bincount per channel."""
+    sums = np.stack(
+        [np.bincount(inverse, weights=flat_feat[:, c])
+         for c in range(flat_feat.shape[1])], axis=1
+    )
+    return sums / counts[:, None]
 
 
 def _merge_small_regions(labels: np.ndarray, features: np.ndarray,
                          min_size: int, max_passes: int = 10) -> np.ndarray:
     """Absorb regions smaller than ``min_size`` into their most
-    color-similar 4-connected neighbor (EDISON's pruning step)."""
+    color-similar 4-connected neighbor (EDISON's pruning step).
+
+    Fully vectorized: neighbor relations come from
+    :func:`~repro.video.regions.adjacent_label_pairs` and the best
+    neighbor per small region is an argmin over the deduplicated pair
+    list (ties broken towards the smaller region label).
+    """
     labels = labels.copy()
     flat_feat = features.reshape(-1, features.shape[-1])
     for _ in range(max_passes):
@@ -85,38 +182,32 @@ def _merge_small_regions(labels: np.ndarray, features: np.ndarray,
         counts = np.bincount(inverse)
         if counts.min() >= min_size or len(ids) <= 1:
             break
-        sums = np.stack(
-            [np.bincount(inverse, weights=flat_feat[:, c])
-             for c in range(flat_feat.shape[1])], axis=1
-        )
-        means = sums / counts[:, None]
-        id_to_pos = {int(r): k for k, r in enumerate(ids)}
-        # Neighbor sets via horizontal/vertical label transitions.
-        neighbors: dict[int, set[int]] = {int(r): set() for r in ids}
-        for a, b in _label_transitions(labels):
-            neighbors[a].add(b)
-            neighbors[b].add(a)
-        remap = {}
-        for k, rid in enumerate(ids):
-            if counts[k] >= min_size:
-                continue
-            nbrs = neighbors[int(rid)]
-            if not nbrs:
-                continue
-            best = min(
-                nbrs,
-                key=lambda n: float(
-                    np.linalg.norm(means[k] - means[id_to_pos[n]])
-                ),
-            )
-            remap[int(rid)] = best
-        if not remap:
+        means = _region_means(inverse, flat_feat, counts)
+        pos = inverse.reshape(labels.shape)
+        pairs = adjacent_label_pairs(pos)  # (P, 2) positions, a < b
+        if len(pairs) == 0:
             break
+        # Both directions: each region sees every neighbor once.
+        a = np.concatenate([pairs[:, 0], pairs[:, 1]])
+        b = np.concatenate([pairs[:, 1], pairs[:, 0]])
+        small = counts[a] < min_size
+        a, b = a[small], b[small]
+        if len(a) == 0:
+            break
+        diff = means[a] - means[b]
+        dist = np.sqrt(np.sum(diff * diff, axis=1))
+        # First row per small region after sorting by (region, distance,
+        # neighbor label) is its best (closest-color) neighbor.
+        order = np.lexsort((ids[b], dist, a))
+        a, b = a[order], b[order]
+        first = np.ones(len(a), dtype=bool)
+        first[1:] = a[1:] != a[:-1]
+        lut = np.arange(len(ids), dtype=np.int64)
+        lut[a[first]] = b[first]
+        if OBS.enabled:
+            OBS.count("segmentation.regions_merged", int(first.sum()))
         # Resolve chains (small -> small -> big) conservatively per pass.
-        lut = np.array(
-            [remap.get(int(r), int(r)) for r in ids], dtype=np.int64
-        )
-        labels = lut[inverse].reshape(labels.shape)
+        labels = ids[lut[inverse]].reshape(labels.shape)
     # Compact labels.
     _, compact = np.unique(labels.ravel(), return_inverse=True)
     return compact.reshape(labels.shape).astype(np.int64)
@@ -124,16 +215,8 @@ def _merge_small_regions(labels: np.ndarray, features: np.ndarray,
 
 def _label_transitions(labels: np.ndarray) -> set[tuple[int, int]]:
     """Unordered pairs of 4-adjacent distinct labels."""
-    pairs: set[tuple[int, int]] = set()
-    for a, b in ((labels[:, :-1], labels[:, 1:]),
-                 (labels[:-1, :], labels[1:, :])):
-        a = a.ravel()
-        b = b.ravel()
-        mask = a != b
-        lo = np.minimum(a[mask], b[mask])
-        hi = np.maximum(a[mask], b[mask])
-        pairs.update(zip(lo.tolist(), hi.tolist()))
-    return pairs
+    pairs = adjacent_label_pairs(labels)
+    return set(map(tuple, pairs.tolist()))
 
 
 class Segmenter(abc.ABC):
@@ -148,6 +231,30 @@ class Segmenter(abc.ABC):
         """Segment a frame and build its RAG (Definition 1)."""
         labels = self.segment(image)
         return rag_from_labels(image, labels, frame_index)
+
+    def build_rags(self, images, first_index: int = 0
+                   ) -> list[RegionAdjacencyGraph]:
+        """Segment a run of frames and build one RAG per frame.
+
+        This is the unit of work of the frame-parallel ingestion engine:
+        a worker receives a contiguous chunk of frames and returns their
+        RAGs.  The default processes frames independently, one at a time,
+        so results are identical to per-frame :meth:`build_rag` calls at
+        any chunk boundary.
+        """
+        return [
+            self.build_rag(image, first_index + k)
+            for k, image in enumerate(images)
+        ]
+
+
+def _validate_frame_shape(image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise SegmentationError(
+            f"expected (H, W, 3) frame, got shape {image.shape}"
+        )
+    return image
 
 
 @dataclass
@@ -166,6 +273,14 @@ class MeanShiftSegmenter(Segmenter):
     max_iterations: int = 5
     use_luv: bool = True
 
+    #: Pad value for out-of-frame pixels in the filtering stage.  Large
+    #: enough that a padded pixel can never fall within the range
+    #: bandwidth of a real color (LUV/RGB values are bounded by a few
+    #: hundred), small enough that ``(pad - color)**2`` stays finite —
+    #: padded contributions are then masked to exactly 0.0, like the
+    #: wrap-around rows the old ``np.roll`` formulation invalidated.
+    _PAD = 1.0e6
+
     def __post_init__(self) -> None:
         if self.spatial_bandwidth < 1:
             raise InvalidParameterError("spatial_bandwidth must be >= 1")
@@ -174,53 +289,81 @@ class MeanShiftSegmenter(Segmenter):
         if self.min_region_size < 1:
             raise InvalidParameterError("min_region_size must be >= 1")
 
-    def _filter(self, features: np.ndarray) -> np.ndarray:
-        """Mean-shift filtering with a flat kernel, vectorized by shifting
-        the whole image across the spatial window."""
-        h, w, c = features.shape
+    def _offsets(self) -> list[tuple[int, int]]:
         radius = self.spatial_bandwidth
-        hr2 = self.range_bandwidth ** 2
-        current = features.copy()
-        offsets = [
+        return [
             (dy, dx)
             for dy in range(-radius, radius + 1)
             for dx in range(-radius, radius + 1)
             if dy * dy + dx * dx <= radius * radius
         ]
+
+    @staticmethod
+    def _valid_masks(h: int, w: int, offsets: list[tuple[int, int]]
+                     ) -> dict[tuple[int, int], np.ndarray]:
+        """In-bounds masks per window offset (shape-dependent only, so
+        computed once per filter call rather than once per iteration)."""
+        valids: dict[tuple[int, int], np.ndarray] = {}
+        for dy, dx in offsets:
+            valid = np.ones((h, w), dtype=bool)
+            if dy > 0:
+                valid[:dy, :] = False
+            elif dy < 0:
+                valid[dy:, :] = False
+            if dx > 0:
+                valid[:, :dx] = False
+            elif dx < 0:
+                valid[:, dx:] = False
+            valids[(dy, dx)] = valid
+        return valids
+
+    def _filter(self, features: np.ndarray) -> np.ndarray:
+        """Mean-shift filtering with a flat kernel.
+
+        The spatial window is swept with slices of one padded copy of the
+        image per iteration — no per-offset array copies (the previous
+        formulation paid two ``np.roll`` copies per offset per iteration).
+        Out-of-frame samples hold :attr:`_PAD`, which can never be within
+        the range bandwidth, so the boundary handling is unchanged.
+        """
+        h, w, c = features.shape
+        radius = self.spatial_bandwidth
+        hr2 = self.range_bandwidth ** 2
+        offsets = self._offsets()
+        valids = self._valid_masks(h, w, offsets)
+        current = features.copy()
+        padded = np.empty((h + 2 * radius, w + 2 * radius, c),
+                          dtype=np.float64)
+        iterations = 0
         for _ in range(self.max_iterations):
+            iterations += 1
+            padded.fill(self._PAD)
+            padded[radius:radius + h, radius:radius + w] = current
             acc = np.zeros_like(current)
             cnt = np.zeros((h, w, 1), dtype=np.float64)
             for dy, dx in offsets:
-                shifted = np.roll(np.roll(current, dy, axis=0), dx, axis=1)
-                # Invalidate wrap-around rows/cols.
-                valid = np.ones((h, w), dtype=bool)
-                if dy > 0:
-                    valid[:dy, :] = False
-                elif dy < 0:
-                    valid[dy:, :] = False
-                if dx > 0:
-                    valid[:, :dx] = False
-                elif dx < 0:
-                    valid[:, dx:] = False
+                # The pixel whose *old* position is (y-dy, x-dx), i.e.
+                # the same sample np.roll(current, (dy, dx)) would align.
+                shifted = padded[radius - dy:radius - dy + h,
+                                 radius - dx:radius - dx + w]
                 diff = shifted - current
                 in_range = np.sum(diff * diff, axis=2) <= hr2
-                mask = (in_range & valid)[..., None].astype(np.float64)
+                mask = (in_range & valids[(dy, dx)])[..., None]
+                mask = mask.astype(np.float64)
                 acc += shifted * mask
                 cnt += mask
             new = acc / np.maximum(cnt, 1.0)
             if np.max(np.abs(new - current)) < 0.05:
                 current = new
+                if OBS.enabled and iterations < self.max_iterations:
+                    OBS.count("meanshift.early_exits")
                 break
             current = new
         return current
 
     def segment(self, image: np.ndarray) -> np.ndarray:
         """Mean-shift filter, cluster and prune one ``(H, W, 3)`` frame."""
-        image = np.asarray(image)
-        if image.ndim != 3 or image.shape[2] != 3:
-            raise SegmentationError(
-                f"expected (H, W, 3) frame, got shape {image.shape}"
-            )
+        image = _validate_frame_shape(image)
         features = rgb_to_luv(image) if self.use_luv else image.astype(np.float64)
         filtered = self._filter(features)
         labels = _connected_components(filtered, self.range_bandwidth)
@@ -247,12 +390,13 @@ class GridSegmenter(Segmenter):
             raise InvalidParameterError("min_region_size must be >= 1")
 
     def segment(self, image: np.ndarray) -> np.ndarray:
-        """Quantize, component-label and prune one ``(H, W, 3)`` frame."""
-        image = np.asarray(image)
-        if image.ndim != 3 or image.shape[2] != 3:
-            raise SegmentationError(
-                f"expected (H, W, 3) frame, got shape {image.shape}"
-            )
+        """Quantize, component-label and prune one ``(H, W, 3)`` frame.
+
+        Quantized colors are compared by exact integer equality inside
+        :func:`_connected_components` (threshold 0 selects the encoded
+        int64 fast path — no per-pair float norms).
+        """
+        image = _validate_frame_shape(image)
         step = 256.0 / self.levels
         quantized = np.floor(image.astype(np.float64) / step)
         labels = _connected_components(quantized, 0.0)
