@@ -1,0 +1,267 @@
+"""Streaming-freshness benchmark: the upload -> queryable SLO.
+
+Not a paper figure — an engineering benchmark guarding the streaming
+ingest service's core promise (docs/STREAMING.md):
+
+1. **Uploads become queryable fast.**  Freshness is measured per clip as
+   *frames-in to first correct k-NN hit*: the wall-clock gap between
+   ``IngestService.submit`` accepting the raw frames and the first
+   ``QueryService.knn`` response that returns the clip's own object
+   graph.  That spans the whole pipeline — spool, segmentation,
+   tracking, decomposition, ``LiveIndex`` commit and snapshot swap.
+2. **Ingest never starves reads.**  A reader fleet hammers the query
+   service for the entire run; because ingest and query admission are
+   separate pools sharing only the copy-on-write snapshot, the readers
+   must see **zero** ``ServiceOverloadError`` no matter how hard the
+   write path is working.
+3. **Faults degrade freshness, not correctness.**  The sweep repeats at
+   0%, 1% and 5% injected fault rates on the ``ingest.process`` and
+   ``ingest.commit`` points.  Retries absorb the faults: every upload
+   must still index exactly once (no quarantine, no loss), with the
+   fault tax visible only as added freshness latency and retry counts.
+
+Archives ``benchmarks/results/BENCH_freshness.json`` with per-rate
+freshness percentiles, retry totals and reader outcome counts.  Scale
+knob: ``BENCH_FRESHNESS_SCALE=smoke`` shrinks the clip counts for CI.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from conftest import format_table, record_result
+
+from repro.core.index import STRGIndex, STRGIndexConfig
+from repro.errors import ServiceOverloadError
+from repro.pipeline import PipelineConfig, VideoPipeline
+from repro.resilience import FaultInjector
+from repro.resilience.faults import install, uninstall
+from repro.resilience.retry import RetryPolicy
+from repro.serving import (
+    IngestService,
+    IngestServiceConfig,
+    LiveIndex,
+    QueryService,
+    ServiceConfig,
+)
+from repro.video.segmentation import GridSegmenter
+from repro.video.synthesize import (
+    Actor,
+    BackgroundSpec,
+    SceneRenderer,
+    linear_trajectory,
+    make_vehicle,
+)
+
+SCALE = os.environ.get("BENCH_FRESHNESS_SCALE", "full")
+SMOKE = SCALE == "smoke"
+
+#: Injected fault probability per ingest.process / ingest.commit call.
+FAULT_RATES = (0.0, 0.01, 0.05)
+NUM_SEEDS = 4 if SMOKE else 8          # corpus present before streaming
+NUM_UPLOADS = 3 if SMOKE else 8        # clips streamed in during the run
+NUM_READERS = 2
+FRAMES = 6
+K = 3
+POLL_INTERVAL = 0.004                  # probe cadence while waiting
+RUN_TIMEOUT = 60.0                     # hard cap per fault rate
+
+
+def _render(name: str, x0: float, y0: float) -> "object":
+    """One 64x48 clip with a single vehicle on a distinct trajectory."""
+    scene = SceneRenderer(BackgroundSpec(width=64, height=48,
+                                         base_color=(100, 100, 100)))
+    scene.add_actor(Actor(
+        linear_trajectory((x0, y0), (x0 + 36.0, y0), FRAMES),
+        make_vehicle((200, 40, 40)),
+    ))
+    return scene.render(FRAMES, name=name)
+
+
+class _Reader(threading.Thread):
+    """Closed-loop read client; tallies outcomes until stopped."""
+
+    def __init__(self, service: QueryService, probes, stop: threading.Event):
+        super().__init__(name="freshness-reader", daemon=True)
+        self.service = service
+        self.probes = probes
+        self.stop_event = stop
+        self.ok = 0
+        self.rejected = 0
+        self.errors = 0
+
+    def run(self) -> None:
+        i = 0
+        while not self.stop_event.is_set():
+            try:
+                self.service.knn(self.probes[i % len(self.probes)], K)
+                self.ok += 1
+            except ServiceOverloadError:
+                self.rejected += 1
+            except Exception:  # noqa: BLE001 — load test keeps going
+                self.errors += 1
+            i += 1
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    pos = min(len(ordered) - 1, int(round(q / 100 * (len(ordered) - 1))))
+    return ordered[pos]
+
+
+def _run_rate(rate: float, state_dir, pipeline, seeds, uploads) -> dict:
+    """One mixed read/write run at one injected fault rate."""
+    index = STRGIndex(STRGIndexConfig(n_clusters=None, k_max=8))
+    live = LiveIndex(index)
+    live.bulk_insert(
+        [og for _, og in seeds],
+        clip_refs=[{"video": name} for name, _ in seeds],
+    )
+    live.compact()
+
+    query = QueryService(live, ServiceConfig(workers=2, queue_depth=64))
+    injector = FaultInjector(seed=int(rate * 1000) + 7)
+    if rate > 0:
+        injector.inject("ingest.process", rate=rate)
+        injector.inject("ingest.commit", rate=rate)
+    install(injector)
+    stop = threading.Event()
+    readers = [_Reader(query, [og for _, og in seeds], stop)
+               for _ in range(NUM_READERS)]
+    freshness: dict[str, float] = {}
+    try:
+        ingest = IngestService(
+            live, pipeline, state_dir=state_dir,
+            config=IngestServiceConfig(
+                queue_depth=max(8, NUM_UPLOADS),
+                min_workers=1, max_workers=2,
+                retry_policy=RetryPolicy(max_attempts=4, base_delay=0.01,
+                                         seed=0),
+                retry_budget=256,
+                checkpoint_every=4,
+                watchdog_interval=0.02,
+            ),
+        )
+        try:
+            for reader in readers:
+                reader.start()
+
+            # Sustained writes: every upload is in the door before the
+            # first freshness probe, so ingest stays busy throughout.
+            submitted: dict[str, float] = {}
+            for video, _probe in uploads:
+                submitted[video.name] = time.monotonic()
+                ingest.submit(video, backpressure=True)
+
+            pending = {video.name: probe for video, probe in uploads}
+            run_deadline = time.monotonic() + RUN_TIMEOUT
+            while pending and time.monotonic() < run_deadline:
+                for name, probe in list(pending.items()):
+                    response = query.knn(probe, K)
+                    if any(ref and ref.get("video") == name
+                           for _, _, ref in response.hits):
+                        freshness[name] = time.monotonic() - submitted[name]
+                        del pending[name]
+                time.sleep(POLL_INTERVAL)
+
+            assert not pending, (
+                f"rate={rate}: {sorted(pending)} never became queryable "
+                f"within {RUN_TIMEOUT}s"
+            )
+            assert ingest.drain(timeout=RUN_TIMEOUT)
+            health = ingest.health()
+        finally:
+            stop.set()
+            for reader in readers:
+                reader.join(timeout=5.0)
+            ingest.shutdown()
+    finally:
+        uninstall()
+        query.shutdown()
+
+    # The SLO guard: sustained ingest must never push reads into
+    # overload — admission pools are independent by design.
+    reads_ok = sum(r.ok for r in readers)
+    reads_rejected = sum(r.rejected for r in readers)
+    reads_errors = sum(r.errors for r in readers)
+    assert reads_rejected == 0, (
+        f"rate={rate}: {reads_rejected} reads rejected with "
+        "ServiceOverloadError during sustained ingest"
+    )
+    assert reads_errors == 0, f"rate={rate}: {reads_errors} reader errors"
+    assert health["indexed_jobs"] == NUM_UPLOADS
+    assert health["quarantined"] == 0, (
+        f"rate={rate}: transient faults must be retried, not quarantined: "
+        f"{health['quarantined_jobs']}"
+    )
+
+    values = list(freshness.values())
+    return {
+        "fault_rate": rate,
+        "uploads": NUM_UPLOADS,
+        "indexed_jobs": health["indexed_jobs"],
+        "retries": health["retries"],
+        "quarantined": health["quarantined"],
+        "freshness_p50_ms": _percentile(values, 50) * 1e3,
+        "freshness_max_ms": max(values) * 1e3,
+        "reads_ok": reads_ok,
+        "reads_rejected": reads_rejected,
+        "reads_errors": reads_errors,
+    }
+
+
+def bench_freshness_report(tmp_path):
+    """Upload -> queryable latency at 0/1/5% faults, reads never shed."""
+    pipeline = VideoPipeline(PipelineConfig(
+        segmenter=GridSegmenter(min_region_size=10)))
+
+    # Seeds give the readers a standing corpus; uploads stream in live.
+    # Distinct trajectories keep every clip its own nearest neighbour,
+    # so "correct hit" is exact (distance 0 to its own probe OG).
+    seeds = []
+    for i in range(NUM_SEEDS):
+        clip = _render(f"seed-{i:02d}", x0=4.0 + i, y0=10.0 + 3.0 * i)
+        result = pipeline.process_clip(clip)
+        assert result.object_graphs, f"seed {i} produced no OGs"
+        seeds.append((clip.name, result.object_graphs[0]))
+
+    uploads = []
+    for i in range(NUM_UPLOADS):
+        clip = _render(f"live-{i:02d}", x0=6.5 + i, y0=11.5 + 3.0 * i)
+        result = pipeline.process_clip(clip)
+        assert result.object_graphs, f"upload {i} produced no OGs"
+        uploads.append((clip, result.object_graphs[0]))
+
+    results = []
+    for rate in FAULT_RATES:
+        state_dir = tmp_path / f"ingest-{int(rate * 100):02d}"
+        results.append(_run_rate(rate, state_dir, pipeline, seeds, uploads))
+
+    rows = [
+        [f"{r['fault_rate']:.0%}", r["uploads"], r["retries"],
+         f"{r['freshness_p50_ms']:.0f}", f"{r['freshness_max_ms']:.0f}",
+         r["reads_ok"], r["reads_rejected"]]
+        for r in results
+    ]
+    lines = format_table(
+        ["faults", "uploads", "retries", "p50 ms", "max ms",
+         "reads ok", "rejected"], rows)
+    lines.append("")
+    lines.append(
+        f"{NUM_UPLOADS} uploads x {len(FAULT_RATES)} fault rates, "
+        f"{NUM_READERS} readers, scale={SCALE}"
+    )
+    record_result("BENCH_freshness", lines, data={
+        "scale": SCALE,
+        "config": {
+            "num_seeds": NUM_SEEDS, "num_uploads": NUM_UPLOADS,
+            "num_readers": NUM_READERS, "frames": FRAMES, "k": K,
+            "fault_rates": list(FAULT_RATES),
+            "fault_points": ["ingest.process", "ingest.commit"],
+        },
+        "results": results,
+    })

@@ -50,7 +50,7 @@ def bench_streaming_inserts(benchmark):
         f"clusters: {stats['clusters_before']} -> {stats['clusters_after']} "
         f"(BIC splits during streaming)",
         f"indexed OGs: {stats['total']}",
-    ])
+    ], data=stats, json_name="BENCH_streaming")
     assert stats["total"] == 256
     # The BIC split policy must have refined the structure: 8 patterns
     # cannot stay healthy in 4 clusters.
@@ -90,7 +90,9 @@ def bench_streaming_query_cost_stays_flat(benchmark):
             for size, calls in checkpoints]
     record_result("streaming_query_cost", format_table(
         ["db size", "evals/query", "evals per indexed OG"], rows,
-    ))
+    ), data=[{"db_size": size, "evals_per_query": calls}
+             for size, calls in checkpoints],
+        json_name="BENCH_streaming")
     # Sub-linear growth: tripling the DB must far less than triple the
     # per-query cost fraction.
     first_frac = checkpoints[0][1] / checkpoints[0][0]
@@ -115,6 +117,7 @@ def bench_index_size_linear_in_ogs(benchmark):
     rows = [[n, b, f"{b / n:.0f}"] for n, b in sizes]
     record_result("streaming_index_size", format_table(
         ["ogs", "bytes", "bytes/og"], rows,
-    ))
+    ), data=[{"ogs": n, "bytes": b} for n, b in sizes],
+        json_name="BENCH_streaming")
     per_og = [b / n for n, b in sizes]
     assert max(per_og) < min(per_og) * 1.5  # ~constant bytes per OG

@@ -43,12 +43,38 @@ def short_patterns(count: int | None = None):
     return [patterns[int(i * step)] for i in range(count)]
 
 
-def record_result(name: str, lines: list[str]) -> None:
-    """Print a result table and archive it under benchmarks/results/."""
+def record_result(name: str, lines: list[str], data=None,
+                  json_name: str | None = None) -> None:
+    """Print a result table and archive it under benchmarks/results/.
+
+    With ``data`` set, the structured result is additionally archived as
+    JSON: under ``{json_name}.json`` keyed by ``name`` (several benches
+    merging into one machine-readable artifact, each run updating its
+    own key), or — without ``json_name`` — as ``{name}.json``.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     text = "\n".join(lines)
     print(f"\n=== {name} ===\n{text}\n")
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is None:
+        return
+    import json
+
+    if json_name is None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(data, indent=2, default=str) + "\n")
+        return
+    merged_path = RESULTS_DIR / f"{json_name}.json"
+    merged = {}
+    if merged_path.exists():
+        try:
+            merged = json.loads(merged_path.read_text())
+        except ValueError:
+            merged = {}
+    if not isinstance(merged, dict):
+        merged = {}
+    merged[name] = data
+    merged_path.write_text(json.dumps(merged, indent=2, default=str) + "\n")
 
 
 def format_table(headers: list[str], rows: list[list]) -> list[str]:

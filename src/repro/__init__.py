@@ -37,8 +37,9 @@ The package mirrors the paper's pipeline:
   path, behind one ``configure(enabled=...)`` switch.
 - :mod:`repro.serving` — sharded scatter-gather indexes, copy-on-write
   snapshots with live swaps, a thread-pool query service with admission
-  control and deadlines, and closed-/open-loop load generators (see
-  ``docs/SERVING.md``).
+  control and deadlines, a crash-safe streaming ingest service, and
+  closed-/open-loop load generators (see ``docs/SERVING.md`` and
+  ``docs/STREAMING.md``).
 """
 
 from repro import observability
@@ -53,6 +54,8 @@ from repro.query import Query, QueryResult
 from repro.resilience import FaultInjector, FaultPolicy, RetryPolicy
 from repro.serving import (
     IndexSnapshot,
+    IngestService,
+    IngestServiceConfig,
     LiveIndex,
     QueryService,
     ServiceConfig,
@@ -61,7 +64,7 @@ from repro.serving import (
 )
 from repro.storage.database import QueryHit, VideoDatabase
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "DistanceExecutor",
@@ -69,6 +72,8 @@ __all__ = [
     "FaultInjector",
     "FaultPolicy",
     "IndexSnapshot",
+    "IngestService",
+    "IngestServiceConfig",
     "LiveIndex",
     "MetricEGED",
     "ObjectGraph",

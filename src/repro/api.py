@@ -16,6 +16,12 @@ one function in front of all of them::
 ``open_database`` always returns a
 :class:`~repro.storage.database.VideoDatabase`; the older constructors
 remain supported and are thin layers over the same machinery.
+
+For continuous workloads, ``db.ingest_service(state_dir=...)`` upgrades
+the write path to the streaming
+:class:`~repro.serving.ingest.IngestService`: backpressured job
+submission, journaled crash recovery, and queries that keep serving
+while clips stream in (see ``docs/STREAMING.md``).
 """
 
 from __future__ import annotations

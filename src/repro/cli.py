@@ -279,14 +279,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         index = sharded
     live = LiveIndex(index)
     queries = [og for _, og in zip(range(64), live.snapshot.index.object_graphs())]
+    ingest_service = None
+    if args.ingest:
+        from repro.datasets.real import STREAMS, render_stream_segment
+        from repro.serving import IngestService, IngestServiceConfig
+
+        if args.ingest_stream not in STREAMS:
+            print(f"unknown stream {args.ingest_stream!r}; "
+                  f"choose from {sorted(STREAMS)}", file=sys.stderr)
+            return 2
+        ingest_service = IngestService(
+            live, db.pipeline, state_dir=args.state_dir,
+            config=IngestServiceConfig(
+                queue_depth=args.ingest_queue_depth,
+                job_timeout=args.ingest_timeout,
+            ))
     print(f"serving {live!r} with {args.workers} worker(s); "
-          f"driving {args.rate:.0f} req/s for {args.duration:.1f}s")
+          f"driving {args.rate:.0f} req/s for {args.duration:.1f}s"
+          + (f" while ingesting {args.ingest_jobs} clip(s)"
+             if ingest_service else ""))
     with QueryService(live, ServiceConfig(
             workers=args.workers, queue_depth=args.queue_depth,
             default_deadline=args.deadline)) as service:
+        if ingest_service is not None:
+            # Submit the write load first (backpressured, workers drain
+            # concurrently), then drive reads against the moving index.
+            rng = np.random.default_rng(0)
+            for i in range(args.ingest_jobs):
+                video = render_stream_segment(
+                    args.ingest_stream, num_frames=args.ingest_frames,
+                    rng=rng)
+                video.name = f"{args.ingest_stream}-live-{i:04d}"
+                ingest_service.submit(video, backpressure=True)
         report = run_open_loop(service, queries, k=args.k,
                                rate=args.rate, duration=args.duration)
     print(report)
+    if ingest_service is not None:
+        ingest_service.drain(timeout=120.0)
+        health = ingest_service.health()
+        ingest_service.shutdown()
+        print(f"ingest: {health['indexed_jobs']} job(s) indexed, "
+              f"{health['quarantined']} quarantined, "
+              f"snapshot v{health['snapshot_version']} "
+              f"({health['indexed_ogs']} OGs)")
+        if health["freshness_lag"] is not None:
+            print(f"ingest freshness lag: {health['freshness_lag'] * 1e3:.0f} ms "
+                  "(upload -> queryable)")
     if observe:
         _report_observability(args)
     return 0
@@ -428,6 +466,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=2.0,
                        help="seconds of open-loop load to drive")
     serve.add_argument("-k", type=int, default=5)
+    serve.add_argument("--ingest", action="store_true",
+                       help="stream clips into the live index while serving")
+    serve.add_argument("--ingest-jobs", type=int, default=4,
+                       help="clips to ingest during the run")
+    serve.add_argument("--ingest-frames", type=int, default=8,
+                       help="frames per ingested clip")
+    serve.add_argument("--ingest-stream", default="Traffic1",
+                       help="simulated stream feeding the ingest service")
+    serve.add_argument("--ingest-queue-depth", type=int, default=16)
+    serve.add_argument("--ingest-timeout", type=float, default=None,
+                       help="per-job processing timeout in seconds")
+    serve.add_argument("--state-dir", default=None,
+                       help="journal/spool/checkpoint directory "
+                            "(enables crash recovery)")
     _add_observe_options(serve)
     serve.set_defaults(func=_cmd_serve)
 

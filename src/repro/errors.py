@@ -89,7 +89,19 @@ class ServiceOverloadError(ServingError):
 
 
 class DeadlineExceededError(ServingError):
-    """A request's deadline elapsed before it could be served."""
+    """A request's deadline elapsed before it could be served.
+
+    ``phase`` records *where* the deadline lapsed: ``"queued"`` (the
+    request expired before any worker picked it up) or ``"execution"``
+    (the index scan outran the budget and the stale answer was
+    discarded).  Callers use it to decide whether to shed load (queued
+    expiries mean the service is backed up) or shrink the query
+    (execution expiries mean the work itself is too slow).
+    """
+
+    def __init__(self, message: str = "", phase: str | None = None):
+        super().__init__(message)
+        self.phase = phase
 
 
 class ServiceStoppedError(ServingError):
@@ -101,3 +113,16 @@ class ShardUnavailableError(DetailedError, ServingError):
     """A shard failed while serving a scatter-gather query.  Callers
     using the degraded-read path receive partial results flagged
     ``degraded=True`` instead of this error."""
+
+
+class IngestOverloadError(ServingError):
+    """The ingest service's bounded job queue is full: the submission
+    was rejected (or a blocking ``submit(..., backpressure=True)`` timed
+    out waiting for space).  Backpressure, not failure — slow the
+    producer down or scale the worker pool up."""
+
+
+class IngestTimeoutError(DetailedError, ServingError):
+    """An ingest job exceeded its per-job processing timeout and was
+    cancelled by the watchdog.  The job is quarantined, never retried —
+    a slow job is treated as poison, not as a transient fault."""

@@ -13,8 +13,8 @@ trajectory data of the evaluation.
 
 from __future__ import annotations
 
-import itertools
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -26,11 +26,31 @@ from repro.graph.attributes import NodeAttributes, TemporalEdgeAttributes
 #: Global STRG node address.
 NodeKey = tuple[int, int]
 
-_OG_COUNTER = itertools.count()
+_OG_ID_LOCK = threading.Lock()
+_OG_NEXT_ID = 0
 
 
 def _next_og_id() -> int:
-    return next(_OG_COUNTER)
+    global _OG_NEXT_ID
+    with _OG_ID_LOCK:
+        n = _OG_NEXT_ID
+        _OG_NEXT_ID += 1
+        return n
+
+
+def claim_og_ids(minimum: int) -> None:
+    """Advance the global OG id counter so future ids are ``>= minimum``.
+
+    Loading a persisted corpus restores its stored og_ids verbatim;
+    without this, a freshly started process would mint new OGs whose ids
+    collide with loaded ones (OG identity, deletion and knn tie-breaking
+    are all keyed by og_id).  ``repro.storage.serialize`` calls this
+    after every load, so recovered databases can keep ingesting safely.
+    """
+    global _OG_NEXT_ID
+    with _OG_ID_LOCK:
+        if minimum > _OG_NEXT_ID:
+            _OG_NEXT_ID = minimum
 
 
 @dataclass

@@ -26,6 +26,8 @@ from repro.graph.tracking import GraphTracker, TrackerConfig
 from repro.observability import OBS
 from repro.parallel import ordered_chunk_map
 from repro.resilience.faults import maybe_fail, maybe_transform
+from repro.resilience.policy import RECOVERABLE_ERRORS
+from repro.resilience.retry import RetryPolicy, call_with_retry
 from repro.video.frames import VideoSegment
 from repro.video.segmentation import GridSegmenter, Segmenter
 
@@ -70,6 +72,29 @@ class PipelineConfig:
     index: STRGIndexConfig = field(
         default_factory=lambda: STRGIndexConfig(n_clusters=None, k_max=8)
     )
+
+
+@dataclass
+class ClipResult:
+    """Outcome of one clip run through the extraction pipeline.
+
+    The unit every ingest surface shares — ``VideoDatabase.ingest``,
+    the streaming :class:`~repro.serving.ingest.IngestService` and ad-hoc
+    callers all consume the same (decomposition, refs, attempts) triple,
+    so indexing and journaling decisions are made once, here.
+    """
+
+    decomposition: STRGDecomposition
+    refs: list[dict]
+    attempts: int = 1
+
+    @property
+    def object_graphs(self):
+        return self.decomposition.object_graphs
+
+    @property
+    def background(self):
+        return self.decomposition.background
 
 
 class VideoPipeline:
@@ -151,6 +176,49 @@ class VideoPipeline:
             maybe_fail("decomposition", segment=video.name)
             return decompose(strg, self.config.decomposition)
 
+    def process_clip(self, video: VideoSegment, *,
+                     retry_policy: RetryPolicy | None = None,
+                     on_retry=None,
+                     workers: int | None = None,
+                     force_pool: bool = False) -> ClipResult:
+        """The reusable per-clip ingest entry point: decompose + refs.
+
+        Runs the full extraction (segment → track → decompose) and
+        returns a :class:`ClipResult` carrying the decomposition, one
+        clip ref per OG (``{"video": name, "og": id}``) and the number
+        of attempts used.  With ``retry_policy`` set, recoverable
+        per-clip failures (:data:`~repro.resilience.policy.RECOVERABLE_ERRORS`)
+        are retried under it — a retry re-runs the whole decomposition,
+        so refs always describe the final successful attempt.
+        ``on_retry(attempt, error, delay)`` is invoked before each
+        backoff sleep (telemetry).  The final failure propagates
+        unchanged; callers decide between fail-fast and quarantine.
+        """
+        attempts = 1
+
+        def run():
+            return self.decompose(video, workers=workers,
+                                  force_pool=force_pool)
+
+        if retry_policy is None:
+            decomposition = run()
+        else:
+            def count(attempt, exc, delay):
+                nonlocal attempts
+                attempts = attempt + 1
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+
+            decomposition = call_with_retry(
+                run, retry_policy, retryable=RECOVERABLE_ERRORS,
+                on_retry=count,
+            )
+        refs = [
+            {"video": video.name, "og": og.og_id}
+            for og in decomposition.object_graphs
+        ]
+        return ClipResult(decomposition, refs, attempts)
+
     def process(self, video: VideoSegment,
                 index: STRGIndex | None = None,
                 workers: int | None = None
@@ -162,11 +230,8 @@ class VideoPipeline:
         root level); otherwise a fresh index is built.  ``workers``
         controls frame-parallel segmentation (see :meth:`build_strg`).
         """
-        decomposition = self.decompose(video, workers=workers)
-        refs = [
-            {"video": video.name, "og": og.og_id}
-            for og in decomposition.object_graphs
-        ]
+        clip = self.process_clip(video, workers=workers)
+        decomposition, refs = clip.decomposition, clip.refs
         if index is None:
             index = STRGIndex(self.config.index)
             if decomposition.object_graphs:

@@ -21,8 +21,10 @@ from repro.resilience.faults import (
 )
 from repro.resilience.journal import (
     IngestJournal,
+    JobReplay,
     RecoveryReport,
     read_journal,
+    replay_jobs,
     replay_pending,
 )
 from repro.resilience.policy import (
@@ -43,6 +45,7 @@ __all__ = [
     "FaultSpec",
     "FaultPolicy",
     "IngestJournal",
+    "JobReplay",
     "QuarantineRecord",
     "RecoveryReport",
     "RECOVERABLE_ERRORS",
@@ -57,6 +60,7 @@ __all__ = [
     "maybe_truncate",
     "quarantine_record",
     "read_journal",
+    "replay_jobs",
     "replay_pending",
     "uninstall",
 ]

@@ -41,6 +41,9 @@ INJECTION_POINTS = (
     "storage.write",    # after the temp file is written, before rename
     "storage.read",     # before a persisted file is opened
     "serving.shard",    # before a shard is scanned during scatter-gather
+    "ingest.accept",    # per job, during IngestService.submit admission
+    "ingest.process",   # per job attempt, before the clip pipeline runs
+    "ingest.commit",    # per job, before OGs stream into the live index
 )
 
 #: Default exception raised per point when a ``raise`` fault fires.
@@ -65,6 +68,16 @@ _DEFAULT_ERRORS: dict[str, Callable[[str, int], Exception]] = {
     "serving.shard": lambda point, n: ShardUnavailableError(
         f"injected shard failure at {point}#{n}",
         details={"point": point, "ordinal": n},
+    ),
+    "ingest.accept": lambda point, n: OSError(
+        f"injected upload failure at {point}#{n}"
+    ),
+    "ingest.process": lambda point, n: CorruptSegmentError(
+        f"injected processing failure at {point}#{n}",
+        details={"point": point, "ordinal": n},
+    ),
+    "ingest.commit": lambda point, n: OSError(
+        f"injected commit failure at {point}#{n}"
     ),
 }
 

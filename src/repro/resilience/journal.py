@@ -111,6 +111,67 @@ class RecoveryReport:
         }
 
 
+@dataclass
+class JobReplay:
+    """Journal replay for the streaming ingest service.
+
+    ``jobs_in_order`` holds one merged info dict per job id, in original
+    submission order, carrying the last-seen value of every journaled
+    field (``state``, ``clip``, ``spool``, ``attempts``, ...).
+
+    ``completed``    job ids INDEXED *before* the last checkpoint — their
+                     OGs are durable in the snapshot; never re-run.
+    ``pending``      info dicts for jobs that must re-run: last state
+                     QUEUED/RUNNING, or INDEXED after the last checkpoint
+                     (their OGs died with the process).
+    ``quarantined``  info dicts whose last state is QUARANTINED — poison
+                     decisions survive restarts and are never retried.
+    """
+
+    jobs_in_order: list[dict] = field(default_factory=list)
+    completed: list[str] = field(default_factory=list)
+    pending: list[dict] = field(default_factory=list)
+    quarantined: list[dict] = field(default_factory=list)
+
+
+def replay_jobs(records: list[dict]) -> JobReplay:
+    """Fold job-state journal records into a :class:`JobReplay`.
+
+    ``job`` events merge per job id (last write wins per field); each
+    ``checkpoint`` event marks every currently-INDEXED job durable.  The
+    classification implements the service's recovery invariant: an
+    INDEXED record proves the OGs reached a published snapshot, and a
+    later checkpoint proves that snapshot reached disk — so only
+    checkpoint-covered INDEXED jobs are completed, and re-running the
+    rest can neither lose an OG nor index one twice.
+    """
+    merged: dict[str, dict] = {}
+    durable: list[str] = []
+    durable_set: set[str] = set()
+    for record in records:
+        event = record.get("event")
+        if event == "job":
+            job_id = str(record.get("job"))
+            info = merged.setdefault(job_id, {"job": job_id})
+            for key, value in record.items():
+                if key != "event" and value is not None:
+                    info[key] = value
+        elif event == "checkpoint":
+            for job_id, info in merged.items():
+                if info.get("state") == "INDEXED" \
+                        and job_id not in durable_set:
+                    durable.append(job_id)
+                    durable_set.add(job_id)
+    jobs = list(merged.values())
+    pending = [info for info in jobs
+               if info["job"] not in durable_set
+               and info.get("state") in ("QUEUED", "RUNNING", "INDEXED")]
+    quarantined = [info for info in jobs
+                   if info.get("state") == "QUARANTINED"]
+    return JobReplay(jobs_in_order=jobs, completed=durable,
+                     pending=pending, quarantined=quarantined)
+
+
 def replay_pending(records: list[dict]) -> tuple[list[str], list[str]]:
     """Split journal records into (pending, quarantined) segment names.
 

@@ -13,10 +13,20 @@ Layers, bottom up:
 - :mod:`repro.serving.service` — :class:`QueryService` fronts a live
   index with worker threads, bounded admission, per-request deadlines
   and graceful shutdown.
+- :mod:`repro.serving.ingest` — :class:`IngestService` is the write-side
+  twin: a backpressured, journaled upload→queryable pipeline with
+  crash-safe job recovery (see ``docs/STREAMING.md``).
 - :mod:`repro.serving.loadgen` — closed-/open-loop load generators
   reporting throughput and p50/p95/p99 latency.
 """
 
+from repro.serving.ingest import (
+    IngestJob,
+    IngestRecoveryReport,
+    IngestService,
+    IngestServiceConfig,
+    JobState,
+)
 from repro.serving.loadgen import LoadReport, run_closed_loop, run_open_loop
 from repro.serving.service import QueryResponse, QueryService, ServiceConfig
 from repro.serving.sharding import (
@@ -28,6 +38,11 @@ from repro.serving.snapshot import IndexSnapshot, LiveIndex, LiveIndexConfig
 
 __all__ = [
     "IndexSnapshot",
+    "IngestJob",
+    "IngestRecoveryReport",
+    "IngestService",
+    "IngestServiceConfig",
+    "JobState",
     "LiveIndex",
     "LiveIndexConfig",
     "LoadReport",

@@ -1,0 +1,906 @@
+"""Streaming ingest service: backpressured upload → queryable pipeline.
+
+:class:`IngestService` closes the loop the paper's surveillance setting
+implies (Sec. 5: trajectories arrive continuously and the index is
+maintained incrementally): clips are *submitted* as jobs into a bounded,
+journaled queue, a pool of ingest workers runs each through the existing
+frame-parallel extraction pipeline, and the resulting OGs stream into a
+:class:`~repro.serving.snapshot.LiveIndex` — queries keep serving from
+published snapshots the whole time.
+
+Lifecycle of one job::
+
+    submit() ──> QUEUED ──> RUNNING ──> INDEXED
+                               │   └──> (retry under RetryPolicy)
+                               └─────> QUARANTINED   (poison / timeout)
+
+Robustness machinery, in the order it fires:
+
+- **Admission control** — the queue is bounded; past ``queue_depth``
+  a submission raises :class:`~repro.errors.IngestOverloadError`, or
+  blocks for space with ``submit(..., backpressure=True)``.
+- **Journaled states** — every transition appends one durable JSONL
+  record (``QUEUED → RUNNING → INDEXED | QUARANTINED``), and every
+  snapshot save appends a ``checkpoint``.  After a crash,
+  :meth:`IngestService.recover` replays the journal: jobs ``INDEXED``
+  before the last checkpoint are durable and **never re-run** (idempotent
+  completion keyed by job id); everything else re-runs from its spooled
+  upload.  The index only persists via checkpoints, so replay can never
+  lose or double-index an OG.
+- **Retries** — recoverable per-job failures retry under the config's
+  :class:`~repro.resilience.retry.RetryPolicy`, bounded by a service-wide
+  ``retry_budget``.
+- **Watchdog timeouts** — a watchdog thread cancels jobs that outrun
+  ``job_timeout``; workers observe the cancellation at stage boundaries
+  and quarantine the job with :class:`~repro.errors.IngestTimeoutError`
+  (slow jobs are poison, not transient faults).
+- **Worker scaling** — the watchdog grows the pool toward
+  ``max_workers`` while the queue is deeper than the pool, and retires
+  idle workers back to ``min_workers``.
+- **Fault points** — ``ingest.accept``, ``ingest.process`` and
+  ``ingest.commit`` are compiled in for
+  :class:`~repro.resilience.faults.FaultInjector` drills.
+
+``health()`` exports queue depth, in-flight count, oldest-job age,
+quarantine count and the upload→queryable freshness lag, mirrored as
+gauges in the observability registry.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Any
+
+from repro.errors import (
+    IngestOverloadError,
+    IngestTimeoutError,
+    InvalidParameterError,
+    ServiceStoppedError,
+    StorageError,
+)
+from repro.observability import OBS
+from repro.pipeline import VideoPipeline
+from repro.resilience.faults import maybe_fail
+from repro.resilience.journal import (
+    IngestJournal,
+    read_journal,
+    replay_jobs,
+)
+from repro.resilience.policy import (
+    RECOVERABLE_ERRORS,
+    QuarantineRecord,
+    quarantine_record,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.serving.snapshot import LiveIndex
+from repro.storage.serialize import (
+    is_sharded_snapshot,
+    load_index,
+    npz_path,
+    save_index,
+)
+from repro.video.frames import VideoSegment
+
+_SHUTDOWN = object()   # queue sentinel: worker exits unconditionally
+_RETIRE = object()     # queue sentinel: worker exits if pool is above min
+
+#: Journal file name inside a service's ``state_dir``.
+JOURNAL_NAME = "ingest.journal"
+#: Snapshot file name inside a service's ``state_dir``.
+SNAPSHOT_NAME = "index.npz"
+#: Spool directory name inside a service's ``state_dir``.
+SPOOL_DIR = "spool"
+
+
+class JobState(str, Enum):
+    """Lifecycle states of an ingest job (journaled transitions)."""
+
+    QUEUED = "QUEUED"
+    RUNNING = "RUNNING"
+    INDEXED = "INDEXED"
+    QUARANTINED = "QUARANTINED"
+
+
+#: States a job can never leave.
+TERMINAL_STATES = (JobState.INDEXED, JobState.QUARANTINED)
+
+
+@dataclass
+class IngestJob:
+    """One submitted clip and its progress through the service."""
+
+    job_id: str
+    clip_name: str
+    video: VideoSegment | None
+    submitted: float                      # time.monotonic() at acceptance
+    state: JobState = JobState.QUEUED
+    attempts: int = 0
+    started: float | None = None
+    finished: float | None = None
+    deadline: float | None = None         # monotonic cutoff (watchdog)
+    og_ids: list[int] = field(default_factory=list)
+    error: str | None = None
+    spool: str | None = None
+    cancel: threading.Event = field(default_factory=threading.Event)
+    done: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def freshness(self) -> float | None:
+        """Upload→queryable latency in seconds (``None`` until INDEXED)."""
+        if self.state is not JobState.INDEXED or self.finished is None:
+            return None
+        return self.finished - self.submitted
+
+    def __repr__(self) -> str:
+        return (f"IngestJob({self.job_id!r}, clip={self.clip_name!r}, "
+                f"state={self.state.value})")
+
+
+@dataclass
+class IngestServiceConfig:
+    """Sizing and policy for an :class:`IngestService`.
+
+    ``queue_depth``        max queued (not yet running) jobs; past this,
+                           non-backpressure submissions are rejected.
+    ``min_workers``        worker threads kept alive when idle.
+    ``max_workers``        scaling ceiling under queue pressure.
+    ``job_timeout``        per-job wall-clock budget in seconds enforced
+                           by the watchdog (``None`` = unbounded).
+    ``retry_policy``       backoff schedule for recoverable job failures
+                           (``max_attempts`` counts the first try).
+    ``retry_budget``       service-wide cap on total retries; exhausted,
+                           failing jobs quarantine on first error
+                           (``None`` = unbounded).
+    ``checkpoint_every``   snapshot + journal checkpoint after this many
+                           indexed jobs (``None`` = only on demand);
+                           requires a ``state_dir`` / snapshot path.
+    ``watchdog_interval``  seconds between watchdog ticks (timeouts,
+                           gauges, worker scaling).
+    ``clip_workers``       frame-parallel workers *inside* each job
+                           (see ``VideoPipeline.build_strg``).
+    """
+
+    queue_depth: int = 64
+    min_workers: int = 1
+    max_workers: int = 2
+    job_timeout: float | None = None
+    retry_policy: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(max_attempts=2, base_delay=0.02))
+    retry_budget: int | None = 64
+    checkpoint_every: int | None = 4
+    watchdog_interval: float = 0.05
+    clip_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise InvalidParameterError(
+                f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.min_workers < 1:
+            raise InvalidParameterError(
+                f"min_workers must be >= 1, got {self.min_workers}")
+        if self.max_workers < self.min_workers:
+            raise InvalidParameterError(
+                f"max_workers ({self.max_workers}) must be >= min_workers "
+                f"({self.min_workers})")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise InvalidParameterError(
+                f"job_timeout must be > 0, got {self.job_timeout}")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise InvalidParameterError(
+                f"checkpoint_every must be >= 1 or None, "
+                f"got {self.checkpoint_every}")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise InvalidParameterError(
+                f"retry_budget must be >= 0 or None, got {self.retry_budget}")
+        if self.watchdog_interval <= 0:
+            raise InvalidParameterError(
+                f"watchdog_interval must be > 0, got {self.watchdog_interval}")
+
+
+@dataclass
+class IngestRecoveryReport:
+    """Outcome of :meth:`IngestService.recover`."""
+
+    snapshot_loaded: bool
+    snapshot_path: str
+    snapshot_ogs: int
+    snapshot_error: str | None
+    journal_path: str
+    journal_truncated: bool
+    completed_jobs: list[str] = field(default_factory=list)
+    replayed_jobs: list[str] = field(default_factory=list)
+    quarantined_jobs: list[str] = field(default_factory=list)
+    lost_jobs: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "snapshot_loaded": self.snapshot_loaded,
+            "snapshot_path": self.snapshot_path,
+            "snapshot_ogs": self.snapshot_ogs,
+            "snapshot_error": self.snapshot_error,
+            "journal_path": self.journal_path,
+            "journal_truncated": self.journal_truncated,
+            "completed_jobs": list(self.completed_jobs),
+            "replayed_jobs": list(self.replayed_jobs),
+            "quarantined_jobs": list(self.quarantined_jobs),
+            "lost_jobs": list(self.lost_jobs),
+        }
+
+
+class IngestService:
+    """Backpressured, journaled, crash-safe streaming ingest over a
+    :class:`~repro.serving.snapshot.LiveIndex`.
+
+    Workers start in the constructor; use as a context manager (or call
+    :meth:`shutdown`) to stop them.  With a ``state_dir`` the service is
+    durable: uploads spool to ``state_dir/spool/``, state transitions
+    journal to ``state_dir/ingest.journal`` and checkpoints snapshot to
+    ``state_dir/index.npz`` — :meth:`recover` rebuilds an equivalent
+    service after a crash.  Without one it is a fast in-memory pipeline
+    with the same admission/retry/timeout behavior.
+
+    ``database`` optionally binds a
+    :class:`~repro.storage.database.VideoDatabase`: after every commit
+    its ``index`` attribute is repointed at the newest published
+    snapshot, so ``db.knn()`` callers see freshly ingested clips without
+    touching the service API.
+    """
+
+    def __init__(self, live: LiveIndex,
+                 pipeline: VideoPipeline | None = None, *,
+                 state_dir: str | os.PathLike | None = None,
+                 config: IngestServiceConfig | None = None,
+                 database: Any = None):
+        self.live = live
+        self.pipeline = pipeline or VideoPipeline()
+        self.config = config or IngestServiceConfig()
+        self._database = database
+
+        self.state_dir = None if state_dir is None else os.fspath(state_dir)
+        self._journal: IngestJournal | None = None
+        self._spool_dir: str | None = None
+        self.snapshot_path: str | None = None
+        if self.state_dir is not None:
+            os.makedirs(self.state_dir, exist_ok=True)
+            self._spool_dir = os.path.join(self.state_dir, SPOOL_DIR)
+            os.makedirs(self._spool_dir, exist_ok=True)
+            self._journal = IngestJournal(
+                os.path.join(self.state_dir, JOURNAL_NAME))
+            self.snapshot_path = os.path.join(self.state_dir, SNAPSHOT_NAME)
+
+        self._queue: queue.Queue = queue.Queue()
+        #: Guards backlog/in-flight accounting and wakes backpressured
+        #: submitters and drain() waiters.
+        self._space = threading.Condition()
+        self._backlog = 0
+        self._in_flight = 0
+        self._jobs: dict[str, IngestJob] = {}
+        self._jobs_lock = threading.Lock()
+        self._journal_lock = threading.Lock()
+        self._commit_lock = threading.Lock()
+        self._completed: set[str] = set()
+        self.quarantine: list[QuarantineRecord] = []
+        self.recovery: IngestRecoveryReport | None = None
+        self._seq = 0
+        self._indexed_jobs = 0
+        self._retries = 0
+        self._indexed_since_checkpoint = 0
+        self._last_freshness: float | None = None
+        self._checkpoint_errors = 0
+        self._stopped = False
+
+        self._workers: list[threading.Thread] = []
+        self._workers_lock = threading.Lock()
+        self._peak_workers = 0
+        for _ in range(self.config.min_workers):
+            self._spawn_worker()
+        self._stop_watchdog = threading.Event()
+        self._watchdog = threading.Thread(
+            target=self._watchdog_loop, name="ingest-watchdog", daemon=True)
+        self._watchdog.start()
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, video: VideoSegment, *,
+               job_id: str | None = None,
+               backpressure: bool = False,
+               timeout: float | None = None) -> IngestJob:
+        """Accept one clip as an ingest job and return its handle.
+
+        Admission is bounded: with the queue at ``queue_depth`` the call
+        raises :class:`~repro.errors.IngestOverloadError` immediately, or
+        — with ``backpressure=True`` — blocks until space frees (or
+        ``timeout`` elapses, then the same error).  Re-submitting a
+        ``job_id`` that already completed durably is an idempotent no-op
+        returning the completed handle: recovery and client retries can
+        never double-index a clip.
+        """
+        if self._stopped:
+            raise ServiceStoppedError(
+                "ingest service is stopped; no new jobs accepted")
+        if job_id is None:
+            with self._jobs_lock:
+                job_id = f"job-{self._seq:06d}"
+                self._seq += 1
+        maybe_fail("ingest.accept", job=job_id)
+        existing = self._jobs.get(job_id)
+        if job_id in self._completed:
+            if existing is not None:
+                return existing
+            done = IngestJob(job_id=job_id, clip_name=video.name, video=None,
+                             submitted=time.monotonic(),
+                             state=JobState.INDEXED)
+            done.done.set()
+            with self._jobs_lock:
+                self._jobs[job_id] = done
+            return done
+        if existing is not None and not existing.terminal:
+            return existing  # already queued or running
+
+        self._acquire_slot(backpressure, timeout)
+        try:
+            job = IngestJob(job_id=job_id, clip_name=video.name, video=video,
+                            submitted=time.monotonic())
+            if self._spool_dir is not None:
+                spool = os.path.join(self._spool_dir, f"{job_id}.npz")
+                video.save_npz(spool)
+                job.spool = os.path.basename(spool)
+        except BaseException:
+            self._release_slot()
+            raise
+        with self._jobs_lock:
+            self._jobs[job_id] = job
+        self._append_journal({
+            "event": "job", "job": job_id, "state": JobState.QUEUED.value,
+            "clip": video.name, "frames": video.num_frames,
+            "spool": job.spool,
+        })
+        self._queue.put(job)
+        OBS.count("ingest.jobs_accepted")
+        OBS.gauge("ingest.queue_depth", self._backlog)
+        return job
+
+    def _acquire_slot(self, backpressure: bool,
+                      timeout: float | None) -> None:
+        """Claim one bounded-queue slot (reject or block when full)."""
+        with self._space:
+            if self._backlog < self.config.queue_depth:
+                self._backlog += 1
+                return
+            if not backpressure:
+                OBS.count("ingest.jobs_rejected")
+                raise IngestOverloadError(
+                    f"ingest queue full ({self.config.queue_depth} deep); "
+                    "retry later, or submit with backpressure=True")
+            deadline = (None if timeout is None
+                        else time.monotonic() + timeout)
+            while self._backlog >= self.config.queue_depth:
+                if self._stopped:
+                    raise ServiceStoppedError(
+                        "ingest service stopped while waiting for space")
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    OBS.count("ingest.jobs_rejected")
+                    raise IngestOverloadError(
+                        f"no queue space within {timeout:.3f}s "
+                        f"({self.config.queue_depth} deep)")
+                self._space.wait(remaining)
+            self._backlog += 1
+
+    def _release_slot(self) -> None:
+        with self._space:
+            self._backlog -= 1
+            self._space.notify_all()
+
+    # -- workers --------------------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        with self._workers_lock:
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"ingest-worker-{len(self._workers)}", daemon=True)
+            self._workers.append(worker)
+            self._peak_workers = max(self._peak_workers, len(self._workers))
+        OBS.gauge("ingest.workers", len(self._workers))
+        worker.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                self._remove_worker()
+                return
+            if item is _RETIRE:
+                with self._workers_lock:
+                    if len(self._workers) > self.config.min_workers:
+                        self._workers.remove(threading.current_thread())
+                        OBS.gauge("ingest.workers", len(self._workers))
+                        return
+                continue
+            self._release_slot()
+            if item.job_id in self._completed:
+                # Idempotent completion: a re-enqueued finished job is a
+                # no-op, never a second index insertion.
+                self._finish(item, JobState.INDEXED)
+                continue
+            with self._space:
+                self._in_flight += 1
+            try:
+                self._run_job(item)
+            finally:
+                with self._space:
+                    self._in_flight -= 1
+                    self._space.notify_all()
+
+    def _remove_worker(self) -> None:
+        with self._workers_lock:
+            thread = threading.current_thread()
+            if thread in self._workers:
+                self._workers.remove(thread)
+            OBS.gauge("ingest.workers", len(self._workers))
+
+    def _run_job(self, job: IngestJob) -> None:
+        job.state = JobState.RUNNING
+        job.started = time.monotonic()
+        if self.config.job_timeout is not None:
+            job.deadline = job.started + self.config.job_timeout
+        policy = self.config.retry_policy
+        delays = list(policy.delays())
+        attempt = 0
+        with OBS.span("ingest.job", job=job.job_id, clip=job.clip_name):
+            while True:
+                attempt += 1
+                job.attempts = attempt
+                self._append_journal({
+                    "event": "job", "job": job.job_id,
+                    "state": JobState.RUNNING.value, "attempt": attempt,
+                })
+                try:
+                    self._check_cancelled(job)
+                    maybe_fail("ingest.process", job=job.job_id)
+                    clip = self.pipeline.process_clip(
+                        job.video, workers=self.config.clip_workers)
+                    self._check_cancelled(job)
+                    maybe_fail("ingest.commit", job=job.job_id)
+                    self._commit(job, clip)
+                    return
+                except IngestTimeoutError as exc:
+                    self._quarantine_job(job, exc)
+                    return
+                except RECOVERABLE_ERRORS as exc:
+                    if (attempt >= policy.max_attempts
+                            or not self._take_retry_token()):
+                        self._quarantine_job(job, exc)
+                        return
+                    self._retries += 1
+                    OBS.count("ingest.job_retries")
+                    delay = delays[attempt - 1] if attempt - 1 < len(delays) \
+                        else 0.0
+                    if delay > 0:
+                        time.sleep(delay)
+                except Exception as exc:  # noqa: BLE001 - worker survival
+                    # Unlike batch ingest (which propagates programming
+                    # errors), a long-running worker must outlive any
+                    # single poison job; the error type is preserved in
+                    # the quarantine record for diagnosis.
+                    self._quarantine_job(job, exc)
+                    return
+
+    def _take_retry_token(self) -> bool:
+        budget = self.config.retry_budget
+        if budget is None:
+            return True
+        return self._retries < budget
+
+    def _check_cancelled(self, job: IngestJob) -> None:
+        """Raise if the watchdog cancelled the job or its budget lapsed.
+
+        Called at stage boundaries — cancellation is cooperative, so a
+        stage already running completes before the timeout is observed.
+        """
+        overdue = (job.deadline is not None
+                   and time.monotonic() > job.deadline)
+        if job.cancel.is_set() or overdue:
+            elapsed = time.monotonic() - (job.started or job.submitted)
+            raise IngestTimeoutError(
+                f"job {job.job_id!r} exceeded its "
+                f"{self.config.job_timeout}s budget after {elapsed:.3f}s",
+                details={"job": job.job_id, "elapsed": elapsed,
+                         "timeout": self.config.job_timeout},
+            )
+
+    def _commit(self, job: IngestJob, clip) -> None:
+        """Stream a processed clip's OGs into the live index, exactly once.
+
+        Serialized across workers so journal order matches index content
+        order — the invariant recovery replays against.  The INDEXED
+        record is appended only after the OGs are visible in a published
+        snapshot; a crash between insert and journal re-runs the job
+        against a snapshot that never contained it.
+        """
+        with self._commit_lock:
+            self._check_cancelled(job)
+            ogs = clip.object_graphs
+            if ogs:
+                refs = [{"video": job.clip_name, "og": og.og_id,
+                         "job": job.job_id} for og in ogs]
+                self.live.bulk_insert(ogs, clip.background, refs)
+                self.live.compact()
+            if self._database is not None:
+                self._database.index = self.live.snapshot.index
+            job.og_ids = [og.og_id for og in ogs]
+            self._append_journal({
+                "event": "job", "job": job.job_id,
+                "state": JobState.INDEXED.value,
+                "clip": job.clip_name, "ogs": len(ogs),
+            })
+            self._completed.add(job.job_id)
+            self._indexed_jobs += 1
+            self._indexed_since_checkpoint += 1
+            self._finish(job, JobState.INDEXED)
+            OBS.count("ingest.jobs_indexed")
+            if job.freshness is not None:
+                self._last_freshness = job.freshness
+                OBS.observe("ingest.freshness", job.freshness)
+                OBS.gauge("ingest.freshness_lag", job.freshness)
+            if (self.config.checkpoint_every is not None
+                    and self.snapshot_path is not None
+                    and self._indexed_since_checkpoint
+                    >= self.config.checkpoint_every):
+                self._checkpoint_locked()
+
+    def checkpoint(self) -> None:
+        """Snapshot the published index and journal the checkpoint.
+
+        Jobs INDEXED before this call become durable: recovery will not
+        re-run them.  Requires a ``state_dir`` (or ``snapshot_path``).
+        """
+        if self.snapshot_path is None:
+            raise StorageError(
+                "checkpoint() needs a snapshot path: construct the service "
+                "with state_dir=...")
+        with self._commit_lock:
+            self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> None:
+        index = self.live.snapshot.index
+        try:
+            if getattr(index, "shards", None) is not None:
+                index.save(self.snapshot_path)
+            else:
+                save_index(self.snapshot_path, index)
+        except (StorageError, OSError) as exc:
+            # A failed checkpoint only delays durability: jobs stay
+            # journaled as INDEXED-after-checkpoint and replay re-runs
+            # them.  Keep serving; retry at the next commit.
+            self._checkpoint_errors += 1
+            OBS.count("ingest.checkpoint_errors")
+            self._indexed_since_checkpoint = self.config.checkpoint_every or 1
+            import logging
+
+            logging.getLogger(__name__).warning(
+                "ingest checkpoint failed (will retry): %s", exc)
+            return
+        self._append_journal({
+            "event": "checkpoint", "path": npz_path(self.snapshot_path),
+            "ogs": len(index),
+        })
+        self._indexed_since_checkpoint = 0
+        OBS.count("ingest.checkpoints")
+
+    def _quarantine_job(self, job: IngestJob, exc: BaseException) -> None:
+        record = quarantine_record(job.clip_name, exc, job.attempts)
+        record.details.setdefault("job", job.job_id)
+        self.quarantine.append(record)
+        job.error = f"{type(exc).__name__}: {exc}"
+        self._append_journal({
+            "event": "job", "job": job.job_id,
+            "state": JobState.QUARANTINED.value,
+            "clip": job.clip_name, "error": record.error_type,
+            "message": record.message, "attempts": job.attempts,
+        })
+        self._finish(job, JobState.QUARANTINED)
+        OBS.count("ingest.jobs_quarantined")
+
+    def _finish(self, job: IngestJob, state: JobState) -> None:
+        job.state = state
+        job.finished = time.monotonic()
+        job.video = None  # free the frames; the spool holds the payload
+        job.done.set()
+        with self._space:
+            self._space.notify_all()
+
+    # -- watchdog: timeouts, gauges, scaling ----------------------------------
+
+    def _watchdog_loop(self) -> None:
+        while not self._stop_watchdog.wait(self.config.watchdog_interval):
+            self._tick()
+
+    def _tick(self) -> None:
+        now = time.monotonic()
+        with self._jobs_lock:
+            jobs = list(self._jobs.values())
+        oldest = None
+        for job in jobs:
+            if job.terminal:
+                continue
+            age = now - job.submitted
+            oldest = age if oldest is None else max(oldest, age)
+            if (job.state is JobState.RUNNING and job.deadline is not None
+                    and now > job.deadline):
+                job.cancel.set()
+        with self._space:
+            backlog, in_flight = self._backlog, self._in_flight
+        OBS.gauge("ingest.queue_depth", backlog)
+        OBS.gauge("ingest.in_flight", in_flight)
+        OBS.gauge("ingest.oldest_job_age", oldest or 0.0)
+        with self._workers_lock:
+            n_workers = len(self._workers)
+        if backlog > n_workers and n_workers < self.config.max_workers:
+            self._spawn_worker()
+        elif (backlog == 0 and in_flight == 0
+                and n_workers > self.config.min_workers):
+            self._queue.put(_RETIRE)
+
+    # -- introspection --------------------------------------------------------
+
+    def job_status(self, job_id: str) -> IngestJob | None:
+        """The job handle for ``job_id`` (``None`` if unknown)."""
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def wait(self, job: IngestJob | str,
+             timeout: float | None = None) -> JobState:
+        """Block until a job reaches a terminal state; returns it."""
+        handle = job if isinstance(job, IngestJob) else self.job_status(job)
+        if handle is None:
+            raise InvalidParameterError(f"unknown job {job!r}")
+        if not handle.done.wait(timeout):
+            raise IngestTimeoutError(
+                f"job {handle.job_id!r} still {handle.state.value} "
+                f"after {timeout}s",
+                details={"job": handle.job_id, "state": handle.state.value})
+        return handle.state
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until no job is queued or in flight.
+
+        Returns ``False`` if ``timeout`` elapsed first.  The service
+        keeps accepting new jobs; this only waits out the backlog.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._space:
+            while self._backlog > 0 or self._in_flight > 0:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._space.wait(remaining)
+        return True
+
+    def health(self) -> dict[str, Any]:
+        """Operational telemetry: the surface an operator watches."""
+        now = time.monotonic()
+        with self._jobs_lock:
+            active = [j for j in self._jobs.values() if not j.terminal]
+        with self._space:
+            backlog, in_flight = self._backlog, self._in_flight
+        with self._workers_lock:
+            n_workers = len(self._workers)
+        budget = self.config.retry_budget
+        return {
+            "queue_depth": backlog,
+            "in_flight": in_flight,
+            "workers": n_workers,
+            "peak_workers": self._peak_workers,
+            "indexed_jobs": self._indexed_jobs,
+            "quarantined": len(self.quarantine),
+            "quarantined_jobs": [
+                q.details.get("job", q.segment) for q in self.quarantine],
+            "oldest_job_age": (max((now - j.submitted for j in active),
+                                   default=0.0)),
+            "freshness_lag": self._last_freshness,
+            "retries": self._retries,
+            "retry_budget_left": (None if budget is None
+                                  else max(0, budget - self._retries)),
+            "checkpoint_errors": self._checkpoint_errors,
+            "snapshot_version": self.live.version,
+            "indexed_ogs": len(self.live),
+            "journal": None if self._journal is None else self._journal.path,
+            "stopped": self._stopped,
+        }
+
+    # -- journaling -----------------------------------------------------------
+
+    def _append_journal(self, record: dict) -> None:
+        if self._journal is not None:
+            with self._journal_lock:
+                self._journal.append(record)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs, drain the queue, stop workers.  Idempotent."""
+        with self._space:
+            already = self._stopped
+            self._stopped = True
+            self._space.notify_all()
+        self._stop_watchdog.set()
+        if not already:
+            with self._workers_lock:
+                workers = list(self._workers)
+            for _ in workers:
+                self._queue.put(_SHUTDOWN)
+        if wait:
+            self._watchdog.join()
+            with self._workers_lock:
+                workers = list(self._workers)
+            for worker in workers:
+                worker.join()
+        if self._journal is not None:
+            with self._journal_lock:
+                self._journal.close()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def __enter__(self) -> "IngestService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        return (f"IngestService(workers={len(self._workers)}, "
+                f"queued={self._backlog}, in_flight={self._in_flight}, "
+                f"indexed={self._indexed_jobs}, "
+                f"quarantined={len(self.quarantine)}, "
+                f"stopped={self._stopped})")
+
+    # -- crash recovery -------------------------------------------------------
+
+    @classmethod
+    def recover(cls, state_dir: str | os.PathLike, *,
+                pipeline: VideoPipeline | None = None,
+                config: IngestServiceConfig | None = None,
+                database: Any = None) -> "IngestService":
+        """Rebuild a service from its ``state_dir`` after a crash.
+
+        Loads the last checkpointed snapshot (if any survives integrity
+        checks), replays the journal, and re-submits every job that was
+        not durably indexed — ``QUEUED``/``RUNNING`` jobs and jobs
+        ``INDEXED`` after the last checkpoint — from their spooled
+        uploads, in original submission order.  Quarantine decisions are
+        preserved (poison jobs are *not* retried), and durably completed
+        job ids are remembered so replays and client re-submissions are
+        idempotent.  Jobs whose spool file is missing or unreadable are
+        quarantined as lost rather than failing recovery.
+        """
+        state = Path(os.fspath(state_dir))
+        journal_path = state / JOURNAL_NAME
+        records, truncated = read_journal(journal_path)
+        replay = replay_jobs(records)
+
+        snapshot_file = state / SNAPSHOT_NAME
+        index = None
+        snapshot_error: str | None = None
+        snapshot_loaded = False
+        if snapshot_file.exists():
+            try:
+                if is_sharded_snapshot(snapshot_file):
+                    from repro.serving.sharding import ShardedIndex
+
+                    index = ShardedIndex.load(snapshot_file)
+                else:
+                    index = load_index(snapshot_file)
+                snapshot_loaded = True
+            except StorageError as exc:
+                snapshot_error = f"{type(exc).__name__}: {exc}"
+        pipeline = pipeline or VideoPipeline()
+        if index is None:
+            from repro.core.index import STRGIndex, STRGIndexConfig
+
+            pipeline_config = getattr(pipeline, "config", None)
+            index = STRGIndex(
+                pipeline_config.index if pipeline_config is not None
+                else STRGIndexConfig(n_clusters=None, k_max=8))
+
+        durable = set(replay.completed) if snapshot_loaded else set()
+        pending = list(replay.pending)
+        if not snapshot_loaded:
+            # No usable snapshot: nothing is durable; journaled-INDEXED
+            # jobs must re-run too (their OGs died with the process).
+            pending = [info for info in replay.jobs_in_order
+                       if info.get("state") != JobState.QUARANTINED.value]
+
+        live = LiveIndex(index)
+        service = cls(live, pipeline, state_dir=state_dir, config=config,
+                      database=database)
+        service._completed = set(durable)
+        for info in replay.quarantined:
+            record = QuarantineRecord(
+                segment=str(info.get("clip", info.get("job"))),
+                error_type=str(info.get("error", "unknown")),
+                message=str(info.get("message", "")),
+                details={"job": str(info.get("job"))},
+                attempts=int(info.get("attempts", 1)),
+            )
+            service.quarantine.append(record)
+        if database is not None:
+            database.index = live.snapshot.index
+
+        replayed: list[str] = []
+        lost: list[str] = []
+        for info in pending:
+            job_id = str(info.get("job"))
+            spool_name = info.get("spool")
+            spool = (None if spool_name is None
+                     else os.path.join(os.fspath(state), SPOOL_DIR,
+                                       str(spool_name)))
+            video = None
+            if spool is not None and os.path.exists(spool):
+                try:
+                    video = VideoSegment.load_npz(spool)
+                except (StorageError, OSError, ValueError) as exc:
+                    service._note_lost_job(job_id, info, exc)
+                    lost.append(job_id)
+                    continue
+            if video is None:
+                service._note_lost_job(
+                    job_id, info,
+                    StorageError(f"spooled upload missing for {job_id!r}"))
+                lost.append(job_id)
+                continue
+            service.submit(video, job_id=job_id, backpressure=True)
+            replayed.append(job_id)
+
+        service.recovery = IngestRecoveryReport(
+            snapshot_loaded=snapshot_loaded,
+            snapshot_path=os.fspath(snapshot_file),
+            snapshot_ogs=len(index),
+            snapshot_error=snapshot_error,
+            journal_path=os.fspath(journal_path),
+            journal_truncated=truncated,
+            completed_jobs=sorted(durable),
+            replayed_jobs=replayed,
+            quarantined_jobs=[
+                q.details.get("job", q.segment) for q in service.quarantine],
+            lost_jobs=lost,
+        )
+        return service
+
+    def _note_lost_job(self, job_id: str, info: dict,
+                       exc: BaseException) -> None:
+        """Quarantine a replayed job whose upload payload is gone."""
+        record = quarantine_record(str(info.get("clip", job_id)), exc, 1)
+        record.details["job"] = job_id
+        record.details["lost_payload"] = True
+        self.quarantine.append(record)
+        self._append_journal({
+            "event": "job", "job": job_id,
+            "state": JobState.QUARANTINED.value,
+            "clip": info.get("clip"), "error": record.error_type,
+            "message": record.message, "attempts": 1,
+        })
+        OBS.count("ingest.jobs_quarantined")
+
+
+__all__ = [
+    "IngestJob",
+    "IngestRecoveryReport",
+    "IngestService",
+    "IngestServiceConfig",
+    "JobState",
+]

@@ -9,8 +9,13 @@ with a bounded request queue and a pool of worker threads:
   hangs the caller.
 - **Deadlines** — each request carries an optional deadline.  A request
   whose deadline elapses while it sits in the queue fails fast with
-  :class:`~repro.errors.DeadlineExceededError` instead of wasting a
-  worker on an answer nobody is waiting for.
+  :class:`~repro.errors.DeadlineExceededError` (``phase="queued"``)
+  instead of wasting a worker on an answer nobody is waiting for; when a
+  full queue would reject a submission, already-expired queued requests
+  are failed first to make room.  A request whose deadline lapses while
+  it *executes* still runs to completion (index scans are not
+  interruptible) but resolves with ``phase="execution"`` rather than a
+  result nobody is waiting for.
 - **Snapshot isolation** — a worker resolves the published snapshot
   once, at execution time, and serves the whole request from it.
   Concurrent compactions swap the published snapshot for *later*
@@ -123,6 +128,7 @@ class QueryService:
         self.live = live
         self.config = config or ServiceConfig()
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_depth)
+        self._admission_lock = threading.Lock()
         self._stopped = False
         self._workers = [
             threading.Thread(target=self._worker_loop,
@@ -177,17 +183,56 @@ class QueryService:
             deadline=None if deadline is None else now + deadline,
             enqueued=now, future=Future(),
         )
-        try:
-            self._queue.put_nowait(request)
-        except queue.Full:
-            OBS.count("serving.requests_rejected")
-            raise ServiceOverloadError(
-                f"admission queue full ({self.config.queue_depth} deep); "
-                "retry later or shed load upstream"
-            ) from None
+        with self._admission_lock:
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                # Expired requests still queued are dead weight: fail
+                # them now (they'd only bounce off a worker later) and
+                # admit the live request into the space they held.
+                if self._purge_expired() == 0:
+                    OBS.count("serving.requests_rejected")
+                    raise ServiceOverloadError(
+                        f"admission queue full ({self.config.queue_depth} "
+                        "deep); retry later or shed load upstream"
+                    ) from None
+                self._queue.put(request)
         OBS.count("serving.requests_accepted")
         OBS.gauge("serving.queue_depth", self._queue.qsize())
         return request.future
+
+    def _purge_expired(self) -> int:
+        """Fail queued requests whose deadline already lapsed; returns
+        how many were purged.  Called with the admission lock held.
+
+        The ``task_done`` bookkeeping keeps :meth:`drain` exact: a purged
+        request's get is matched by its own ``task_done``; a kept (or
+        sentinel) item is re-enqueued before its matching ``task_done``,
+        leaving one outstanding unit for the worker that will serve it.
+        """
+        now = time.monotonic()
+        purged = 0
+        kept: list[Any] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if (item is not _SHUTDOWN
+                    and item.deadline is not None and now > item.deadline
+                    and item.future.set_running_or_notify_cancel()):
+                OBS.count("serving.deadline_exceeded")
+                item.future.set_exception(DeadlineExceededError(
+                    f"deadline elapsed after {now - item.enqueued:.3f}s "
+                    "in queue", phase="queued"))
+                purged += 1
+                self._queue.task_done()
+            else:
+                kept.append(item)
+        for item in kept:
+            self._queue.put(item)
+            self._queue.task_done()
+        return purged
 
     # -- workers --------------------------------------------------------------
 
@@ -209,7 +254,7 @@ class QueryService:
             OBS.count("serving.deadline_exceeded")
             request.future.set_exception(DeadlineExceededError(
                 f"deadline elapsed after {now - request.enqueued:.3f}s "
-                "in queue"
+                "in queue", phase="queued"
             ))
             return
         snapshot: IndexSnapshot = self.live.snapshot
@@ -221,6 +266,14 @@ class QueryService:
                 result = snapshot.range_query_detailed(
                     request.query, request.arg, request.background)
             latency = time.monotonic() - request.enqueued
+            if (request.deadline is not None
+                    and time.monotonic() > request.deadline):
+                OBS.count("serving.deadline_exceeded")
+                request.future.set_exception(DeadlineExceededError(
+                    f"deadline elapsed mid-execution after {latency:.3f}s",
+                    phase="execution"
+                ))
+                return
             OBS.observe("serving.latency", latency)
             OBS.count("serving.requests_served")
             request.future.set_result(QueryResponse(

@@ -42,7 +42,7 @@ from repro.resilience.policy import (
     QuarantineRecord,
     quarantine_record,
 )
-from repro.resilience.retry import RetryPolicy, call_with_retry
+from repro.resilience.retry import RetryPolicy
 from repro.storage.serialize import load_index, npz_path, save_index
 from repro.video.frames import VideoSegment
 
@@ -138,26 +138,24 @@ class VideoDatabase:
         with OBS.span("ingest.segment", segment=video.name,
                       workers=workers) as sp:
             attempts = 1
-            try:
-                if self.fault_policy is FaultPolicy.RETRY_THEN_SKIP:
-                    def count_retry(attempt, exc, delay):
-                        nonlocal attempts
-                        attempts = attempt + 1
-                        self._retries += 1
-                        OBS.count("ingest.retries")
-                        logger.info("segment %r attempt %d failed: %s",
-                                    video.name, attempt, exc)
 
-                    decomposition = call_with_retry(
-                        lambda: self.pipeline.decompose(video,
-                                                        workers=workers),
-                        self.retry_policy,
-                        retryable=RECOVERABLE_ERRORS,
-                        on_retry=count_retry,
-                    )
-                else:
-                    decomposition = self.pipeline.decompose(video,
-                                                            workers=workers)
+            def count_retry(attempt, exc, delay):
+                nonlocal attempts
+                attempts = attempt + 1
+                self._retries += 1
+                OBS.count("ingest.retries")
+                logger.info("segment %r attempt %d failed: %s",
+                            video.name, attempt, exc)
+
+            retry_policy = (self.retry_policy
+                            if self.fault_policy is FaultPolicy.RETRY_THEN_SKIP
+                            else None)
+            try:
+                clip = self.pipeline.process_clip(
+                    video, retry_policy=retry_policy,
+                    on_retry=count_retry, workers=workers,
+                )
+                decomposition = clip.decomposition
             except RECOVERABLE_ERRORS as exc:
                 self._record_error(video.name, exc)
                 if self.fault_policy is FaultPolicy.FAIL_FAST:
@@ -283,6 +281,30 @@ class VideoDatabase:
                 self.index.insert(og)
         self._ingested.append(source)
         return len(ogs)
+
+    def ingest_service(self, *, state_dir: str | os.PathLike | None = None,
+                       config=None):
+        """A streaming :class:`~repro.serving.ingest.IngestService` over
+        this database's index.
+
+        The service takes ownership of the write path: the current index
+        is frozen into the first published snapshot (direct
+        :meth:`ingest` calls will fail on the frozen index), and after
+        every committed job ``self.index`` is repointed at the newest
+        snapshot — so :meth:`knn` / :meth:`query_clip` always see the
+        freshest queryable state.  With ``state_dir`` the service
+        journals, spools and checkpoints there;
+        ``IngestService.recover(state_dir, database=db)`` rebuilds both
+        the service and the binding after a crash.
+        """
+        from repro.serving.ingest import IngestService
+        from repro.serving.snapshot import LiveIndex
+
+        if self.index is None:
+            self.index = self._make_index()
+        live = LiveIndex(self.index)
+        return IngestService(live, self.pipeline, state_dir=state_dir,
+                             config=config, database=self)
 
     # -- queries ----------------------------------------------------------------
 

@@ -36,7 +36,7 @@ from repro.core.nodes import LeafRecord, RootRecord
 from repro.errors import IndexCorruptionError, StorageError
 from repro.graph.attributes import NodeAttributes
 from repro.graph.decomposition import BackgroundGraph
-from repro.graph.object_graph import ObjectGraph
+from repro.graph.object_graph import ObjectGraph, claim_og_ids
 from repro.graph.rag import RegionAdjacencyGraph
 from repro.resilience.faults import maybe_fail, maybe_truncate
 
@@ -215,6 +215,10 @@ def load_object_graphs(path: str | os.PathLike) -> list[ObjectGraph]:
             og_id=int(og_id),
         )
         ogs.append(og)
+    if ogs:
+        # Restored ids must never collide with ids minted later in this
+        # process (identity, delete and knn ties are keyed by og_id).
+        claim_og_ids(max(og.og_id for og in ogs) + 1)
     return ogs
 
 

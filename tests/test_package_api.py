@@ -15,6 +15,18 @@ class TestTopLevelExports:
         major, minor, patch = repro.__version__.split(".")
         assert int(major) >= 1
 
+    def test_version_matches_pyproject(self):
+        """Guard against version skew: the installable metadata and the
+        runtime ``repro.__version__`` must always agree."""
+        import re
+        from pathlib import Path
+
+        pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+        match = re.search(r'^version\s*=\s*"([^"]+)"',
+                          pyproject.read_text(encoding="utf-8"), flags=re.M)
+        assert match is not None, "pyproject.toml has no version field"
+        assert match.group(1) == repro.__version__
+
     def test_core_types_importable(self):
         from repro import (
             EGED,

@@ -300,8 +300,44 @@ class TestQueryService:
             stub.release.set()
             service.shutdown()
         assert blocker.result(5.0).hits
-        with pytest.raises(DeadlineExceededError):
+        with pytest.raises(DeadlineExceededError) as excinfo:
             doomed.result(5.0)
+        assert excinfo.value.phase == "queued"
+
+    def test_deadline_exceeded_mid_execution(self, corpus):
+        stub = _BlockingIndex()
+        service = QueryService(LiveIndex(stub),
+                               ServiceConfig(workers=1, queue_depth=4))
+        try:
+            doomed = service.submit_knn(corpus[0], 1, deadline=0.2)
+            assert stub.entered.wait(5.0)  # executing before expiry check
+            threading.Event().wait(0.4)  # deadline lapses mid-execution
+        finally:
+            stub.release.set()
+            service.shutdown()
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            doomed.result(5.0)
+        assert excinfo.value.phase == "execution"
+
+    def test_full_queue_purges_expired_requests(self, corpus):
+        stub = _BlockingIndex()
+        service = QueryService(LiveIndex(stub),
+                               ServiceConfig(workers=1, queue_depth=1))
+        try:
+            blocker = service.submit_knn(corpus[0], 1)
+            assert stub.entered.wait(5.0)
+            doomed = service.submit_knn(corpus[1], 1, deadline=0.01)
+            threading.Event().wait(0.05)  # doomed expires while queued
+            # The queue is full, but the expired request is dead weight:
+            # it is failed on the spot and the live request admitted.
+            third = service.submit_knn(corpus[2], 1)
+        finally:
+            stub.release.set()
+            service.shutdown()
+        assert blocker.result(5.0).hits and third.result(5.0).hits
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            doomed.result(5.0)
+        assert excinfo.value.phase == "queued"
 
     def test_stopped_service_rejects(self, corpus, queries):
         live = LiveIndex(_sharded(corpus[:16], 1, "hash"))
