@@ -13,14 +13,13 @@ and archives a machine-readable ``benchmarks/results/BENCH_kernels.json``
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import numpy as np
 import pytest
 
-from conftest import RESULTS_DIR, format_table, record_result
+from conftest import format_table, record_result
 
 LENGTHS = (16, 32, 64)
 
@@ -291,10 +290,6 @@ def bench_batch_engine_report(series_batch):
         "cache": bench_cache.stats.as_dict(),
     }
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_kernels.json").write_text(
-        json.dumps(report, indent=2) + "\n"
-    )
     lines = format_table(
         ["kernel", "scalar ops/s", "batch ops/s", "parallel ops/s",
          "batch speedup"],
@@ -307,7 +302,7 @@ def bench_batch_engine_report(series_batch):
         f"({scalar_seconds / batched_seconds:.1f}x, cache hit rate "
         f"{bench_cache.stats.hit_rate():.0%})"
     )
-    record_result("BENCH_kernels", lines)
+    record_result("BENCH_kernels", lines, data=report)
 
     for name, row in report["kernels"].items():
         assert row["batch_speedup"] >= 5.0, (

@@ -22,13 +22,12 @@ Scale: ``BENCH_INGEST_SCALE=smoke`` shrinks frame/segment counts for CI.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import numpy as np
 
-from conftest import RESULTS_DIR, format_table, record_result
+from conftest import format_table, record_result
 
 SMOKE = os.environ.get("BENCH_INGEST_SCALE", "").lower() == "smoke"
 
@@ -353,9 +352,6 @@ def bench_ingest_report():
         "ogs": rep_w1["ogs"],
     }
 
-    (RESULTS_DIR / "BENCH_ingest.json").write_text(
-        json.dumps(report, indent=2) + "\n"
-    )
     rows = [
         ["meanshift stage (seed)", f"{seed_s:.3f}", "1.00x"],
         ["meanshift stage (vectorized)", f"{vec_s:.3f}",
@@ -368,7 +364,7 @@ def bench_ingest_report():
     ]
     lines = format_table(["variant", "seconds (best of 3)", "speedup"], rows)
     lines.append(f"usable cpus: {cpus}")
-    record_result("BENCH_ingest", lines)
+    record_result("BENCH_ingest", lines, data=report)
 
     assert stage_speedup >= 5.0, (
         f"vectorized MeanShift stage only {stage_speedup:.2f}x over seed"

@@ -18,7 +18,6 @@ Archives ``benchmarks/results/BENCH_observability.json`` plus the trace
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 
@@ -172,10 +171,6 @@ def bench_observability_report():
             "metrics": snapshot,
         },
     }
-    (RESULTS_DIR / "BENCH_observability.json").write_text(
-        json.dumps(report, indent=2) + "\n"
-    )
-
     rows = [
         ["raw compute_many loop", f"{raw_s * 1e3:.1f}", "-"],
         ["hooks, disabled", f"{disabled_s * 1e3:.1f}",
@@ -190,7 +185,7 @@ def bench_observability_report():
         f"{run_seconds:.2f}s; stages covered: "
         f"{len(EXPECTED_STAGES) - len(missing)}/{len(EXPECTED_STAGES)}"
     )
-    record_result("BENCH_observability", lines)
+    record_result("BENCH_observability", lines, data=report)
 
     assert not missing, f"simulated run missed stages: {missing}"
     assert snapshot["distance.pairs_computed"] > 0

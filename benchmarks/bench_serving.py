@@ -28,11 +28,10 @@ the full scale asserts the 2x.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
-from conftest import RESULTS_DIR, format_table, record_result
+from conftest import format_table, record_result
 
 from repro.core.index import STRGIndexConfig
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_ogs
@@ -122,8 +121,7 @@ def bench_serving_report():
         }
         for shards, report in best.items()
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_serving.json").write_text(json.dumps({
+    report = {
         "scale": SCALE,
         "config": {
             "num_ogs": NUM_OGS, "num_queries": NUM_QUERIES, "k": K,
@@ -132,7 +130,7 @@ def bench_serving_report():
         },
         "results": results,
         "speedup_4_vs_1": speedup,
-    }, indent=2) + "\n")
+    }
 
     rows = [
         [shards, f"{report.throughput:.1f}",
@@ -147,7 +145,7 @@ def bench_serving_report():
     lines.append("")
     lines.append(f"speedup 4 shards vs 1: {speedup:.2f}x "
                  f"({NUM_OGS} OGs, scale={SCALE})")
-    record_result("BENCH_serving", lines)
+    record_result("BENCH_serving", lines, data=report)
 
     assert best[2].throughput > 0 and best[4].throughput > 0
     if not SMOKE:

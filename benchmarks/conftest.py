@@ -47,19 +47,23 @@ def record_result(name: str, lines: list[str], data=None,
                   json_name: str | None = None) -> None:
     """Print a result table and archive it under benchmarks/results/.
 
-    With ``data`` set, the structured result is additionally archived as
-    JSON: under ``{json_name}.json`` keyed by ``name`` (several benches
-    merging into one machine-readable artifact, each run updating its
-    own key), or — without ``json_name`` — as ``{name}.json``.
+    Every call archives both forms: the printed table as ``{name}.txt``
+    and a machine-readable JSON artifact.  With ``data`` set, that is
+    the structured result itself — under ``{json_name}.json`` keyed by
+    ``name`` (several benches merging into one artifact, each run
+    updating its own key), or — without ``json_name`` — as
+    ``{name}.json``.  Without ``data`` the table lines are archived as
+    ``{"lines": [...]}`` so downstream tooling can rely on a JSON file
+    existing for every recorded result.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     text = "\n".join(lines)
     print(f"\n=== {name} ===\n{text}\n")
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-    if data is None:
-        return
     import json
 
+    if data is None:
+        data = {"lines": lines}
     if json_name is None:
         (RESULTS_DIR / f"{name}.json").write_text(
             json.dumps(data, indent=2, default=str) + "\n")

@@ -35,6 +35,9 @@ The package mirrors the paper's pipeline:
 - :mod:`repro.observability` — tracing spans, a metrics registry
   (JSON / Prometheus exporters) and profiling hooks through every hot
   path, behind one ``configure(enabled=...)`` switch.
+- :mod:`repro.search` — the approximate search tier: quantized trajectory
+  sketches, voting candidate generation and budgeted exact rerank behind
+  ``knn(..., search_budget=)`` (see ``docs/SEARCH.md``).
 - :mod:`repro.serving` — sharded scatter-gather indexes, copy-on-write
   snapshots with live swaps, a thread-pool query service with admission
   control and deadlines, a crash-safe streaming ingest service, and
@@ -52,6 +55,7 @@ from repro.parallel import DistanceExecutor, ordered_chunk_map
 from repro.pipeline import PipelineConfig, VideoPipeline
 from repro.query import Query, QueryResult
 from repro.resilience import FaultInjector, FaultPolicy, RetryPolicy
+from repro.search import SketchConfig, SketchIndex, approx_knn
 from repro.serving import (
     IndexSnapshot,
     IngestService,
@@ -64,7 +68,7 @@ from repro.serving import (
 )
 from repro.storage.database import QueryHit, VideoDatabase
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "DistanceExecutor",
@@ -88,10 +92,13 @@ __all__ = [
     "ServiceConfig",
     "ShardedIndex",
     "ShardedIndexConfig",
+    "SketchConfig",
+    "SketchIndex",
     "SpatioTemporalRegionGraph",
     "VideoDatabase",
     "VideoPipeline",
     "__version__",
+    "approx_knn",
     "eged",
     "observability",
     "open_database",

@@ -177,8 +177,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
     db = open_database(args.index, create=False)
     pattern = pattern_by_id(args.pattern)
     trajectory = pattern.generate(32)
-    hits = db.knn(trajectory, k=args.k)
-    print(f"{args.k}-NN for pattern {pattern.name}:")
+    hits = db.knn(trajectory, k=args.k, search_budget=args.search_budget)
+    print(f"{args.k}-NN for pattern {pattern.name}"
+          + (f" (budget {args.search_budget} evaluations)"
+             if args.search_budget is not None else "")
+          + ":")
     for hit in hits:
         print(f"  d={hit.distance:8.2f}  og={hit.og.og_id}  ref={hit.clip_ref}")
     if observe:
@@ -312,7 +315,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 video.name = f"{args.ingest_stream}-live-{i:04d}"
                 ingest_service.submit(video, backpressure=True)
         report = run_open_loop(service, queries, k=args.k,
-                               rate=args.rate, duration=args.duration)
+                               rate=args.rate, duration=args.duration,
+                               search_budget=args.search_budget)
     print(report)
     if ingest_service is not None:
         ingest_service.drain(timeout=120.0)
@@ -427,6 +431,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("index", help="index NPZ path")
     query.add_argument("--pattern", type=int, default=0)
     query.add_argument("-k", type=int, default=5)
+    query.add_argument("--search-budget", type=int, default=None,
+                       metavar="N",
+                       help="max exact distance evaluations (approximate "
+                            "sketch-tier search; omit for exact)")
     _add_observe_options(query)
     query.set_defaults(func=_cmd_query)
 
@@ -466,6 +474,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=2.0,
                        help="seconds of open-loop load to drive")
     serve.add_argument("-k", type=int, default=5)
+    serve.add_argument("--search-budget", type=int, default=None,
+                       metavar="N",
+                       help="per-query exact-evaluation budget (approximate "
+                            "sketch-tier search; omit for exact)")
     serve.add_argument("--ingest", action="store_true",
                        help="stream clips into the live index while serving")
     serve.add_argument("--ingest-jobs", type=int, default=4,

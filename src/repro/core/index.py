@@ -11,6 +11,7 @@ search skip distance evaluations — the effect Figure 7(b) measures.
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -32,6 +33,11 @@ from repro.errors import IndexStateError, InvalidParameterError
 from repro.graph.decomposition import BackgroundGraph
 from repro.graph.object_graph import ObjectGraph
 from repro.observability import OBS
+
+#: Guards lazy sketch construction.  Module-level (not per-index) so a
+#: frozen, deep-copied serving snapshot stays ``copy.deepcopy``-able —
+#: an index never owns an uncopyable lock object.
+_SKETCH_BUILD_LOCK = threading.Lock()
 
 
 @dataclass
@@ -93,6 +99,14 @@ class STRGIndex:
         #: Set by :meth:`freeze`; frozen indexes reject mutation, which is
         #: what lets published serving snapshots be shared across threads.
         self.frozen = False
+        #: Tuning for the approximate tier's sketches (``None`` uses the
+        #: :class:`~repro.search.sketch.SketchConfig` defaults).
+        self.sketch_config = None
+        #: Lazily-built :class:`~repro.search.sketch.SketchIndex` backing
+        #: budgeted (``search_budget=``) queries; maintained incrementally
+        #: by :meth:`insert` / :meth:`delete` once built, persisted in
+        #: snapshots, and rebuilt on demand when absent.
+        self._sketches = None
 
     def freeze(self) -> "STRGIndex":
         """Mark the index immutable (mutations raise ``IndexStateError``).
@@ -239,6 +253,8 @@ class STRGIndex:
         for record in list(records):
             if len(record.leaf) == 0:
                 root_record.cluster_node.remove(record)
+        if self._sketches is not None:
+            self._sketches.add(self.metric_distance, list(ogs), refs)
         return root_record
 
     # -- maintenance (Section 5.3) -------------------------------------------
@@ -275,6 +291,10 @@ class STRGIndex:
                 record = records[best]
                 key = float(dists[best])
             record.leaf.insert(LeafRecord(key, og, clip_ref))
+            if self._sketches is not None:
+                # Splits never change membership, so appending one
+                # sketch row here keeps row set == leaf set exactly.
+                self._sketches.add(self.metric_distance, [og], [clip_ref])
             if len(record.leaf) > self.config.leaf_capacity:
                 self._maybe_split(cluster_node, record)
 
@@ -394,6 +414,8 @@ class STRGIndex:
                     cluster_node.remove(record)
                 if len(cluster_node) == 0:
                     self.root.remove(root_record)
+                if self._sketches is not None:
+                    self._sketches.remove(og_id)
                 return True
         return False
 
@@ -401,7 +423,8 @@ class STRGIndex:
 
     def knn(self, query: ObjectGraph | np.ndarray, k: int,
             background: BackgroundGraph | None = None,
-            n_probe: int | None = None
+            n_probe: int | None = None,
+            search_budget: int | None = None
             ) -> list[tuple[float, ObjectGraph, Any]]:
         """k nearest OGs to the query, as ``(distance, og, clip_ref)``.
 
@@ -411,24 +434,83 @@ class STRGIndex:
         outward from ``Key_q`` pruning with ``|Key - Key_q| > kth_best``
         (a valid lower bound because ``EGED_M`` is a metric).
 
+        ``k = 0`` legally yields ``[]`` and ``k`` larger than the corpus
+        returns every OG, ranked — neither is an error.
+
         ``n_probe`` bounds how many nearest clusters are scanned:
         ``None`` (default) gives exact k-NN; ``1`` is the literal
         Algorithm 3, which descends only the best-matching cluster —
         faster and *cluster-faithful* (results share the query's cluster),
         the behaviour behind the paper's precision/recall advantage in
         Figure 7(c).
+
+        ``search_budget`` switches to the two-stage *approximate* tier
+        (``repro.search``, see ``docs/SEARCH.md``): candidate generation
+        over per-OG sketches followed by an exact rerank spending at
+        most ``search_budget`` distance evaluations.  The default
+        (``None``) keeps the exact path bit-identical to before the
+        knob existed.  The budgeted path searches the whole corpus
+        (background routing and ``n_probe`` apply to the exact path
+        only); a budget of at least ``len(index) + num_pivots``
+        degenerates to exact results.
         """
-        if k < 1:
-            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        if k < 0:
+            raise InvalidParameterError(f"k must be >= 0, got {k}")
+        if k == 0:
+            return []
         if n_probe is not None and n_probe < 1:
             raise InvalidParameterError(f"n_probe must be >= 1, got {n_probe}")
+        if search_budget is not None and search_budget < 1:
+            raise InvalidParameterError(
+                f"search_budget must be >= 1, got {search_budget}"
+            )
         if not self.root:
             raise IndexStateError("cannot search an empty STRG-Index")
+        if search_budget is not None:
+            return self._approx_knn(query, k, search_budget)
         with OBS.span("index.knn", k=k, n_probe=n_probe) as sp:
             OBS.count("index.knn_queries")
             best = self._knn(query, k, background, n_probe)
             sp.set(hits=len(best))
             return best
+
+    def _approx_knn(self, query, k: int, search_budget: int
+                    ) -> list[tuple[float, ObjectGraph, Any]]:
+        from repro.search.sketch import approx_knn
+
+        return approx_knn(self.sketch_tier(), self.metric_distance,
+                          query, k, search_budget)
+
+    def sketch_tier(self):
+        """The :class:`~repro.search.sketch.SketchIndex` for this corpus.
+
+        Built lazily on first use (one batched pivot sweep over every
+        leaf record) and maintained incrementally afterwards.  Safe on a
+        frozen index: attaching the sketch is not a structural mutation,
+        and the module-level build lock keeps concurrent readers of a
+        shared serving snapshot from building it twice.
+        """
+        sketch = self._sketches
+        if sketch is not None:
+            return sketch
+        from repro.search.sketch import SketchIndex
+
+        with _SKETCH_BUILD_LOCK:
+            if self._sketches is None:
+                records = [
+                    (leaf_record.og, leaf_record.clip_ref)
+                    for root_record in self.root
+                    for cluster_record in root_record.cluster_node
+                    for leaf_record in cluster_record.leaf
+                ]
+                with OBS.span("search.sketch_build", ogs=len(records)):
+                    self._sketches = SketchIndex.build(
+                        self.metric_distance,
+                        [og for og, _ in records],
+                        [ref for _, ref in records],
+                        self.sketch_config,
+                    )
+            return self._sketches
 
     def _knn(self, query: ObjectGraph | np.ndarray, k: int,
              background: BackgroundGraph | None,

@@ -36,6 +36,31 @@ def eged_metric_lower_bound(x: SeriesLike, y: SeriesLike,
     return abs(gap_mass(x, gap) - gap_mass(y, gap))
 
 
+def pivot_lower_bounds(query_pd: np.ndarray,
+                       corpus_pd: np.ndarray) -> np.ndarray:
+    """Triangle lower bounds from precomputed pivot distances.
+
+    Given ``query_pd[p] = d(Q, P_p)`` and ``corpus_pd[i, p] = d(S_i,
+    P_p)`` for a set of pivot series ``P``, the triangle inequality gives
+    ``|d(Q, P_p) - d(S_i, P_p)| <= d(Q, S_i)`` for every pivot; the
+    tightest (largest) bound per candidate is returned, shape ``(n,)``.
+    With zero pivots the bound degenerates to all-zeros (always valid).
+
+    This is the multi-reference generalization of
+    :func:`eged_metric_lower_bound` (which uses the single fixed
+    reference ``R = <empty sequence>``); the approximate search tier
+    (:mod:`repro.search`) uses it both to order candidates and to prune
+    rerank work that provably cannot enter the top-k.
+    """
+    corpus_pd = np.asarray(corpus_pd, dtype=np.float64)
+    query_pd = np.asarray(query_pd, dtype=np.float64)
+    if corpus_pd.ndim != 2:
+        corpus_pd = corpus_pd.reshape(len(corpus_pd), -1)
+    if corpus_pd.shape[1] == 0:
+        return np.zeros(corpus_pd.shape[0], dtype=np.float64)
+    return np.abs(corpus_pd - query_pd.reshape(1, -1)).max(axis=1)
+
+
 class NormIndex:
     """Precomputed gap masses for a collection, for batch pre-filtering.
 

@@ -65,6 +65,7 @@ class Query:
         self._example = None
         self._distance: Distance | None = None
         self._limit: int | None = None
+        self._budget: int | None = None
 
     def _resolve_index(self):
         """The live index behind the source (``None`` when empty).
@@ -183,6 +184,24 @@ class Query:
         self._limit = k
         return self
 
+    def budget(self, evaluations: int) -> "Query":
+        """Bound the exact distance evaluations of a ranked query.
+
+        Routes :meth:`run` through the index's approximate sketch tier
+        (``search_budget=``, see ``docs/SEARCH.md``) instead of ranking
+        every predicate survivor exactly.  Requires :meth:`similar_to`
+        (there is nothing to rank otherwise) and :meth:`limit`; because
+        ranking happens *before* predicate filtering on this path, a
+        heavily filtered query may return fewer than ``limit`` rows —
+        raise the budget or drop it to get exhaustive semantics back.
+        """
+        if evaluations < 1:
+            raise InvalidParameterError(
+                f"budget must be >= 1, got {evaluations}"
+            )
+        self._budget = evaluations
+        return self
+
     # -- execution -------------------------------------------------------------------
 
     def _matches(self, og: ObjectGraph) -> bool:
@@ -198,6 +217,8 @@ class Query:
             index = self._resolve_index()
             if index is None or self._limit == 0:
                 return []
+            if self._budget is not None:
+                return self._run_budgeted(index, sp)
             candidates = [og for og in index.object_graphs()
                           if self._matches(og)]
             sp.set(candidates=len(candidates))
@@ -219,6 +240,34 @@ class Query:
                 return heapq.nsmallest(self._limit, results,
                                        key=lambda r: r.distance)
             return sorted(results, key=lambda r: r.distance)
+
+    def _run_budgeted(self, index, sp) -> list[QueryResult]:
+        """Budgeted execution: approximate rank first, then filter."""
+        if self._example is None:
+            raise InvalidParameterError(
+                "budget() needs similar_to(): an unranked query has no "
+                "distance evaluations to bound"
+            )
+        if self._limit is None:
+            raise InvalidParameterError(
+                "budget() needs limit(): the approximate tier searches "
+                "for a fixed top-k"
+            )
+        if self._distance is not None:
+            raise InvalidParameterError(
+                "budget() uses the index's own metric; drop the custom "
+                "distance or the budget"
+            )
+        if not hasattr(index, "knn"):
+            raise IndexStateError(
+                f"source index {type(index).__name__} has no knn(); "
+                "budgeted queries need a searchable index"
+            )
+        hits = index.knn(self._example, self._limit,
+                         search_budget=self._budget)
+        sp.set(candidates=len(hits))
+        return [QueryResult(og, float(d)) for d, og, _ in hits
+                if self._matches(og)]
 
     def count(self) -> int:
         """Number of OGs matching the predicates (ignores limit)."""

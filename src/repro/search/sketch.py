@@ -1,0 +1,469 @@
+"""Compact per-OG sketches and the two-stage approximate k-NN search.
+
+The exact search paths (``STRGIndex.knn``, the sharded scatter-gather)
+pay at least one full EGED_M dynamic program per *surviving* candidate —
+fine at thousands of OGs, hopeless at the hundreds of thousands the
+ROADMAP north-star demands.  This module trades a bounded amount of
+recall for a hard cap on exact distance evaluations, following the
+paper's own cost model (Section 6.3 charges queries per distance
+computation):
+
+**Stage 1 — candidate generation.**  Every indexed OG carries a
+*sketch*: its metric distance to a small set of pivot series (chosen by
+greedy farthest-point, the same k-center heuristic the M-tree bulk
+loader uses) plus a fixed-length quantized trajectory *signature*
+(spatial grid cell x heading sector per resampled node).  Both live in
+flat numpy arrays, so one vectorized pass scores the whole corpus:
+triangle lower bounds ``max_p |d(Q,P_p) - d(S,P_p)|`` rank candidates by
+how close they *can* be, and a temporal-voting channel (count of
+matching signature codes, in the spirit of the temporal-voting video
+search of PAPERS.md) rescues near-misses whose pivot geometry is
+uninformative.  The top-C union of both channels becomes the shortlist.
+
+**Stage 2 — exact rerank.**  Shortlisted candidates are evaluated with
+the batched EGED_M kernel in ascending lower-bound order; a candidate
+whose stored bound exceeds the current k-th best distance is pruned
+without touching the kernel (the bound is exact, so pruning never costs
+recall — only the shortlist cut can).
+
+The *total* number of exact distance evaluations per query — the pivot
+distances plus the rerank — never exceeds ``search_budget``.
+
+Sketches hold no reference to a distance object: the owning index
+passes its metric into every call, so deep-copied indexes (serving
+snapshots) keep sharing one distance instance and counting wrappers
+count every evaluation in one place.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.distance.base import as_series, resample_series
+from repro.distance.batch import one_vs_many
+from repro.distance.bounds import gap_mass, pivot_lower_bounds
+from repro.errors import InvalidParameterError
+from repro.graph.object_graph import ObjectGraph
+from repro.observability import OBS
+
+#: Relative slack for rerank pruning comparisons, absorbing the batched
+#: kernel's ~1e-12 float asymmetry (same role as ShardedIndexConfig's
+#: ``prune_slack``).  Raising it never loses true neighbors.
+PRUNE_SLACK = 1e-9
+
+
+@dataclass
+class SketchConfig:
+    """Tuning of the per-OG sketches.
+
+    ``num_pivots`` reference series for the triangle bounds (each costs
+    one exact distance per query, paid out of the budget).
+    ``sig_length`` nodes per resampled signature; ``grid`` spatial cells
+    per axis and ``heading_sectors`` direction buckets define the code
+    alphabet (``grid**2 * heading_sectors`` symbols).  ``vote_share`` is
+    the fraction of the candidate shortlist filled from the voting
+    channel (the rest comes from the pivot-bound channel).
+    ``pivot_sample_size`` caps the farthest-point sweep during fitting;
+    ``rerank_batch`` is the kernel flush size of stage 2.
+    """
+
+    num_pivots: int = 8
+    sig_length: int = 16
+    grid: int = 4
+    heading_sectors: int = 8
+    vote_share: float = 0.25
+    pivot_sample_size: int = 256
+    rerank_batch: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_pivots < 1:
+            raise InvalidParameterError(
+                f"num_pivots must be >= 1, got {self.num_pivots}"
+            )
+        if self.sig_length < 1:
+            raise InvalidParameterError(
+                f"sig_length must be >= 1, got {self.sig_length}"
+            )
+        if self.grid < 1 or self.heading_sectors < 1:
+            raise InvalidParameterError(
+                "grid and heading_sectors must be >= 1"
+            )
+        if not 0.0 <= self.vote_share <= 1.0:
+            raise InvalidParameterError(
+                f"vote_share must be in [0, 1], got {self.vote_share}"
+            )
+        if self.pivot_sample_size < 1:
+            raise InvalidParameterError(
+                f"pivot_sample_size must be >= 1, got {self.pivot_sample_size}"
+            )
+        if self.rerank_batch < 1:
+            raise InvalidParameterError(
+                f"rerank_batch must be >= 1, got {self.rerank_batch}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "num_pivots": self.num_pivots,
+            "sig_length": self.sig_length,
+            "grid": self.grid,
+            "heading_sectors": self.heading_sectors,
+            "vote_share": self.vote_share,
+            "pivot_sample_size": self.pivot_sample_size,
+            "rerank_batch": self.rerank_batch,
+            "seed": self.seed,
+        }
+
+
+class SketchIndex:
+    """Flat-array sketches over a corpus of Object Graphs.
+
+    Row ``i`` of every array describes the same OG: ``og_ids[i]``,
+    ``pivot_dists[i]`` (distance to each pivot), ``sig[i]`` (quantized
+    signature codes).  ``records[i]`` keeps the ``(og, clip_ref)`` pair
+    and ``series[i]`` its normalized values for the rerank kernel.
+    Rows are append-only except for :meth:`remove`; the arrays are
+    grown in (amortized) batches by :meth:`add`.
+    """
+
+    def __init__(self, config: SketchConfig | None = None):
+        self.config = config or SketchConfig()
+        #: Fixed reference series chosen at fit time.  Immutable after
+        #: fitting: incremental adds reuse them, which is what makes a
+        #: maintained sketch bit-identical to one rebuilt with the same
+        #: pivots.
+        self.pivots: list[np.ndarray] = []
+        #: Spatial bounding box (lo, hi) over the first two value dims,
+        #: frozen at fit time; later values are clipped into it.
+        self.bbox: tuple[np.ndarray, np.ndarray] | None = None
+        self.og_ids = np.empty(0, dtype=np.int64)
+        self.pivot_dists = np.empty((0, 0), dtype=np.float64)
+        self.sig = np.empty((0, self.config.sig_length), dtype=np.int16)
+        self.records: list[tuple[ObjectGraph, Any]] = []
+        self.series: list[np.ndarray] = []
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, distance, ogs: Sequence[ObjectGraph],
+              clip_refs: Sequence[Any] | None = None,
+              config: SketchConfig | None = None) -> "SketchIndex":
+        """Fit pivots + bbox on ``ogs`` and sketch every one of them."""
+        sketch = cls(config)
+        ogs = list(ogs)
+        series = [as_series(og) for og in ogs]
+        sketch._fit(distance, series)
+        sketch.add(distance, ogs, clip_refs, _series=series)
+        return sketch
+
+    def _fit(self, distance, series: list[np.ndarray]) -> None:
+        """Choose pivots (greedy farthest-point) and the signature bbox."""
+        if not series:
+            return
+        planar = [self._planar(s) for s in series]
+        stacked = np.concatenate(planar, axis=0)
+        lo = stacked.min(axis=0)
+        hi = stacked.max(axis=0)
+        span = hi - lo
+        hi = np.where(span <= 0, lo + 1.0, hi)
+        self.bbox = (lo.astype(np.float64), hi.astype(np.float64))
+
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        if len(series) > cfg.pivot_sample_size:
+            pick = rng.choice(len(series), size=cfg.pivot_sample_size,
+                              replace=False)
+            sample = [series[int(i)] for i in sorted(pick)]
+        else:
+            sample = series
+        # Deterministic seed: the series farthest from the empty
+        # sequence (largest gap mass) — an extreme point, which is what
+        # the k-center greedy wants to start from anyway.
+        masses = [gap_mass(s) for s in sample]
+        first = int(np.argmax(masses))
+        pivots = [np.array(sample[first], dtype=np.float64, copy=True)]
+        closest = np.asarray(
+            one_vs_many(distance, pivots[0], sample), dtype=np.float64
+        )
+        while len(pivots) < min(cfg.num_pivots, len(sample)):
+            nxt = int(np.argmax(closest))
+            if closest[nxt] <= 0.0:
+                break  # every remaining sample coincides with a pivot
+            pivots.append(np.array(sample[nxt], dtype=np.float64, copy=True))
+            closest = np.minimum(
+                closest,
+                np.asarray(one_vs_many(distance, pivots[-1], sample),
+                           dtype=np.float64),
+            )
+        self.pivots = pivots
+
+    # -- maintenance -------------------------------------------------------
+
+    def add(self, distance, ogs: Sequence[ObjectGraph],
+            clip_refs: Sequence[Any] | None = None, *,
+            _series: list[np.ndarray] | None = None) -> None:
+        """Append sketch rows for ``ogs`` (pivots stay fixed)."""
+        ogs = list(ogs)
+        if not ogs:
+            return
+        refs = list(clip_refs) if clip_refs is not None else [None] * len(ogs)
+        if len(refs) != len(ogs):
+            raise InvalidParameterError(
+                f"{len(ogs)} OGs but {len(refs)} clip refs"
+            )
+        series = (_series if _series is not None
+                  else [as_series(og) for og in ogs])
+        if not self.pivots:
+            # First rows of an initially-empty sketch: fit on them.
+            self._fit(distance, series)
+        new_pd = np.stack(
+            [np.asarray(one_vs_many(distance, pivot, series),
+                        dtype=np.float64)
+             for pivot in self.pivots],
+            axis=1,
+        ) if self.pivots else np.empty((len(ogs), 0))
+        new_sig = self._signatures(series)
+        new_ids = np.array([og.og_id for og in ogs], dtype=np.int64)
+        if len(self.og_ids) == 0:
+            self.pivot_dists = new_pd
+            self.sig = new_sig
+            self.og_ids = new_ids
+        else:
+            self.pivot_dists = np.concatenate([self.pivot_dists, new_pd])
+            self.sig = np.concatenate([self.sig, new_sig])
+            self.og_ids = np.concatenate([self.og_ids, new_ids])
+        self.records.extend(zip(ogs, refs))
+        self.series.extend(series)
+        OBS.count("search.sketch_rows_added", len(ogs))
+
+    def remove(self, og_id: int) -> bool:
+        """Drop the sketch row of ``og_id``; True when it existed."""
+        where = np.nonzero(self.og_ids == og_id)[0]
+        if where.size == 0:
+            return False
+        i = int(where[0])
+        self.og_ids = np.delete(self.og_ids, i)
+        self.pivot_dists = np.delete(self.pivot_dists, i, axis=0)
+        self.sig = np.delete(self.sig, i, axis=0)
+        del self.records[i]
+        del self.series[i]
+        return True
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- signatures --------------------------------------------------------
+
+    def _planar(self, series: np.ndarray) -> np.ndarray:
+        """First two value dims of a series (1-D values get y = 0)."""
+        if series.shape[1] >= 2:
+            return series[:, :2]
+        return np.concatenate(
+            [series[:, :1], np.zeros((series.shape[0], 1))], axis=1
+        )
+
+    def signature(self, series: np.ndarray) -> np.ndarray:
+        """Quantized trajectory codes, shape ``(sig_length,)`` int16.
+
+        Each resampled node becomes ``cell * heading_sectors + sector``
+        where ``cell`` is its spatial grid cell (bbox-relative) and
+        ``sector`` the heading bucket of the step leading into it.
+        """
+        cfg = self.config
+        lo, hi = self.bbox if self.bbox is not None else (
+            np.zeros(2), np.ones(2)
+        )
+        pts = resample_series(self._planar(as_series(series)),
+                              cfg.sig_length)
+        frac = (pts - lo) / (hi - lo)
+        cells = np.clip((frac * cfg.grid).astype(np.int64), 0, cfg.grid - 1)
+        cell = cells[:, 0] * cfg.grid + cells[:, 1]
+        deltas = np.diff(pts, axis=0, prepend=pts[:1])
+        angles = np.arctan2(deltas[:, 1], deltas[:, 0])  # [-pi, pi]
+        sector = np.clip(
+            ((angles + math.pi) / (2.0 * math.pi)
+             * cfg.heading_sectors).astype(np.int64),
+            0, cfg.heading_sectors - 1,
+        )
+        return (cell * cfg.heading_sectors + sector).astype(np.int16)
+
+    def _signatures(self, series: list[np.ndarray]) -> np.ndarray:
+        if not series:
+            return np.empty((0, self.config.sig_length), dtype=np.int16)
+        return np.stack([self.signature(s) for s in series])
+
+    # -- stage 1: candidate generation -------------------------------------
+
+    def candidates(self, distance, series: np.ndarray, budget: int, k: int
+                   ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Shortlist for an exact rerank under ``budget`` evaluations.
+
+        Returns ``(idx, lbs, pivot_evals)``: candidate row indices,
+        their triangle lower bounds, and how many exact evaluations
+        stage 1 already spent (one per pivot).  The shortlist size is
+        ``max(k, budget - pivot_evals)`` — stage 1's own exact work is
+        paid out of the same budget the rerank draws from.
+        """
+        n = len(self)
+        if n == 0:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float64), 0)
+        pivot_evals = len(self.pivots)
+        if pivot_evals:
+            qd = np.asarray(
+                one_vs_many(distance, series, self.pivots), dtype=np.float64
+            )
+            lbs = pivot_lower_bounds(qd, self.pivot_dists)
+        else:
+            lbs = np.zeros(n, dtype=np.float64)
+        shortlist = max(k, budget - pivot_evals)
+        if shortlist >= n:
+            return np.arange(n, dtype=np.int64), lbs, pivot_evals
+        # Channel 1 (primary): smallest triangle lower bound — the
+        # candidates that *can* be nearest.  Channel 2: most matching
+        # signature codes — temporal voting, rescuing candidates whose
+        # pivot geometry is uninformative.  Ties break on og_id so the
+        # shortlist is deterministic for any corpus order.
+        n_vote = min(shortlist, int(round(shortlist * self.config.vote_share)))
+        n_bound = shortlist - n_vote
+        by_bound = np.lexsort((self.og_ids, lbs))
+        chosen = np.zeros(n, dtype=bool)
+        chosen[by_bound[:n_bound]] = True
+        if n_vote:
+            qsig = self.signature(series)
+            votes = (self.sig == qsig).sum(axis=1)
+            by_votes = np.lexsort((self.og_ids, lbs, -votes))
+            need = shortlist - int(chosen.sum())
+            for i in by_votes:
+                if need == 0:
+                    break
+                if not chosen[i]:
+                    chosen[i] = True
+                    need -= 1
+        idx = np.nonzero(chosen)[0].astype(np.int64)
+        return idx, lbs[idx], pivot_evals
+
+
+def approx_knn(sketch: SketchIndex, distance,
+               query: ObjectGraph | np.ndarray, k: int, search_budget: int,
+               executor: Any = None
+               ) -> list[tuple[float, ObjectGraph, Any]]:
+    """Two-stage approximate k-NN over a :class:`SketchIndex`.
+
+    At most ``search_budget`` exact distance evaluations are spent in
+    total (pivot distances + rerank), floored at ``k + num_pivots`` so a
+    degenerate budget still returns ``k`` hits.  With ``search_budget >=
+    len(sketch) + num_pivots`` the search degenerates to an exact full
+    scan: every row is shortlisted and pruning is bound-exact.  Hits are
+    ``(distance, og, clip_ref)`` sorted by ``(distance, og_id)`` — the
+    same contract as the exact paths.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    if search_budget < 1:
+        raise InvalidParameterError(
+            f"search_budget must be >= 1, got {search_budget}"
+        )
+    series = as_series(query)
+    n = len(sketch)
+    with OBS.span("search.approx_knn", k=k, budget=search_budget) as sp:
+        OBS.count("search.knn_queries")
+        idx, lbs, pivot_evals = sketch.candidates(
+            distance, series, search_budget, k
+        )
+        OBS.count("search.candidates_generated", len(idx))
+        # Rerank in ascending (lower bound, og_id) order: the most
+        # promising candidates seed the k-th best distance early, and
+        # the sorted bounds make the prune a single prefix cut.
+        order = np.lexsort((sketch.og_ids[idx], lbs))
+        idx = idx[order]
+        lbs = lbs[order]
+
+        best: list[tuple[float, ObjectGraph, Any]] = []
+
+        def kth() -> tuple[float, float]:
+            if len(best) == k:
+                return (best[-1][0], best[-1][1].og_id)
+            return (float("inf"), float("inf"))
+
+        evaluated = 0
+        pruned = 0
+        start = 0
+        batch = sketch.config.rerank_batch
+        while start < len(idx):
+            bound = kth()[0]
+            slack = (0.0 if math.isinf(bound)
+                     else PRUNE_SLACK * (1.0 + abs(bound)))
+            if lbs[start] > bound + slack:
+                # Sorted ascending: every remaining candidate is
+                # provably outside the current top-k.
+                pruned = len(idx) - start
+                break
+            stop = min(len(idx), start + batch)
+            while stop > start and lbs[stop - 1] > bound + slack:
+                stop -= 1
+            chunk = idx[start:stop]
+            items = [sketch.series[int(i)] for i in chunk]
+            if executor is not None:
+                dists = executor.one_vs_many(distance, series, items)
+            else:
+                dists = one_vs_many(distance, series, items)
+            evaluated += len(chunk)
+            for i, d in zip(chunk, dists):
+                d = float(d)
+                og, ref = sketch.records[int(i)]
+                if (d, og.og_id) < kth():
+                    _insort(best, (d, og, ref))
+                    if len(best) > k:
+                        best.pop()
+            start = stop
+        OBS.count("search.distances_computed", evaluated + pivot_evals)
+        OBS.count("search.candidates_pruned", pruned)
+        OBS.count("search.distances_saved",
+                  max(0, n - evaluated - pivot_evals))
+        sp.set(hits=len(best), evaluated=evaluated, pruned=pruned)
+        return best
+
+
+def _insort(best: list, entry: tuple) -> None:
+    """Insert ``entry`` into ``best`` ordered by ``(distance, og_id)``."""
+    key = (entry[0], entry[1].og_id)
+    lo, hi = 0, len(best)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if (best[mid][0], best[mid][1].og_id) < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    best.insert(lo, entry)
+
+
+def sketch_meta_json(sketch: SketchIndex) -> str:
+    """Serializable sketch metadata (config + bbox) for persistence."""
+    lo, hi = sketch.bbox if sketch.bbox is not None else (None, None)
+    return json.dumps({
+        "config": sketch.config.to_dict(),
+        "bbox_lo": None if lo is None else [float(v) for v in lo],
+        "bbox_hi": None if hi is None else [float(v) for v in hi],
+    })
+
+
+def sketch_from_meta(meta_json: str) -> SketchIndex:
+    """Empty :class:`SketchIndex` restored from :func:`sketch_meta_json`.
+
+    The caller fills pivots and rows (see
+    :mod:`repro.storage.serialize`).
+    """
+    meta = json.loads(meta_json)
+    sketch = SketchIndex(SketchConfig(**meta["config"]))
+    if meta.get("bbox_lo") is not None:
+        sketch.bbox = (
+            np.asarray(meta["bbox_lo"], dtype=np.float64),
+            np.asarray(meta["bbox_hi"], dtype=np.float64),
+        )
+    return sketch

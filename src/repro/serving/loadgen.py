@@ -111,11 +111,14 @@ def run_closed_loop(service: QueryService,
                     num_requests: int | None = None,
                     duration: float | None = None,
                     concurrency: int = 1,
-                    deadline: float | None = None) -> LoadReport:
+                    deadline: float | None = None,
+                    search_budget: int | None = None) -> LoadReport:
     """Drive ``service`` with ``concurrency`` request-wait-repeat clients.
 
     Stops after ``num_requests`` total requests or ``duration`` seconds
     (exactly one must be given).  Queries are drawn round-robin.
+    ``search_budget`` forwards to :meth:`QueryService.knn`, driving the
+    approximate sketch tier instead of the exact path.
     """
     if (num_requests is None) == (duration is None):
         raise InvalidParameterError(
@@ -157,7 +160,8 @@ def run_closed_loop(service: QueryService,
             query = queries[ticket % len(queries)]
             t0 = time.monotonic()
             try:
-                service.knn(query, k, deadline=deadline)
+                service.knn(query, k, deadline=deadline,
+                            search_budget=search_budget)
                 _record(report, lock, "ok", time.monotonic() - t0)
             except ServiceOverloadError:
                 _record(report, lock, "rejected")
@@ -185,7 +189,8 @@ def run_open_loop(service: QueryService,
                   *,
                   rate: float,
                   duration: float,
-                  deadline: float | None = None) -> LoadReport:
+                  deadline: float | None = None,
+                  search_budget: int | None = None) -> LoadReport:
     """Offer ``rate`` requests/second for ``duration`` seconds.
 
     Arrivals are paced on a fixed schedule and submitted without
@@ -219,8 +224,8 @@ def run_open_loop(service: QueryService,
         report.requests_sent += 1
         sent += 1
         try:
-            outstanding.append(service.submit_knn(query, k,
-                                                  deadline=deadline))
+            outstanding.append(service.submit_knn(
+                query, k, deadline=deadline, search_budget=search_budget))
         except ServiceOverloadError:
             _record(report, lock, "rejected")
 

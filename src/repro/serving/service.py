@@ -111,6 +111,7 @@ class _Request:
     deadline: float | None  # absolute time.monotonic() cutoff
     enqueued: float
     future: Future
+    search_budget: int | None = None  # knn only: approximate-tier budget
 
 
 class QueryService:
@@ -142,9 +143,16 @@ class QueryService:
 
     def submit_knn(self, query, k: int,
                    background: BackgroundGraph | None = None,
-                   deadline: float | None = None) -> Future:
-        """Enqueue a k-NN request; rejects instead of blocking when full."""
-        return self._submit("knn", query, k, background, deadline)
+                   deadline: float | None = None,
+                   search_budget: int | None = None) -> Future:
+        """Enqueue a k-NN request; rejects instead of blocking when full.
+
+        ``search_budget`` routes the request through the approximate
+        sketch tier with that many exact distance evaluations (see
+        ``docs/SEARCH.md``); ``None`` keeps the exact path.
+        """
+        return self._submit("knn", query, k, background, deadline,
+                            search_budget=search_budget)
 
     def submit_range(self, query, radius: float,
                      background: BackgroundGraph | None = None,
@@ -154,9 +162,11 @@ class QueryService:
 
     def knn(self, query, k: int,
             background: BackgroundGraph | None = None,
-            deadline: float | None = None) -> QueryResponse:
+            deadline: float | None = None,
+            search_budget: int | None = None) -> QueryResponse:
         """Submit a k-NN request and block for its response."""
-        return self.submit_knn(query, k, background, deadline).result()
+        return self.submit_knn(query, k, background, deadline,
+                               search_budget=search_budget).result()
 
     def range_query(self, query, radius: float,
                     background: BackgroundGraph | None = None,
@@ -166,7 +176,8 @@ class QueryService:
 
     def _submit(self, kind: str, query, arg,
                 background: BackgroundGraph | None,
-                deadline: float | None) -> Future:
+                deadline: float | None,
+                search_budget: int | None = None) -> Future:
         if self._stopped:
             raise ServiceStoppedError(
                 "query service is stopped; no new requests accepted"
@@ -181,7 +192,7 @@ class QueryService:
         request = _Request(
             kind=kind, query=query, arg=arg, background=background,
             deadline=None if deadline is None else now + deadline,
-            enqueued=now, future=Future(),
+            enqueued=now, future=Future(), search_budget=search_budget,
         )
         with self._admission_lock:
             try:
@@ -260,8 +271,10 @@ class QueryService:
         snapshot: IndexSnapshot = self.live.snapshot
         try:
             if request.kind == "knn":
-                result = snapshot.knn_detailed(request.query, request.arg,
-                                               request.background)
+                result = snapshot.knn_detailed(
+                    request.query, request.arg, request.background,
+                    search_budget=request.search_budget,
+                )
             else:
                 result = snapshot.range_query_detailed(
                     request.query, request.arg, request.background)

@@ -429,18 +429,29 @@ class ShardedIndex:
     # -- search ---------------------------------------------------------------
 
     def knn(self, query: ObjectGraph | np.ndarray, k: int,
-            background: BackgroundGraph | None = None
+            background: BackgroundGraph | None = None,
+            search_budget: int | None = None
             ) -> list[tuple[float, ObjectGraph, Any]]:
         """Exact k-NN over all shards, as ``(distance, og, clip_ref)``.
 
         Bit-identical to the monolithic ``STRGIndex.knn`` over the same
-        corpus (ties broken by og_id).  Shard failures propagate; use
-        :meth:`knn_detailed` for degraded partial reads.
+        corpus (ties broken by og_id).  ``k = 0`` yields ``[]``; ``k``
+        beyond the corpus returns everything.  Shard failures propagate;
+        use :meth:`knn_detailed` for degraded partial reads.
+
+        With ``search_budget`` set, each shard runs its *approximate*
+        sketch tier (see ``docs/SEARCH.md``) with the budget split
+        proportionally to shard sizes (floored at ``k`` per shard, so
+        the split can overshoot the global budget by at most
+        ``num_shards * k`` evaluations), and the per-shard top-k lists
+        are merged by ``(distance, og_id)``.
         """
-        return self._search_knn(query, k, background, degrade=False).hits
+        return self._search_knn(query, k, background, degrade=False,
+                                search_budget=search_budget).hits
 
     def knn_detailed(self, query: ObjectGraph | np.ndarray, k: int,
-                     background: BackgroundGraph | None = None
+                     background: BackgroundGraph | None = None,
+                     search_budget: int | None = None
                      ) -> ShardedSearchResult:
         """k-NN with per-shard failure degradation.
 
@@ -448,20 +459,63 @@ class ShardedIndex:
         (e.g. under fault injection) is skipped; the result carries the
         surviving hits with ``degraded=True``.
         """
-        return self._search_knn(query, k, background, degrade=True)
+        return self._search_knn(query, k, background, degrade=True,
+                                search_budget=search_budget)
 
     def _search_knn(self, query, k: int,
                     background: BackgroundGraph | None,
-                    degrade: bool) -> ShardedSearchResult:
-        if k < 1:
-            raise InvalidParameterError(f"k must be >= 1, got {k}")
+                    degrade: bool,
+                    search_budget: int | None = None) -> ShardedSearchResult:
+        if k < 0:
+            raise InvalidParameterError(f"k must be >= 0, got {k}")
+        if k == 0:
+            return ShardedSearchResult([])
+        if search_budget is not None and search_budget < 1:
+            raise InvalidParameterError(
+                f"search_budget must be >= 1, got {search_budget}"
+            )
         if len(self) == 0:
             raise IndexStateError("cannot search an empty sharded index")
-        with OBS.span("serving.knn", k=k, shards=self.num_shards) as sp:
+        with OBS.span("serving.knn", k=k, shards=self.num_shards,
+                      budget=search_budget) as sp:
             OBS.count("serving.knn_queries")
-            result = self._scatter_gather(query, k, background, degrade)
+            if search_budget is not None:
+                result = self._approx_scatter(query, k, background,
+                                              search_budget, degrade)
+            else:
+                result = self._scatter_gather(query, k, background, degrade)
             sp.set(hits=len(result.hits), degraded=result.degraded)
             return result
+
+    def _approx_scatter(self, query, k: int,
+                        background: BackgroundGraph | None,
+                        search_budget: int, degrade: bool
+                        ) -> ShardedSearchResult:
+        """Budgeted scatter: each shard searches its own sketch tier.
+
+        The budget is divided proportionally to shard sizes so a shard
+        holding half the corpus gets half the evaluations; every live
+        shard gets at least ``k`` so it can always fill a top-k list.
+        """
+        total = len(self)
+        hits: list[tuple[float, ObjectGraph, Any]] = []
+        failed: list[int] = []
+        for s, shard in enumerate(self.shards):
+            if len(shard) == 0:
+                continue
+            try:
+                maybe_fail("serving.shard", shard=s)
+            except ShardUnavailableError:
+                if not degrade:
+                    raise
+                OBS.count("serving.shards_failed")
+                failed.append(s)
+                continue
+            share = max(k, math.ceil(search_budget * len(shard) / total))
+            hits.extend(shard.knn(query, k, background,
+                                  search_budget=share))
+        hits.sort(key=lambda h: (h[0], h[1].og_id))
+        return ShardedSearchResult(hits[:k], bool(failed), failed)
 
     def _gather(self, background: BackgroundGraph | None, degrade: bool
                 ) -> tuple[list[tuple[ClusterRecord, _ClusterCache]],

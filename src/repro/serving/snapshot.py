@@ -59,17 +59,31 @@ class IndexSnapshot:
         return len(self.index)
 
     def knn(self, query: ObjectGraph | np.ndarray, k: int,
-            background: BackgroundGraph | None = None
+            background: BackgroundGraph | None = None,
+            search_budget: int | None = None
             ) -> list[tuple[float, ObjectGraph, Any]]:
-        return self.index.knn(query, k, background)
+        if search_budget is None:
+            return self.index.knn(query, k, background)
+        return self.index.knn(query, k, background,
+                              search_budget=search_budget)
 
     def knn_detailed(self, query: ObjectGraph | np.ndarray, k: int,
-                     background: BackgroundGraph | None = None
+                     background: BackgroundGraph | None = None,
+                     search_budget: int | None = None
                      ) -> ShardedSearchResult:
-        """Degraded-read k-NN (uniform over sharded/monolithic indexes)."""
+        """Degraded-read k-NN (uniform over sharded/monolithic indexes).
+
+        ``search_budget`` is forwarded only when set, so indexes that
+        predate the approximate tier (or test doubles without the
+        keyword) keep working on the default exact path.
+        """
         if hasattr(self.index, "knn_detailed"):
-            return self.index.knn_detailed(query, k, background)
-        return ShardedSearchResult(self.index.knn(query, k, background))
+            if search_budget is None:
+                return self.index.knn_detailed(query, k, background)
+            return self.index.knn_detailed(query, k, background,
+                                           search_budget=search_budget)
+        return ShardedSearchResult(self.knn(query, k, background,
+                                            search_budget))
 
     def range_query(self, query, radius: float,
                     background: BackgroundGraph | None = None
@@ -151,13 +165,16 @@ class LiveIndex:
         return self._snapshot.version
 
     def knn(self, query, k: int,
-            background: BackgroundGraph | None = None):
-        return self._snapshot.knn(query, k, background)
+            background: BackgroundGraph | None = None,
+            search_budget: int | None = None):
+        return self._snapshot.knn(query, k, background, search_budget)
 
     def knn_detailed(self, query, k: int,
-                     background: BackgroundGraph | None = None
+                     background: BackgroundGraph | None = None,
+                     search_budget: int | None = None
                      ) -> ShardedSearchResult:
-        return self._snapshot.knn_detailed(query, k, background)
+        return self._snapshot.knn_detailed(query, k, background,
+                                           search_budget)
 
     def range_query(self, query, radius: float,
                     background: BackgroundGraph | None = None):

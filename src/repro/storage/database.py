@@ -329,21 +329,32 @@ class VideoDatabase:
         ranked = sorted(hits.values(), key=lambda h: h.distance)
         return ranked[:k]
 
-    def knn(self, example: ObjectGraph | np.ndarray, k: int = 5
-            ) -> list[QueryHit]:
+    def knn(self, example: ObjectGraph | np.ndarray, k: int = 5,
+            search_budget: int | None = None) -> list[QueryHit]:
         """The ``k`` indexed OGs nearest to an example motion.
 
         ``example`` is either an :class:`ObjectGraph` or a raw
         trajectory (``(n, 2)`` array of positions); raw values are
-        wrapped into a query OG first.
+        wrapped into a query OG first.  ``k = 0`` yields ``[]`` (even on
+        an empty database) and ``k`` beyond the corpus size returns
+        every OG, ranked — neither raises.
+
+        ``search_budget`` caps the exact distance evaluations the query
+        may spend, trading recall for a sublinear scan through the
+        approximate sketch tier (see ``docs/SEARCH.md``).  The default
+        ``None`` keeps the exact path, bit-identical to databases
+        predating the knob.
         """
+        if k == 0:
+            return []
         self._require_index()
         og = (example if isinstance(example, ObjectGraph)
               else ObjectGraph.from_values(np.asarray(example, dtype=float)))
-        return [
-            QueryHit(d, match, ref)
-            for d, match, ref in self.index.knn(og, k)
-        ]
+        if search_budget is None:
+            hits = self.index.knn(og, k)
+        else:
+            hits = self.index.knn(og, k, search_budget=search_budget)
+        return [QueryHit(d, match, ref) for d, match, ref in hits]
 
     def query(self) -> "Query":
         """A fluent :class:`repro.query.Query` builder over this database.

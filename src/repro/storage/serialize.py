@@ -280,8 +280,93 @@ def _unpack_backgrounds(data) -> list[BackgroundGraph | None]:
     return backgrounds
 
 
+def _pack_sketch(index: STRGIndex,
+                 ogs: Sequence[ObjectGraph]) -> dict[str, np.ndarray]:
+    """Sketch-tier arrays for :func:`save_index` (empty when unbuilt).
+
+    Rows are stored in the same order as the archive's leaf records
+    (``ogs``), because og_ids are not stable across a save/load round
+    trip — position is.  A sketch that lost sync with the index (should
+    not happen; defensive) is dropped and will be rebuilt on demand.
+    """
+    sketch = getattr(index, "_sketches", None)
+    if sketch is None or not sketch.pivots or len(sketch) != len(ogs):
+        if sketch is not None and len(sketch) != len(ogs):
+            logger.warning(
+                "sketch tier out of sync with index (%d rows vs %d OGs); "
+                "not persisting it", len(sketch), len(ogs))
+        return {}
+    from repro.search.sketch import sketch_meta_json
+
+    row_of = {int(og_id): pos for pos, og_id in enumerate(sketch.og_ids)}
+    rows = [row_of.get(og.og_id) for og in ogs]
+    if any(row is None for row in rows):
+        logger.warning("sketch tier missing rows for indexed OGs; "
+                       "not persisting it")
+        return {}
+    order = np.asarray(rows, dtype=np.int64)
+    pivot_flat, pivot_offsets = _pack_ragged(sketch.pivots)
+    return dict(
+        sketch_pivot_values=pivot_flat,
+        sketch_pivot_offsets=pivot_offsets,
+        sketch_pivot_dists=sketch.pivot_dists[order],
+        sketch_sig=sketch.sig[order],
+        sketch_meta=np.array(sketch_meta_json(sketch)),
+    )
+
+
+def _unpack_sketch(data, index: STRGIndex,
+                   loaded: list[tuple[ObjectGraph, object]],
+                   path: str | os.PathLike):
+    """Rebuild the sketch tier from a snapshot's ``sketch_*`` arrays.
+
+    ``loaded`` is the ``(og, clip_ref)`` list in archive order — the
+    order :func:`_pack_sketch` wrote its rows in.  Anything off about
+    the payload logs a warning and returns ``None`` (the lazy
+    rebuild-on-demand fallback), never a corrupt sketch.
+    """
+    from repro.distance.base import as_series
+    from repro.search.sketch import sketch_from_meta
+
+    try:
+        sketch = sketch_from_meta(str(data["sketch_meta"]))
+        sketch.pivots = [
+            np.asarray(p, dtype=np.float64)
+            for p in _unpack_ragged(data["sketch_pivot_values"],
+                                    data["sketch_pivot_offsets"])
+        ]
+        pivot_dists = np.asarray(data["sketch_pivot_dists"],
+                                 dtype=np.float64)
+        sig = np.asarray(data["sketch_sig"], dtype=np.int16)
+        if (pivot_dists.shape != (len(loaded), len(sketch.pivots))
+                or sig.shape != (len(loaded), sketch.config.sig_length)):
+            raise ValueError(
+                f"sketch arrays {pivot_dists.shape}/{sig.shape} do not "
+                f"match {len(loaded)} leaf records"
+            )
+    except (KeyError, ValueError, TypeError,
+            json.JSONDecodeError) as exc:
+        logger.warning(
+            "ignoring unreadable sketch payload in %s (%s: %s); the "
+            "sketch tier will be rebuilt on first budgeted query",
+            npz_path(path), type(exc).__name__, exc)
+        return None
+    sketch.records = list(loaded)
+    sketch.series = [as_series(og) for og, _ in loaded]
+    sketch.og_ids = np.array([og.og_id for og, _ in loaded],
+                             dtype=np.int64)
+    sketch.pivot_dists = pivot_dists
+    sketch.sig = sig
+    return sketch
+
+
 def save_index(path: str | os.PathLike, index: STRGIndex) -> None:
-    """Persist an STRG-Index tree (structure + payloads) as NPZ."""
+    """Persist an STRG-Index tree (structure + payloads) as NPZ.
+
+    A built sketch tier (``index.sketch_tier()``) rides along in
+    ``sketch_*`` arrays; archives written before the approximate tier
+    existed simply lack those keys and get a lazy rebuild on load.
+    """
     ogs: list[ObjectGraph] = []
     keys: list[float] = []
     leaf_of_og: list[int] = []   # cluster record ordinal per leaf record
@@ -327,6 +412,7 @@ def save_index(path: str | os.PathLike, index: STRGIndex) -> None:
             config=np.array(config_json),
             refs=np.array(refs_json),
             **_pack_backgrounds(index.root),
+            **_pack_sketch(index, ogs),
         ))
     except OSError as exc:
         raise StorageError(
@@ -368,6 +454,7 @@ def load_index(path: str | os.PathLike) -> STRGIndex:
     for centroid, root_ordinal in zip(centroids, cluster_root):
         record = roots[int(root_ordinal)].cluster_node.add(centroid)
         cluster_records.append(record)
+    loaded: list[tuple[ObjectGraph, object]] = []
     for i, (values, label) in enumerate(zip(og_values, labels)):
         og = ObjectGraph(
             values=values, label=None if label < 0 else int(label)
@@ -375,6 +462,9 @@ def load_index(path: str | os.PathLike) -> STRGIndex:
         record = cluster_records[int(leaf_of_og[i])]
         ref = refs[i] if i < len(refs) else None
         record.leaf.insert(LeafRecord(float(keys[i]), og, ref))
+        loaded.append((og, ref))
+    if "sketch_meta" in data:
+        index._sketches = _unpack_sketch(data, index, loaded, path)
     return index
 
 

@@ -101,8 +101,10 @@ class TestShardedIndexBasics:
             ShardedIndexConfig(eval_batch=0)
 
     def test_invalid_queries(self, sharded):
+        # k=0 is a legal no-op (see docs/SEARCH.md); negative k is not.
+        assert sharded.knn(np.zeros((4, 2)), 0) == []
         with pytest.raises(InvalidParameterError):
-            sharded.knn(np.zeros((4, 2)), 0)
+            sharded.knn(np.zeros((4, 2)), -1)
         with pytest.raises(InvalidParameterError):
             sharded.range_query(np.zeros((4, 2)), -1.0)
 
@@ -351,7 +353,7 @@ class TestQueryService:
         live = LiveIndex(_sharded(corpus[:16], 1, "hash"))
         with QueryService(live, ServiceConfig(workers=1)) as service:
             with pytest.raises(InvalidParameterError):
-                service.knn(corpus[0], 0)
+                service.knn(corpus[0], -1)
 
 
 class TestLoadGenerators:

@@ -130,8 +130,10 @@ class TestKnn:
 
     def test_invalid_k(self):
         index, ogs = self.build_index(k=2)
+        # k=0 is a legal no-op; only negative k is invalid.
+        assert index.knn(ogs[0], 0) == []
         with pytest.raises(InvalidParameterError):
-            index.knn(ogs[0], 0)
+            index.knn(ogs[0], -1)
 
     def test_empty_index_rejected(self):
         with pytest.raises(IndexStateError):
