@@ -1,0 +1,208 @@
+"""Storage-tier benchmark: columnar cold-open vs NPZ full-load.
+
+Not a paper figure — an engineering benchmark guarding the columnar
+store's two core promises (docs/STORAGE.md):
+
+1. **O(1) cold open.**  ``repro.open_database()`` on a columnar
+   ``.strg/`` store returns after reading one manifest: trajectory
+   bytes stay on disk (memory-mapped, faulted in per query) and the
+   tree materializes lazily.  The NPZ path decompresses and
+   checksums the whole archive and rebuilds the tree eagerly.  Both
+   cold-open latency and the resident-set growth of the opening
+   process must be **at least 5x better** on the columnar store —
+   measured in fresh subprocesses so page cache warmth is the only
+   shared state.
+2. **O(delta) checkpoints.**  Appending one clip-sized write batch to
+   a columnar store moves bytes proportional to the batch, not the
+   corpus; the NPZ "checkpoint" is a full rewrite.  The delta segment
+   must be at most 1/5 of the full archive.
+
+Correctness gates run *before* any timing: the NPZ load, the columnar
+in-RAM load and the columnar mmap load must return bit-identical k-NN
+results (same distances, same clip refs, same order).
+
+Archives ``benchmarks/results/BENCH_storage.json``.  Scale knob:
+``BENCH_STORAGE_SCALE=smoke`` shrinks the corpus for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+from conftest import format_table, record_result
+
+from repro.core.index import STRGIndex, STRGIndexConfig
+from repro.graph.object_graph import ObjectGraph
+from repro.serving.snapshot import _BufferedWrite
+from repro.storage.store import open_store
+
+SCALE = os.environ.get("BENCH_STORAGE_SCALE", "full")
+SMOKE = SCALE == "smoke"
+
+NUM_OGS = 120 if SMOKE else 400
+#: Long trajectories so array bytes (not Python object overhead)
+#: dominate what the two formats load.
+NODE_RANGE = (60, 120)
+SEED_BUILD = 48            # OGs clustered up front; the rest insert
+OPEN_REPEATS = 2 if SMOKE else 3
+K = 10
+NUM_QUERIES = 8
+MIN_RATIO = 5.0            # the acceptance floor on both open gates
+MAX_DELTA_FRACTION = 0.2   # delta segment vs full archive bytes
+
+#: Runs in a fresh interpreter per sample: open the database and
+#: report wall time + VmRSS growth of just the open call.
+_CHILD = r"""
+import json, sys, time
+
+
+def rss_kb():
+    with open("/proc/self/status") as fh:
+        for line in fh:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    return 0
+
+
+import repro  # noqa: E402  (import cost excluded from the window)
+
+path = sys.argv[1]
+before = rss_kb()
+t0 = time.perf_counter()
+db = repro.open_database(path, create=False)
+open_s = time.perf_counter() - t0
+after = rss_kb()
+print(json.dumps({"open_s": open_s, "rss_kb": max(after - before, 0)}))
+"""
+
+
+def _corpus(rng):
+    ogs = []
+    for i in range(NUM_OGS):
+        n = int(rng.integers(*NODE_RANGE))
+        values = (np.cumsum(rng.normal(0.0, 1.0, (n, 2)), axis=0)
+                  + rng.uniform(0.0, 500.0, 2))
+        ogs.append(ObjectGraph.from_values(values, label=i % 6))
+    return ogs
+
+
+def _build(ogs):
+    index = STRGIndex(STRGIndexConfig(n_clusters=8, em_iterations=2))
+    index.build(ogs[:SEED_BUILD],
+                clip_refs=[f"clip-{i}" for i in range(SEED_BUILD)])
+    for i, og in enumerate(ogs[SEED_BUILD:], start=SEED_BUILD):
+        index.insert(og, None, f"clip-{i}")
+    return index
+
+
+def _knn_signature(index, queries):
+    return [[(d, ref) for d, _, ref in index.knn(q, K)] for q in queries]
+
+
+def _measure_open(path) -> dict:
+    samples = []
+    for _ in range(OPEN_REPEATS):
+        proc = subprocess.run(
+            [sys.executable, "-c", _CHILD, os.fspath(path)],
+            capture_output=True, text=True, check=True,
+        )
+        samples.append(json.loads(proc.stdout))
+    return {
+        "open_ms": min(s["open_s"] for s in samples) * 1e3,
+        "rss_kb": int(np.median([s["rss_kb"] for s in samples])),
+    }
+
+
+def _tree_bytes(path) -> int:
+    total = 0
+    for root, _, files in os.walk(path):
+        total += sum(os.path.getsize(os.path.join(root, f)) for f in files)
+    return total
+
+
+def bench_storage_report(tmp_path):
+    """Cold-open latency/RSS ratios and the O(delta) checkpoint gate."""
+    rng = np.random.default_rng(2005)
+    ogs = _corpus(rng)
+    t0 = time.perf_counter()
+    index = _build(ogs)
+    build_s = time.perf_counter() - t0
+
+    npz = open_store(tmp_path / "corpus", format="npz")
+    npz.write_index(index)
+    col = open_store(tmp_path / "corpus_col", format="columnar")
+    col.write_index(index)
+
+    # -- correctness gate: bit-identical k-NN before any timing --------
+    queries = ogs[:NUM_QUERIES]
+    want = _knn_signature(index, queries)
+    assert _knn_signature(npz.load_index(), queries) == want
+    assert _knn_signature(col.load_index(mmap=False), queries) == want
+    assert _knn_signature(col.load_index(mmap=True), queries) == want
+
+    # -- cold-open gate: fresh subprocess per sample -------------------
+    npz_open = _measure_open(npz.path)
+    col_open = _measure_open(col.path)
+    latency_ratio = npz_open["open_ms"] / max(col_open["open_ms"], 1e-6)
+    rss_ratio = npz_open["rss_kb"] / max(col_open["rss_kb"], 1)
+    assert latency_ratio >= MIN_RATIO, (
+        f"columnar cold open only {latency_ratio:.1f}x faster "
+        f"({col_open['open_ms']:.2f} ms vs {npz_open['open_ms']:.2f} ms)")
+    assert rss_ratio >= MIN_RATIO, (
+        f"columnar cold open only {rss_ratio:.1f}x lighter "
+        f"({col_open['rss_kb']} KB vs {npz_open['rss_kb']} KB)")
+
+    # -- O(delta) checkpoint gate --------------------------------------
+    npz_bytes = os.path.getsize(npz.path)
+    base_bytes = _tree_bytes(col.path)
+    og = ogs[0]
+    delta_og = ObjectGraph.from_values(og.values + 1.0, label=og.label)
+    index.insert(delta_og, None, "clip-delta")
+    before = _tree_bytes(col.path)
+    col.checkpoint(index, [_BufferedWrite("insert", og=delta_og,
+                                          clip_ref="clip-delta")])
+    delta_bytes = _tree_bytes(col.path) - before
+    assert 0 < delta_bytes <= npz_bytes * MAX_DELTA_FRACTION, (
+        f"delta checkpoint moved {delta_bytes} bytes "
+        f"(full archive: {npz_bytes})")
+    assert len(col.load_index()) == len(index)
+
+    rows = [
+        ["npz", f"{npz_open['open_ms']:.2f}", npz_open["rss_kb"],
+         npz_bytes],
+        ["columnar", f"{col_open['open_ms']:.2f}", col_open["rss_kb"],
+         base_bytes],
+    ]
+    lines = format_table(
+        ["format", "cold open ms", "rss KB", "bytes on disk"], rows)
+    lines += [
+        "",
+        f"cold-open speedup {latency_ratio:.1f}x, "
+        f"resident-memory ratio {rss_ratio:.1f}x "
+        f"(floor: {MIN_RATIO:.0f}x each)",
+        f"delta checkpoint: {delta_bytes} bytes for 1 OG "
+        f"({delta_bytes / npz_bytes:.1%} of a full NPZ rewrite)",
+        f"{NUM_OGS} OGs x {NODE_RANGE[0]}-{NODE_RANGE[1]} nodes, "
+        f"built in {build_s:.1f}s, scale={SCALE}",
+    ]
+    record_result("BENCH_storage", lines, data={
+        "scale": SCALE,
+        "config": {
+            "num_ogs": NUM_OGS,
+            "node_range": list(NODE_RANGE),
+            "open_repeats": OPEN_REPEATS,
+            "min_ratio": MIN_RATIO,
+            "max_delta_fraction": MAX_DELTA_FRACTION,
+        },
+        "npz": {**npz_open, "bytes": npz_bytes},
+        "columnar": {**col_open, "bytes": base_bytes},
+        "latency_ratio": latency_ratio,
+        "rss_ratio": rss_ratio,
+        "delta_bytes": delta_bytes,
+        "build_s": build_s,
+    })

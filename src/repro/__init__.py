@@ -26,7 +26,9 @@ The package mirrors the paper's pipeline:
   BIC-driven node split and k-NN search.
 - :mod:`repro.datasets` — the paper's synthetic workload (48 motion
   patterns, Pelleg+Vlachos style) and simulated surveillance streams.
-- :mod:`repro.storage` — serialization and the ``VideoDatabase`` facade.
+- :mod:`repro.storage` — the ``open_store`` snapshot facade (columnar
+  memory-mapped store + checksummed NPZ archives, see ``docs/STORAGE.md``)
+  and the ``VideoDatabase`` facade.
 - :mod:`repro.resilience` — fault injection, retry/backoff policies,
   quarantine, ingest journaling and crash recovery.
 - :mod:`repro.parallel` — multi-process fan-out: distance jobs
@@ -67,8 +69,9 @@ from repro.serving import (
     ShardedIndexConfig,
 )
 from repro.storage.database import QueryHit, VideoDatabase
+from repro.storage.store import open_store
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "DistanceExecutor",
@@ -102,5 +105,6 @@ __all__ = [
     "eged",
     "observability",
     "open_database",
+    "open_store",
     "ordered_chunk_map",
 ]

@@ -30,22 +30,25 @@ import os
 
 from repro.pipeline import PipelineConfig
 from repro.storage.database import VideoDatabase
-from repro.storage.serialize import npz_path
+from repro.storage.store import open_store
 
 
 def open_database(path: str | os.PathLike | None = None, *,
                   config: PipelineConfig | None = None,
                   create: bool = True,
+                  mmap: bool | str = "auto",
                   **kwargs) -> VideoDatabase:
     """Open (or create) a video database.
 
     Parameters
     ----------
     path:
-        Snapshot location.  When a snapshot exists there, it is loaded;
-        otherwise a fresh database is created *bound* to that path, so a
-        later ``db.save()`` needs no argument.  ``None`` gives an
-        unbound in-memory database.
+        Snapshot location — a columnar ``.strg`` store directory, a
+        checksummed ``.npz`` archive, or a sharded NPZ meta archive (the
+        format is autodetected, see ``docs/STORAGE.md``).  When a
+        snapshot exists there, it is opened; otherwise a fresh database
+        is created *bound* to that path, so a later ``db.save()`` needs
+        no argument.  ``None`` gives an unbound in-memory database.
     config:
         :class:`~repro.pipeline.PipelineConfig` for the extraction
         pipeline and index (used both for fresh databases and as the
@@ -53,6 +56,14 @@ def open_database(path: str | os.PathLike | None = None, *,
     create:
         With ``create=False`` a missing snapshot raises
         ``FileNotFoundError`` instead of creating an empty database.
+    mmap:
+        ``"auto"`` (default) memory-maps trajectory columns read-only
+        when the snapshot format supports it (columnar stores), making
+        the open O(1): the tree materializes lazily on first query and
+        trajectory bytes stay on disk until a query faults them in.
+        ``True`` requires mmap (NPZ archives raise, pointing at
+        ``repro convert``); ``False`` forces the eager full copy into
+        RAM.
     **kwargs:
         Forwarded to :class:`~repro.storage.database.VideoDatabase`
         (``fault_policy``, ``retry_policy``, ``drop_tolerance``,
@@ -63,14 +74,19 @@ def open_database(path: str | os.PathLike | None = None, *,
     """
     if path is None:
         return VideoDatabase(config, **kwargs)
-    target = npz_path(path)
-    if os.path.exists(target):
-        return VideoDatabase.load(target, config, **kwargs)
+    store = open_store(path)
+    if store.exists():
+        use_mmap = store.supports_mmap if mmap == "auto" else bool(mmap)
+        # Only a format that can actually mmap loads lazily; forcing
+        # mmap on one that cannot must fail now, not at first query.
+        lazy = use_mmap and store.supports_mmap
+        return VideoDatabase.load(store.path, config, mmap=use_mmap,
+                                  lazy=lazy, **kwargs)
     if not create:
         raise FileNotFoundError(
-            f"no database snapshot at {target} (pass create=True to start "
-            "an empty one)"
+            f"no database snapshot at {store.path} (pass create=True to "
+            "start an empty one)"
         )
     db = VideoDatabase(config, **kwargs)
-    db.path = target
+    db.path = store.path
     return db

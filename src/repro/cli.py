@@ -3,15 +3,20 @@
 Subcommands::
 
     strg-index demo                # synthetic end-to-end demo
-    strg-index build  OUT.npz      # build an index from a simulated stream
-    strg-index ingest OUT.npz      # fault-tolerant batch ingest + journal
-    strg-index recover INDEX.npz   # inspect crash-recovery state
-    strg-index query  INDEX.npz    # k-NN query with a synthetic trajectory
+    strg-index build  OUT          # build an index from a simulated stream
+    strg-index ingest OUT          # fault-tolerant batch ingest + journal
+    strg-index recover INDEX       # inspect crash-recovery state
+    strg-index query  INDEX        # k-NN query with a synthetic trajectory
+    strg-index convert SRC [DST]   # migrate a snapshot between formats
     strg-index bench               # tiny smoke benchmark
-    strg-index serve  INDEX.npz    # drive the query service on an index
+    strg-index serve  INDEX        # drive the query service on an index
     strg-index bench-load          # closed-loop load benchmark at N shards
 
-Every subcommand prints human-readable progress to stdout.
+Snapshot paths accept either store format — a checksummed ``.npz``
+archive or a memory-mappable columnar ``.strg/`` directory
+(``--store-format`` pins the format where a command writes one; see
+``docs/STORAGE.md``).  Every subcommand prints human-readable progress
+to stdout.
 """
 
 from __future__ import annotations
@@ -51,6 +56,14 @@ def _report_observability(args: argparse.Namespace) -> None:
     if metrics_out:
         observability.export_metrics_prometheus(metrics_out)
         print(f"metrics written to {metrics_out}")
+
+
+def _add_store_format_option(sub: argparse.ArgumentParser,
+                             help: str) -> None:
+    from repro.storage.store import FORMATS
+
+    sub.add_argument("--store-format", default="auto", choices=FORMATS,
+                     help=help)
 
 
 def _add_observe_options(sub: argparse.ArgumentParser) -> None:
@@ -96,8 +109,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
     n = db.ingest(video)
     print(f"ingested {video!r}: {n} OGs")
     print(f"stats: {db.stats()}")
-    db.save(args.output)
-    print(f"index saved to {args.output}")
+    db.save(args.output, format=args.store_format)
+    print(f"index saved to {db.path}")
     return 0
 
 
@@ -111,10 +124,11 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         print(f"unknown stream {args.stream!r}; choose from {sorted(STREAMS)}",
               file=sys.stderr)
         return 2
-    from repro.storage.serialize import npz_path
+    from repro.storage.store import store_path
 
     observe = _start_observability(args)
-    journal = args.journal or (npz_path(args.output) + ".journal")
+    journal = args.journal or (
+        store_path(args.output, args.store_format) + ".journal")
     db = VideoDatabase(fault_policy=args.fault_policy, journal_path=journal)
     rng = np.random.default_rng(args.seed)
     videos = []
@@ -135,8 +149,8 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         return 3
     print(f"ingested {report['segments']} segment(s), "
           f"{report['ogs']} OGs, {report['quarantined']} quarantined")
-    db.save(args.output)
-    print(f"index saved to {args.output} (journal: {journal})")
+    db.save(args.output, format=args.store_format)
+    print(f"index saved to {db.path} (journal: {journal})")
     print(f"health: {db.health()}")
     if observe:
         _report_observability(args)
@@ -174,7 +188,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.datasets.patterns import pattern_by_id
 
     observe = _start_observability(args)
-    db = open_database(args.index, create=False)
+    index_path = args.index
+    if args.store_format != "auto":
+        from repro.storage.store import store_path
+
+        index_path = store_path(args.index, args.store_format)
+    db = open_database(index_path, create=False)
     pattern = pattern_by_id(args.pattern)
     trajectory = pattern.generate(32)
     hits = db.knn(trajectory, k=args.k, search_budget=args.search_budget)
@@ -186,6 +205,29 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"  d={hit.distance:8.2f}  og={hit.og.og_id}  ref={hit.clip_ref}")
     if observe:
         _report_observability(args)
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.errors import InvalidParameterError, StorageError
+    from repro.storage.store import convert, open_store
+
+    source = open_store(args.source)
+    started = time.perf_counter()
+    try:
+        dest = convert(args.source, args.dest, format=args.format,
+                       verify=not args.no_verify)
+    except (StorageError, InvalidParameterError) as exc:
+        print(f"conversion failed: {exc}", file=sys.stderr)
+        return 3
+    elapsed = time.perf_counter() - started
+    print(f"converted {source.path} ({source.format}) -> "
+          f"{dest.path} ({dest.format}) in {elapsed:.2f}s")
+    if not args.no_verify:
+        report = dest.describe()
+        print(f"verified: {report}")
+    print("the source snapshot is untouched; delete it once the "
+          "destination is in service")
     return 0
 
 
@@ -296,6 +338,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             config=IngestServiceConfig(
                 queue_depth=args.ingest_queue_depth,
                 job_timeout=args.ingest_timeout,
+                store_format=args.store_format,
             ))
     print(f"serving {live!r} with {args.workers} worker(s); "
           f"driving {args.rate:.0f} req/s for {args.duration:.1f}s"
@@ -390,15 +433,17 @@ def build_parser() -> argparse.ArgumentParser:
     demo.set_defaults(func=_cmd_demo)
 
     build = sub.add_parser("build", help="index a simulated stream")
-    build.add_argument("output", help="output NPZ path")
+    build.add_argument("output", help="output snapshot path")
     build.add_argument("--stream", default="Traffic1")
     build.add_argument("--frames", type=int, default=60)
+    _add_store_format_option(
+        build, "snapshot format written (auto = by suffix, NPZ default)")
     build.set_defaults(func=_cmd_build)
 
     ingest = sub.add_parser(
         "ingest", help="fault-tolerant batch ingest with journaling"
     )
-    ingest.add_argument("output", help="output NPZ path")
+    ingest.add_argument("output", help="output snapshot path")
     ingest.add_argument("--stream", default="Traffic1")
     ingest.add_argument("--segments", type=int, default=5)
     ingest.add_argument("--frames", type=int, default=12)
@@ -414,6 +459,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="frame-parallel segmentation workers per "
                              "segment (results are identical at any "
                              "worker count; default serial)")
+    _add_store_format_option(
+        ingest, "snapshot format written (auto = by suffix, NPZ default)")
     _add_observe_options(ingest)
     ingest.set_defaults(func=_cmd_ingest)
 
@@ -428,15 +475,32 @@ def build_parser() -> argparse.ArgumentParser:
     recover.set_defaults(func=_cmd_recover)
 
     query = sub.add_parser("query", help="k-NN query a saved index")
-    query.add_argument("index", help="index NPZ path")
+    query.add_argument("index", help="index snapshot path (NPZ or .strg)")
     query.add_argument("--pattern", type=int, default=0)
     query.add_argument("-k", type=int, default=5)
     query.add_argument("--search-budget", type=int, default=None,
                        metavar="N",
                        help="max exact distance evaluations (approximate "
                             "sketch-tier search; omit for exact)")
+    _add_store_format_option(
+        query, "pin the snapshot format instead of autodetecting")
     _add_observe_options(query)
     query.set_defaults(func=_cmd_query)
+
+    convert = sub.add_parser(
+        "convert", help="migrate a snapshot between store formats"
+    )
+    convert.add_argument("source", help="existing snapshot (NPZ or .strg)")
+    convert.add_argument("dest", nargs="?", default=None,
+                         help="destination path (default: next to the "
+                              "source, e.g. corpus.npz -> corpus.strg/)")
+    convert.add_argument("--format", default="columnar",
+                         choices=["columnar", "npz"],
+                         help="destination format (default: columnar)")
+    convert.add_argument("--no-verify", action="store_true",
+                         help="skip the deep integrity pass on the "
+                              "destination")
+    convert.set_defaults(func=_cmd_convert)
 
     bench = sub.add_parser("bench", help="smoke benchmark vs M-tree")
     bench.add_argument("--num-ogs", type=int, default=240)
@@ -462,7 +526,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve", help="run the query service over a saved index"
     )
-    serve.add_argument("index", help="index NPZ path (monolithic or sharded)")
+    serve.add_argument("index",
+                       help="index snapshot path (NPZ or .strg; "
+                            "monolithic or sharded)")
     serve.add_argument("--shards", type=int, default=None,
                        help="reshard a monolithic snapshot across N shards")
     serve.add_argument("--workers", type=int, default=2)
@@ -492,6 +558,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--state-dir", default=None,
                        help="journal/spool/checkpoint directory "
                             "(enables crash recovery)")
+    _add_store_format_option(
+        serve, "checkpoint snapshot format for --state-dir (columnar "
+               "checkpoints append O(delta) segments)")
     _add_observe_options(serve)
     serve.set_defaults(func=_cmd_serve)
 

@@ -40,6 +40,7 @@ INJECTION_POINTS = (
     "decomposition",    # per segment, before OG/BG decomposition
     "storage.write",    # after the temp file is written, before rename
     "storage.read",     # before a persisted file is opened
+    "storage.append",   # before a delta segment's manifest commit
     "serving.shard",    # before a shard is scanned during scatter-gather
     "ingest.accept",    # per job, during IngestService.submit admission
     "ingest.process",   # per job attempt, before the clip pipeline runs
@@ -63,6 +64,9 @@ _DEFAULT_ERRORS: dict[str, Callable[[str, int], Exception]] = {
         f"injected I/O failure at {point}#{n}"
     ),
     "storage.read": lambda point, n: OSError(
+        f"injected I/O failure at {point}#{n}"
+    ),
+    "storage.append": lambda point, n: OSError(
         f"injected I/O failure at {point}#{n}"
     ),
     "serving.shard": lambda point, n: ShardUnavailableError(

@@ -78,13 +78,8 @@ from repro.resilience.policy import (
     quarantine_record,
 )
 from repro.resilience.retry import RetryPolicy
-from repro.serving.snapshot import LiveIndex
-from repro.storage.serialize import (
-    is_sharded_snapshot,
-    load_index,
-    npz_path,
-    save_index,
-)
+from repro.serving.snapshot import LiveIndex, _BufferedWrite
+from repro.storage.store import FORMATS, open_store
 from repro.video.frames import VideoSegment
 
 _SHUTDOWN = object()   # queue sentinel: worker exits unconditionally
@@ -92,7 +87,11 @@ _RETIRE = object()     # queue sentinel: worker exits if pool is above min
 
 #: Journal file name inside a service's ``state_dir``.
 JOURNAL_NAME = "ingest.journal"
-#: Snapshot file name inside a service's ``state_dir``.
+#: Snapshot base name inside a service's ``state_dir``; ``open_store``
+#: resolves it to ``index.npz`` or ``index.strg/`` by format.
+SNAPSHOT_BASE = "index"
+#: Historical NPZ snapshot file name (the ``store_format="auto"``
+#: default for fresh state dirs, kept for backwards compatibility).
 SNAPSHOT_NAME = "index.npz"
 #: Spool directory name inside a service's ``state_dir``.
 SPOOL_DIR = "spool"
@@ -164,6 +163,13 @@ class IngestServiceConfig:
     ``checkpoint_every``   snapshot + journal checkpoint after this many
                            indexed jobs (``None`` = only on demand);
                            requires a ``state_dir`` / snapshot path.
+    ``store_format``       snapshot store format for the state dir
+                           (``"auto"`` | ``"columnar"`` | ``"npz"``).
+                           ``"auto"`` reopens whatever exists and
+                           defaults fresh state dirs to NPZ; columnar
+                           stores checkpoint as O(delta) appended
+                           segments instead of full rewrites (see
+                           ``docs/STORAGE.md``).
     ``watchdog_interval``  seconds between watchdog ticks (timeouts,
                            gauges, worker scaling).
     ``clip_workers``       frame-parallel workers *inside* each job
@@ -178,6 +184,7 @@ class IngestServiceConfig:
         default_factory=lambda: RetryPolicy(max_attempts=2, base_delay=0.02))
     retry_budget: int | None = 64
     checkpoint_every: int | None = 4
+    store_format: str = "auto"
     watchdog_interval: float = 0.05
     clip_workers: int | None = None
 
@@ -202,6 +209,10 @@ class IngestServiceConfig:
         if self.retry_budget is not None and self.retry_budget < 0:
             raise InvalidParameterError(
                 f"retry_budget must be >= 0 or None, got {self.retry_budget}")
+        if self.store_format not in FORMATS:
+            raise InvalidParameterError(
+                f"store_format must be one of {FORMATS}, "
+                f"got {self.store_format!r}")
         if self.watchdog_interval <= 0:
             raise InvalidParameterError(
                 f"watchdog_interval must be > 0, got {self.watchdog_interval}")
@@ -245,9 +256,11 @@ class IngestService:
     :meth:`shutdown`) to stop them.  With a ``state_dir`` the service is
     durable: uploads spool to ``state_dir/spool/``, state transitions
     journal to ``state_dir/ingest.journal`` and checkpoints snapshot to
-    ``state_dir/index.npz`` — :meth:`recover` rebuilds an equivalent
-    service after a crash.  Without one it is a fast in-memory pipeline
-    with the same admission/retry/timeout behavior.
+    ``state_dir/index.npz`` (or ``index.strg/`` with
+    ``store_format="columnar"``, where checkpoints append O(delta)
+    segments) — :meth:`recover` rebuilds an equivalent service after a
+    crash.  Without one it is a fast in-memory pipeline with the same
+    admission/retry/timeout behavior.
 
     ``database`` optionally binds a
     :class:`~repro.storage.database.VideoDatabase`: after every commit
@@ -270,13 +283,19 @@ class IngestService:
         self._journal: IngestJournal | None = None
         self._spool_dir: str | None = None
         self.snapshot_path: str | None = None
+        self._store: Any = None
+        self._store_dirty = False
+        self._pending_writes: list[_BufferedWrite] = []
         if self.state_dir is not None:
             os.makedirs(self.state_dir, exist_ok=True)
             self._spool_dir = os.path.join(self.state_dir, SPOOL_DIR)
             os.makedirs(self._spool_dir, exist_ok=True)
             self._journal = IngestJournal(
                 os.path.join(self.state_dir, JOURNAL_NAME))
-            self.snapshot_path = os.path.join(self.state_dir, SNAPSHOT_NAME)
+            self._store = open_store(
+                os.path.join(self.state_dir, SNAPSHOT_BASE),
+                format=self.config.store_format)
+            self.snapshot_path = self._store.path
 
         self._queue: queue.Queue = queue.Queue()
         #: Guards backlog/in-flight accounting and wakes backpressured
@@ -537,6 +556,7 @@ class IngestService:
                          "job": job.job_id} for og in ogs]
                 self.live.bulk_insert(ogs, clip.background, refs)
                 self.live.compact()
+                self._track_writes(ogs, clip.background, refs)
             if self._database is not None:
                 self._database.index = self.live.snapshot.index
             job.og_ids = [og.og_id for og in ogs]
@@ -573,17 +593,40 @@ class IngestService:
         with self._commit_lock:
             self._checkpoint_locked()
 
+    #: Delta-write backlog past which the next checkpoint falls back to
+    #: a full snapshot write (bounds memory when checkpoints are
+    #: disabled or keep failing).
+    max_pending_writes = 4096
+
+    def _track_writes(self, ogs, background, refs) -> None:
+        """Remember a committed batch for O(delta) checkpointing."""
+        if self._store is None or self._store_dirty \
+                or not getattr(self._store, "supports_append", False):
+            return
+        self._pending_writes.extend(
+            _BufferedWrite("insert", og=og, background=background,
+                           clip_ref=ref)
+            for og, ref in zip(ogs, refs))
+        if len(self._pending_writes) > self.max_pending_writes:
+            self._pending_writes.clear()
+            self._store_dirty = True
+
     def _checkpoint_locked(self) -> None:
         index = self.live.snapshot.index
+        # On a columnar store a bound checkpoint appends only the
+        # writes committed since the last one; the NPZ store (and the
+        # first checkpoint of a fresh store) rewrites the snapshot.
+        # After a failure the delta may no longer match the on-disk
+        # state, so resynchronize with a full write (writes=None).
+        writes = None if self._store_dirty else self._pending_writes
         try:
-            if getattr(index, "shards", None) is not None:
-                index.save(self.snapshot_path)
-            else:
-                save_index(self.snapshot_path, index)
+            self._store.checkpoint(index, writes)
         except (StorageError, OSError) as exc:
             # A failed checkpoint only delays durability: jobs stay
             # journaled as INDEXED-after-checkpoint and replay re-runs
             # them.  Keep serving; retry at the next commit.
+            self._store_dirty = True
+            self._pending_writes = []
             self._checkpoint_errors += 1
             OBS.count("ingest.checkpoint_errors")
             self._indexed_since_checkpoint = self.config.checkpoint_every or 1
@@ -592,8 +635,13 @@ class IngestService:
             logging.getLogger(__name__).warning(
                 "ingest checkpoint failed (will retry): %s", exc)
             return
+        self._pending_writes = []
+        self._store_dirty = False
+        maybe_merge = getattr(self._store, "maybe_merge", None)
+        if maybe_merge is not None:
+            maybe_merge(background=True)
         self._append_journal({
-            "event": "checkpoint", "path": npz_path(self.snapshot_path),
+            "event": "checkpoint", "path": self._store.path,
             "ogs": len(index),
         })
         self._indexed_since_checkpoint = 0
@@ -748,6 +796,9 @@ class IngestService:
                 workers = list(self._workers)
             for worker in workers:
                 worker.join()
+            join_merges = getattr(self._store, "join_merges", None)
+            if join_merges is not None:
+                join_merges()
         if self._journal is not None:
             with self._journal_lock:
                 self._journal.close()
@@ -793,18 +844,15 @@ class IngestService:
         records, truncated = read_journal(journal_path)
         replay = replay_jobs(records)
 
-        snapshot_file = state / SNAPSHOT_NAME
+        store = open_store(
+            state / SNAPSHOT_BASE,
+            format=config.store_format if config is not None else "auto")
         index = None
         snapshot_error: str | None = None
         snapshot_loaded = False
-        if snapshot_file.exists():
+        if store.exists():
             try:
-                if is_sharded_snapshot(snapshot_file):
-                    from repro.serving.sharding import ShardedIndex
-
-                    index = ShardedIndex.load(snapshot_file)
-                else:
-                    index = load_index(snapshot_file)
+                index = store.load_index()
                 snapshot_loaded = True
             except StorageError as exc:
                 snapshot_error = f"{type(exc).__name__}: {exc}"
@@ -828,6 +876,12 @@ class IngestService:
         live = LiveIndex(index)
         service = cls(live, pipeline, state_dir=state_dir, config=config,
                       database=database)
+        if snapshot_loaded:
+            # Reuse the store that loaded the snapshot: its row map is
+            # bound to the recovered index, so the first post-recovery
+            # checkpoint can append O(delta) instead of rewriting.
+            service._store = store
+            service.snapshot_path = store.path
         service._completed = set(durable)
         for info in replay.quarantined:
             record = QuarantineRecord(
@@ -868,7 +922,7 @@ class IngestService:
 
         service.recovery = IngestRecoveryReport(
             snapshot_loaded=snapshot_loaded,
-            snapshot_path=os.fspath(snapshot_file),
+            snapshot_path=store.path,
             snapshot_ogs=len(index),
             snapshot_error=snapshot_error,
             journal_path=os.fspath(journal_path),

@@ -19,17 +19,20 @@ The serving layer separates reads from writes with an immutable
 from __future__ import annotations
 
 import copy
+import logging
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, StorageError
 from repro.graph.decomposition import BackgroundGraph
 from repro.graph.object_graph import ObjectGraph
 from repro.observability import OBS
 from repro.serving.sharding import ShardedIndex, ShardedSearchResult
+
+logger = logging.getLogger(__name__)
 
 
 def _clone_index(index: Any) -> Any:
@@ -151,7 +154,51 @@ class LiveIndex:
         self._buffer: list[_BufferedWrite] = []
         self._buffer_lock = threading.Lock()
         self._compact_lock = threading.Lock()
+        self._store: Any = None
+        self._store_dirty = False
         OBS.gauge("serving.snapshot_version", 1)
+
+    # -- durability -----------------------------------------------------------
+
+    def attach_store(self, store: Any, write: bool = True) -> None:
+        """Persist every future compaction to ``store`` automatically.
+
+        ``store`` is any ``open_store()`` result.  On a columnar store
+        each compaction batch lands as one O(delta) appended segment
+        (with a background merge folding segments when the dead-row
+        fraction crosses the store's threshold); on an NPZ store every
+        compaction rewrites the archive.  With ``write=True`` the
+        current snapshot is written immediately, so the store is
+        readable from the moment of attachment.
+
+        Persistence failures degrade durability, never serving: the
+        error is logged and counted, and the next successful compaction
+        writes a full snapshot to resynchronize the store.
+        """
+        with self._compact_lock:
+            self._store = store
+            self._store_dirty = False
+            if write:
+                store.write_index(self._snapshot.index)
+
+    def _persist_batch(self, batch: list[_BufferedWrite],
+                       published: IndexSnapshot) -> None:
+        try:
+            writes = None if self._store_dirty else batch
+            self._store.checkpoint(published.index, writes)
+            self._store_dirty = False
+            maybe_merge = getattr(self._store, "maybe_merge", None)
+            if maybe_merge is not None:
+                maybe_merge(background=True)
+        except (StorageError, OSError) as exc:
+            # Divergence guard: until a full write succeeds, appending
+            # further deltas would replay to the wrong tree.
+            self._store_dirty = True
+            OBS.count("serving.persist_failures")
+            logger.warning(
+                "could not persist compaction batch (%d writes) to %s: "
+                "%s — serving continues, next compaction writes a full "
+                "snapshot", len(batch), self._store, exc)
 
     # -- reads ----------------------------------------------------------------
 
@@ -270,6 +317,8 @@ class LiveIndex:
                 self._snapshot = published
                 OBS.count("serving.compactions")
                 OBS.gauge("serving.snapshot_version", published.version)
+                if self._store is not None:
+                    self._persist_batch(batch, published)
                 return published
 
     def __repr__(self) -> str:

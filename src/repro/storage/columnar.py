@@ -1,0 +1,915 @@
+"""Columnar, memory-mapped snapshot store — the out-of-core tier.
+
+NPZ archives (``serialize.py``) are compressed zip members: loading one
+decompresses and *copies* every array into RAM, and updating one rewrites
+the whole file.  That caps corpus size at memory and makes every
+compaction O(corpus).  This module stores the same flat structured
+arrays — trajectories plus an offsets table, node attributes, sketch
+rows, background tables — as raw ``.npy`` files that ``numpy`` can
+memory-map read-only, so
+
+- *cold open* is O(1): ``open_database()`` reads one small JSON manifest
+  and stats the data files; trajectory bytes stay on disk until a query
+  faults them in;
+- multiple shard *processes* map the same file and share page cache,
+  with zero-copy views instead of per-process copies;
+- *compaction is incremental*: each ``append()`` writes one new delta
+  segment plus a tombstone bitmap — O(delta) bytes — and a background
+  merge folds segments back into a fresh base only once the dead-row
+  fraction crosses a threshold (amortized, LSM-style).
+
+Layout — one directory per store, conventionally ``<name>.strg/``::
+
+    corpus.strg/
+      manifest.json          <- commit point (atomically replaced last)
+      tombstones-000002.npy  <- packed-bit dead-row bitmap (versioned)
+      seg-000000/            <- base segment: full tree snapshot
+        meta.json            <- index config, clip refs, sketch meta
+        og_values.npy        <- (sum n_i, d) trajectory rows
+        og_offsets.npy       <- int64 offsets table into og_values
+        og_frames.npy  og_labels.npy  keys.npy  leaf_of_og.npy
+        centroid_values.npy  centroid_offsets.npy  cluster_root.npy
+        bg_*.npy  sketch_*.npy
+      seg-000001/            <- delta segment: ordered op log + payloads
+        meta.json            <- {"ops": [["i", bg] | ["d", row], ...]}
+        og_values.npy  og_offsets.npy  ...  bg_*.npy
+
+Commit protocol.  A segment directory is written completely (every file
+fsynced) *before* the manifest is atomically replaced to reference it —
+mirroring ``_atomic_savez``.  A crash mid-append leaves an orphan
+segment directory and the previous manifest: the store opens at its
+last committed state and the orphan is garbage-collected by the next
+append.  The manifest records byte size and SHA-256 per file; opening
+verifies sizes (catching truncation in O(#files) stats — full hashing
+would defeat the O(1) open and is available via :meth:`verify`).
+
+Replay model.  The base segment is a full tree snapshot
+(:func:`~repro.storage.serialize.index_to_arrays`); each delta is the
+ordered write batch of one ``LiveIndex.compact()`` — inserts carrying
+their payload rows and background ordinal, deletes naming the global
+row ordinal they kill.  Loading materializes the base and replays the
+deltas through the same deterministic ``insert()``/``delete()`` code
+path a live index evolved through, so a reopened store answers
+knn/range queries bit-identically to the process that wrote it.
+
+Row ordinals.  Every insert — base rows in leaf-iteration order, then
+delta inserts in op order — gets the next global ordinal.  og_ids are
+*not* stable across processes (fresh ids are minted on load), so the
+on-disk log never mentions them; the store keeps an in-process
+``og_id -> ordinal`` map, rebuilt on every ``write_index``/``load_index``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import shutil
+import tempfile
+import threading
+from types import SimpleNamespace
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    IndexCorruptionError,
+    InvalidParameterError,
+    StorageError,
+)
+from repro.observability import OBS
+from repro.resilience.faults import maybe_fail, maybe_truncate
+from repro.storage.serialize import (
+    _pack_backgrounds,
+    _pack_ragged,
+    _unpack_backgrounds,
+    _unpack_ragged,
+    index_from_arrays,
+    index_to_arrays,
+    leaf_ogs,
+)
+
+logger = logging.getLogger(__name__)
+
+COLUMNAR_FORMAT = "strg-columnar"
+COLUMNAR_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+STORE_SUFFIX = ".strg"
+
+_KIND_INDEX = "index"
+_KIND_SHARDED = "sharded"
+
+
+def columnar_path(path: str | os.PathLike) -> str:
+    """Normalize a store path the way :func:`npz_path` does for NPZ.
+
+    Appends ``.strg`` unless the path already carries the suffix or
+    already names a store directory (has a manifest), so suffix-less
+    ``save(path)`` / ``load(path)`` round-trips keep working.
+    """
+    p = os.fspath(path)
+    if p.endswith(STORE_SUFFIX):
+        return p
+    if os.path.isfile(os.path.join(p, MANIFEST_NAME)):
+        return p
+    return p + STORE_SUFFIX
+
+
+def is_columnar_store(path: str | os.PathLike) -> bool:
+    """True when ``path`` (after normalization) holds a store manifest."""
+    return os.path.isfile(os.path.join(columnar_path(path), MANIFEST_NAME))
+
+
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _fsync_write(path: str, writer) -> None:
+    """Write ``path`` via ``writer(fh)`` and fsync before closing."""
+    with open(path, "wb") as fh:
+        writer(fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def _file_entry(path: str) -> dict[str, Any]:
+    return {"bytes": os.path.getsize(path), "sha256": _sha256_file(path)}
+
+
+class ColumnarStore:
+    """One columnar store directory (monolithic index or sharded).
+
+    Thread-safe for writers: ``write_index``/``append``/``merge``
+    serialize on an internal lock.  Readers (``load_index``) are
+    lock-free — they only ever see committed manifests.
+    """
+
+    format = "columnar"
+    supports_mmap = True
+
+    #: Fold segments into a fresh base once this fraction of rows is dead.
+    merge_dead_fraction = 0.25
+    #: ... or once this many segments accumulate (keeps replay bounded).
+    merge_max_segments = 64
+
+    def __init__(self, path: str | os.PathLike, *, normalize: bool = True):
+        self.path = columnar_path(path) if normalize else os.fspath(path)
+        self._mutate_lock = threading.RLock()
+        self._merge_thread: threading.Thread | None = None
+        self._reset_rows()
+
+    def _reset_rows(self) -> None:
+        self._row_of: dict[int, int] = {}   # live og_id -> global ordinal
+        self._rows = 0                       # rows ever appended
+        self._dead: set[int] = set()         # tombstoned ordinals
+        self._bound = False                  # row map reflects disk state
+
+    # -- manifest ---------------------------------------------------------
+
+    @property
+    def _manifest_path(self) -> str:
+        return os.path.join(self.path, MANIFEST_NAME)
+
+    def exists(self) -> bool:
+        """Whether a committed manifest is present."""
+        return os.path.isfile(self._manifest_path)
+
+    @property
+    def supports_append(self) -> bool:
+        """Sharded stores are write/load-only (no incremental append)."""
+        if not self.exists():
+            return True
+        try:
+            return self._read_manifest()["kind"] == _KIND_INDEX
+        except StorageError:
+            return True
+
+    def _read_manifest(self) -> dict[str, Any]:
+        maybe_fail("storage.read", path=self._manifest_path)
+        try:
+            with open(self._manifest_path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except FileNotFoundError as exc:
+            raise StorageError(
+                f"cannot read {self._manifest_path}: {exc}") from exc
+        except (OSError, json.JSONDecodeError) as exc:
+            raise IndexCorruptionError(
+                f"corrupt store manifest {self._manifest_path}: {exc}",
+                details={"path": self._manifest_path,
+                         "cause": type(exc).__name__},
+            ) from exc
+        if manifest.get("format") != COLUMNAR_FORMAT:
+            raise IndexCorruptionError(
+                f"{self._manifest_path} is not a columnar store manifest "
+                f"(format={manifest.get('format')!r})",
+                details={"path": self._manifest_path,
+                         "format": manifest.get("format")},
+            )
+        version = manifest.get("format_version")
+        if version != COLUMNAR_VERSION:
+            raise IndexCorruptionError(
+                f"unsupported columnar format version {version} in "
+                f"{self._manifest_path} (supported: {COLUMNAR_VERSION})",
+                details={"path": self._manifest_path, "version": version,
+                         "supported": COLUMNAR_VERSION},
+            )
+        return manifest
+
+    def _check_sizes(self, manifest: dict[str, Any]) -> None:
+        """O(#files) truncation check: stat sizes against the manifest."""
+        for rel, entry in self._iter_file_entries(manifest):
+            target = os.path.join(self.path, rel)
+            try:
+                actual = os.path.getsize(target)
+            except OSError as exc:
+                raise IndexCorruptionError(
+                    f"store file missing: {target}: {exc}",
+                    details={"path": target, "cause": type(exc).__name__},
+                ) from exc
+            if actual != entry["bytes"]:
+                raise IndexCorruptionError(
+                    f"truncated store file {target}: "
+                    f"{actual} bytes on disk, manifest says {entry['bytes']}",
+                    details={"path": target, "actual": actual,
+                             "expected": entry["bytes"]},
+                )
+
+    def _iter_file_entries(self, manifest: dict[str, Any]
+                           ) -> Iterable[tuple[str, dict[str, Any]]]:
+        for segment in manifest.get("segments", []):
+            for name, entry in segment["files"].items():
+                yield os.path.join(segment["name"], name), entry
+        for name, entry in manifest.get("files", {}).items():
+            yield name, entry
+        tomb = manifest.get("tombstones")
+        if tomb:
+            yield tomb["name"], tomb
+
+    def _commit_manifest(self, manifest: dict[str, Any],
+                         fault_point: str) -> None:
+        """Atomically replace the manifest — the single commit point."""
+        os.makedirs(self.path, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.path, prefix=MANIFEST_NAME + ".",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(manifest, fh, indent=1, sort_keys=True,
+                          default=str)
+                fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            maybe_fail(fault_point, path=self._manifest_path)
+            os.replace(tmp, self._manifest_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            raise
+
+    # -- segment I/O ------------------------------------------------------
+
+    def _write_segment(self, name: str, arrays: dict[str, np.ndarray],
+                       meta: dict[str, Any]) -> dict[str, Any]:
+        """Write one complete segment directory; return its manifest entry.
+
+        The directory is fully written and fsynced before the caller
+        commits a manifest referencing it.  A pre-existing directory of
+        the same name is an orphan from a crashed append — by definition
+        unreferenced — and is removed first.
+        """
+        directory = os.path.join(self.path, name)
+        if os.path.isdir(directory):
+            logger.info("removing orphan segment %s", directory)
+            shutil.rmtree(directory)
+        os.makedirs(directory)
+        files: dict[str, dict[str, Any]] = {}
+        for column, array in arrays.items():
+            filename = f"{column}.npy"
+            target = os.path.join(directory, filename)
+            _fsync_write(target,
+                         lambda fh, a=array: np.save(fh, np.ascontiguousarray(a)))
+            files[filename] = _file_entry(target)
+        meta_target = os.path.join(directory, "meta.json")
+        payload = json.dumps(meta, sort_keys=True, default=str)
+        _fsync_write(meta_target, lambda fh: fh.write(payload.encode()))
+        files["meta.json"] = _file_entry(meta_target)
+        return {"name": name, "files": files}
+
+    def _load_segment_arrays(self, segment: dict[str, Any],
+                             mmap: bool) -> dict[str, np.ndarray]:
+        directory = os.path.join(self.path, segment["name"])
+        arrays: dict[str, np.ndarray] = {}
+        mode = "r" if mmap else None
+        for filename in segment["files"]:
+            if not filename.endswith(".npy"):
+                continue
+            target = os.path.join(directory, filename)
+            try:
+                arrays[filename[:-len(".npy")]] = np.load(
+                    target, mmap_mode=mode, allow_pickle=False)
+            except (OSError, ValueError, EOFError) as exc:
+                raise IndexCorruptionError(
+                    f"corrupt store file {target}: {exc}",
+                    details={"path": target, "cause": type(exc).__name__},
+                ) from exc
+        return arrays
+
+    def _read_segment_meta(self, segment: dict[str, Any]) -> dict[str, Any]:
+        target = os.path.join(self.path, segment["name"], "meta.json")
+        try:
+            with open(target, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise IndexCorruptionError(
+                f"corrupt segment meta {target}: {exc}",
+                details={"path": target, "cause": type(exc).__name__},
+            ) from exc
+
+    # -- tombstones -------------------------------------------------------
+
+    def _write_tombstones(self, ordinal: int, rows: int,
+                          dead: set[int]) -> dict[str, Any]:
+        name = f"tombstones-{ordinal:06d}.npy"
+        bits = np.zeros(rows, dtype=bool)
+        if dead:
+            bits[np.fromiter(dead, dtype=np.int64)] = True
+        target = os.path.join(self.path, name)
+        _fsync_write(target, lambda fh: np.save(fh, np.packbits(bits)))
+        entry = _file_entry(target)
+        entry["name"] = name
+        entry["rows"] = rows
+        return entry
+
+    def _load_tombstones(self, manifest: dict[str, Any]) -> set[int]:
+        tomb = manifest.get("tombstones")
+        if not tomb:
+            return set()
+        target = os.path.join(self.path, tomb["name"])
+        try:
+            packed = np.load(target, allow_pickle=False)
+        except (OSError, ValueError, EOFError) as exc:
+            raise IndexCorruptionError(
+                f"corrupt tombstone bitmap {target}: {exc}",
+                details={"path": target, "cause": type(exc).__name__},
+            ) from exc
+        bits = np.unpackbits(packed, count=int(tomb["rows"]))
+        return {int(i) for i in np.flatnonzero(bits)}
+
+    def _collect_garbage(self, manifest: dict[str, Any]) -> None:
+        """Drop files/directories the committed manifest no longer names."""
+        keep = {segment["name"] for segment in manifest.get("segments", [])}
+        keep.update(manifest.get("shards", []))
+        tomb = manifest.get("tombstones")
+        if tomb:
+            keep.add(tomb["name"])
+        keep.update(manifest.get("files", {}))
+        keep.add(MANIFEST_NAME)
+        try:
+            entries = os.listdir(self.path)
+        except OSError:  # pragma: no cover - store dir vanished
+            return
+        for entry in entries:
+            if entry in keep or entry.endswith(".tmp"):
+                continue
+            target = os.path.join(self.path, entry)
+            try:
+                if os.path.isdir(target):
+                    shutil.rmtree(target)
+                else:
+                    os.unlink(target)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                logger.warning("could not collect garbage %s", target)
+
+    # -- full write (base segment) ---------------------------------------
+
+    def write_index(self, index: Any) -> str:
+        """Write ``index`` as a fresh store (one base segment, no deltas).
+
+        Handles both monolithic ``STRGIndex`` and ``ShardedIndex`` (the
+        latter becomes a top-level manifest plus one nested store per
+        shard, shards written first, manifest last).  Also serves as the
+        *merge* target: rewriting an existing store folds all segments
+        into a new base and garbage-collects the old ones.  Returns the
+        store path.
+        """
+        with self._mutate_lock, OBS.span("storage.columnar.write"):
+            if getattr(index, "shards", None) is not None:
+                return self._write_sharded(index)
+            arrays, meta = index_to_arrays(index)
+            manifest = self._read_manifest() if self.exists() else None
+            if manifest is not None and manifest["kind"] != _KIND_INDEX:
+                ordinal = 0
+            else:
+                ordinal = manifest["next_segment"] if manifest else 0
+            os.makedirs(self.path, exist_ok=True)
+            name = f"seg-{ordinal:06d}"
+            rows = len(meta["refs"])
+            segment = self._write_segment(name, arrays, dict(meta, kind="base",
+                                                             rows=rows))
+            segment.update(kind="base", rows=rows)
+            self._commit_manifest({
+                "format": COLUMNAR_FORMAT,
+                "format_version": COLUMNAR_VERSION,
+                "kind": _KIND_INDEX,
+                "next_segment": ordinal + 1,
+                "rows_total": rows,
+                "rows_dead": 0,
+                "segments": [segment],
+                "tombstones": None,
+            }, "storage.write")
+            self._collect_garbage(self._read_manifest())
+            self._row_of = {og.og_id: i
+                            for i, (og, _) in enumerate(leaf_ogs(index))}
+            self._rows = rows
+            self._dead = set()
+            self._bound = True
+            OBS.count("storage.columnar.writes")
+            return self.path
+
+    def _write_sharded(self, index: Any) -> str:
+        os.makedirs(self.path, exist_ok=True)
+        shard_names = []
+        for ordinal, shard in enumerate(index.shards):
+            name = f"shard-{ordinal}"
+            shard_store = ColumnarStore(os.path.join(self.path, name),
+                                        normalize=False)
+            shard_store.write_index(shard)
+            shard_names.append(name)
+        config = index.config
+        pivots = index.pivots if index.pivots is not None else []
+        pivot_flat, pivot_offsets = _pack_ragged(list(pivots))
+        files = {}
+        for column, array in (("pivot_values", pivot_flat),
+                              ("pivot_offsets", pivot_offsets)):
+            target = os.path.join(self.path, f"{column}.npy")
+            _fsync_write(target,
+                         lambda fh, a=array: np.save(fh, np.ascontiguousarray(a)))
+            files[f"{column}.npy"] = _file_entry(target)
+        self._commit_manifest({
+            "format": COLUMNAR_FORMAT,
+            "format_version": COLUMNAR_VERSION,
+            "kind": _KIND_SHARDED,
+            "num_shards": len(index.shards),
+            "has_pivots": index.pivots is not None,
+            "serving_config": {
+                "num_shards": config.num_shards,
+                "placement": config.placement,
+                "coarse_sample_size": config.coarse_sample_size,
+                "coarse_iterations": config.coarse_iterations,
+                "balance_factor": config.balance_factor,
+                "seed": config.seed,
+                "eval_batch": config.eval_batch,
+                "prune_slack": config.prune_slack,
+            },
+            "shards": shard_names,
+            "files": files,
+        }, "storage.write")
+        self._collect_garbage(self._read_manifest())
+        self._reset_rows()
+        OBS.count("storage.columnar.writes")
+        return self.path
+
+    # -- load -------------------------------------------------------------
+
+    def load_index(self, mmap: bool = False) -> Any:
+        """Materialize the index: base snapshot + deterministic replay.
+
+        With ``mmap=True`` trajectory/centroid/sketch columns stay on
+        disk as read-only memory-mapped views — the tree holds zero-copy
+        slices and pages fault in per query.  The replayed tree answers
+        queries bit-identically to the live index that wrote the store.
+        """
+        with OBS.span("storage.columnar.load", mmap=mmap):
+            manifest = self._read_manifest()
+            self._check_sizes(manifest)
+            if manifest["kind"] == _KIND_SHARDED:
+                return self._load_sharded(manifest, mmap)
+            segments = manifest["segments"]
+            if not segments or segments[0]["kind"] != "base":
+                raise IndexCorruptionError(
+                    f"store {self.path} has no base segment",
+                    details={"path": self.path,
+                             "segments": [s["name"] for s in segments]},
+                )
+            index, row_ogs = self._materialize_base(segments[0], mmap)
+            dead: set[int] = set()
+            for segment in segments[1:]:
+                self._replay_delta(index, segment, row_ogs, dead, mmap)
+            tombstoned = self._load_tombstones(manifest)
+            if tombstoned != dead or len(dead) != manifest["rows_dead"]:
+                raise IndexCorruptionError(
+                    f"tombstone bitmap of {self.path} disagrees with the "
+                    f"delta log ({len(tombstoned)} bitmap vs {len(dead)} "
+                    "replayed dead rows)",
+                    details={"path": self.path, "bitmap": len(tombstoned),
+                             "replayed": len(dead),
+                             "manifest": manifest["rows_dead"]},
+                )
+            if len(row_ogs) != manifest["rows_total"]:
+                raise IndexCorruptionError(
+                    f"row count mismatch in {self.path}: replay produced "
+                    f"{len(row_ogs)} rows, manifest says "
+                    f"{manifest['rows_total']}",
+                    details={"path": self.path, "replayed": len(row_ogs),
+                             "manifest": manifest["rows_total"]},
+                )
+            self._row_of = {og.og_id: row for row, og in enumerate(row_ogs)}
+            self._rows = len(row_ogs)
+            self._dead = dead
+            self._bound = True
+            OBS.count("storage.columnar.loads")
+            return index
+
+    def _materialize_base(self, segment: dict[str, Any], mmap: bool):
+        arrays = self._load_segment_arrays(segment, mmap)
+        meta = self._read_segment_meta(segment)
+        try:
+            index = index_from_arrays(
+                arrays, meta,
+                source=os.path.join(self.path, segment["name"]))
+        except (KeyError, ValueError, IndexError, TypeError) as exc:
+            raise IndexCorruptionError(
+                f"cannot materialize base segment of {self.path}: {exc}",
+                details={"path": self.path, "segment": segment["name"],
+                         "cause": type(exc).__name__},
+            ) from exc
+        return index, [og for og, _ in leaf_ogs(index)]
+
+    def _replay_delta(self, index: Any, segment: dict[str, Any],
+                      row_ogs: list, dead: set[int], mmap: bool) -> None:
+        from repro.graph.object_graph import ObjectGraph
+
+        arrays = self._load_segment_arrays(segment, mmap)
+        meta = self._read_segment_meta(segment)
+        try:
+            ops = meta["ops"]
+            refs = meta["refs"]
+            values = _unpack_ragged(arrays["og_values"],
+                                    arrays["og_offsets"])
+            frames = _unpack_ragged(arrays["og_frames"],
+                                    arrays["og_offsets"])
+            labels = arrays["og_labels"]
+            backgrounds = (_unpack_backgrounds(arrays)
+                           if "bg_frames" in arrays else [])
+            inserted = 0
+            for op in ops:
+                code, operand = op[0], int(op[1])
+                if code == "i":
+                    og = ObjectGraph(
+                        values=values[inserted],
+                        frames=frames[inserted],
+                        label=(None if labels[inserted] < 0
+                               else int(labels[inserted])),
+                    )
+                    background = (backgrounds[operand]
+                                  if operand >= 0 else None)
+                    index.insert(og, background, refs[inserted])
+                    row_ogs.append(og)
+                    inserted += 1
+                elif code == "d":
+                    index.delete(row_ogs[operand].og_id)
+                    dead.add(operand)
+                else:
+                    raise ValueError(f"unknown op code {code!r}")
+        except (KeyError, ValueError, IndexError, TypeError) as exc:
+            raise IndexCorruptionError(
+                f"cannot replay delta segment {segment['name']} of "
+                f"{self.path}: {exc}",
+                details={"path": self.path, "segment": segment["name"],
+                         "cause": type(exc).__name__},
+            ) from exc
+
+    def _load_sharded(self, manifest: dict[str, Any], mmap: bool) -> Any:
+        from repro.serving.sharding import ShardedIndex, ShardedIndexConfig
+
+        shards = []
+        for name in manifest["shards"]:
+            shard_store = ColumnarStore(os.path.join(self.path, name),
+                                        normalize=False)
+            shards.append(shard_store.load_index(mmap=mmap))
+        if not shards:
+            raise IndexCorruptionError(
+                f"sharded store {self.path} lists no shards",
+                details={"path": self.path},
+            )
+        try:
+            pivot_values = np.load(
+                os.path.join(self.path, "pivot_values.npy"),
+                mmap_mode="r" if mmap else None, allow_pickle=False)
+            pivot_offsets = np.load(
+                os.path.join(self.path, "pivot_offsets.npy"),
+                allow_pickle=False)
+            config = ShardedIndexConfig(index=shards[0].config,
+                                        **manifest["serving_config"])
+        except (OSError, ValueError, EOFError, TypeError, KeyError) as exc:
+            raise IndexCorruptionError(
+                f"cannot read sharded store {self.path}: {exc}",
+                details={"path": self.path, "cause": type(exc).__name__},
+            ) from exc
+        index = ShardedIndex(config)
+        index.shards = shards
+        index.metric_distance = shards[0].metric_distance
+        index.cluster_distance = shards[0].cluster_distance
+        if manifest["has_pivots"]:
+            index.pivots = [
+                np.asarray(p, dtype=np.float64)
+                for p in _unpack_ragged(pivot_values, pivot_offsets)
+            ]
+        else:
+            index.pivots = None
+        index.refresh_bounds()
+        self._reset_rows()
+        return index
+
+    # -- incremental append -----------------------------------------------
+
+    def append(self, writes: Sequence[Any]) -> str | None:
+        """Persist one ordered write batch as a delta segment — O(delta).
+
+        ``writes`` is a sequence of objects with the ``_BufferedWrite``
+        shape (``op`` of ``"insert"``/``"delete"``, plus ``og``,
+        ``background``, ``clip_ref`` or ``og_id``) — exactly what one
+        ``LiveIndex.compact()`` applied.  Deletes of og_ids the store
+        does not know (never persisted, or already dead) are no-ops,
+        matching ``index.delete()`` returning ``False``.  Returns the
+        new segment name, or ``None`` when the batch was all no-ops.
+        """
+        with self._mutate_lock:
+            if not self.exists():
+                raise StorageError(
+                    f"cannot append to {self.path}: store does not exist "
+                    "(write_index() first)")
+            manifest = self._read_manifest()
+            if manifest["kind"] != _KIND_INDEX:
+                raise StorageError(
+                    f"cannot append to {self.path}: sharded columnar "
+                    "stores are write/load-only — append to the shard "
+                    "stores or rewrite with write_index()")
+            if not self._bound:
+                raise StorageError(
+                    f"cannot append to {self.path}: store rows are not "
+                    "bound to this process (call load_index() or "
+                    "write_index() first)")
+            with OBS.span("storage.columnar.append", writes=len(writes)):
+                return self._append_locked(manifest, writes)
+
+    def _append_locked(self, manifest: dict[str, Any],
+                       writes: Sequence[Any]) -> str | None:
+        ops: list[list] = []
+        insert_ogs: list[Any] = []
+        insert_refs: list[Any] = []
+        delta_backgrounds: list[Any] = []
+        bg_ordinal: dict[int, int] = {}
+        overlay: dict[int, int] = {}
+        rows = self._rows
+        new_dead: list[int] = []
+        for write in writes:
+            if write.op == "insert":
+                background = write.background
+                if background is None:
+                    ordinal = -1
+                else:
+                    ordinal = bg_ordinal.get(id(background), -2)
+                    if ordinal == -2:
+                        ordinal = len(delta_backgrounds)
+                        bg_ordinal[id(background)] = ordinal
+                        delta_backgrounds.append(background)
+                ops.append(["i", ordinal])
+                insert_ogs.append(write.og)
+                insert_refs.append(write.clip_ref)
+                overlay[write.og.og_id] = rows
+                rows += 1
+            elif write.op == "delete":
+                row = overlay.get(write.og_id,
+                                  self._row_of.get(write.og_id))
+                if row is None or row in self._dead or row in new_dead:
+                    continue
+                ops.append(["d", int(row)])
+                new_dead.append(int(row))
+            else:
+                raise InvalidParameterError(
+                    f"unknown write op {write.op!r}")
+        if not ops:
+            return None
+        og_flat, og_offsets = _pack_ragged([og.values for og in insert_ogs])
+        frames_flat = (
+            np.concatenate([np.asarray(og.frames, dtype=np.int64)
+                            for og in insert_ogs])
+            if insert_ogs else np.zeros(0, dtype=np.int64)
+        )
+        labels = np.array(
+            [-1 if og.label is None else og.label for og in insert_ogs],
+            dtype=np.int64,
+        )
+        arrays = dict(og_values=og_flat, og_offsets=og_offsets,
+                      og_frames=frames_flat, og_labels=labels)
+        if delta_backgrounds:
+            arrays.update(_pack_backgrounds([
+                SimpleNamespace(background=bg) for bg in delta_backgrounds
+            ]))
+        ordinal = manifest["next_segment"]
+        name = f"seg-{ordinal:06d}"
+        segment = self._write_segment(name, arrays, {
+            "kind": "delta", "ops": ops, "refs": insert_refs,
+        })
+        segment.update(kind="delta", rows=len(insert_ogs))
+        dead = set(self._dead)
+        dead.update(new_dead)
+        tombstones = self._write_tombstones(ordinal, rows, dead)
+        manifest = dict(manifest)
+        manifest["segments"] = manifest["segments"] + [segment]
+        manifest["next_segment"] = ordinal + 1
+        manifest["rows_total"] = rows
+        manifest["rows_dead"] = len(dead)
+        manifest["tombstones"] = tombstones
+        self._commit_manifest(manifest, "storage.append")
+        self._collect_garbage(manifest)
+        if maybe_truncate(
+                "storage.append",
+                os.path.join(self.path, name, "og_values.npy")):
+            logger.warning("injected truncation in segment %s", name)
+        self._row_of.update(overlay)
+        self._rows = rows
+        self._dead = dead
+        OBS.count("storage.columnar.appends")
+        OBS.gauge("storage.columnar.segments", len(manifest["segments"]))
+        return name
+
+    def checkpoint(self, index: Any, writes: Sequence[Any] | None = None
+                   ) -> str | None:
+        """Durability hook with the cheapest valid persistence step.
+
+        With ``writes`` (the batch applied since the last checkpoint)
+        and a bound existing store, appends one O(delta) segment;
+        otherwise falls back to a full ``write_index`` (first
+        checkpoint, or a store this process has not loaded).  The NPZ
+        store exposes the same method, always doing the full rewrite —
+        callers like ``IngestService`` stay format-agnostic.
+        """
+        with self._mutate_lock:
+            if writes is not None and self._bound and self.exists() \
+                    and getattr(index, "shards", None) is None:
+                return self.append(writes)
+            self.write_index(index)
+            return None
+
+    # -- merge ------------------------------------------------------------
+
+    def needs_merge(self) -> bool:
+        """Whether segment count / dead-row fraction crossed the policy."""
+        if not self.exists():
+            return False
+        manifest = self._read_manifest()
+        if manifest["kind"] != _KIND_INDEX:
+            return False
+        if len(manifest["segments"]) > self.merge_max_segments:
+            return True
+        total = max(manifest["rows_total"], 1)
+        return manifest["rows_dead"] / total > self.merge_dead_fraction
+
+    def merge(self, index: Any = None) -> bool:
+        """Fold every segment into a fresh base (O(corpus), amortized).
+
+        ``index`` — when the caller holds the live index the store state
+        replays to (e.g. the snapshot just published by
+        ``LiveIndex.compact``) — is written directly, keeping the
+        process-local og_id row bindings.  Without it the store
+        materializes itself from disk first (offline compaction, e.g.
+        ``repro convert --merge``).
+        """
+        with self._mutate_lock:
+            if not self.exists():
+                return False
+            with OBS.span("storage.columnar.merge"):
+                if index is not None:
+                    self.write_index(index)
+                    OBS.count("storage.columnar.merges")
+                    return True
+                # Offline fold: materialize committed state, rewrite it
+                # as the new base, then translate any live og_id
+                # bindings through (old ordinal -> fresh og -> new
+                # ordinal) so an attached writer can keep appending.
+                live = dict(self._row_of) if self._bound else None
+                materialized = self.load_index(mmap=False)
+                old_of_fresh = dict(self._row_of)
+                self.write_index(materialized)
+                if live is not None:
+                    new_of_old = {
+                        old: self._row_of[fresh]
+                        for fresh, old in old_of_fresh.items()
+                        if fresh in self._row_of
+                    }
+                    self._row_of = {
+                        og_id: new_of_old[old]
+                        for og_id, old in live.items()
+                        if old in new_of_old
+                    }
+                OBS.count("storage.columnar.merges")
+                return True
+
+    def maybe_merge(self, index: Any = None,
+                    background: bool = False) -> bool:
+        """Merge if the policy says so; optionally in a daemon thread.
+
+        Returns whether a merge ran (foreground) or was scheduled
+        (background).  Background merges serialize on the store's write
+        lock, so concurrent appends simply wait their turn.
+        """
+        if not self.needs_merge():
+            return False
+        if not background:
+            return self.merge(index)
+        with self._mutate_lock:
+            if self._merge_thread is not None \
+                    and self._merge_thread.is_alive():
+                return False
+            worker = threading.Thread(
+                target=self._background_merge, args=(index,),
+                name="columnar-merge", daemon=True)
+            self._merge_thread = worker
+            worker.start()
+        return True
+
+    def _background_merge(self, index: Any) -> None:
+        try:
+            if self.needs_merge():
+                self.merge(index)
+        except Exception:  # pragma: no cover - logged, never propagates
+            logger.exception("background merge of %s failed", self.path)
+
+    def join_merges(self, timeout: float | None = None) -> None:
+        """Wait for an in-flight background merge (tests, clean shutdown)."""
+        worker = self._merge_thread
+        if worker is not None:
+            worker.join(timeout)
+
+    # -- integrity / introspection ----------------------------------------
+
+    def verify(self) -> dict[str, Any]:
+        """Full integrity pass: re-hash every file against the manifest.
+
+        This is the O(corpus) deep check that the O(1) open deliberately
+        skips; ``repro convert`` runs it after every migration.  Returns
+        ``{"files": n, "bytes": n}`` or raises ``IndexCorruptionError``.
+        """
+        manifest = self._read_manifest()
+        self._check_sizes(manifest)
+        files = 0
+        total = 0
+        for rel, entry in self._iter_file_entries(manifest):
+            target = os.path.join(self.path, rel)
+            actual = _sha256_file(target)
+            if actual != entry["sha256"]:
+                raise IndexCorruptionError(
+                    f"checksum mismatch in {target}: payload was altered "
+                    "on disk",
+                    details={"path": target, "expected": entry["sha256"],
+                             "actual": actual},
+                )
+            files += 1
+            total += entry["bytes"]
+        for name in manifest.get("shards", []):
+            shard = ColumnarStore(os.path.join(self.path, name),
+                                  normalize=False)
+            report = shard.verify()
+            files += report["files"]
+            total += report["bytes"]
+        return {"files": files, "bytes": total}
+
+    def describe(self) -> dict[str, Any]:
+        """Small stats dict for CLI/status output."""
+        manifest = self._read_manifest()
+        info: dict[str, Any] = {
+            "path": self.path,
+            "format": self.format,
+            "kind": manifest["kind"],
+        }
+        if manifest["kind"] == _KIND_SHARDED:
+            info["num_shards"] = manifest["num_shards"]
+            return info
+        info.update(
+            segments=len(manifest["segments"]),
+            rows_total=manifest["rows_total"],
+            rows_dead=manifest["rows_dead"],
+            bytes=sum(entry["bytes"] for _, entry
+                      in self._iter_file_entries(manifest)),
+        )
+        return info
+
+    def __repr__(self) -> str:
+        return f"ColumnarStore({self.path!r})"
+
+
+__all__ = [
+    "COLUMNAR_FORMAT",
+    "COLUMNAR_VERSION",
+    "ColumnarStore",
+    "columnar_path",
+    "is_columnar_store",
+]

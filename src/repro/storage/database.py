@@ -43,7 +43,8 @@ from repro.resilience.policy import (
     quarantine_record,
 )
 from repro.resilience.retry import RetryPolicy
-from repro.storage.serialize import load_index, npz_path, save_index
+from repro.storage.serialize import npz_path  # noqa: F401  (re-exported for callers)
+from repro.storage.store import open_store
 from repro.video.frames import VideoSegment
 
 logger = logging.getLogger(__name__)
@@ -87,7 +88,8 @@ class VideoDatabase:
                  shards: int | None = None,
                  placement: str = "affine"):
         self.pipeline = VideoPipeline(config)
-        self.index: STRGIndex | None = None
+        self._index: STRGIndex | None = None
+        self._index_loader = None
         self.shards = shards
         self.placement = placement
         self._ingested: list[str] = []
@@ -106,6 +108,33 @@ class VideoDatabase:
         #: Default snapshot location used by :meth:`save`; set by
         #: :func:`repro.open_database`, :meth:`load` and :meth:`recover`.
         self.path: str | None = None
+
+    # -- index binding -------------------------------------------------------
+
+    @property
+    def index(self) -> STRGIndex | None:
+        """The database's index, materialized on first touch.
+
+        A database opened with ``mmap`` (via :func:`repro.open_database`
+        or :meth:`load`) defers tree materialization: ``open`` is O(1)
+        — one manifest read — and the tree is built from the store's
+        zero-copy views the first time anything touches ``db.index``.
+        """
+        if self._index is None and self._index_loader is not None:
+            loader, self._index_loader = self._index_loader, None
+            with OBS.span("database.materialize"):
+                self._index = loader()
+        return self._index
+
+    @index.setter
+    def index(self, value: STRGIndex | None) -> None:
+        self._index = value
+        self._index_loader = None
+
+    @property
+    def index_loaded(self) -> bool:
+        """Whether the index is materialized (False while open is lazy)."""
+        return self._index is not None
 
     # -- ingestion -----------------------------------------------------------
 
@@ -500,14 +529,17 @@ class VideoDatabase:
             "journal": None if self._journal is None else self._journal.path,
         }
 
-    def save(self, path: str | os.PathLike | None = None) -> None:
+    def save(self, path: str | os.PathLike | None = None,
+             format: str = "auto") -> None:
         """Persist the index atomically and journal a checkpoint.
 
         ``path`` defaults to the database's bound :attr:`path` (set by
-        :func:`repro.open_database` / :meth:`load`).  See
-        :func:`repro.storage.serialize.save_index`: the write is
-        temp-file + fsync + rename, so a crash mid-save leaves any
-        previous snapshot at ``path`` intact.
+        :func:`repro.open_database` / :meth:`load`).  ``format`` picks
+        the snapshot format — ``"columnar"`` (memory-mappable ``.strg``
+        store), ``"npz"`` (checksummed v2 archive), or ``"auto"``
+        (whatever exists at the path; NPZ for a fresh suffix-less
+        path).  Every format commits atomically — temp + fsync + rename
+        — so a crash mid-save leaves any previous snapshot intact.
         """
         if path is None:
             path = self.path
@@ -517,40 +549,54 @@ class VideoDatabase:
                 "bound path (open it with repro.open_database(path))"
             )
         self._require_index()
-        if getattr(self.index, "shards", None) is not None:
-            self.index.save(path)
-        else:
-            save_index(path, self.index)
-        self.path = npz_path(path)
+        store = open_store(path, format=format)
+        store.write_index(self.index)
+        self.path = store.path
         self._journal_append({"event": "checkpoint",
-                              "path": npz_path(path),
+                              "path": store.path,
+                              "format": store.format,
                               "ogs": len(self.index),
                               "segments": len(self._ingested)})
-        logger.info("saved snapshot to %s (%d OGs)", npz_path(path),
-                    len(self.index))
+        logger.info("saved %s snapshot to %s (%d OGs)", store.format,
+                    store.path, len(self.index))
 
     @classmethod
     def load(cls, path: str | os.PathLike,
              config: PipelineConfig | None = None,
+             mmap: bool | str = False,
+             lazy: bool = False,
              **kwargs) -> "VideoDatabase":
-        """Restore a database from a saved index.
+        """Restore a database from a saved snapshot (any format).
 
-        ``**kwargs`` are the constructor's resilience options
+        ``mmap`` — ``True`` maps trajectory columns read-only instead of
+        copying them into RAM (columnar stores only; NPZ archives raise
+        with a pointer at ``repro convert``); ``"auto"`` maps when the
+        format supports it.  ``lazy=True`` defers tree materialization
+        until :attr:`index` is first touched, making the open itself
+        O(1).  ``**kwargs`` are the constructor's resilience options
         (``fault_policy``, ``retry_policy``, ``journal_path``, ...).
         """
         db = cls(config, **kwargs)
-        from repro.storage.serialize import is_sharded_snapshot
+        store = open_store(path)
+        if lazy and not store.exists():
+            # The lazy path must fail at open time, not at first touch.
+            raise StorageError(
+                f"cannot read {store.path}: no snapshot found")
+        use_mmap = store.supports_mmap if mmap == "auto" else bool(mmap)
 
-        if is_sharded_snapshot(path):
-            from repro.serving.sharding import ShardedIndex
+        def materialize():
+            index = store.load_index(mmap=use_mmap)
+            if getattr(index, "shards", None) is not None:
+                db.shards = index.num_shards
+                db.placement = index.config.placement
+            return index
 
-            db.index = ShardedIndex.load(path)
-            db.shards = db.index.num_shards
-            db.placement = db.index.config.placement
+        if lazy:
+            db._index_loader = materialize
         else:
-            db.index = load_index(path)
+            db.index = materialize()
         db._ingested.append(f"loaded:{os.fspath(path)}")
-        db.path = npz_path(path)
+        db.path = store.path
         return db
 
     @classmethod
@@ -570,7 +616,7 @@ class VideoDatabase:
         Raises :class:`~repro.errors.RecoveryError` when neither a
         usable snapshot nor a journal exists.
         """
-        target = npz_path(path)
+        target = open_store(path).path
         journal_path = (os.fspath(journal_path) if journal_path is not None
                         else target + ".journal")
         records, truncated = read_journal(journal_path)

@@ -27,7 +27,7 @@ import os
 import tempfile
 import zipfile
 import zlib
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -281,9 +281,11 @@ def _unpack_backgrounds(data) -> list[BackgroundGraph | None]:
 
 
 def _pack_sketch(index: STRGIndex,
-                 ogs: Sequence[ObjectGraph]) -> dict[str, np.ndarray]:
-    """Sketch-tier arrays for :func:`save_index` (empty when unbuilt).
+                 ogs: Sequence[ObjectGraph]
+                 ) -> tuple[dict[str, np.ndarray], str | None]:
+    """Sketch-tier columns for a snapshot (empty when unbuilt).
 
+    Returns the numeric ``sketch_*`` arrays plus the JSON meta string.
     Rows are stored in the same order as the archive's leaf records
     (``ogs``), because og_ids are not stable across a save/load round
     trip — position is.  A sketch that lost sync with the index (should
@@ -295,7 +297,7 @@ def _pack_sketch(index: STRGIndex,
             logger.warning(
                 "sketch tier out of sync with index (%d rows vs %d OGs); "
                 "not persisting it", len(sketch), len(ogs))
-        return {}
+        return {}, None
     from repro.search.sketch import sketch_meta_json
 
     row_of = {int(og_id): pos for pos, og_id in enumerate(sketch.og_ids)}
@@ -303,7 +305,7 @@ def _pack_sketch(index: STRGIndex,
     if any(row is None for row in rows):
         logger.warning("sketch tier missing rows for indexed OGs; "
                        "not persisting it")
-        return {}
+        return {}, None
     order = np.asarray(rows, dtype=np.int64)
     pivot_flat, pivot_offsets = _pack_ragged(sketch.pivots)
     return dict(
@@ -311,11 +313,10 @@ def _pack_sketch(index: STRGIndex,
         sketch_pivot_offsets=pivot_offsets,
         sketch_pivot_dists=sketch.pivot_dists[order],
         sketch_sig=sketch.sig[order],
-        sketch_meta=np.array(sketch_meta_json(sketch)),
-    )
+    ), sketch_meta_json(sketch)
 
 
-def _unpack_sketch(data, index: STRGIndex,
+def _unpack_sketch(data, sketch_meta: str, index: STRGIndex,
                    loaded: list[tuple[ObjectGraph, object]],
                    path: str | os.PathLike):
     """Rebuild the sketch tier from a snapshot's ``sketch_*`` arrays.
@@ -329,7 +330,7 @@ def _unpack_sketch(data, index: STRGIndex,
     from repro.search.sketch import sketch_from_meta
 
     try:
-        sketch = sketch_from_meta(str(data["sketch_meta"]))
+        sketch = sketch_from_meta(sketch_meta)
         sketch.pivots = [
             np.asarray(p, dtype=np.float64)
             for p in _unpack_ragged(data["sketch_pivot_values"],
@@ -349,7 +350,7 @@ def _unpack_sketch(data, index: STRGIndex,
         logger.warning(
             "ignoring unreadable sketch payload in %s (%s: %s); the "
             "sketch tier will be rebuilt on first budgeted query",
-            npz_path(path), type(exc).__name__, exc)
+            os.fspath(path), type(exc).__name__, exc)
         return None
     sketch.records = list(loaded)
     sketch.series = [as_series(og) for og, _ in loaded]
@@ -360,12 +361,31 @@ def _unpack_sketch(data, index: STRGIndex,
     return sketch
 
 
-def save_index(path: str | os.PathLike, index: STRGIndex) -> None:
-    """Persist an STRG-Index tree (structure + payloads) as NPZ.
+def leaf_ogs(index: STRGIndex) -> list[tuple[ObjectGraph, Any]]:
+    """``(og, clip_ref)`` pairs in the stable leaf-iteration order.
 
-    A built sketch tier (``index.sketch_tier()``) rides along in
-    ``sketch_*`` arrays; archives written before the approximate tier
-    existed simply lack those keys and get a lazy rebuild on load.
+    This is *the* row order of every snapshot format: NPZ archives and
+    columnar segments both number rows by it, and sketch arrays are
+    persisted positionally against it.
+    """
+    return [
+        (leaf_record.og, leaf_record.clip_ref)
+        for root_record in index.root
+        for cluster_record in root_record.cluster_node
+        for leaf_record in cluster_record.leaf
+    ]
+
+
+def index_to_arrays(index: STRGIndex
+                    ) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Flatten an STRG-Index into numeric columns + JSON-able meta.
+
+    The columns are the flat structured arrays shared by every snapshot
+    format (NPZ archives, columnar segments): trajectories plus an
+    offsets table, per-row labels/keys/cluster ordinals, centroid and
+    background tables, and — when built — the sketch tier.  ``meta``
+    carries everything non-numeric: the index config, per-row clip
+    refs, root count and the sketch meta JSON.
     """
     ogs: list[ObjectGraph] = []
     keys: list[float] = []
@@ -384,15 +404,32 @@ def save_index(path: str | os.PathLike, index: STRGIndex) -> None:
                 leaf_of_og.append(cluster_ordinal)
                 refs.append(leaf_record.clip_ref)
             cluster_ordinal += 1
-    try:
-        og_flat, og_offsets = _pack_ragged([og.values for og in ogs])
-        cen_flat, cen_offsets = _pack_ragged(centroids)
-        labels = np.array(
-            [-1 if og.label is None else og.label for og in ogs],
-            dtype=np.int64,
-        )
-        config = index.config
-        config_json = json.dumps({
+    og_flat, og_offsets = _pack_ragged([og.values for og in ogs])
+    frames_flat = (
+        np.concatenate([np.asarray(og.frames, dtype=np.int64)
+                        for og in ogs])
+        if ogs else np.zeros(0, dtype=np.int64)
+    )
+    cen_flat, cen_offsets = _pack_ragged(centroids)
+    labels = np.array(
+        [-1 if og.label is None else og.label for og in ogs],
+        dtype=np.int64,
+    )
+    config = index.config
+    sketch_arrays, sketch_meta = _pack_sketch(index, ogs)
+    arrays = dict(
+        og_values=og_flat, og_offsets=og_offsets, og_labels=labels,
+        og_frames=frames_flat,
+        keys=np.asarray(keys, dtype=np.float64),
+        leaf_of_og=np.asarray(leaf_of_og, dtype=np.int64),
+        centroid_values=cen_flat, centroid_offsets=cen_offsets,
+        cluster_root=np.asarray(cluster_root, dtype=np.int64),
+        **_pack_backgrounds(index.root),
+        **sketch_arrays,
+    )
+    meta = {
+        "num_roots": len(index.root),
+        "config": {
             "leaf_capacity": config.leaf_capacity,
             "bg_similarity_threshold": config.bg_similarity_threshold,
             "n_clusters": config.n_clusters,
@@ -400,51 +437,47 @@ def save_index(path: str | os.PathLike, index: STRGIndex) -> None:
             "em_iterations": config.em_iterations,
             "metric_gap": config.metric_gap,
             "seed": config.seed,
-        })
-        refs_json = json.dumps(refs, default=str)
-        _atomic_savez(path, dict(
-            og_values=og_flat, og_offsets=og_offsets, og_labels=labels,
-            keys=np.asarray(keys, dtype=np.float64),
-            leaf_of_og=np.asarray(leaf_of_og, dtype=np.int64),
-            centroid_values=cen_flat, centroid_offsets=cen_offsets,
-            cluster_root=np.asarray(cluster_root, dtype=np.int64),
-            num_roots=np.int64(len(index.root)),
-            config=np.array(config_json),
-            refs=np.array(refs_json),
-            **_pack_backgrounds(index.root),
-            **_pack_sketch(index, ogs),
-        ))
-    except OSError as exc:
-        raise StorageError(
-            f"cannot write index to {npz_path(path)}: {exc}"
-        ) from exc
+        },
+        "refs": refs,
+        "sketch_meta": sketch_meta,
+    }
+    return arrays, meta
 
 
-def load_index(path: str | os.PathLike) -> STRGIndex:
-    """Load an index written by :func:`save_index`."""
-    data = _verified_load(path)
-    try:
-        og_values = _unpack_ragged(data["og_values"], data["og_offsets"])
-        labels = data["og_labels"]
-        keys = data["keys"]
-        leaf_of_og = data["leaf_of_og"]
-        centroids = _unpack_ragged(
-            data["centroid_values"], data["centroid_offsets"]
-        )
-        cluster_root = data["cluster_root"]
-        num_roots = int(data["num_roots"])
-        config_kwargs = json.loads(str(data["config"]))
-        refs = json.loads(str(data["refs"]))
-        if "bg_frames" in data:
-            backgrounds = _unpack_backgrounds(data)
-        else:
-            backgrounds = [None] * num_roots
-    except (KeyError, ValueError, IndexError,
-            json.JSONDecodeError) as exc:
-        raise IndexCorruptionError(
-            f"cannot read index from {npz_path(path)}: {exc}",
-            details={"path": npz_path(path), "cause": type(exc).__name__},
-        ) from exc
+def index_from_arrays(arrays, meta: dict[str, Any],
+                      source: str = "<arrays>") -> STRGIndex:
+    """Rebuild an STRG-Index from :func:`index_to_arrays` output.
+
+    ``arrays`` may be any mapping of name to array — in-RAM copies or
+    memory-mapped ``.npy`` views.  Values (and frames) are *sliced*,
+    never copied, so an index built over memory-mapped columns holds
+    zero-copy views into the store file: pages fault in only when a
+    query actually evaluates a trajectory.
+
+    Raises ``KeyError``/``ValueError``/``IndexError`` on malformed
+    payloads — callers wrap these in the format-appropriate
+    :class:`~repro.errors.IndexCorruptionError`.
+    """
+    og_values = _unpack_ragged(arrays["og_values"], arrays["og_offsets"])
+    labels = arrays["og_labels"]
+    keys = arrays["keys"]
+    leaf_of_og = arrays["leaf_of_og"]
+    centroids = _unpack_ragged(
+        arrays["centroid_values"], arrays["centroid_offsets"]
+    )
+    cluster_root = arrays["cluster_root"]
+    num_roots = int(meta["num_roots"])
+    config_kwargs = dict(meta["config"])
+    refs = meta["refs"]
+    og_frames = None
+    if "og_frames" in arrays:
+        frames_flat = arrays["og_frames"]
+        if frames_flat.shape[0] == int(arrays["og_offsets"][-1]):
+            og_frames = _unpack_ragged(frames_flat, arrays["og_offsets"])
+    if "bg_frames" in arrays:
+        backgrounds = _unpack_backgrounds(arrays)
+    else:
+        backgrounds = [None] * num_roots
 
     index = STRGIndex(STRGIndexConfig(**config_kwargs))
     roots = [RootRecord(i, backgrounds[i]) for i in range(num_roots)]
@@ -457,15 +490,60 @@ def load_index(path: str | os.PathLike) -> STRGIndex:
     loaded: list[tuple[ObjectGraph, object]] = []
     for i, (values, label) in enumerate(zip(og_values, labels)):
         og = ObjectGraph(
-            values=values, label=None if label < 0 else int(label)
+            values=values, label=None if label < 0 else int(label),
+            frames=(og_frames[i] if og_frames is not None else None),
         )
         record = cluster_records[int(leaf_of_og[i])]
         ref = refs[i] if i < len(refs) else None
         record.leaf.insert(LeafRecord(float(keys[i]), og, ref))
         loaded.append((og, ref))
-    if "sketch_meta" in data:
-        index._sketches = _unpack_sketch(data, index, loaded, path)
+    sketch_meta = meta.get("sketch_meta")
+    if sketch_meta is not None:
+        index._sketches = _unpack_sketch(arrays, sketch_meta, index,
+                                         loaded, source)
     return index
+
+
+def save_index(path: str | os.PathLike, index: STRGIndex) -> None:
+    """Persist an STRG-Index tree (structure + payloads) as NPZ.
+
+    A built sketch tier (``index.sketch_tier()``) rides along in
+    ``sketch_*`` arrays; archives written before the approximate tier
+    existed simply lack those keys and get a lazy rebuild on load.
+    """
+    try:
+        arrays, meta = index_to_arrays(index)
+        npz = dict(arrays)
+        npz["num_roots"] = np.int64(meta["num_roots"])
+        npz["config"] = np.array(json.dumps(meta["config"]))
+        npz["refs"] = np.array(json.dumps(meta["refs"], default=str))
+        if meta["sketch_meta"] is not None:
+            npz["sketch_meta"] = np.array(meta["sketch_meta"])
+        _atomic_savez(path, npz)
+    except OSError as exc:
+        raise StorageError(
+            f"cannot write index to {npz_path(path)}: {exc}"
+        ) from exc
+
+
+def load_index(path: str | os.PathLike) -> STRGIndex:
+    """Load an index written by :func:`save_index`."""
+    data = _verified_load(path)
+    try:
+        meta = {
+            "num_roots": int(data["num_roots"]),
+            "config": json.loads(str(data["config"])),
+            "refs": json.loads(str(data["refs"])),
+            "sketch_meta": (str(data["sketch_meta"])
+                            if "sketch_meta" in data else None),
+        }
+        return index_from_arrays(data, meta, source=npz_path(path))
+    except (KeyError, ValueError, IndexError,
+            json.JSONDecodeError) as exc:
+        raise IndexCorruptionError(
+            f"cannot read index from {npz_path(path)}: {exc}",
+            details={"path": npz_path(path), "cause": type(exc).__name__},
+        ) from exc
 
 
 # -- sharded indexes ----------------------------------------------------------

@@ -1,0 +1,527 @@
+"""Columnar memory-mapped store and the ``open_store`` facade
+(docs/STORAGE.md): round trips, mmap bit-identity, incremental append
++ replay, tombstones and merges, torn-write recovery, conversion, and
+the wiring through ``LiveIndex`` / ``IngestService`` / the CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.index import STRGIndex, STRGIndexConfig
+from repro.errors import (
+    IndexCorruptionError,
+    InvalidParameterError,
+    StorageError,
+)
+from repro.graph.object_graph import ObjectGraph
+from repro.resilience import FaultInjector, injected
+from repro.serving.sharding import ShardedIndex, ShardedIndexConfig
+from repro.serving.snapshot import LiveIndex, _BufferedWrite
+from repro.storage.columnar import ColumnarStore, is_columnar_store
+from repro.storage.serialize import (
+    index_to_arrays,
+    load_index,
+    save_index,
+)
+from repro.storage.store import (
+    NpzStore,
+    convert,
+    detect_format,
+    open_store,
+    snapshot_exists,
+    store_path,
+)
+
+
+def blob_ogs(k=3, n_per=5, seed=0, length_range=(5, 10)):
+    rng = np.random.default_rng(seed)
+    ogs = []
+    for label in range(k):
+        for _ in range(n_per):
+            length = int(rng.integers(*length_range))
+            base = np.linspace(0, 10, length)[:, None]
+            values = np.hstack([base + label * 150.0, base])
+            ogs.append(ObjectGraph.from_values(
+                values + rng.normal(0, 0.5, values.shape), label=label
+            ))
+    return ogs
+
+
+def build_index(ogs=None, n_clusters=3, refs=True):
+    ogs = blob_ogs() if ogs is None else ogs
+    index = STRGIndex(STRGIndexConfig(n_clusters=n_clusters))
+    index.build(ogs, clip_refs=[f"clip-{i}" for i in range(len(ogs))]
+                if refs else None)
+    return index, ogs
+
+
+def knn_signature(index, queries, k=5):
+    """Distances + refs of k-NN hits (og_ids are process-local)."""
+    out = []
+    for q in queries:
+        out.append([(d, ref) for d, _, ref in index.knn(q, k)])
+    return out
+
+
+class TestColumnarRoundTrip:
+    def test_write_load_bit_identical(self, tmp_path):
+        index, ogs = build_index()
+        store = ColumnarStore(tmp_path / "corpus")
+        store.write_index(index)
+        assert store.path.endswith(".strg")
+        for mmap in (False, True):
+            loaded = ColumnarStore(store.path).load_index(mmap=mmap)
+            assert loaded.stats() == index.stats()
+            assert knn_signature(loaded, ogs[:4]) \
+                == knn_signature(index, ogs[:4])
+
+    def test_mmap_slices_stay_on_disk(self, tmp_path):
+        index, ogs = build_index()
+        store = ColumnarStore(tmp_path / "corpus")
+        store.write_index(index)
+        loaded = store.load_index(mmap=True)
+        first = next(loaded.object_graphs())
+        assert isinstance(first.values.base, np.memmap) \
+            or isinstance(first.values, np.memmap)
+
+    def test_npz_columnar_npz_content_identical(self, tmp_path):
+        index, _ = build_index()
+        save_index(tmp_path / "a.npz", index)
+        convert(tmp_path / "a.npz", tmp_path / "b", format="columnar")
+        convert(tmp_path / "b.strg", tmp_path / "c", format="npz")
+        final = load_index(tmp_path / "c.npz")
+        before, meta_a = index_to_arrays(load_index(tmp_path / "a.npz"))
+        after, meta_c = index_to_arrays(final)
+        assert sorted(before) == sorted(after)
+        for key, column in before.items():
+            np.testing.assert_array_equal(after[key], column,
+                                          err_msg=key)
+        assert meta_a["refs"] == meta_c["refs"]
+        assert meta_a["num_roots"] == meta_c["num_roots"]
+
+    def test_sketches_survive(self, tmp_path):
+        index, ogs = build_index()
+        index.sketch_tier()  # force the approximate tier to exist
+        store = ColumnarStore(tmp_path / "sk")
+        store.write_index(index)
+        loaded = store.load_index()
+        assert loaded._sketches is not None
+        want = index.knn(ogs[0], 3, search_budget=8)
+        got = loaded.knn(ogs[0], 3, search_budget=8)
+        assert [d for d, _, _ in want] == [d for d, _, _ in got]
+
+    def test_empty_index_round_trips(self, tmp_path):
+        index = STRGIndex(STRGIndexConfig(n_clusters=None, k_max=4))
+        store = ColumnarStore(tmp_path / "empty")
+        store.write_index(index)
+        assert len(store.load_index()) == 0
+
+
+class TestShardedColumnar:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_mmap_vs_ram_bit_identical(self, tmp_path, shards):
+        ogs = blob_ogs(k=4, n_per=4)
+        index = ShardedIndex(ShardedIndexConfig(
+            num_shards=shards, index=STRGIndexConfig(n_clusters=2)))
+        index.build(ogs)
+        store = ColumnarStore(tmp_path / f"s{shards}")
+        store.write_index(index)
+        ram = store.load_index(mmap=False)
+        mapped = store.load_index(mmap=True)
+        assert knn_signature(ram, ogs[:4]) == knn_signature(index, ogs[:4])
+        assert knn_signature(mapped, ogs[:4]) == knn_signature(ram, ogs[:4])
+        want = [(d, ref) for d, _, ref in index.range_query(ogs[0], 30.0)]
+        assert [(d, ref) for d, _, ref in mapped.range_query(ogs[0], 30.0)] \
+            == want
+
+    def test_sharded_store_rejects_append(self, tmp_path):
+        ogs = blob_ogs(k=2, n_per=3)
+        index = ShardedIndex(ShardedIndexConfig(
+            num_shards=2, index=STRGIndexConfig(n_clusters=2)))
+        index.build(ogs)
+        store = ColumnarStore(tmp_path / "sharded")
+        store.write_index(index)
+        assert not store.supports_append
+        with pytest.raises(StorageError, match="sharded"):
+            store.append([_BufferedWrite("delete", og_id=1)])
+
+
+class TestAppendAndReplay:
+    def test_appended_deltas_replay_bit_identical(self, tmp_path):
+        index, ogs = build_index()
+        store = ColumnarStore(tmp_path / "delta")
+        store.write_index(index)
+        extra = blob_ogs(k=1, n_per=4, seed=9)
+        writes = [_BufferedWrite("insert", og=og, clip_ref=f"x-{i}")
+                  for i, og in enumerate(extra)]
+        victim = ogs[2].og_id
+        writes.append(_BufferedWrite("delete", og_id=victim))
+        for write in writes:
+            if write.op == "insert":
+                index.insert(write.og, None, write.clip_ref)
+            else:
+                index.delete(write.og_id)
+        assert store.append(writes) is not None
+        loaded = store.load_index()
+        queries = extra[:2] + ogs[:2]
+        assert knn_signature(loaded, queries) \
+            == knn_signature(index, queries)
+        assert len(loaded) == len(index)
+
+    def test_delete_of_unknown_og_is_noop(self, tmp_path):
+        index, _ = build_index()
+        store = ColumnarStore(tmp_path / "noop")
+        store.write_index(index)
+        assert store.append([_BufferedWrite("delete", og_id=10**9)]) is None
+        assert len(store.load_index()) == len(index)
+
+    def test_append_requires_binding(self, tmp_path):
+        index, _ = build_index()
+        ColumnarStore(tmp_path / "b").write_index(index)
+        fresh = ColumnarStore(tmp_path / "b")  # same dir, no row map
+        with pytest.raises(StorageError, match="not.*bound|bound"):
+            fresh.append([_BufferedWrite("delete", og_id=0)])
+
+    def test_checkpoint_appends_when_bound(self, tmp_path):
+        index, _ = build_index()
+        store = ColumnarStore(tmp_path / "ck")
+        store.checkpoint(index)  # first: full write
+        one = len(store._read_manifest()["segments"])
+        og = ObjectGraph.from_values([[0.0, 0.0], [1.0, 1.0]])
+        index.insert(og, None, "late")
+        store.checkpoint(index, [_BufferedWrite("insert", og=og,
+                                                clip_ref="late")])
+        manifest = store._read_manifest()
+        assert len(manifest["segments"]) == one + 1
+        assert manifest["segments"][-1]["kind"] == "delta"
+        assert len(store.load_index()) == len(index)
+
+
+class TestMerge:
+    def test_dead_rows_trigger_and_merge_folds(self, tmp_path):
+        index, ogs = build_index()
+        store = ColumnarStore(tmp_path / "merge")
+        store.write_index(index)
+        writes = []
+        for og in ogs[: len(ogs) // 2]:
+            index.delete(og.og_id)
+            writes.append(_BufferedWrite("delete", og_id=og.og_id))
+        store.append(writes)
+        assert store.needs_merge()
+        assert store.merge(index)
+        manifest = store._read_manifest()
+        assert len(manifest["segments"]) == 1
+        assert manifest["rows_dead"] == 0
+        survivors = ogs[len(ogs) // 2:]
+        assert knn_signature(store.load_index(), survivors[:3]) \
+            == knn_signature(index, survivors[:3])
+
+    def test_offline_merge_preserves_live_bindings(self, tmp_path):
+        index, ogs = build_index()
+        store = ColumnarStore(tmp_path / "fold")
+        store.write_index(index)
+        index.delete(ogs[0].og_id)
+        store.append([_BufferedWrite("delete", og_id=ogs[0].og_id)])
+        assert store.merge(index=None)  # fold committed state offline
+        # The live og_id binding must survive the fold: later deletes
+        # through the same store still hit the right rows.
+        index.delete(ogs[1].og_id)
+        store.append([_BufferedWrite("delete", og_id=ogs[1].og_id)])
+        assert len(store.load_index()) == len(index)
+
+    def test_incremental_append_moves_o_delta_bytes(self, tmp_path):
+        index, _ = build_index(blob_ogs(k=4, n_per=8, seed=3))
+        store = ColumnarStore(tmp_path / "odelta")
+        store.write_index(index)
+        base_bytes = sum(entry["bytes"]
+                         for seg in store._read_manifest()["segments"]
+                         for entry in seg["files"].values())
+        og = ObjectGraph.from_values([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        index.insert(og, None, "tiny")
+        name = store.append([_BufferedWrite("insert", og=og,
+                                            clip_ref="tiny")])
+        manifest = store._read_manifest()
+        delta = next(s for s in manifest["segments"] if s["name"] == name)
+        delta_bytes = sum(entry["bytes"]
+                          for entry in delta["files"].values())
+        assert delta_bytes < base_bytes / 5
+
+
+class TestCorruptionDetection:
+    def make_store(self, tmp_path):
+        index, ogs = build_index()
+        store = ColumnarStore(tmp_path / "c")
+        store.write_index(index)
+        return store, index, ogs
+
+    def test_truncated_segment_raises_typed_error(self, tmp_path):
+        store, _, _ = self.make_store(tmp_path)
+        manifest = store._read_manifest()
+        seg = manifest["segments"][0]["name"]
+        target = os.path.join(store.path, seg, "og_values.npy")
+        with open(target, "r+b") as fh:
+            fh.truncate(os.path.getsize(target) // 2)
+        with pytest.raises(IndexCorruptionError) as err:
+            ColumnarStore(store.path).load_index()
+        assert err.value.details
+
+    def test_corrupt_manifest_raises_typed_error(self, tmp_path):
+        store, _, _ = self.make_store(tmp_path)
+        with open(os.path.join(store.path, "manifest.json"), "w") as fh:
+            fh.write('{"format": "strg-columnar", "truncated')
+        with pytest.raises(IndexCorruptionError):
+            ColumnarStore(store.path).load_index()
+
+    def test_flipped_segment_byte_fails_verify(self, tmp_path):
+        store, _, _ = self.make_store(tmp_path)
+        manifest = store._read_manifest()
+        seg = manifest["segments"][0]["name"]
+        target = os.path.join(store.path, seg, "og_values.npy")
+        blob = bytearray(open(target, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        open(target, "wb").write(bytes(blob))
+        with pytest.raises(IndexCorruptionError):
+            ColumnarStore(store.path).verify()
+
+    def test_row_count_mismatch_detected(self, tmp_path):
+        store, _, _ = self.make_store(tmp_path)
+        manifest = store._read_manifest()
+        manifest["rows_total"] += 1
+        store._commit_manifest(manifest, "storage.write")
+        with pytest.raises(IndexCorruptionError):
+            ColumnarStore(store.path).load_index()
+
+    def test_crash_mid_append_keeps_previous_state(self, tmp_path):
+        store, index, ogs = self.make_store(tmp_path)
+        before = knn_signature(store.load_index(), ogs[:3])
+        store.write_index(index)  # rebind after the load above
+        og = ObjectGraph.from_values([[5.0, 5.0], [6.0, 6.0]])
+        injector = FaultInjector().inject("storage.append", rate=1.0)
+        with injected(injector):
+            with pytest.raises((StorageError, OSError)):
+                store.append([_BufferedWrite("insert", og=og,
+                                             clip_ref="lost")])
+        assert injector.fired["storage.append"] == 1
+        # The manifest never committed: the store reopens at the
+        # pre-append state, ignoring the orphaned segment directory.
+        reopened = ColumnarStore(store.path)
+        assert knn_signature(reopened.load_index(), ogs[:3]) == before
+        reopened.verify()
+
+    def test_torn_append_write_detected_on_load(self, tmp_path):
+        store, index, ogs = self.make_store(tmp_path)
+        og = ObjectGraph.from_values([[5.0, 5.0], [6.0, 6.0]])
+        injector = FaultInjector().inject(
+            "storage.append", kind="truncate", rate=1.0)
+        with injected(injector):
+            store.append([_BufferedWrite("insert", og=og, clip_ref="x")])
+        with pytest.raises(IndexCorruptionError):
+            ColumnarStore(store.path).load_index()
+
+
+class TestFacade:
+    def test_autodetects_each_format(self, tmp_path):
+        index, _ = build_index()
+        save_index(tmp_path / "plain.npz", index)
+        ColumnarStore(tmp_path / "col").write_index(index)
+        assert detect_format(tmp_path / "plain") == "npz"
+        assert detect_format(tmp_path / "col") == "columnar"
+        assert detect_format(tmp_path / "nothing") is None
+        assert isinstance(open_store(tmp_path / "plain"), NpzStore)
+        assert isinstance(open_store(tmp_path / "col"), ColumnarStore)
+        assert snapshot_exists(tmp_path / "col")
+        assert not snapshot_exists(tmp_path / "nothing")
+
+    def test_fresh_paths_resolve_by_suffix(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "new.strg"), ColumnarStore)
+        assert isinstance(open_store(tmp_path / "new"), NpzStore)
+        assert store_path(tmp_path / "new").endswith(".npz")
+        assert store_path(tmp_path / "new", "columnar").endswith(".strg")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            open_store(tmp_path / "x", format="parquet")
+
+    def test_npz_store_refuses_mmap_with_guidance(self, tmp_path):
+        index, _ = build_index()
+        store = open_store(tmp_path / "x.npz", format="npz")
+        store.write_index(index)
+        with pytest.raises(StorageError, match="convert"):
+            store.load_index(mmap=True)
+
+    def test_convert_rejects_identical_paths(self, tmp_path):
+        index, _ = build_index()
+        save_index(tmp_path / "x.npz", index)
+        with pytest.raises(InvalidParameterError):
+            convert(tmp_path / "x.npz", tmp_path / "x.npz", format="npz")
+
+    def test_convert_missing_source_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            convert(tmp_path / "ghost.npz")
+
+    def test_deprecated_names_warn_but_work(self, tmp_path):
+        import repro.storage as storage
+
+        index, _ = build_index()
+        with pytest.warns(DeprecationWarning, match="open_store"):
+            storage.save_index(tmp_path / "legacy.npz", index)
+        with pytest.warns(DeprecationWarning):
+            loaded = storage.load_index(tmp_path / "legacy.npz")
+        assert len(loaded) == len(index)
+
+
+class TestLiveIndexPersistence:
+    def make_live(self, tmp_path):
+        index, ogs = build_index()
+        live = LiveIndex(index)
+        store = open_store(tmp_path / "live", format="columnar")
+        live.attach_store(store)
+        return live, store, ogs
+
+    def test_compactions_append_and_reload(self, tmp_path):
+        live, store, ogs = self.make_live(tmp_path)
+        extra = blob_ogs(k=1, n_per=3, seed=7)
+        live.bulk_insert(extra, clip_refs=["p", "q", "r"])
+        live.compact()
+        live.delete(next(live.snapshot.index.object_graphs()).og_id)
+        live.compact()
+        store.join_merges()
+        loaded = ColumnarStore(store.path).load_index()
+        assert len(loaded) == len(live.snapshot.index)
+        assert knn_signature(loaded, extra[:2]) \
+            == knn_signature(live.snapshot.index, extra[:2])
+
+    def test_persist_failure_degrades_then_resyncs(self, tmp_path):
+        live, store, ogs = self.make_live(tmp_path)
+        boom = {"n": 0}
+        real_checkpoint = store.checkpoint
+
+        def flaky(index, writes=None):
+            if boom["n"] == 0:
+                boom["n"] += 1
+                raise StorageError("injected persistence failure")
+            return real_checkpoint(index, writes)
+
+        store.checkpoint = flaky
+        live.insert(blob_ogs(k=1, n_per=1, seed=11)[0], clip_ref="lost")
+        live.compact()  # persistence fails; serving unaffected
+        assert live._store_dirty
+        live.insert(blob_ogs(k=1, n_per=1, seed=12)[0], clip_ref="back")
+        live.compact()  # full resync
+        store.join_merges()
+        assert len(ColumnarStore(store.path).load_index()) \
+            == len(live.snapshot.index)
+
+
+class TestIngestServiceColumnar:
+    def make_service(self, tmp_path, **overrides):
+        from tests.test_ingest_service import (
+            _StubPipeline,
+            fast_config,
+        )
+
+        live = LiveIndex(STRGIndex(STRGIndexConfig(n_clusters=None,
+                                                   k_max=8)))
+        from repro.serving.ingest import IngestService
+
+        config = fast_config(store_format="columnar", **overrides)
+        return IngestService(live, _StubPipeline(),
+                             state_dir=tmp_path / "state", config=config)
+
+    def test_checkpoints_land_in_columnar_store(self, tmp_path):
+        from tests.test_ingest_service import make_clip
+
+        service = self.make_service(tmp_path)
+        with service:
+            for i, name in enumerate("abc"):
+                service.submit(make_clip(name, shade=17 * i),
+                               job_id=f"job-{name}")
+            service.drain(timeout=60.0)
+        assert service.snapshot_path.endswith(".strg")
+        assert is_columnar_store(service.snapshot_path)
+        loaded = ColumnarStore(service.snapshot_path).load_index()
+        assert len(loaded) == 3
+        # After the first full checkpoint, later ones append deltas.
+        manifest = ColumnarStore(service.snapshot_path)._read_manifest()
+        assert any(seg["kind"] == "delta" for seg in manifest["segments"])
+
+    def test_recover_from_columnar_state_dir(self, tmp_path):
+        from tests.test_ingest_service import _StubPipeline, make_clip
+
+        from repro.serving.ingest import IngestService
+
+        service = self.make_service(tmp_path, checkpoint_every=None)
+        with service:
+            service.submit(make_clip("durable"), job_id="job-durable")
+            service.drain(timeout=30.0)
+            service.checkpoint()
+            service.submit(make_clip("tail", shade=5), job_id="job-tail")
+            service.drain(timeout=30.0)
+            expected = len(service.live)
+
+        recovered = IngestService.recover(
+            tmp_path / "state", pipeline=_StubPipeline(),
+            config=service.config)
+        with recovered:
+            report = recovered.recovery
+            assert report.snapshot_loaded
+            assert report.snapshot_path.endswith(".strg")
+            assert report.completed_jobs == ["job-durable"]
+            assert report.replayed_jobs == ["job-tail"]
+            recovered.drain(timeout=30.0)
+            assert len(recovered.live) == expected
+            # Post-recovery checkpoints append to the recovered store.
+            recovered.checkpoint()
+        loaded = ColumnarStore(report.snapshot_path).load_index()
+        assert len(loaded) == expected
+
+
+class TestDatabaseIntegration:
+    def build_db(self, tmp_path, fmt):
+        from repro.storage.database import VideoDatabase
+
+        db = VideoDatabase()
+        ogs = blob_ogs()
+        db.ingest_object_graphs(ogs)
+        db.save(tmp_path / "db", format=fmt)
+        return db, ogs
+
+    def test_save_format_columnar_and_lazy_open(self, tmp_path):
+        import repro
+
+        db, ogs = self.build_db(tmp_path, "columnar")
+        assert db.path.endswith(".strg")
+        opened = repro.open_database(tmp_path / "db", create=False)
+        assert not opened.index_loaded  # mmap="auto" defers the build
+        want = knn_signature(db.index, ogs[:3])
+        got = [[(hit.distance, hit.clip_ref) for hit in opened.knn(q, 5)]
+               for q in ogs[:3]]
+        assert got == want
+        assert opened.index_loaded
+
+    def test_npz_open_stays_eager_and_identical(self, tmp_path):
+        import repro
+
+        db, ogs = self.build_db(tmp_path, "npz")
+        assert db.path.endswith(".npz")
+        opened = repro.open_database(tmp_path / "db", create=False)
+        assert opened.index_loaded
+        with pytest.raises(StorageError, match="convert"):
+            repro.open_database(tmp_path / "db", create=False, mmap=True)
+
+    def test_cli_convert_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db, ogs = self.build_db(tmp_path, "npz")
+        src = str(tmp_path / "db.npz")
+        assert main(["convert", src]) == 0
+        out = capsys.readouterr().out
+        assert "columnar" in out
+        dest = str(tmp_path / "db.strg")
+        assert is_columnar_store(dest)
+        assert main(["query", dest, "-k", "2"]) == 0
+        assert main(["convert", str(tmp_path / "missing.npz")]) == 3
