@@ -35,6 +35,7 @@ from conftest import format_table, record_result
 
 from repro.core.index import STRGIndexConfig
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_ogs
+from repro.parallel import usable_cpus
 from repro.serving import (
     LiveIndex,
     QueryService,
@@ -148,7 +149,9 @@ def bench_serving_report():
     record_result("BENCH_serving", lines, data=report)
 
     assert best[2].throughput > 0 and best[4].throughput > 0
-    if not SMOKE:
+    # Same CPU gate bench_ingest uses: on a 1-CPU container the service
+    # threads timeshare one core and the speedup target is meaningless.
+    if not SMOKE and usable_cpus() >= 2:
         assert speedup >= 2.0, (
             f"4-shard throughput only {speedup:.2f}x the 1-shard baseline "
             "(expected >= 2x from affine placement + pivot pruning)"

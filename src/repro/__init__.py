@@ -42,9 +42,10 @@ The package mirrors the paper's pipeline:
   ``knn(..., search_budget=)`` (see ``docs/SEARCH.md``).
 - :mod:`repro.serving` — sharded scatter-gather indexes, copy-on-write
   snapshots with live swaps, a thread-pool query service with admission
-  control and deadlines, a crash-safe streaming ingest service, and
-  closed-/open-loop load generators (see ``docs/SERVING.md`` and
-  ``docs/STREAMING.md``).
+  control and deadlines, a crash-safe streaming ingest service,
+  multi-process shard workers over the mmap store behind an asyncio
+  HTTP/JSON frontend, and closed-/open-loop load generators (see
+  ``docs/SERVING.md``, ``docs/STREAMING.md`` and ``docs/NETWORK.md``).
 """
 
 from repro import observability
@@ -63,15 +64,19 @@ from repro.serving import (
     IngestService,
     IngestServiceConfig,
     LiveIndex,
+    NetConfig,
+    NetFrontend,
     QueryService,
     ServiceConfig,
     ShardedIndex,
     ShardedIndexConfig,
+    WorkerPool,
+    WorkerPoolConfig,
 )
 from repro.storage.database import QueryHit, VideoDatabase
 from repro.storage.store import open_store
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "DistanceExecutor",
@@ -83,6 +88,8 @@ __all__ = [
     "IngestServiceConfig",
     "LiveIndex",
     "MetricEGED",
+    "NetConfig",
+    "NetFrontend",
     "ObjectGraph",
     "PipelineConfig",
     "Query",
@@ -100,6 +107,8 @@ __all__ = [
     "SpatioTemporalRegionGraph",
     "VideoDatabase",
     "VideoPipeline",
+    "WorkerPool",
+    "WorkerPoolConfig",
     "__version__",
     "approx_knn",
     "eged",

@@ -301,6 +301,70 @@ def _cmd_motion(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_http(args: argparse.Namespace) -> int:
+    """``serve --http``: process workers + asyncio frontend over a store."""
+    from repro.serving import (
+        NetConfig,
+        NetFrontend,
+        WorkerPool,
+        WorkerPoolConfig,
+        run_http_open_loop,
+    )
+    from repro.storage.columnar import ColumnarStore
+    from repro.storage.store import open_store
+
+    observe = _start_observability(args)
+    host, sep, port_text = args.http.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not sep or not host or port < 0:
+        print(f"--http expects HOST:PORT, got {args.http!r}",
+              file=sys.stderr)
+        return 2
+    store = open_store(args.index)
+    if not isinstance(store, ColumnarStore) or not store.exists():
+        print(f"--http serves worker processes memory-mapping a columnar "
+              f".strg store; {store.path} is not one. Migrate with "
+              f"`strg-index convert {args.index}` first.", file=sys.stderr)
+        return 2
+    pool = WorkerPool(store.path, WorkerPoolConfig(
+        workers=args.workers, replicas=args.replicas))
+    print(f"starting {args.workers} worker slot(s) x {args.replicas} "
+          f"replica(s) over {store.path}...")
+    with pool:
+        print(f"serving {pool!r} (snapshot {pool.snapshot_version})")
+        frontend = NetFrontend(pool, config=NetConfig(
+            host=host, port=port, max_inflight=args.queue_depth,
+            default_deadline=args.deadline if args.deadline else 30.0))
+        with frontend:
+            print(f"listening on http://{host}:{frontend.port} "
+                  "(/knn /range /query /health /metrics)")
+            if args.duration > 0:
+                # Self-driven open-loop demo load, queries drawn from
+                # the corpus itself.
+                ref = store.load_index(mmap=True)
+                queries = [og for _, og in
+                           zip(range(64), ref.object_graphs())]
+                report = run_http_open_loop(
+                    host, frontend.port, queries, k=args.k,
+                    rate=args.rate, duration=args.duration,
+                    deadline=args.deadline,
+                    search_budget=args.search_budget)
+                print(report)
+            else:
+                print("serving until interrupted (Ctrl-C)...")
+                try:
+                    while True:
+                        time.sleep(1.0)
+                except KeyboardInterrupt:
+                    print("interrupted; shutting down")
+    if observe:
+        _report_observability(args)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api import open_database
     from repro.serving import (
@@ -311,6 +375,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ShardedIndexConfig,
         run_open_loop,
     )
+
+    if args.http is not None:
+        return _serve_http(args)
 
     observe = _start_observability(args)
     db = open_database(args.index, create=False)
@@ -531,6 +598,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "monolithic or sharded)")
     serve.add_argument("--shards", type=int, default=None,
                        help="reshard a monolithic snapshot across N shards")
+    serve.add_argument("--http", default=None, metavar="HOST:PORT",
+                       help="serve over HTTP with worker *processes* "
+                            "memory-mapping the columnar snapshot "
+                            "(requires a .strg store; port 0 = ephemeral)")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="worker processes per shard slot in --http "
+                            "mode (2+ keeps shards served through a "
+                            "single worker crash)")
     serve.add_argument("--workers", type=int, default=2)
     serve.add_argument("--queue-depth", type=int, default=64)
     serve.add_argument("--deadline", type=float, default=None,

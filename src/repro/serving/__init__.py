@@ -16,8 +16,16 @@ Layers, bottom up:
 - :mod:`repro.serving.ingest` — :class:`IngestService` is the write-side
   twin: a backpressured, journaled upload→queryable pipeline with
   crash-safe job recovery (see ``docs/STREAMING.md``).
+- :mod:`repro.serving.workers` — :class:`WorkerPool` promotes shards to
+  long-lived worker *processes* memory-mapping one columnar snapshot,
+  with replica failover, supervised restarts and hot-shard rebalancing
+  (see ``docs/NETWORK.md``).
+- :mod:`repro.serving.net` — :class:`NetFrontend`, the asyncio
+  HTTP/JSON layer over a worker pool: ``/knn`` ``/range`` ``/query``
+  ``/health`` ``/metrics`` ``/ingest``, bounded admission and
+  per-request deadlines over the wire.
 - :mod:`repro.serving.loadgen` — closed-/open-loop load generators
-  reporting throughput and p50/p95/p99 latency.
+  (in-process and HTTP) reporting throughput and p50/p95/p99 latency.
 """
 
 from repro.serving.ingest import (
@@ -27,7 +35,13 @@ from repro.serving.ingest import (
     IngestServiceConfig,
     JobState,
 )
-from repro.serving.loadgen import LoadReport, run_closed_loop, run_open_loop
+from repro.serving.loadgen import (
+    LoadReport,
+    run_closed_loop,
+    run_http_open_loop,
+    run_open_loop,
+)
+from repro.serving.net import NetConfig, NetFrontend, request_json
 from repro.serving.service import QueryResponse, QueryService, ServiceConfig
 from repro.serving.sharding import (
     ShardedIndex,
@@ -35,6 +49,12 @@ from repro.serving.sharding import (
     ShardedSearchResult,
 )
 from repro.serving.snapshot import IndexSnapshot, LiveIndex, LiveIndexConfig
+from repro.serving.workers import (
+    RemoteHit,
+    RemoteSearchResult,
+    WorkerPool,
+    WorkerPoolConfig,
+)
 
 __all__ = [
     "IndexSnapshot",
@@ -46,12 +66,20 @@ __all__ = [
     "LiveIndex",
     "LiveIndexConfig",
     "LoadReport",
+    "NetConfig",
+    "NetFrontend",
     "QueryResponse",
     "QueryService",
+    "RemoteHit",
+    "RemoteSearchResult",
     "ServiceConfig",
     "ShardedIndex",
     "ShardedIndexConfig",
     "ShardedSearchResult",
+    "WorkerPool",
+    "WorkerPoolConfig",
+    "request_json",
     "run_closed_loop",
+    "run_http_open_loop",
     "run_open_loop",
 ]

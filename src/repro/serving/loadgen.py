@@ -243,4 +243,97 @@ def run_open_loop(service: QueryService,
     return report
 
 
-__all__ = ["LoadReport", "run_closed_loop", "run_open_loop"]
+def run_http_open_loop(host: str, port: int,
+                       queries: Sequence[Any],
+                       k: int = 10,
+                       *,
+                       rate: float,
+                       duration: float,
+                       concurrency: int = 8,
+                       deadline: float | None = None,
+                       search_budget: int | None = None) -> LoadReport:
+    """Open-loop load against a :class:`~repro.serving.net.NetFrontend`.
+
+    Same arrival model as :func:`run_open_loop` — requests are offered
+    at ``rate``/second regardless of completions — but over HTTP:
+    ``concurrency`` client threads drain a paced ticket schedule, each
+    holding its own keep-alive-free connection via
+    :func:`~repro.serving.net.request_json`.  503 counts as rejected,
+    504 as deadline-exceeded, matching the in-process report so the two
+    serving paths are directly comparable in one benchmark table.
+    """
+    from repro.serving.net import request_json
+
+    if rate <= 0:
+        raise InvalidParameterError(f"rate must be > 0, got {rate}")
+    if duration <= 0:
+        raise InvalidParameterError(f"duration must be > 0, got {duration}")
+    if concurrency < 1:
+        raise InvalidParameterError(
+            f"concurrency must be >= 1, got {concurrency}")
+    if not queries:
+        raise InvalidParameterError("queries must be non-empty")
+
+    payloads = [np.asarray(getattr(q, "values", q),
+                           dtype=np.float64).tolist() for q in queries]
+    report = LoadReport(mode="http-open", concurrency=int(rate))
+    lock = threading.Lock()
+    interval = 1.0 / rate
+    start = time.monotonic()
+    stop_at = start + duration
+    counter = {"next": 0}
+
+    def take_ticket() -> int | None:
+        """Next due arrival ordinal (paced), or None when time is up."""
+        while True:
+            now = time.monotonic()
+            if now >= stop_at:
+                return None
+            with lock:
+                ticket = counter["next"]
+                due = start + ticket * interval
+                if now >= due:
+                    counter["next"] = ticket + 1
+                    report.requests_sent += 1
+                    return ticket
+            time.sleep(min(due - now, 0.01))
+
+    def client() -> None:
+        while True:
+            ticket = take_ticket()
+            if ticket is None:
+                return
+            body = {"query": payloads[ticket % len(payloads)], "k": k}
+            if deadline is not None:
+                body["deadline"] = deadline
+            if search_budget is not None:
+                body["search_budget"] = search_budget
+            t0 = time.monotonic()
+            try:
+                status, _ = request_json(
+                    host, port, "POST", "/knn", body,
+                    timeout=(deadline or 30.0) + 10.0)
+            except Exception:  # noqa: BLE001 — load test keeps going
+                _record(report, lock, "error")
+                continue
+            if status == 200:
+                _record(report, lock, "ok", time.monotonic() - t0)
+            elif status == 503:
+                _record(report, lock, "rejected")
+            elif status == 504:
+                _record(report, lock, "deadline")
+            else:
+                _record(report, lock, "error")
+
+    clients = [threading.Thread(target=client, name=f"http-loadgen-{i}")
+               for i in range(concurrency)]
+    for thread in clients:
+        thread.start()
+    for thread in clients:
+        thread.join()
+    report.duration = time.monotonic() - start
+    return report
+
+
+__all__ = ["LoadReport", "run_closed_loop", "run_http_open_loop",
+           "run_open_loop"]

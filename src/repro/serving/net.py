@@ -1,0 +1,556 @@
+"""Asyncio HTTP/JSON frontend over a :class:`~repro.serving.workers.WorkerPool`.
+
+One stdlib-only network layer (``asyncio.start_server`` + hand-rolled
+HTTP/1.1 framing — no web framework in the dependency set) so remote
+clients get the same answers, the same admission control and the same
+deadline semantics as in-process callers:
+
+========================  ====================================================
+``POST /knn``             exact / budgeted k-NN; body ``{"query", "k",
+                          "search_budget"?, "deadline"?, "degrade"?}``
+``POST /range``           range query; body ``{"query", "radius", ...}``
+``POST /query``           envelope form: ``{"op": "knn"|"range", ...}``
+``GET  /health``          pool + ingest health (200 even when degraded —
+                          the body says so; monitors alert on content)
+``GET  /metrics``         Prometheus text from the process-wide registry
+``POST /ingest``          proxy to :class:`~repro.serving.ingest.IngestService`
+                          (202 + job id; 501 when serving a frozen snapshot)
+``POST /admin/reload``    re-open the snapshot in every worker
+``POST /admin/rebalance`` run the hot-shard migration policy once
+========================  ====================================================
+
+Every query response is stamped with the coordinator's snapshot version
+(the manifest digest), so a client can detect when answers started
+coming from a newer snapshot mid-session.
+
+Admission is bounded exactly like ``QueryService``: at most
+``max_inflight`` requests are in flight; the next one is rejected with
+**503** before any work is queued (backpressure, not failure).
+Per-request deadlines ride ``asyncio.wait_for`` around the executor
+future — a lapsed deadline returns **504** with the phase recorded,
+and the stale result is discarded when it lands.
+
+The handlers themselves run on a small thread pool: the worker
+processes do the heavy kernel work, so frontend threads only block on
+pipe I/O — the asyncio loop never does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import (
+    DeadlineExceededError,
+    DimensionMismatchError,
+    EmptySequenceError,
+    IndexStateError,
+    IngestOverloadError,
+    InvalidParameterError,
+    ReproError,
+    ServiceOverloadError,
+    ServiceStoppedError,
+    ShardUnavailableError,
+    StorageError,
+)
+from repro.observability import OBS, export_metrics_prometheus
+
+#: Largest accepted request body (an /ingest clip dominates).
+MAX_BODY_BYTES = 64 << 20
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            500: "Internal Server Error", 501: "Not Implemented",
+            503: "Service Unavailable", 504: "Gateway Timeout"}
+
+
+@dataclass
+class NetConfig:
+    """Frontend sizing: where to listen and how much to admit.
+
+    ``port=0`` binds an ephemeral port (tests); the bound port is
+    published as ``frontend.port`` once serving.  ``max_inflight`` is
+    the admission bound — requests past it get 503 immediately.
+    ``default_deadline`` applies when a request body carries none.
+    ``handler_threads`` sizes the executor that blocks on worker pipes.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 64
+    default_deadline: float = 30.0
+    handler_threads: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise InvalidParameterError(
+                f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.default_deadline <= 0:
+            raise InvalidParameterError(
+                f"default_deadline must be > 0, got {self.default_deadline}")
+        if self.handler_threads < 1:
+            raise InvalidParameterError(
+                f"handler_threads must be >= 1, got {self.handler_threads}")
+
+
+class _HttpError(Exception):
+    """Internal: terminate a request with a specific HTTP status."""
+
+    def __init__(self, status: int, message: str, **extra: Any):
+        super().__init__(message)
+        self.status = status
+        self.body = {"error": message, **extra}
+
+
+def _status_of(exc: BaseException) -> int:
+    """Map a domain error onto the HTTP status a client can act on."""
+    if isinstance(exc, DeadlineExceededError):
+        return 504
+    if isinstance(exc, (ServiceOverloadError, IngestOverloadError,
+                        ServiceStoppedError, ShardUnavailableError)):
+        return 503
+    if isinstance(exc, (InvalidParameterError, DimensionMismatchError,
+                        EmptySequenceError, IndexStateError)):
+        return 400
+    return 500
+
+
+class NetFrontend:
+    """The HTTP/JSON serving frontend.
+
+    ``pool`` is a started :class:`~repro.serving.workers.WorkerPool`
+    (owned by the caller — the frontend never shuts it down).
+    ``ingest`` is an optional
+    :class:`~repro.serving.ingest.IngestService`; without one,
+    ``POST /ingest`` answers 501.
+
+    Two run modes:
+
+    - ``await frontend.start()`` inside an existing event loop, then
+      ``await frontend.stop()``;
+    - ``frontend.start_in_thread()`` for synchronous callers (tests,
+      the CLI): spins a daemon thread with its own loop and blocks
+      until the socket is bound, then ``frontend.stop()``.
+    """
+
+    def __init__(self, pool: Any, ingest: Any = None,
+                 config: NetConfig | None = None):
+        self.pool = pool
+        self.ingest = ingest
+        self.config = config or NetConfig()
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self.requests_served = 0
+        self.requests_rejected = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> "NetFrontend":
+        """Bind and start serving on the current event loop."""
+        if self._server is not None:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.handler_threads,
+            thread_name_prefix="net-http")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        OBS.count("net.frontends_started")
+        return self
+
+    async def _stop_async(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    def start_in_thread(self) -> "NetFrontend":
+        """Run the frontend on a dedicated daemon thread + event loop."""
+        if self._thread is not None:
+            return self
+        ready = threading.Event()
+        failure: list[BaseException] = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.start())
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                failure.append(exc)
+                ready.set()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self._stop_async())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="net-frontend", daemon=True)
+        self._thread.start()
+        ready.wait(timeout=30.0)
+        if failure:
+            self._thread = None
+            raise failure[0]
+        if self.port is None:
+            raise IndexStateError("HTTP frontend failed to bind")
+        return self
+
+    def stop(self) -> None:
+        """Stop a ``start_in_thread`` frontend (or a loop-owned one)."""
+        loop = self._loop
+        if loop is None:
+            return
+        if self._thread is not None:
+            loop.call_soon_threadsafe(loop.stop)
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        else:
+            asyncio.ensure_future(self._stop_async(), loop=loop)
+        self._loop = None
+        self.port = None
+
+    def __enter__(self) -> "NetFrontend":
+        return self.start_in_thread()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload, content_type = await self._dispatch(
+                    method, path, body)
+                keep_alive = headers.get("connection", "").lower() != "close"
+                await self._write_response(
+                    writer, status, payload, content_type, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            request_line = await reader.readline()
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            return None
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path.split("?", 1)[0], headers, body
+
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              status: int, payload: Any, content_type: str,
+                              keep_alive: bool) -> None:
+        if isinstance(payload, str):
+            data = payload.encode("utf-8")
+        else:
+            data = json.dumps(payload).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + data)
+        await writer.drain()
+
+    # -- routing --------------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes
+                        ) -> tuple[int, Any, str]:
+        routes = {
+            ("GET", "/health"): self._handle_health,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("POST", "/knn"): self._handle_knn,
+            ("POST", "/range"): self._handle_range,
+            ("POST", "/query"): self._handle_query,
+            ("POST", "/ingest"): self._handle_ingest,
+            ("POST", "/admin/reload"): self._handle_reload,
+            ("POST", "/admin/rebalance"): self._handle_rebalance,
+        }
+        handler = routes.get((method, path))
+        if handler is None:
+            known = {p for _, p in routes}
+            if path in known:
+                return 405, {"error": f"method {method} not allowed "
+                             f"for {path}"}, "application/json"
+            return 404, {"error": f"no route for {path}"}, "application/json"
+        try:
+            request = self._parse_body(body) if method == "POST" else {}
+            return await handler(request)
+        except _HttpError as exc:
+            return exc.status, exc.body, "application/json"
+        except ReproError as exc:
+            status = _status_of(exc)
+            payload = {"error": str(exc), "type": type(exc).__name__}
+            details = getattr(exc, "details", None)
+            if details:
+                payload["details"] = details
+            if status == 500:
+                OBS.count("net.http_internal_errors")
+            return status, payload, "application/json"
+        except Exception as exc:  # noqa: BLE001 — last-resort 500
+            OBS.count("net.http_internal_errors")
+            return 500, {"error": f"{type(exc).__name__}: {exc}",
+                         "type": type(exc).__name__}, "application/json"
+
+    @staticmethod
+    def _parse_body(body: bytes) -> dict[str, Any]:
+        if not body:
+            return {}
+        try:
+            parsed = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(parsed, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return parsed
+
+    # -- admission + execution ------------------------------------------------
+
+    async def _admit_and_run(self, fn, deadline: float | None
+                             ) -> Any:
+        """Run ``fn`` on the handler executor under admission + deadline."""
+        with self._inflight_lock:
+            if self._inflight >= self.config.max_inflight:
+                self.requests_rejected += 1
+                OBS.count("net.http_rejected")
+                raise ServiceOverloadError(
+                    f"frontend at max_inflight={self.config.max_inflight}: "
+                    "request rejected (retry with backoff)")
+            self._inflight += 1
+        budget = self.config.default_deadline if deadline is None \
+            else float(deadline)
+        if budget <= 0:
+            with self._inflight_lock:
+                self._inflight -= 1
+            raise InvalidParameterError(
+                f"deadline must be > 0, got {budget}")
+        loop = asyncio.get_running_loop()
+        try:
+            future = loop.run_in_executor(self._executor, fn)
+            try:
+                result = await asyncio.wait_for(
+                    asyncio.shield(future), timeout=budget)
+            except asyncio.TimeoutError:
+                OBS.count("net.http_deadline_exceeded")
+                raise DeadlineExceededError(
+                    f"request outran its {budget:.3f}s deadline",
+                    phase="execution") from None
+            self.requests_served += 1
+            return result
+        finally:
+            # The shielded future may still be running after a timeout;
+            # release the admission slot only when it actually finishes.
+            future.add_done_callback(lambda _f: self._release())
+
+    def _release(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    # -- handlers -------------------------------------------------------------
+
+    @staticmethod
+    def _parse_query(request: dict[str, Any]) -> np.ndarray:
+        if "query" not in request:
+            raise _HttpError(400, "missing required field 'query'")
+        try:
+            return np.asarray(request["query"], dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(
+                400, f"'query' is not a numeric trajectory: {exc}")
+
+    def _query_response(self, result: Any, started: float
+                        ) -> dict[str, Any]:
+        return {
+            "snapshot": self.pool.snapshot_version,
+            "hits": [hit.as_dict() for hit in result.hits],
+            "degraded": result.degraded,
+            "failed_shards": result.failed_shards,
+            "latency": time.perf_counter() - started,
+        }
+
+    async def _handle_knn(self, request: dict[str, Any]
+                          ) -> tuple[int, Any, str]:
+        query = self._parse_query(request)
+        if "k" not in request:
+            raise _HttpError(400, "missing required field 'k'")
+        k = int(request["k"])
+        budget = request.get("search_budget")
+        degrade = bool(request.get("degrade", True))
+        started = time.perf_counter()
+        result = await self._admit_and_run(
+            lambda: self.pool.knn(
+                query, k,
+                search_budget=None if budget is None else int(budget),
+                degrade=degrade),
+            request.get("deadline"))
+        return 200, self._query_response(result, started), "application/json"
+
+    async def _handle_range(self, request: dict[str, Any]
+                            ) -> tuple[int, Any, str]:
+        query = self._parse_query(request)
+        if "radius" not in request:
+            raise _HttpError(400, "missing required field 'radius'")
+        radius = float(request["radius"])
+        degrade = bool(request.get("degrade", True))
+        started = time.perf_counter()
+        result = await self._admit_and_run(
+            lambda: self.pool.range_query(query, radius, degrade=degrade),
+            request.get("deadline"))
+        return 200, self._query_response(result, started), "application/json"
+
+    async def _handle_query(self, request: dict[str, Any]
+                            ) -> tuple[int, Any, str]:
+        op = request.get("op")
+        if op == "knn":
+            return await self._handle_knn(request)
+        if op == "range":
+            return await self._handle_range(request)
+        raise _HttpError(
+            400, f"unknown query op {op!r} (expected 'knn' or 'range')")
+
+    async def _handle_health(self, request: dict[str, Any]
+                             ) -> tuple[int, Any, str]:
+        health = self.pool.health()
+        health["frontend"] = {
+            "inflight": self._inflight,
+            "max_inflight": self.config.max_inflight,
+            "served": self.requests_served,
+            "rejected": self.requests_rejected,
+        }
+        if self.ingest is not None:
+            health["ingest"] = self.ingest.health()
+        return 200, health, "application/json"
+
+    async def _handle_metrics(self, request: dict[str, Any]
+                              ) -> tuple[int, Any, str]:
+        text = export_metrics_prometheus()
+        return 200, text, "text/plain; version=0.0.4"
+
+    async def _handle_ingest(self, request: dict[str, Any]
+                             ) -> tuple[int, Any, str]:
+        if self.ingest is None:
+            return 501, {"error": "this frontend serves a frozen snapshot "
+                         "(no ingest service attached)"}, "application/json"
+        from repro.video.frames import VideoSegment
+
+        if "frames" not in request:
+            raise _HttpError(400, "missing required field 'frames' "
+                             "(nested list of shape (T, H, W, 3))")
+        try:
+            frames = np.asarray(request["frames"], dtype=np.uint8)
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, f"'frames' is not a uint8 video: {exc}")
+        video = VideoSegment(frames, fps=float(request.get("fps", 10.0)),
+                             name=str(request.get("name", "http-clip")))
+        job = self.ingest.submit(video, job_id=request.get("job_id"))
+        return 202, {"job": job.job_id, "clip": job.clip_name,
+                     "state": job.state.value}, "application/json"
+
+    async def _handle_reload(self, request: dict[str, Any]
+                             ) -> tuple[int, Any, str]:
+        loop = asyncio.get_running_loop()
+        version = await loop.run_in_executor(self._executor,
+                                             self.pool.reload)
+        return 200, {"snapshot": version}, "application/json"
+
+    async def _handle_rebalance(self, request: dict[str, Any]
+                                ) -> tuple[int, Any, str]:
+        ratio = request.get("ratio")
+        loop = asyncio.get_running_loop()
+        moves = await loop.run_in_executor(
+            self._executor,
+            lambda: self.pool.rebalance(
+                None if ratio is None else float(ratio)))
+        return 200, {
+            "moves": [{"shard": s, "from": a, "to": b}
+                      for s, a, b in moves],
+            "assignment": [list(x) for x in self.pool.assignment],
+        }, "application/json"
+
+
+# ---------------------------------------------------------------------------
+# client helper
+# ---------------------------------------------------------------------------
+
+def request_json(host: str, port: int, method: str, path: str,
+                 payload: dict[str, Any] | None = None,
+                 timeout: float = 30.0) -> tuple[int, Any]:
+    """One HTTP exchange against a frontend (stdlib ``http.client``).
+
+    Returns ``(status, body)`` — body decoded from JSON when the
+    response says so, raw text otherwise.  Shared by the tests, the
+    load generator and the CLI so none of them grow their own client.
+    """
+    import http.client
+
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        content_type = response.getheader("Content-Type", "")
+        if "json" in content_type:
+            return response.status, json.loads(raw.decode("utf-8"))
+        return response.status, raw.decode("utf-8")
+    finally:
+        conn.close()
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "NetConfig",
+    "NetFrontend",
+    "request_json",
+]

@@ -131,6 +131,7 @@ class QueryService:
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_depth)
         self._admission_lock = threading.Lock()
         self._stopped = False
+        self._stragglers: list[str] = []
         self._workers = [
             threading.Thread(target=self._worker_loop,
                              name=f"query-worker-{i}", daemon=True)
@@ -310,23 +311,57 @@ class QueryService:
         """
         self._queue.join()
 
-    def shutdown(self, wait: bool = True) -> None:
+    def shutdown(self, wait: bool = True,
+                 timeout: float | None = None) -> None:
         """Stop accepting requests, then stop the workers.
 
         With ``wait=True`` (default) queued requests are served before
-        the workers exit — a graceful drain.  Idempotent.
+        the workers exit — a graceful drain.  ``timeout`` bounds the
+        *total* time spent joining worker threads: a worker stuck on a
+        pathological request past the budget is left behind as a
+        *straggler* (it is a daemon thread, so it cannot block process
+        exit) and reported by :meth:`health` instead of hanging the
+        caller forever.  Idempotent — a later call retries the join and
+        clears stragglers that have since finished.
         """
-        if self._stopped:
-            if wait:
-                for worker in self._workers:
-                    worker.join()
+        if timeout is not None and timeout <= 0:
+            raise InvalidParameterError(
+                f"timeout must be > 0 seconds, got {timeout}")
+        if not self._stopped:
+            self._stopped = True
+            for _ in self._workers:
+                self._queue.put(_SHUTDOWN)  # after queued work
+        if not wait:
             return
-        self._stopped = True
-        for _ in self._workers:
-            self._queue.put(_SHUTDOWN)  # after queued work; workers drain it
-        if wait:
-            for worker in self._workers:
-                worker.join()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        stragglers = []
+        for worker in self._workers:
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            worker.join(timeout=remaining)
+            if worker.is_alive():
+                stragglers.append(worker.name)
+        self._stragglers = stragglers
+        if stragglers:
+            OBS.count("serving.shutdown_stragglers", len(stragglers))
+
+    def health(self) -> dict[str, Any]:
+        """Operational snapshot: thread liveness, backlog, stragglers.
+
+        ``stragglers`` lists worker threads that outlived a bounded
+        :meth:`shutdown` — non-empty means a drain was abandoned and
+        some request is still grinding in the background.
+        """
+        alive = sum(1 for worker in self._workers if worker.is_alive())
+        return {
+            "workers": len(self._workers),
+            "workers_alive": alive,
+            "queue_depth": self._queue.qsize(),
+            "stopped": self._stopped,
+            "stragglers": [worker.name for worker in self._workers
+                           if worker.name in self._stragglers
+                           and worker.is_alive()],
+        }
 
     @property
     def stopped(self) -> bool:

@@ -395,7 +395,7 @@ class ShardedIndex:
                 )
             centroid_pd = np.stack(cpd_cols, axis=1)
             flat_pd = np.stack(mpd_cols, axis=1) if flat else \
-                np.empty((0, self.num_shards))
+                np.empty((0, len(self.pivots)))
             member_pd = [flat_pd[lo:hi] for lo, hi in spans]
         by_record: dict[int, _ClusterCache] = {}
         for i, record in enumerate(records):
@@ -430,7 +430,8 @@ class ShardedIndex:
 
     def knn(self, query: ObjectGraph | np.ndarray, k: int,
             background: BackgroundGraph | None = None,
-            search_budget: int | None = None
+            search_budget: int | None = None,
+            prune_bound: float | None = None
             ) -> list[tuple[float, ObjectGraph, Any]]:
         """Exact k-NN over all shards, as ``(distance, og, clip_ref)``.
 
@@ -445,13 +446,23 @@ class ShardedIndex:
         the split can overshoot the global budget by at most
         ``num_shards * k`` evaluations), and the per-shard top-k lists
         are merged by ``(distance, og_id)``.
+
+        ``prune_bound`` is an externally-known upper bound on the k-th
+        nearest distance (e.g. the k-th hit of another partition of the
+        same corpus).  It only tightens *pruning* — never which
+        evaluated candidates are kept — so any valid bound leaves the
+        result exact; it exists so distributed callers (the
+        ``serving.workers`` pool) can share one global bound across
+        partitions the way this index shares one bound across shards.
         """
         return self._search_knn(query, k, background, degrade=False,
-                                search_budget=search_budget).hits
+                                search_budget=search_budget,
+                                prune_bound=prune_bound).hits
 
     def knn_detailed(self, query: ObjectGraph | np.ndarray, k: int,
                      background: BackgroundGraph | None = None,
-                     search_budget: int | None = None
+                     search_budget: int | None = None,
+                     prune_bound: float | None = None
                      ) -> ShardedSearchResult:
         """k-NN with per-shard failure degradation.
 
@@ -460,12 +471,14 @@ class ShardedIndex:
         surviving hits with ``degraded=True``.
         """
         return self._search_knn(query, k, background, degrade=True,
-                                search_budget=search_budget)
+                                search_budget=search_budget,
+                                prune_bound=prune_bound)
 
     def _search_knn(self, query, k: int,
                     background: BackgroundGraph | None,
                     degrade: bool,
-                    search_budget: int | None = None) -> ShardedSearchResult:
+                    search_budget: int | None = None,
+                    prune_bound: float | None = None) -> ShardedSearchResult:
         if k < 0:
             raise InvalidParameterError(f"k must be >= 0, got {k}")
         if k == 0:
@@ -473,6 +486,10 @@ class ShardedIndex:
         if search_budget is not None and search_budget < 1:
             raise InvalidParameterError(
                 f"search_budget must be >= 1, got {search_budget}"
+            )
+        if prune_bound is not None and not prune_bound >= 0.0:
+            raise InvalidParameterError(
+                f"prune_bound must be >= 0, got {prune_bound}"
             )
         if len(self) == 0:
             raise IndexStateError("cannot search an empty sharded index")
@@ -483,7 +500,8 @@ class ShardedIndex:
                 result = self._approx_scatter(query, k, background,
                                               search_budget, degrade)
             else:
-                result = self._scatter_gather(query, k, background, degrade)
+                result = self._scatter_gather(query, k, background, degrade,
+                                              prune_bound)
             sp.set(hits=len(result.hits), degraded=result.degraded)
             return result
 
@@ -581,14 +599,20 @@ class ShardedIndex:
             )
             return key_qs, None
         if self.pivots is not None:
+            # The pivot fleet may be larger than num_shards: a partition
+            # of the corpus (serving.workers) keeps every corpus pivot
+            # for pruning even when it serves a subset of the shards.
+            n_pivots = len(self.pivots)
             batch = one_vs_many(self.metric_distance, series,
                                 list(self.pivots) + centroids)
-            return batch[self.num_shards:], batch[:self.num_shards]
+            return batch[n_pivots:], batch[:n_pivots]
         return one_vs_many(self.metric_distance, series, centroids), None
 
     def _scatter_gather(self, query, k: int,
                         background: BackgroundGraph | None,
-                        degrade: bool) -> ShardedSearchResult:
+                        degrade: bool,
+                        prune_bound: float | None = None
+                        ) -> ShardedSearchResult:
         series = as_series(query)
         clusters, failed = self._gather(background, degrade)
         if not clusters:
@@ -596,11 +620,20 @@ class ShardedIndex:
         key_qs, pivot_qs = self._rank(series, clusters)
 
         best: list[tuple[float, ObjectGraph, Any]] = []
+        external = float("inf") if prune_bound is None else float(prune_bound)
 
         def kth() -> tuple[float, float]:
             if len(best) == k:
                 return (best[-1][0], best[-1][1].og_id)
             return (float("inf"), float("inf"))
+
+        def cut() -> float:
+            # Pruning-only bound: the local kth candidate, tightened by
+            # any caller-supplied global bound.  Candidates are only ever
+            # *pruned* against it (strictly, beyond the slack), so ties
+            # at the bound survive and the result stays exact for any
+            # valid upper bound on the true kth distance.
+            return min(kth()[0], external)
 
         def flush(pending: list[tuple[float, LeafRecord, np.ndarray]]) -> None:
             # Evaluate pending candidates best-first in ``eval_batch``
@@ -611,7 +644,7 @@ class ShardedIndex:
             pending.sort(key=lambda c: c[0])
             start = 0
             while start < len(pending):
-                bound = kth()[0]
+                bound = cut()
                 slack = self._slack(bound)
                 stop = start
                 end = min(len(pending), start + self.config.eval_batch)
@@ -653,7 +686,7 @@ class ShardedIndex:
                 flush(pending)
             record, cache = clusters[int(i)]
             key_q = float(key_qs[int(i)])
-            bound = kth()[0]
+            bound = cut()
             slack = self._slack(bound)
             if key_q - cache.max_key > bound + slack:
                 OBS.count("serving.clusters_pruned")

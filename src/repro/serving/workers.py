@@ -1,0 +1,1078 @@
+"""Shard workers as long-lived **processes** over the mmap columnar store.
+
+PR 4's :class:`~repro.serving.service.QueryService` fans shard work out
+on *threads*, so every shard shares one GIL and four shards deliver
+well under 4x.  This module promotes shards to worker processes:
+
+- Each worker is spawned with a list of shard assignments and does its
+  own ``open_store(..., mmap=True)`` — the columnar ``.strg/`` layout
+  lets every process map the *same* snapshot read-only with zero
+  copies, so N workers cost one page cache, not N heaps.
+- Requests and responses crossing the pipe are small: a query
+  trajectory array one way, ``(distance, shard, row, clip_ref)``
+  tuples the other.  No OG graphs are ever pickled per request.
+- The :class:`WorkerPool` coordinator reuses the lifecycle patterns of
+  :class:`~repro.parallel.DistanceExecutor` / ``ordered_chunk_map``:
+  spawn up front, health-check heartbeats, restart-on-crash, drain on
+  shutdown.
+
+Exactness.  Each worker serves its assigned shards through a
+worker-local :class:`~repro.serving.sharding.ShardedIndex` (one shared
+pruning bound, ``eval_batch``-sized kernel flushes), and the
+coordinator merges the per-worker exact top-k lists by ``(distance,
+shard, row)``.  That reproduces the in-process scatter-gather
+**bit-identically**: distances come from the same batched kernels
+(chunk-invariant), and shards are opened in ascending ordinal order so
+every tie-break — worker-local og_id and the coordinator merge — is
+the same ``(shard, row)`` order a freshly loaded snapshot mints og_ids
+in.  The budgeted approximate path runs per shard with the
+coordinator-computed proportional budget split, mirroring
+``ShardedIndex._approx_scatter`` exactly.
+
+Failover.  ``replicas=R`` spawns R processes per worker *slot*; a
+request round-robins across a slot's live replicas (spare capacity,
+not just standby).  When one replica dies, the others keep the slot's
+shards served with **no** degradation; only when every replica of a
+slot is gone do that slot's shards fall back to the degraded-read
+semantics of ``serving.shard`` — partial results flagged
+``degraded=True`` with the missing shards listed — until the
+supervisor respawns a worker.
+
+Rebalancing.  Every response carries per-shard busy time, accumulated
+into per-shard query counters (the same signal affine placement
+concentrates: hot locality islands burn more kernel time).  When the
+pool multiplexes more shards than worker slots,
+:meth:`WorkerPool.rebalance` migrates the coldest shard off the
+hottest slot onto the coldest slot until the busy-time ratio drops
+under ``rebalance_ratio`` — workers re-open the moved shard store
+(an mmap, so the move ships no data).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import multiprocessing as mp
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    IndexStateError,
+    InvalidParameterError,
+    ShardUnavailableError,
+    StorageError,
+)
+from repro.observability import OBS
+
+#: Sub-store directory of shard ``i`` inside a sharded columnar store.
+SHARD_DIR = "shard-{ordinal}"
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+
+def _open_shard(store_path: str, rel: str, mmap: bool):
+    """Load one shard index (+ its og_id->row map) inside a worker."""
+    from repro.storage.columnar import ColumnarStore
+
+    path = store_path if not rel else os.path.join(store_path, rel)
+    store = ColumnarStore(path, normalize=False)
+    index = store.load_index(mmap=mmap)
+    return index, store.row_ordinals()
+
+
+class _ShardSet:
+    """Worker-local view of the assigned shards.
+
+    Exact requests that cover every (non-empty) open shard run through
+    one worker-local :class:`~repro.serving.sharding.ShardedIndex`
+    assembled over exactly those shards.  Its scatter-gather shares one
+    global pruning bound and flushes candidates through
+    ``eval_batch``-sized kernel calls — an order of magnitude faster
+    than looping ``STRGIndex.knn`` per shard, whose leaf scan evaluates
+    candidates one kernel call at a time.
+
+    Exactness is preserved: shards are (re)opened in ascending ordinal
+    order, so worker-local og_ids are minted in ``(ordinal, row)``
+    order and the combined index's ``(distance, og_id)`` tie-break is
+    the restriction of the coordinator's global ``(distance, shard,
+    row)`` merge order — the worker's top-k therefore contains every
+    globally-ranked hit from its shards.
+
+    Budgeted (``search_budget``) requests keep the per-shard loop: the
+    coordinator computes the global proportional budget split, and a
+    worker-local re-split over a subset would diverge from it.  The
+    same loop also serves requests for a strict shard subset (seen
+    transiently while a rebalance moves a shard between slots).
+    """
+
+    def __init__(self, store_path: str, assignment: list[tuple[int, str]],
+                 mmap: bool):
+        self.store_path = store_path
+        self.mmap = mmap
+        self.rels: dict[int, str] = {o: rel for o, rel in assignment}
+        self.shards: dict[int, tuple[Any, dict[int, int]]] = {}
+        self._combined: Any = None
+        self._fast: frozenset[int] = frozenset()
+        self._loc: dict[int, tuple[int, int]] = {}
+        self._serving: dict[str, Any] | None = None
+        self._pivots: list[np.ndarray] | None = None
+        self.reload()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def reload(self) -> None:
+        """(Re)open every assigned shard, ascending ordinal order."""
+        self._serving = None
+        self._pivots = None
+        self._read_root()
+        self.shards = {
+            o: _open_shard(self.store_path, self.rels[o], self.mmap)
+            for o in sorted(self.rels)
+        }
+        self._refresh()
+
+    def open(self, ordinal: int, rel: str) -> None:
+        self.rels[ordinal] = rel
+        # Full reopen keeps worker-local og_ids minted in (ordinal, row)
+        # order — the tie-break invariant the combined index relies on.
+        self.shards = {
+            o: _open_shard(self.store_path, self.rels[o], self.mmap)
+            for o in sorted(self.rels)
+        }
+        self._refresh()
+
+    def close(self, ordinal: int) -> None:
+        self.shards.pop(ordinal, None)
+        self.rels.pop(ordinal, None)
+        # Dropping a shard preserves the relative mint order of the rest.
+        self._refresh()
+
+    def sizes(self) -> dict[int, int]:
+        return {o: len(index) for o, (index, _) in self.shards.items()}
+
+    # -- combined-index assembly ----------------------------------------
+
+    def _read_root(self) -> None:
+        """Pick up serving config + shard pivots from the root manifest."""
+        from repro.storage.columnar import ColumnarStore, _unpack_ragged
+
+        manifest = ColumnarStore(self.store_path, normalize=False).manifest()
+        if manifest.get("kind") != "sharded":
+            return
+        self._serving = dict(manifest["serving_config"])
+        if not manifest.get("has_pivots"):
+            return
+        try:
+            values = np.load(
+                os.path.join(self.store_path, "pivot_values.npy"),
+                allow_pickle=False)
+            offsets = np.load(
+                os.path.join(self.store_path, "pivot_offsets.npy"),
+                allow_pickle=False)
+            self._pivots = [np.asarray(p, dtype=np.float64)
+                            for p in _unpack_ragged(values, offsets)]
+        except (OSError, ValueError, EOFError):
+            self._pivots = None  # pivots only prune; never required
+
+    def _refresh(self) -> None:
+        ordered = sorted(self.shards)
+        self._loc = {
+            og_id: (o, row)
+            for o in ordered
+            for og_id, row in self.shards[o][1].items()
+        }
+        live = [o for o in ordered if len(self.shards[o][0]) > 0]
+        self._fast = frozenset(live)
+        self._combined = self._assemble(live) if live else None
+
+    def _assemble(self, ordinals: list[int]) -> Any:
+        from repro.serving.sharding import ShardedIndex, ShardedIndexConfig
+
+        indexes = [self.shards[o][0] for o in ordinals]
+        params = dict(self._serving or {})
+        params["num_shards"] = len(indexes)
+        config = ShardedIndexConfig(index=indexes[0].config, **params)
+        combined = ShardedIndex(config)
+        combined.shards = indexes
+        combined.metric_distance = indexes[0].metric_distance
+        combined.cluster_distance = indexes[0].cluster_distance
+        if self._pivots is not None:
+            # The FULL corpus pivot fleet, not just the assigned shards'
+            # pivots: pivots only serve triangle pruning, and more
+            # reference points mean tighter bounds — a subset worker
+            # prunes as hard as the whole in-process index would.
+            combined.pivots = list(self._pivots)
+        combined.refresh_bounds()
+        combined.frozen = True
+        return combined
+
+    # -- search ---------------------------------------------------------
+
+    def search(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Run one knn/range request; hits as ``(d, shard, row, ref)``."""
+        op = request["op"]
+        query = request["query"]
+        arg = request["arg"]
+        shares = request.get("shares")
+        requested = list(request["shards"])
+        missing = [o for o in requested if o not in self.shards]
+        if missing:
+            raise ShardUnavailableError(
+                f"shard(s) {missing} are not assigned to this worker",
+                details={"shards": missing, "assigned": sorted(self.shards)})
+        live = [o for o in requested if len(self.shards[o][0]) > 0]
+        if (shares is None and self._combined is not None
+                and frozenset(live) == self._fast):
+            return self._search_combined(op, query, arg, requested, live,
+                                         request.get("bound"))
+        return self._search_per_shard(op, query, arg, shares, requested)
+
+    def _search_combined(self, op: str, query: Any, arg: Any,
+                         requested: list[int], live: list[int],
+                         bound: float | None) -> dict[str, Any]:
+        started = time.perf_counter()
+        if op == "knn":
+            found = self._combined.knn(query, arg, prune_bound=bound)
+        else:
+            found = self._combined.range_query(query, arg)
+        elapsed = time.perf_counter() - started
+        # The shared-bound search is one pass, so per-shard busy time is
+        # attributed proportionally to shard size — slot totals stay
+        # real measured time, which is what rebalancing keys on.
+        total = sum(len(self.shards[o][0]) for o in live)
+        busy = {o: 0.0 for o in requested}
+        for o in live:
+            busy[o] = elapsed * len(self.shards[o][0]) / total
+        loc = self._loc
+        hits = [(float(d), *loc[og.og_id], ref) for d, og, ref in found]
+        return {"hits": hits, "busy": busy}
+
+    def _search_per_shard(self, op: str, query: Any, arg: Any,
+                          shares: dict[int, int] | None,
+                          requested: list[int]) -> dict[str, Any]:
+        hits: list[tuple[float, int, int, Any]] = []
+        busy: dict[int, float] = {}
+        for ordinal in requested:
+            index, row_of = self.shards[ordinal]
+            if len(index) == 0:
+                busy[ordinal] = 0.0
+                continue
+            started = time.perf_counter()
+            if op == "knn":
+                share = None if shares is None else shares.get(ordinal)
+                if share is None:
+                    found = index.knn(query, arg)
+                else:
+                    found = index.knn(query, arg, search_budget=share)
+            else:
+                found = index.range_query(query, arg)
+            busy[ordinal] = time.perf_counter() - started
+            hits.extend(
+                (float(d), ordinal, row_of[og.og_id], ref)
+                for d, og, ref in found
+            )
+        return {"hits": hits, "busy": busy}
+
+
+def _worker_main(store_path: str, assignment: list[tuple[int, str]],
+                 conn, mmap: bool, name: str) -> None:
+    """Process entry point: serve search requests over ``conn`` forever.
+
+    ``assignment`` is ``[(shard_ordinal, relative_store_path), ...]``;
+    an empty relative path means the store root itself (monolithic
+    snapshot served as shard 0).  The worker opens every assigned shard
+    read-only (memory-mapped when the format supports it), announces
+    readiness with the shard sizes, then answers one request at a time.
+    A lost pipe (coordinator gone) exits the process.
+    """
+    try:
+        shard_set = _ShardSet(store_path, assignment, mmap)
+        conn.send(("ready", {
+            "pid": os.getpid(), "name": name, "sizes": shard_set.sizes(),
+        }))
+    except BaseException as exc:  # noqa: BLE001 — relayed to coordinator
+        try:
+            conn.send(("error", exc))
+        except (OSError, ValueError):
+            pass
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return
+        op = message[0]
+        if op == "stop":
+            return
+        try:
+            if op == "ping":
+                conn.send(("ok", {
+                    "pid": os.getpid(), "sizes": shard_set.sizes(),
+                }))
+            elif op == "reload":
+                shard_set.reload()
+                conn.send(("ok", {"sizes": shard_set.sizes()}))
+            elif op == "open":
+                _, ordinal, rel = message
+                shard_set.open(ordinal, rel)
+                conn.send(("ok", {"shard": ordinal,
+                                  "size": shard_set.sizes()[ordinal]}))
+            elif op == "close":
+                _, ordinal = message
+                shard_set.close(ordinal)
+                conn.send(("ok", {"shard": ordinal}))
+            elif op == "search":
+                conn.send(("ok", shard_set.search(message[1])))
+            else:
+                raise InvalidParameterError(f"unknown worker op {op!r}")
+        except BaseException as exc:  # noqa: BLE001 — relayed to coordinator
+            try:
+                conn.send(("error", exc))
+            except (OSError, ValueError, TypeError):
+                conn.send(("error", StorageError(
+                    f"worker {name}: {type(exc).__name__}: {exc}")))
+
+
+# ---------------------------------------------------------------------------
+# coordinator
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WorkerPoolConfig:
+    """Sizing and supervision policy for a :class:`WorkerPool`.
+
+    ``workers``             worker *slots* (processes per replica set).
+                            ``None`` = one per shard; more than the
+                            shard count is clamped (an idle worker
+                            serves nothing).
+    ``replicas``            processes per slot.  ``1`` = no failover
+                            capacity; ``2`` keeps a slot's shards
+                            served through a single crash.
+    ``mmap``                memory-map shard columns read-only (always
+                            possible on columnar stores).
+    ``start_method``        multiprocessing start method; ``"spawn"``
+                            keeps workers clean of coordinator threads.
+    ``heartbeat_interval``  seconds between supervisor health sweeps.
+    ``start_timeout``       seconds to wait for a worker to load its
+                            shards and report ready.
+    ``request_timeout``     seconds a scatter waits on one worker
+                            before declaring it dead.
+    ``restart``             respawn crashed workers from the
+                            supervisor sweep.
+    ``rebalance_ratio``     busy-time ratio (hottest/coldest slot)
+                            above which :meth:`WorkerPool.rebalance`
+                            migrates shards.
+    """
+
+    workers: int | None = None
+    replicas: int = 1
+    mmap: bool = True
+    start_method: str = "spawn"
+    heartbeat_interval: float = 1.0
+    start_timeout: float = 120.0
+    request_timeout: float = 120.0
+    restart: bool = True
+    rebalance_ratio: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise InvalidParameterError(
+                f"workers must be >= 1, got {self.workers}")
+        if self.replicas < 1:
+            raise InvalidParameterError(
+                f"replicas must be >= 1, got {self.replicas}")
+        if self.start_method not in ("spawn", "fork", "forkserver"):
+            raise InvalidParameterError(
+                f"unknown start_method {self.start_method!r}")
+        for name in ("heartbeat_interval", "start_timeout",
+                     "request_timeout"):
+            if getattr(self, name) <= 0:
+                raise InvalidParameterError(
+                    f"{name} must be > 0, got {getattr(self, name)}")
+        if self.rebalance_ratio < 1.0:
+            raise InvalidParameterError(
+                f"rebalance_ratio must be >= 1.0, got "
+                f"{self.rebalance_ratio}")
+
+
+@dataclass
+class RemoteHit:
+    """One k-NN/range hit served by a worker process.
+
+    ``shard``/``row`` name the record by its durable identity — the
+    shard ordinal and the global row ordinal inside that shard's store
+    — because og_ids are minted per process and never cross the wire.
+    """
+
+    distance: float
+    shard: int
+    row: int
+    clip_ref: Any = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"distance": self.distance, "shard": self.shard,
+                "row": self.row, "clip_ref": self.clip_ref}
+
+
+@dataclass
+class RemoteSearchResult:
+    """Scatter outcome across worker processes (+ degradation)."""
+
+    hits: list[RemoteHit]
+    degraded: bool = False
+    failed_shards: list[int] = field(default_factory=list)
+
+
+class _WorkerHandle:
+    """One live worker process: pipe, lock, and supervision state."""
+
+    __slots__ = ("slot", "replica", "name", "process", "conn", "lock",
+                 "alive", "restarts", "last_seen")
+
+    def __init__(self, slot: int, replica: int):
+        self.slot = slot
+        self.replica = replica
+        self.name = f"w{slot}.{replica}"
+        self.process = None
+        self.conn = None
+        self.lock = threading.Lock()
+        self.alive = False
+        self.restarts = 0
+        self.last_seen = 0.0
+
+
+class WorkerPool:
+    """Shard-serving process fleet over one columnar snapshot.
+
+    ``path`` must hold a columnar store (``.strg/``) — the format whose
+    raw ``.npy`` segments many processes can memory-map read-only.  NPZ
+    archives cannot be served this way; convert first (``repro
+    convert``).  A sharded store yields one logical shard per
+    ``shard-i`` sub-store; a monolithic store is served as one shard.
+
+    Use as a context manager, or call :meth:`start` / :meth:`shutdown`.
+    All search methods are thread-safe and may be called concurrently
+    (each request fans out on an internal thread pool and pipelines
+    across worker processes).
+    """
+
+    def __init__(self, path: str | os.PathLike,
+                 config: WorkerPoolConfig | None = None):
+        from repro.storage.columnar import ColumnarStore
+        from repro.storage.store import open_store
+
+        self.config = config or WorkerPoolConfig()
+        store = open_store(path)
+        if not isinstance(store, ColumnarStore):
+            raise StorageError(
+                f"{store.path} is not a columnar store: worker processes "
+                "memory-map raw .npy shard columns. Migrate with `repro "
+                f"convert {store.path}` first."
+            )
+        if not store.exists():
+            raise StorageError(
+                f"no columnar snapshot at {store.path} (write one with "
+                "db.save(format='columnar') or `repro convert`)")
+        self.store = store
+        manifest = store.manifest()
+        if manifest["kind"] == "sharded":
+            self._shard_rels = {
+                ordinal: name
+                for ordinal, name in enumerate(manifest["shards"])
+            }
+        else:
+            self._shard_rels = {0: ""}
+        self.num_shards = len(self._shard_rels)
+        slots = self.config.workers or self.num_shards
+        self.num_slots = min(slots, self.num_shards)
+        #: ``assignment[slot]`` — shard ordinals this slot serves.
+        self.assignment: list[list[int]] = [[] for _ in range(self.num_slots)]
+        for ordinal in sorted(self._shard_rels):
+            self.assignment[ordinal % self.num_slots].append(ordinal)
+        self._handles: list[list[_WorkerHandle]] = [
+            [_WorkerHandle(slot, replica)
+             for replica in range(self.config.replicas)]
+            for slot in range(self.num_slots)
+        ]
+        self._ctx = mp.get_context(self.config.start_method)
+        self._scatter_pool: ThreadPoolExecutor | None = None
+        self._supervisor: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._started = False
+        self._rr = 0
+        self._probe_rr = 0
+        self._state_lock = threading.Lock()
+        self.shard_sizes: dict[int, int] = {}
+        self._shard_stats: dict[int, dict[str, float]] = {
+            ordinal: {"queries": 0.0, "busy_seconds": 0.0}
+            for ordinal in self._shard_rels
+        }
+        self.rebalances = 0
+        self.snapshot_version = self._manifest_digest()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _manifest_digest(self) -> str:
+        with open(os.path.join(self.store.path, "manifest.json"),
+                  "rb") as fh:
+            return hashlib.sha256(fh.read()).hexdigest()[:12]
+
+    def start(self) -> "WorkerPool":
+        """Spawn every worker, wait for readiness, start the supervisor."""
+        if self._started:
+            return self
+        with OBS.span("net.pool_start", slots=self.num_slots,
+                      replicas=self.config.replicas):
+            for slot in range(self.num_slots):
+                for handle in self._handles[slot]:
+                    self._spawn(handle)
+            deadline = time.monotonic() + self.config.start_timeout
+            for row in self._handles:
+                for handle in row:
+                    self._await_ready(handle, deadline)
+        self._started = True
+        self._scatter_pool = ThreadPoolExecutor(
+            max_workers=max(2, self.num_slots * self.config.replicas),
+            thread_name_prefix="net-scatter")
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="net-supervisor", daemon=True)
+        self._supervisor.start()
+        return self
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        assignment = [(o, self._shard_rels[o])
+                      for o in self.assignment[handle.slot]]
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self.store.path, assignment, child_conn,
+                  self.config.mmap and self.store.supports_mmap,
+                  handle.name),
+            name=f"strg-{handle.name}", daemon=True)
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        handle.alive = False
+        OBS.count("net.workers_spawned")
+
+    def _await_ready(self, handle: _WorkerHandle, deadline: float) -> None:
+        timeout = max(0.0, deadline - time.monotonic())
+        if not handle.conn.poll(timeout):
+            raise StorageError(
+                f"worker {handle.name} did not become ready within "
+                f"{self.config.start_timeout:.0f}s")
+        kind, payload = handle.conn.recv()
+        if kind == "error":
+            raise payload
+        handle.alive = True
+        handle.last_seen = time.monotonic()
+        with self._state_lock:
+            for ordinal, size in payload["sizes"].items():
+                self.shard_sizes[int(ordinal)] = int(size)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the supervisor, then every worker process.  Idempotent."""
+        self._stop.set()
+        if self._supervisor is not None and wait:
+            self._supervisor.join(timeout=self.config.heartbeat_interval * 4)
+        if self._scatter_pool is not None:
+            self._scatter_pool.shutdown(wait=False)
+            self._scatter_pool = None
+        for row in self._handles:
+            for handle in row:
+                self._stop_worker(handle, wait)
+        self._started = False
+
+    def _stop_worker(self, handle: _WorkerHandle, wait: bool) -> None:
+        process, conn = handle.process, handle.conn
+        handle.alive = False
+        if conn is not None:
+            if handle.lock.acquire(blocking=False):
+                try:
+                    conn.send(("stop",))
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+                finally:
+                    handle.lock.release()
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        if process is not None:
+            process.join(timeout=2.0 if wait else 0.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- supervision ----------------------------------------------------------
+
+    def _supervise(self) -> None:
+        """Heartbeat sweep: ping idle workers, respawn dead ones."""
+        while not self._stop.wait(self.config.heartbeat_interval):
+            for row in self._handles:
+                for handle in row:
+                    if self._stop.is_set():
+                        return
+                    self._check_worker(handle)
+
+    def _check_worker(self, handle: _WorkerHandle) -> None:
+        process = handle.process
+        if process is not None and process.is_alive():
+            # A busy worker (lock held by a scatter) is alive by
+            # definition; only ping the idle ones.
+            if handle.lock.acquire(blocking=False):
+                try:
+                    handle.conn.send(("ping",))
+                    if handle.conn.poll(self.config.request_timeout):
+                        kind, payload = handle.conn.recv()
+                        if kind == "ok":
+                            handle.last_seen = time.monotonic()
+                            return
+                    handle.alive = False
+                except (OSError, EOFError, BrokenPipeError, ValueError):
+                    handle.alive = False
+                finally:
+                    handle.lock.release()
+            else:
+                return
+        else:
+            handle.alive = False
+        if not handle.alive and self.config.restart:
+            self._respawn(handle)
+
+    def _respawn(self, handle: _WorkerHandle) -> None:
+        with handle.lock:
+            process = handle.process
+            if process is not None:
+                if process.is_alive():  # pragma: no cover - hung worker
+                    process.terminate()
+                process.join(timeout=2.0)
+            if handle.conn is not None:
+                try:
+                    handle.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            self._spawn(handle)
+            try:
+                self._await_ready(
+                    handle, time.monotonic() + self.config.start_timeout)
+            except (StorageError, Exception):  # noqa: BLE001
+                handle.alive = False
+                OBS.count("net.worker_restart_failures")
+                return
+            handle.restarts += 1
+            OBS.count("net.workers_restarted")
+
+    def kill_worker(self, slot: int, replica: int = 0) -> None:
+        """Hard-kill one worker process (failover drills and tests)."""
+        handle = self._handles[slot][replica]
+        if handle.process is not None:
+            handle.process.kill()
+            handle.process.join(timeout=5.0)
+
+    def await_healthy(self, timeout: float = 60.0) -> bool:
+        """Block until every worker is alive again (post-drill barrier).
+
+        "Alive" means both the coordinator's flag *and* the OS process —
+        a just-killed worker whose death the supervisor has not noticed
+        yet does not count.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if all(handle.alive
+                   and handle.process is not None
+                   and handle.process.is_alive()
+                   for row in self._handles for handle in row):
+                return True
+            time.sleep(0.05)
+        return False
+
+    # -- request fan-out ------------------------------------------------------
+
+    def _live_candidates(self, slot: int) -> list[_WorkerHandle]:
+        """A slot's replicas, live ones first, rotated for load spread."""
+        row = self._handles[slot]
+        offset = self._rr
+        self._rr = (self._rr + 1) % max(1, len(row))
+        rotated = row[offset % len(row):] + row[:offset % len(row)]
+        return ([h for h in rotated if h.alive]
+                + [h for h in rotated if not h.alive])
+
+    def _exchange(self, slot: int, request: dict[str, Any]
+                  ) -> dict[str, Any]:
+        """Send one request to a slot, failing over across replicas."""
+        last_error: BaseException | None = None
+        for handle in self._live_candidates(slot):
+            with handle.lock:
+                if handle.process is None or not handle.process.is_alive():
+                    handle.alive = False
+                    continue
+                try:
+                    handle.conn.send(("search", request))
+                    if not handle.conn.poll(self.config.request_timeout):
+                        raise TimeoutError(
+                            f"worker {handle.name} did not answer within "
+                            f"{self.config.request_timeout:.0f}s")
+                    kind, payload = handle.conn.recv()
+                except (OSError, EOFError, BrokenPipeError,
+                        TimeoutError) as exc:
+                    handle.alive = False
+                    last_error = exc
+                    OBS.count("net.worker_failures")
+                    continue
+            if kind == "error":
+                raise payload
+            handle.last_seen = time.monotonic()
+            return payload
+        raise ShardUnavailableError(
+            f"no live worker for slot {slot} "
+            f"(shards {self.assignment[slot]})",
+            details={"slot": slot, "shards": list(self.assignment[slot]),
+                     "cause": type(last_error).__name__
+                     if last_error else "no_replicas"})
+
+    def _probe_bound(self, query: np.ndarray, k: int) -> float | None:
+        """Cheap global upper bound on the kth distance, for the fan-out.
+
+        One rotating slot answers a minimal budgeted (sketch-tier)
+        request first; the kth smallest of its hits — real corpus
+        distances — bounds the true global kth from above, and every
+        worker in the fan-out then prunes against it
+        (``ShardedIndex.knn(prune_bound=...)``).  This restores the
+        one-shared-bound economics of the in-process scatter across
+        process boundaries: without it, N workers each search with only
+        their local bound and together do several times the kernel work
+        of one combined search.  Purely an optimization — a failed
+        probe (dead slot, sketch tier error) falls back to an unbounded
+        fan-out, and a valid bound never changes results.
+        """
+        slots = [
+            s for s in range(self.num_slots)
+            if any(self.shard_sizes.get(o, 0) > 0
+                   for o in self.assignment[s])
+        ]
+        if len(slots) < 2:
+            return None  # a single slot already shares its bound internally
+        self._probe_rr += 1
+        slot = slots[self._probe_rr % len(slots)]
+        shards = [o for o in self.assignment[slot]
+                  if self.shard_sizes.get(o, 0) > 0]
+        request = {"op": "knn", "query": query, "arg": k,
+                   "shards": shards, "shares": {o: k for o in shards}}
+        try:
+            payload = self._exchange(slot, request)
+        except Exception:  # noqa: BLE001 — probe is best-effort
+            OBS.count("net.probe_failures")
+            return None
+        distances = sorted(h[0] for h in payload["hits"])
+        if len(distances) < k:
+            return None
+        return float(distances[k - 1])
+
+    def _scatter(self, op: str, query: np.ndarray, arg: Any,
+                 shares: dict[int, int] | None, degrade: bool,
+                 bound: float | None = None) -> RemoteSearchResult:
+        if self._scatter_pool is None:
+            raise IndexStateError(
+                "worker pool is not started (call start() first)")
+        requests: list[tuple[int, dict[str, Any]]] = []
+        for slot in range(self.num_slots):
+            shards = [o for o in self.assignment[slot]
+                      if self.shard_sizes.get(o, 0) > 0]
+            if not shards:
+                continue
+            requests.append((slot, {
+                "op": op, "query": query, "arg": arg, "shards": shards,
+                "shares": shares, "bound": bound,
+            }))
+        futures = [
+            (slot, request,
+             self._scatter_pool.submit(self._exchange, slot, request))
+            for slot, request in requests
+        ]
+        hits: list[tuple[float, int, int, Any]] = []
+        failed: list[int] = []
+        for slot, request, future in futures:
+            try:
+                payload = future.result()
+            except ShardUnavailableError:
+                if not degrade:
+                    raise
+                OBS.count("net.shards_failed", len(request["shards"]))
+                failed.extend(request["shards"])
+                continue
+            hits.extend(payload["hits"])
+            with self._state_lock:
+                for ordinal, busy in payload["busy"].items():
+                    stats = self._shard_stats[int(ordinal)]
+                    stats["queries"] += 1
+                    stats["busy_seconds"] += float(busy)
+        hits.sort(key=lambda h: (h[0], h[1], h[2]))
+        return RemoteSearchResult(
+            [RemoteHit(*h) for h in hits], bool(failed), sorted(failed))
+
+    # -- search ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(self.shard_sizes.values())
+
+    def knn(self, query: Any, k: int, *,
+            search_budget: int | None = None,
+            degrade: bool = True) -> RemoteSearchResult:
+        """Exact (or budgeted-approximate) k-NN across all worker shards.
+
+        Bit-identical to the in-process ``ShardedIndex`` over the same
+        snapshot: same distances (chunk-invariant kernels), same order
+        (``(distance, shard, row)`` merge = its ``(distance, og_id)``
+        tie-break).  ``degrade=True`` (default) serves partial results
+        when a slot has no live worker; ``degrade=False`` raises
+        :class:`~repro.errors.ShardUnavailableError` instead.
+        """
+        from repro.distance.base import as_series
+
+        if k < 0:
+            raise InvalidParameterError(f"k must be >= 0, got {k}")
+        if k == 0:
+            return RemoteSearchResult([])
+        if search_budget is not None and search_budget < 1:
+            raise InvalidParameterError(
+                f"search_budget must be >= 1, got {search_budget}")
+        total = len(self)
+        if total == 0:
+            raise IndexStateError("cannot search an empty worker pool")
+        shares = None
+        if search_budget is not None:
+            # Mirror ShardedIndex._approx_scatter: proportional to shard
+            # size, floored at k so every shard can fill a top-k list.
+            shares = {
+                ordinal: max(k, math.ceil(search_budget * size / total))
+                for ordinal, size in self.shard_sizes.items() if size > 0
+            }
+        series = as_series(query)
+        with OBS.span("net.knn", k=k, budget=search_budget) as sp:
+            OBS.count("net.knn_queries")
+            bound = self._probe_bound(series, k) if shares is None else None
+            result = self._scatter("knn", series, k, shares, degrade,
+                                   bound=bound)
+            result.hits = result.hits[:k]
+            sp.set(hits=len(result.hits), degraded=result.degraded)
+            return result
+
+    def range_query(self, query: Any, radius: float, *,
+                    degrade: bool = True) -> RemoteSearchResult:
+        """All OGs within ``radius``, merged across worker shards."""
+        from repro.distance.base import as_series
+
+        if radius < 0:
+            raise InvalidParameterError(
+                f"radius must be >= 0, got {radius}")
+        if len(self) == 0:
+            raise IndexStateError("cannot search an empty worker pool")
+        with OBS.span("net.range_query", radius=radius) as sp:
+            OBS.count("net.range_queries")
+            result = self._scatter("range", as_series(query), radius,
+                                   None, degrade)
+            sp.set(hits=len(result.hits), degraded=result.degraded)
+            return result
+
+    # -- maintenance ----------------------------------------------------------
+
+    def reload(self) -> str:
+        """Re-open the snapshot in every worker (post-ingest refresh).
+
+        Returns the new snapshot version (manifest digest).  Workers
+        reload sequentially; requests keep being served by the replicas
+        not currently reloading.
+        """
+        with OBS.span("net.pool_reload"):
+            self.snapshot_version = self._manifest_digest()
+            for row in self._handles:
+                for handle in row:
+                    if not handle.alive:
+                        continue
+                    with handle.lock:
+                        try:
+                            handle.conn.send(("reload",))
+                            if handle.conn.poll(self.config.start_timeout):
+                                kind, payload = handle.conn.recv()
+                                if kind == "error":
+                                    raise payload
+                                with self._state_lock:
+                                    for o, n in payload["sizes"].items():
+                                        self.shard_sizes[int(o)] = int(n)
+                            else:
+                                handle.alive = False
+                        except (OSError, EOFError, BrokenPipeError):
+                            handle.alive = False
+            return self.snapshot_version
+
+    def shard_stats(self) -> dict[int, dict[str, float]]:
+        """Per-shard query counters since the last rebalance."""
+        with self._state_lock:
+            return {o: dict(s) for o, s in self._shard_stats.items()}
+
+    def slot_loads(self) -> list[float]:
+        """Busy seconds per worker slot (sum over its shards)."""
+        stats = self.shard_stats()
+        return [
+            sum(stats[o]["busy_seconds"] for o in shards)
+            for shards in self.assignment
+        ]
+
+    def rebalance(self, ratio: float | None = None
+                  ) -> list[tuple[int, int, int]]:
+        """Migrate shards from hot slots to cold ones.
+
+        Policy: while the hottest slot's busy time exceeds ``ratio``
+        times the coldest slot's *and* the hottest slot serves more
+        than one shard, move its coldest shard to the coldest slot.
+        Returns the moves as ``(shard, from_slot, to_slot)``; counters
+        reset afterwards so the next window measures the new layout.
+        Only meaningful when shards outnumber slots — with one shard
+        per slot there is nothing to migrate.
+        """
+        ratio = self.config.rebalance_ratio if ratio is None else ratio
+        if ratio < 1.0:
+            raise InvalidParameterError(
+                f"ratio must be >= 1.0, got {ratio}")
+        moves: list[tuple[int, int, int]] = []
+        if self.num_slots < 2:
+            return moves
+        with self._state_lock:
+            stats = {o: dict(s) for o, s in self._shard_stats.items()}
+        loads = [
+            sum(stats[o]["busy_seconds"] for o in shards)
+            for shards in self.assignment
+        ]
+        while True:
+            hot = max(range(self.num_slots), key=lambda s: loads[s])
+            cold = min(range(self.num_slots), key=lambda s: loads[s])
+            if hot == cold or len(self.assignment[hot]) <= 1:
+                break
+            if loads[hot] <= ratio * max(loads[cold], 1e-12):
+                break
+            shard = min(self.assignment[hot],
+                        key=lambda o: (stats[o]["busy_seconds"], o))
+            if not self._move_shard(shard, hot, cold):
+                break
+            moves.append((shard, hot, cold))
+            loads[hot] -= stats[shard]["busy_seconds"]
+            loads[cold] += stats[shard]["busy_seconds"]
+        if moves:
+            self.rebalances += len(moves)
+            OBS.count("net.shards_rebalanced", len(moves))
+            with self._state_lock:
+                for entry in self._shard_stats.values():
+                    entry["queries"] = 0.0
+                    entry["busy_seconds"] = 0.0
+        return moves
+
+    def _move_shard(self, shard: int, hot: int, cold: int) -> bool:
+        """Open ``shard`` on every replica of ``cold``, close on ``hot``.
+
+        Open-before-close on each worker, so a crash mid-move leaves the
+        shard served by at least one slot.  A move that cannot open the
+        shard on any cold replica is abandoned (returns ``False``).
+        """
+        rel = self._shard_rels[shard]
+        opened = 0
+        for handle in self._handles[cold]:
+            if self._admin(handle, ("open", shard, rel)):
+                opened += 1
+        if opened == 0:
+            return False
+        for handle in self._handles[hot]:
+            self._admin(handle, ("close", shard))
+        self.assignment[hot].remove(shard)
+        self.assignment[cold].append(shard)
+        self.assignment[cold].sort()
+        return True
+
+    def _admin(self, handle: _WorkerHandle, message: tuple) -> bool:
+        """One fire-and-check admin exchange with a worker."""
+        if not handle.alive:
+            return False
+        with handle.lock:
+            try:
+                handle.conn.send(message)
+                if not handle.conn.poll(self.config.start_timeout):
+                    handle.alive = False
+                    return False
+                kind, payload = handle.conn.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                handle.alive = False
+                return False
+        if kind == "error":
+            raise payload
+        return True
+
+    # -- introspection --------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """Operational telemetry: what an operator (or /health) watches."""
+        workers = []
+        for row in self._handles:
+            for handle in row:
+                process = handle.process
+                workers.append({
+                    "name": handle.name,
+                    "slot": handle.slot,
+                    "replica": handle.replica,
+                    "pid": None if process is None else process.pid,
+                    "alive": bool(handle.alive and process is not None
+                                  and process.is_alive()),
+                    "restarts": handle.restarts,
+                    "shards": list(self.assignment[handle.slot]),
+                })
+        alive = sum(1 for w in workers if w["alive"])
+        served = {
+            o for slot, shards in enumerate(self.assignment)
+            for o in shards
+            if any(w["alive"] for w in workers if w["slot"] == slot)
+        }
+        return {
+            "status": "ok" if alive == len(workers) else
+            ("degraded" if served == set(self._shard_rels) else "partial"),
+            "snapshot": self.snapshot_version,
+            "shards": self.num_shards,
+            "slots": self.num_slots,
+            "replicas": self.config.replicas,
+            "workers": workers,
+            "workers_alive": alive,
+            "shards_served": sorted(served),
+            "shard_sizes": {str(o): n
+                            for o, n in sorted(self.shard_sizes.items())},
+            "rebalances": self.rebalances,
+            "assignment": [list(shards) for shards in self.assignment],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool(shards={self.num_shards}, slots={self.num_slots}, "
+            f"replicas={self.config.replicas}, ogs={len(self)})"
+        )
+
+
+__all__ = [
+    "RemoteHit",
+    "RemoteSearchResult",
+    "WorkerPool",
+    "WorkerPoolConfig",
+]

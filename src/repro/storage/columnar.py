@@ -75,6 +75,7 @@ import numpy as np
 
 from repro.errors import (
     IndexCorruptionError,
+    IndexStateError,
     InvalidParameterError,
     StorageError,
 )
@@ -195,6 +196,17 @@ class ColumnarStore:
             with open(self._manifest_path, "r", encoding="utf-8") as fh:
                 manifest = json.load(fh)
         except FileNotFoundError as exc:
+            if os.path.isdir(self.path):
+                # The store directory exists but never reached its commit
+                # point: an interrupted first write (or a stray empty
+                # directory).  Data loss, not a missing store.
+                raise IndexCorruptionError(
+                    f"store directory {self.path} has no committed "
+                    "manifest (empty or partially written)",
+                    details={"path": self.path,
+                             "missing": MANIFEST_NAME,
+                             "contents": sorted(os.listdir(self.path))[:16]},
+                ) from exc
             raise StorageError(
                 f"cannot read {self._manifest_path}: {exc}") from exc
         except (OSError, json.JSONDecodeError) as exc:
@@ -218,7 +230,25 @@ class ColumnarStore:
                 details={"path": self._manifest_path, "version": version,
                          "supported": COLUMNAR_VERSION},
             )
+        kind = manifest.get("kind")
+        if kind == _KIND_SHARDED:
+            required = ("num_shards", "shards", "files")
+        else:
+            required = ("kind", "segments", "next_segment",
+                        "rows_total", "rows_dead")
+        missing = [key for key in required if key not in manifest]
+        if missing:
+            raise IndexCorruptionError(
+                f"incomplete store manifest {self._manifest_path}: "
+                f"missing keys {missing} (partially written?)",
+                details={"path": self._manifest_path, "kind": kind,
+                         "missing": missing},
+            )
         return manifest
+
+    def manifest(self) -> dict[str, Any]:
+        """The committed manifest, validated (a fresh copy per call)."""
+        return self._read_manifest()
 
     def _check_sizes(self, manifest: dict[str, Any]) -> None:
         """O(#files) truncation check: stat sizes against the manifest."""
@@ -525,6 +555,21 @@ class ColumnarStore:
             self._bound = True
             OBS.count("storage.columnar.loads")
             return index
+
+    def row_ordinals(self) -> dict[int, int]:
+        """Live ``og_id -> global row ordinal`` map of the bound index.
+
+        og_ids are minted per process and never stable across loads;
+        the row ordinal *is* stable — it names the record's position in
+        the on-disk column order, so it is the identity that crosses
+        process (and network) boundaries.  Only valid after
+        ``load_index``/``write_index`` bound this store to an index.
+        """
+        if not self._bound:
+            raise IndexStateError(
+                f"store {self.path} is not bound to an index "
+                "(call load_index() or write_index() first)")
+        return dict(self._row_of)
 
     def _materialize_base(self, segment: dict[str, Any], mmap: bool):
         arrays = self._load_segment_arrays(segment, mmap)

@@ -322,6 +322,56 @@ class TestCorruptionDetection:
         with pytest.raises(IndexCorruptionError):
             ColumnarStore(store.path).load_index()
 
+    def test_empty_store_dir_is_corruption_not_missing(self, tmp_path):
+        # A .strg directory without a committed manifest is an
+        # interrupted first write, not a store that never existed.
+        empty = tmp_path / "empty.strg"
+        empty.mkdir()
+        assert not is_columnar_store(empty)
+        assert detect_format(empty) is None
+        store = open_store(empty)  # suffix routes to columnar
+        assert isinstance(store, ColumnarStore)
+        with pytest.raises(IndexCorruptionError) as err:
+            store.load_index()
+        details = err.value.details
+        assert details["path"] == store.path
+        assert details["missing"] == "manifest.json"
+        assert details["contents"] == []
+
+    def test_partially_written_dir_lists_contents(self, tmp_path):
+        partial = tmp_path / "partial.strg"
+        seg = partial / "seg-000000"
+        seg.mkdir(parents=True)
+        (seg / "og_values.npy").write_bytes(b"\x93NUMPY-but-torn")
+        with pytest.raises(IndexCorruptionError) as err:
+            open_store(partial).manifest()
+        details = err.value.details
+        assert details["missing"] == "manifest.json"
+        assert details["contents"] == ["seg-000000"]
+
+    def test_manifest_missing_keys_detected(self, tmp_path):
+        store, _, _ = self.make_store(tmp_path)
+        manifest = store._read_manifest()
+        del manifest["segments"]
+        del manifest["rows_total"]
+        with open(os.path.join(store.path, "manifest.json"), "w") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(IndexCorruptionError) as err:
+            ColumnarStore(store.path).load_index()
+        details = err.value.details
+        assert sorted(details["missing"]) == ["rows_total", "segments"]
+        assert "partially written" in str(err.value)
+
+    def test_wrong_format_version_detected(self, tmp_path):
+        store, _, _ = self.make_store(tmp_path)
+        manifest = store._read_manifest()
+        manifest["format_version"] = 999
+        with open(os.path.join(store.path, "manifest.json"), "w") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(IndexCorruptionError) as err:
+            ColumnarStore(store.path).load_index()
+        assert err.value.details["version"] == 999
+
 
 class TestFacade:
     def test_autodetects_each_format(self, tmp_path):

@@ -1,0 +1,478 @@
+"""Multi-process shard serving + HTTP frontend (``repro.serving.workers``
+/ ``repro.serving.net``).
+
+The load-bearing claim is *bit-identity*: a k-NN or range answer served
+by worker processes over the wire must equal the in-process
+``ShardedIndex`` answer on the same snapshot — same distances (floats
+compared exactly), same order — at every worker count and through every
+failure drill short of losing a shard entirely.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core.index import STRGIndexConfig
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_ogs
+from repro.errors import (
+    IndexStateError,
+    InvalidParameterError,
+    StorageError,
+)
+from repro.serving import (
+    NetConfig,
+    NetFrontend,
+    ShardedIndex,
+    ShardedIndexConfig,
+    WorkerPool,
+    WorkerPoolConfig,
+)
+from repro.serving.net import request_json
+from repro.serving.workers import RemoteHit, RemoteSearchResult
+
+K = 5
+RADIUS = 60.0
+NUM_OGS = 96
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_synthetic_ogs(SyntheticConfig(num_ogs=NUM_OGS, seed=0))
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return generate_synthetic_ogs(SyntheticConfig(num_ogs=4, seed=99))
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory, corpus):
+    """A 4-shard columnar snapshot with unique clip refs."""
+    from repro.storage.store import open_store
+
+    index = ShardedIndex(ShardedIndexConfig(
+        num_shards=4, placement="affine", eval_batch=16,
+        index=STRGIndexConfig(n_clusters=4)))
+    index.build(corpus, clip_refs=[f"clip-{i}" for i in range(len(corpus))])
+    root = tmp_path_factory.mktemp("net-serving")
+    store = open_store(os.path.join(root, "corpus.strg"), format="columnar")
+    store.write_index(index)
+    return store.path
+
+
+@pytest.fixture(scope="module")
+def reference(store_path):
+    """The in-process answer key: the same snapshot, loaded directly."""
+    from repro.storage.store import open_store
+
+    return open_store(store_path).load_index(mmap=True)
+
+
+def hits_of(result):
+    return [(h.distance, h.clip_ref) for h in result.hits]
+
+
+def expected_knn(reference, query, k, budget=None):
+    return [(float(d), ref)
+            for d, _og, ref in reference.knn(query, k, search_budget=budget)]
+
+
+def expected_range(reference, query, radius):
+    return [(float(d), ref)
+            for d, _og, ref in reference.range_query(query, radius)]
+
+
+class TestWorkerPoolParity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bit_identical_to_in_process(self, store_path, reference,
+                                         queries, workers):
+        with WorkerPool(store_path, WorkerPoolConfig(workers=workers)) as pool:
+            assert len(pool) == NUM_OGS
+            for query in queries:
+                exact = pool.knn(query, K)
+                assert not exact.degraded and exact.failed_shards == []
+                assert hits_of(exact) == expected_knn(reference, query, K)
+                ranged = pool.range_query(query, RADIUS)
+                assert hits_of(ranged) == expected_range(
+                    reference, query, RADIUS)
+                approx = pool.knn(query, K, search_budget=24)
+                assert hits_of(approx) == expected_knn(
+                    reference, query, K, budget=24)
+
+    def test_k_edges_and_validation(self, store_path, reference, queries):
+        with WorkerPool(store_path, WorkerPoolConfig(workers=2)) as pool:
+            query = queries[0]
+            assert pool.knn(query, 0).hits == []
+            everything = pool.knn(query, NUM_OGS + 50)
+            assert len(everything.hits) == NUM_OGS
+            assert hits_of(everything) == expected_knn(
+                reference, query, NUM_OGS + 50)
+            assert pool.range_query(query, 0.0).hits == []
+            with pytest.raises(InvalidParameterError):
+                pool.knn(query, -1)
+            with pytest.raises(InvalidParameterError):
+                pool.knn(query, K, search_budget=0)
+            with pytest.raises(InvalidParameterError):
+                pool.range_query(query, -1.0)
+
+    def test_monolithic_store_served_as_one_shard(self, tmp_path, corpus,
+                                                  queries):
+        from repro.core.index import STRGIndex
+        from repro.storage.store import open_store
+
+        mono = STRGIndex(STRGIndexConfig(n_clusters=4))
+        for i, og in enumerate(corpus):
+            mono.insert(og, clip_ref=f"clip-{i}")
+        store = open_store(os.path.join(tmp_path, "mono.strg"),
+                           format="columnar")
+        store.write_index(mono)
+        loaded = open_store(store.path).load_index(mmap=True)
+        with WorkerPool(store.path, WorkerPoolConfig(workers=3)) as pool:
+            assert pool.num_slots == 1  # one shard caps the slots
+            for query in queries[:2]:
+                got = hits_of(pool.knn(query, K))
+                assert got == expected_knn(loaded, query, K)
+
+    def test_requires_columnar_store(self, tmp_path):
+        with pytest.raises(StorageError, match="convert"):
+            WorkerPool(os.path.join(tmp_path, "nothing.npz"))
+
+    def test_config_validation(self):
+        with pytest.raises(InvalidParameterError):
+            WorkerPoolConfig(workers=0)
+        with pytest.raises(InvalidParameterError):
+            WorkerPoolConfig(replicas=0)
+        with pytest.raises(InvalidParameterError):
+            WorkerPoolConfig(rebalance_ratio=0.5)
+
+    def test_unstarted_pool_raises(self, store_path, queries):
+        pool = WorkerPool(store_path, WorkerPoolConfig(workers=1))
+        with pytest.raises(IndexStateError, match="empty worker pool"):
+            pool.knn(queries[0], K)
+
+
+class TestFailover:
+    def test_dead_slot_degrades_but_stays_correct(self, store_path, queries):
+        config = WorkerPoolConfig(workers=2, restart=False,
+                                  heartbeat_interval=30.0)
+        with WorkerPool(store_path, config) as pool:
+            lost = sorted(pool.assignment[0])
+            # Answer key with per-shard attribution, taken before the kill.
+            wanted = {}
+            for i, query in enumerate(queries):
+                full = pool.knn(query, NUM_OGS)
+                wanted[i] = [(h.distance, h.shard, h.row, h.clip_ref)
+                             for h in full.hits if h.shard not in lost][:K]
+            pool.kill_worker(0)
+            for i, query in enumerate(queries):
+                got = pool.knn(query, K)
+                assert got.degraded and got.failed_shards == lost
+                assert [(h.distance, h.shard, h.row, h.clip_ref)
+                        for h in got.hits] == wanted[i]
+            with pytest.raises(Exception):
+                pool.knn(queries[0], K, degrade=False)
+            health = pool.health()
+            assert health["status"] in ("degraded", "partial")
+
+    def test_replica_failover_is_not_degraded(self, store_path, reference,
+                                              queries):
+        config = WorkerPoolConfig(workers=1, replicas=2, restart=False,
+                                  heartbeat_interval=30.0)
+        with WorkerPool(store_path, config) as pool:
+            pool.kill_worker(0, replica=0)
+            for query in queries:
+                got = pool.knn(query, K)
+                assert not got.degraded
+                assert hits_of(got) == expected_knn(reference, query, K)
+
+    def test_supervisor_respawns_crashed_worker(self, store_path, reference,
+                                                queries):
+        config = WorkerPoolConfig(workers=2, restart=True,
+                                  heartbeat_interval=0.2)
+        with WorkerPool(store_path, config) as pool:
+            pool.kill_worker(0)
+            assert pool.await_healthy(timeout=30.0)
+            assert any(h.restarts > 0
+                       for row in pool._handles for h in row)
+            for query in queries[:2]:
+                got = pool.knn(query, K)
+                assert not got.degraded
+                assert hits_of(got) == expected_knn(reference, query, K)
+
+
+class TestRebalance:
+    def test_moves_cold_shard_off_hot_slot(self, store_path, reference,
+                                           queries):
+        with WorkerPool(store_path, WorkerPoolConfig(workers=2)) as pool:
+            # 4 shards over 2 slots: [0, 2] and [1, 3].  Inject skewed
+            # busy time: slot 0 hot (shard 0 hottest), slot 1 near-idle.
+            with pool._state_lock:
+                pool._shard_stats[0]["busy_seconds"] = 10.0
+                pool._shard_stats[2]["busy_seconds"] = 4.0
+                pool._shard_stats[1]["busy_seconds"] = 0.1
+                pool._shard_stats[3]["busy_seconds"] = 0.1
+            before = [list(s) for s in pool.assignment]
+            moves = pool.rebalance(ratio=2.0)
+            assert moves == [(2, 0, 1)]  # coldest shard of the hot slot
+            assert pool.assignment[0] == [0]
+            assert sorted(pool.assignment[1]) == [1, 2, 3]
+            assert pool.assignment != before
+            assert pool.rebalances == 1
+            # Counters reset so the next window measures the new layout.
+            assert all(s["busy_seconds"] == 0.0
+                       for s in pool.shard_stats().values())
+            # Results still bit-identical after the migration.
+            for query in queries:
+                got = pool.knn(query, K)
+                assert not got.degraded
+                assert hits_of(got) == expected_knn(reference, query, K)
+
+    def test_balanced_load_moves_nothing(self, store_path):
+        with WorkerPool(store_path, WorkerPoolConfig(workers=2)) as pool:
+            with pool._state_lock:
+                for stats in pool._shard_stats.values():
+                    stats["busy_seconds"] = 1.0
+            assert pool.rebalance(ratio=2.0) == []
+            with pytest.raises(InvalidParameterError):
+                pool.rebalance(ratio=0.9)
+
+    def test_slot_loads_tracks_busy_time(self, store_path, queries):
+        with WorkerPool(store_path, WorkerPoolConfig(workers=2)) as pool:
+            for query in queries:
+                pool.knn(query, K)
+            loads = pool.slot_loads()
+            assert len(loads) == 2
+            assert all(load > 0.0 for load in loads)
+            stats = pool.shard_stats()
+            assert all(s["queries"] > 0 for s in stats.values())
+
+
+class TestHttpFrontend:
+    @pytest.fixture(scope="class")
+    def frontend(self, store_path):
+        with WorkerPool(store_path, WorkerPoolConfig(workers=2)) as pool:
+            with NetFrontend(pool, config=NetConfig()) as served:
+                yield served
+
+    def get(self, frontend, path):
+        return request_json("127.0.0.1", frontend.port, "GET", path)
+
+    def post(self, frontend, path, payload):
+        return request_json("127.0.0.1", frontend.port, "POST", path,
+                            payload)
+
+    def test_knn_round_trip_bit_identical(self, frontend, reference,
+                                          queries):
+        for query in queries:
+            status, body = self.post(frontend, "/knn", {
+                "query": query.values.tolist(), "k": K})
+            assert status == 200
+            assert body["snapshot"] == frontend.pool.snapshot_version
+            assert not body["degraded"] and body["failed_shards"] == []
+            assert body["latency"] > 0
+            got = [(h["distance"], h["clip_ref"]) for h in body["hits"]]
+            assert got == expected_knn(reference, query, K)
+            assert all(set(h) == {"distance", "shard", "row", "clip_ref"}
+                       for h in body["hits"])
+
+    def test_range_and_query_envelope(self, frontend, reference, queries):
+        query = queries[0]
+        status, body = self.post(frontend, "/range", {
+            "query": query.values.tolist(), "radius": RADIUS})
+        assert status == 200
+        got = [(h["distance"], h["clip_ref"]) for h in body["hits"]]
+        assert got == expected_range(reference, query, RADIUS)
+        status, enveloped = self.post(frontend, "/query", {
+            "op": "range", "query": query.values.tolist(),
+            "radius": RADIUS})
+        assert status == 200 and enveloped["hits"] == body["hits"]
+        status, body = self.post(frontend, "/query", {
+            "op": "scan", "query": query.values.tolist()})
+        assert status == 400 and "scan" in body["error"]
+
+    def test_budgeted_knn_over_http(self, frontend, reference, queries):
+        query = queries[0]
+        status, body = self.post(frontend, "/knn", {
+            "query": query.values.tolist(), "k": K, "search_budget": 24})
+        assert status == 200
+        got = [(h["distance"], h["clip_ref"]) for h in body["hits"]]
+        assert got == expected_knn(reference, query, K, budget=24)
+
+    def test_health_and_metrics(self, frontend):
+        status, health = self.get(frontend, "/health")
+        assert status == 200 and health["status"] == "ok"
+        assert health["workers_alive"] == 2
+        assert health["frontend"]["max_inflight"] == 64
+        status, text = self.get(frontend, "/metrics")
+        assert status == 200 and isinstance(text, str) and text
+
+    def test_http_errors(self, frontend, queries):
+        query = queries[0].values.tolist()
+        status, body = self.get(frontend, "/nope")
+        assert status == 404
+        status, body = request_json("127.0.0.1", frontend.port, "GET",
+                                    "/knn")
+        assert status == 405
+        status, body = self.post(frontend, "/knn", {"k": K})
+        assert status == 400 and "query" in body["error"]
+        status, body = self.post(frontend, "/knn", {"query": query})
+        assert status == 400 and "'k'" in body["error"]
+        status, body = self.post(frontend, "/knn",
+                                 {"query": query, "k": -2})
+        assert status == 400
+        status, body = self.post(frontend, "/knn",
+                                 {"query": query, "k": K, "deadline": 0})
+        assert status == 400
+        status, body = self.post(frontend, "/ingest", {"frames": []})
+        assert status == 501  # frozen snapshot: no ingest service attached
+
+    def test_admin_rebalance_endpoint(self, frontend):
+        status, body = self.post(frontend, "/admin/rebalance", {})
+        assert status == 200
+        assert body["moves"] == []  # no load yet -> nothing to move
+        assert sorted(o for slot in body["assignment"] for o in slot) \
+            == [0, 1, 2, 3]
+
+    def test_admin_reload_keeps_snapshot_version(self, frontend):
+        before = frontend.pool.snapshot_version
+        status, body = self.post(frontend, "/admin/reload", {})
+        assert status == 200 and body["snapshot"] == before
+
+
+class _StubPool:
+    """Minimal pool double for frontend-only behaviors (no processes)."""
+
+    def __init__(self):
+        self.snapshot_version = "stub0000"
+        self.release = threading.Event()
+        self.release.set()
+        self.assignment = [[0]]
+
+    def knn(self, query, k, *, search_budget=None, degrade=True):
+        self.release.wait(5.0)
+        return RemoteSearchResult([RemoteHit(1.0, 0, 0, "clip-0")])
+
+    def range_query(self, query, radius, *, degrade=True):
+        return RemoteSearchResult([])
+
+    def health(self):
+        return {"status": "ok", "workers_alive": 1, "workers": []}
+
+    def reload(self):
+        return self.snapshot_version
+
+    def rebalance(self, ratio=None):
+        return []
+
+
+class _StubJob:
+    job_id = "job-1"
+    clip_name = "clip-http"
+
+    class state:
+        value = "queued"
+
+
+class _StubIngest:
+    def submit(self, video, *, job_id=None):
+        assert video.frames.shape[-1] == 3
+        return _StubJob()
+
+    def health(self):
+        return {"queue_depth": 0}
+
+
+class TestFrontendAdmissionAndDeadlines:
+    def test_deadline_maps_to_504(self, queries):
+        pool = _StubPool()
+        pool.release.clear()  # knn blocks until released
+        with NetFrontend(pool, config=NetConfig(handler_threads=2)) as fe:
+            status, body = request_json(
+                "127.0.0.1", fe.port, "POST", "/knn",
+                {"query": [[0.0, 0.0]], "k": 1, "deadline": 0.05})
+            assert status == 504
+            assert body["type"] == "DeadlineExceededError"
+            pool.release.set()
+
+    def test_admission_control_maps_to_503(self):
+        pool = _StubPool()
+        pool.release.clear()
+        config = NetConfig(max_inflight=1, handler_threads=4)
+        with NetFrontend(pool, config=config) as fe:
+            results = []
+
+            def slow():
+                results.append(request_json(
+                    "127.0.0.1", fe.port, "POST", "/knn",
+                    {"query": [[0.0, 0.0]], "k": 1}))
+
+            first = threading.Thread(target=slow)
+            first.start()
+            deadline = time.monotonic() + 5.0
+            while fe._inflight < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            status, body = request_json(
+                "127.0.0.1", fe.port, "POST", "/knn",
+                {"query": [[0.0, 0.0]], "k": 1})
+            assert status == 503
+            assert body["type"] == "ServiceOverloadError"
+            pool.release.set()
+            first.join(timeout=10.0)
+            assert results and results[0][0] == 200
+            assert fe.requests_rejected == 1
+
+    def test_ingest_proxy_accepts_jobs(self):
+        frames = [[[[0, 0, 0]] * 4] * 4] * 2  # (2, 4, 4, 3) uint8
+        with NetFrontend(_StubPool(), ingest=_StubIngest(),
+                         config=NetConfig()) as fe:
+            status, body = request_json(
+                "127.0.0.1", fe.port, "POST", "/ingest",
+                {"frames": frames, "fps": 5.0, "name": "cam-1"})
+            assert status == 202
+            assert body == {"job": "job-1", "clip": "clip-http",
+                            "state": "queued"}
+            status, body = request_json(
+                "127.0.0.1", fe.port, "POST", "/ingest", {})
+            assert status == 400 and "frames" in body["error"]
+            status, health = request_json(
+                "127.0.0.1", fe.port, "GET", "/health")
+            assert status == 200 and health["ingest"] == {"queue_depth": 0}
+
+
+class TestServeHttpCli:
+    def test_serve_http_smoke(self, store_path, capsys):
+        from repro.cli import main
+
+        code = main(["serve", store_path, "--http", "127.0.0.1:0",
+                     "--workers", "2", "--duration", "0.6",
+                     "--rate", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "listening on http://127.0.0.1:" in out
+        assert "snapshot" in out
+
+    def test_serve_http_rejects_bad_spec(self, store_path, tmp_path,
+                                         capsys):
+        from repro.cli import main
+
+        assert main(["serve", store_path, "--http", "nocolon"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_serve_http_rejects_npz(self, corpus, tmp_path, capsys):
+        from repro.cli import main
+        from repro.storage.store import open_store
+
+        from repro.core.index import STRGIndex
+
+        mono = STRGIndex(STRGIndexConfig(n_clusters=4))
+        for og in corpus[:8]:
+            mono.insert(og)
+        store = open_store(os.path.join(tmp_path, "mono.npz"),
+                           format="npz")
+        store.write_index(mono)
+        assert main(["serve", store.path, "--http", "127.0.0.1:0"]) == 2
+        assert "convert" in capsys.readouterr().err

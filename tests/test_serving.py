@@ -355,6 +355,38 @@ class TestQueryService:
             with pytest.raises(InvalidParameterError):
                 service.knn(corpus[0], -1)
 
+    def test_bounded_shutdown_reports_stragglers(self, corpus):
+        stub = _BlockingIndex()
+        service = QueryService(LiveIndex(stub),
+                               ServiceConfig(workers=1, queue_depth=4))
+        try:
+            grinding = service.submit_knn(corpus[0], 1)
+            assert stub.entered.wait(5.0)
+            # The worker is mid-request and will not finish inside the
+            # budget: shutdown returns anyway and flags the straggler.
+            service.shutdown(timeout=0.1)
+            health = service.health()
+            assert health["stopped"]
+            assert len(health["stragglers"]) == 1
+        finally:
+            stub.release.set()
+        assert grinding.result(5.0).hits
+        # A later bounded retry joins the now-finished worker and the
+        # straggler report clears.
+        service.shutdown(timeout=5.0)
+        assert service.health()["stragglers"] == []
+        assert service.health()["workers_alive"] == 0
+
+    def test_shutdown_timeout_validation(self, corpus):
+        live = LiveIndex(_sharded(corpus[:16], 1, "hash"))
+        service = QueryService(live, ServiceConfig(workers=1))
+        with pytest.raises(InvalidParameterError):
+            service.shutdown(timeout=0.0)
+        with pytest.raises(InvalidParameterError):
+            service.shutdown(timeout=-1.0)
+        service.shutdown(timeout=5.0)
+        assert service.health()["stragglers"] == []
+
 
 class TestLoadGenerators:
     def test_closed_loop(self, corpus, queries):
