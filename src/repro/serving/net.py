@@ -66,6 +66,7 @@ from repro.observability import OBS, export_metrics_prometheus
 MAX_BODY_BYTES = 64 << 20
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             404: "Not Found", 405: "Method Not Allowed",
+            413: "Payload Too Large",
             500: "Internal Server Error", 501: "Not Implemented",
             503: "Service Unavailable", 504: "Gateway Timeout"}
 
@@ -239,7 +240,16 @@ class NetFrontend:
                                 writer: asyncio.StreamWriter) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    # Unreadable framing (bad Content-Length, oversized
+                    # body): answer, then close — the byte stream can't
+                    # be resynchronized for a next request.
+                    await self._write_response(
+                        writer, exc.status, exc.body, "application/json",
+                        keep_alive=False)
+                    break
                 if request is None:
                     break
                 method, path, headers, body = request
@@ -278,9 +288,19 @@ class NetFrontend:
                 break
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+        raw_length = headers.get("content-length", "").strip() or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpError(
+                400, f"malformed Content-Length header: {raw_length!r}")
+        if length < 0:
+            raise _HttpError(
+                400, f"negative Content-Length: {length}")
         if length > MAX_BODY_BYTES:
-            return None
+            raise _HttpError(
+                413, f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit")
         body = await reader.readexactly(length) if length else b""
         return method.upper(), path.split("?", 1)[0], headers, body
 
@@ -359,6 +379,17 @@ class NetFrontend:
     async def _admit_and_run(self, fn, deadline: float | None
                              ) -> Any:
         """Run ``fn`` on the handler executor under admission + deadline."""
+        if deadline is None:
+            budget = self.config.default_deadline
+        else:
+            try:
+                budget = float(deadline)
+            except (TypeError, ValueError):
+                raise InvalidParameterError(
+                    f"'deadline' must be a number, got {deadline!r}")
+        if budget <= 0:
+            raise InvalidParameterError(
+                f"deadline must be > 0, got {budget}")
         with self._inflight_lock:
             if self._inflight >= self.config.max_inflight:
                 self.requests_rejected += 1
@@ -367,13 +398,6 @@ class NetFrontend:
                     f"frontend at max_inflight={self.config.max_inflight}: "
                     "request rejected (retry with backoff)")
             self._inflight += 1
-        budget = self.config.default_deadline if deadline is None \
-            else float(deadline)
-        if budget <= 0:
-            with self._inflight_lock:
-                self._inflight -= 1
-            raise InvalidParameterError(
-                f"deadline must be > 0, got {budget}")
         loop = asyncio.get_running_loop()
         try:
             future = loop.run_in_executor(self._executor, fn)
@@ -408,6 +432,23 @@ class NetFrontend:
             raise _HttpError(
                 400, f"'query' is not a numeric trajectory: {exc}")
 
+    @staticmethod
+    def _as_int(value: Any, name: str) -> int:
+        """Coerce a client-supplied field to int; bad input is a 400."""
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            raise _HttpError(
+                400, f"'{name}' must be an integer, got {value!r}")
+
+    @staticmethod
+    def _as_float(value: Any, name: str) -> float:
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            raise _HttpError(
+                400, f"'{name}' must be a number, got {value!r}")
+
     def _query_response(self, result: Any, started: float
                         ) -> dict[str, Any]:
         return {
@@ -423,15 +464,15 @@ class NetFrontend:
         query = self._parse_query(request)
         if "k" not in request:
             raise _HttpError(400, "missing required field 'k'")
-        k = int(request["k"])
+        k = self._as_int(request["k"], "k")
         budget = request.get("search_budget")
+        if budget is not None:
+            budget = self._as_int(budget, "search_budget")
         degrade = bool(request.get("degrade", True))
         started = time.perf_counter()
         result = await self._admit_and_run(
             lambda: self.pool.knn(
-                query, k,
-                search_budget=None if budget is None else int(budget),
-                degrade=degrade),
+                query, k, search_budget=budget, degrade=degrade),
             request.get("deadline"))
         return 200, self._query_response(result, started), "application/json"
 
@@ -440,7 +481,7 @@ class NetFrontend:
         query = self._parse_query(request)
         if "radius" not in request:
             raise _HttpError(400, "missing required field 'radius'")
-        radius = float(request["radius"])
+        radius = self._as_float(request["radius"], "radius")
         degrade = bool(request.get("degrade", True))
         started = time.perf_counter()
         result = await self._admit_and_run(
@@ -490,7 +531,9 @@ class NetFrontend:
             frames = np.asarray(request["frames"], dtype=np.uint8)
         except (TypeError, ValueError) as exc:
             raise _HttpError(400, f"'frames' is not a uint8 video: {exc}")
-        video = VideoSegment(frames, fps=float(request.get("fps", 10.0)),
+        video = VideoSegment(frames,
+                             fps=self._as_float(request.get("fps", 10.0),
+                                                "fps"),
                              name=str(request.get("name", "http-clip")))
         job = self.ingest.submit(video, job_id=request.get("job_id"))
         return 202, {"job": job.job_id, "clip": job.clip_name,
@@ -506,11 +549,11 @@ class NetFrontend:
     async def _handle_rebalance(self, request: dict[str, Any]
                                 ) -> tuple[int, Any, str]:
         ratio = request.get("ratio")
+        if ratio is not None:
+            ratio = self._as_float(ratio, "ratio")
         loop = asyncio.get_running_loop()
         moves = await loop.run_in_executor(
-            self._executor,
-            lambda: self.pool.rebalance(
-                None if ratio is None else float(ratio)))
+            self._executor, lambda: self.pool.rebalance(ratio))
         return 200, {
             "moves": [{"shard": s, "from": a, "to": b}
                       for s, a, b in moves],

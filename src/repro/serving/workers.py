@@ -437,7 +437,7 @@ class _WorkerHandle:
     """One live worker process: pipe, lock, and supervision state."""
 
     __slots__ = ("slot", "replica", "name", "process", "conn", "lock",
-                 "alive", "restarts", "last_seen")
+                 "alive", "poisoned", "restarts", "last_seen")
 
     def __init__(self, slot: int, replica: int):
         self.slot = slot
@@ -447,6 +447,10 @@ class _WorkerHandle:
         self.conn = None
         self.lock = threading.Lock()
         self.alive = False
+        #: A request timed out on this handle's pipe: the worker's
+        #: eventual reply would be mis-read as the answer to the *next*
+        #: request, so the handle must not be reused until respawned.
+        self.poisoned = False
         self.restarts = 0
         self.last_seen = 0.0
 
@@ -564,6 +568,7 @@ class WorkerPool:
         handle.process = process
         handle.conn = parent_conn
         handle.alive = False
+        handle.poisoned = False
         OBS.count("net.workers_spawned")
 
     def _await_ready(self, handle: _WorkerHandle, deadline: float) -> None:
@@ -634,7 +639,9 @@ class WorkerPool:
 
     def _check_worker(self, handle: _WorkerHandle) -> None:
         process = handle.process
-        if process is not None and process.is_alive():
+        if handle.poisoned:
+            handle.alive = False
+        elif process is not None and process.is_alive():
             # A busy worker (lock held by a scatter) is alive by
             # definition; only ping the idle ones.
             if handle.lock.acquire(blocking=False):
@@ -645,7 +652,11 @@ class WorkerPool:
                         if kind == "ok":
                             handle.last_seen = time.monotonic()
                             return
-                    handle.alive = False
+                        handle.alive = False
+                    else:
+                        # An unanswered ping leaves the reply queued —
+                        # same desync hazard as a search timeout.
+                        self._poison(handle)
                 except (OSError, EOFError, BrokenPipeError, ValueError):
                     handle.alive = False
                 finally:
@@ -656,6 +667,29 @@ class WorkerPool:
             handle.alive = False
         if not handle.alive and self.config.restart:
             self._respawn(handle)
+
+    def _poison(self, handle: _WorkerHandle) -> None:
+        """Retire a handle whose request timed out.  Call with the lock.
+
+        After a timeout the worker's eventual reply is still queued on
+        the pipe; reusing the handle would hand that stale payload to
+        the *next* request (or to the supervisor ping), silently
+        desynchronizing the protocol.  Kill the process and drop the
+        pipe instead — the supervisor respawns the slot on its next
+        sweep when ``restart=True``.
+        """
+        handle.alive = False
+        handle.poisoned = True
+        if handle.process is not None:
+            handle.process.terminate()
+            handle.process.join(timeout=1.0)
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            handle.conn = None
+        OBS.count("net.workers_poisoned")
 
     def _respawn(self, handle: _WorkerHandle) -> None:
         with handle.lock:
@@ -721,12 +755,16 @@ class WorkerPool:
         last_error: BaseException | None = None
         for handle in self._live_candidates(slot):
             with handle.lock:
-                if handle.process is None or not handle.process.is_alive():
+                if (handle.poisoned or handle.process is None
+                        or not handle.process.is_alive()):
                     handle.alive = False
                     continue
                 try:
                     handle.conn.send(("search", request))
                     if not handle.conn.poll(self.config.request_timeout):
+                        # The reply will eventually land on this pipe;
+                        # retire the handle so nothing mis-reads it.
+                        self._poison(handle)
                         raise TimeoutError(
                             f"worker {handle.name} did not answer within "
                             f"{self.config.request_timeout:.0f}s")
@@ -738,13 +776,20 @@ class WorkerPool:
                     OBS.count("net.worker_failures")
                     continue
             if kind == "error":
+                if isinstance(payload, ShardUnavailableError):
+                    # This replica doesn't (currently) hold a requested
+                    # shard — e.g. it is mid-rebalance.  Another replica
+                    # of the slot may still serve it.
+                    last_error = payload
+                    continue
                 raise payload
             handle.last_seen = time.monotonic()
             return payload
+        with self._state_lock:
+            shards = list(self.assignment[slot])
         raise ShardUnavailableError(
-            f"no live worker for slot {slot} "
-            f"(shards {self.assignment[slot]})",
-            details={"slot": slot, "shards": list(self.assignment[slot]),
+            f"no live worker for slot {slot} (shards {shards})",
+            details={"slot": slot, "shards": shards,
                      "cause": type(last_error).__name__
                      if last_error else "no_replicas"})
 
@@ -763,17 +808,18 @@ class WorkerPool:
         probe (dead slot, sketch tier error) falls back to an unbounded
         fan-out, and a valid bound never changes results.
         """
+        with self._state_lock:
+            assignment = [list(shards) for shards in self.assignment]
+            sizes = dict(self.shard_sizes)
         slots = [
             s for s in range(self.num_slots)
-            if any(self.shard_sizes.get(o, 0) > 0
-                   for o in self.assignment[s])
+            if any(sizes.get(o, 0) > 0 for o in assignment[s])
         ]
         if len(slots) < 2:
             return None  # a single slot already shares its bound internally
         self._probe_rr += 1
         slot = slots[self._probe_rr % len(slots)]
-        shards = [o for o in self.assignment[slot]
-                  if self.shard_sizes.get(o, 0) > 0]
+        shards = [o for o in assignment[slot] if sizes.get(o, 0) > 0]
         request = {"op": "knn", "query": query, "arg": k,
                    "shards": shards, "shares": {o: k for o in shards}}
         try:
@@ -792,10 +838,12 @@ class WorkerPool:
         if self._scatter_pool is None:
             raise IndexStateError(
                 "worker pool is not started (call start() first)")
+        with self._state_lock:
+            assignment = [list(shards) for shards in self.assignment]
+            sizes = dict(self.shard_sizes)
         requests: list[tuple[int, dict[str, Any]]] = []
         for slot in range(self.num_slots):
-            shards = [o for o in self.assignment[slot]
-                      if self.shard_sizes.get(o, 0) > 0]
+            shards = [o for o in assignment[slot] if sizes.get(o, 0) > 0]
             if not shards:
                 continue
             requests.append((slot, {
@@ -809,21 +857,59 @@ class WorkerPool:
         ]
         hits: list[tuple[float, int, int, Any]] = []
         failed: list[int] = []
-        for slot, request, future in futures:
-            try:
-                payload = future.result()
-            except ShardUnavailableError:
-                if not degrade:
-                    raise
-                OBS.count("net.shards_failed", len(request["shards"]))
-                failed.extend(request["shards"])
-                continue
+        retry: list[int] = []
+
+        def absorb(payload: dict[str, Any]) -> None:
             hits.extend(payload["hits"])
             with self._state_lock:
                 for ordinal, busy in payload["busy"].items():
                     stats = self._shard_stats[int(ordinal)]
                     stats["queries"] += 1
                     stats["busy_seconds"] += float(busy)
+
+        for slot, request, future in futures:
+            try:
+                payload = future.result()
+            except ShardUnavailableError:
+                retry.extend(request["shards"])
+                continue
+            absorb(payload)
+        # The assignment snapshot may go stale mid-flight (a rebalance
+        # moved a shard off the slot we asked): re-resolve each missed
+        # shard's current owner and retry.  A bounded number of rounds,
+        # because a multi-move rebalance pass can invalidate the first
+        # retry's resolution too.
+        last_error: ShardUnavailableError | None = None
+        for _ in range(4):
+            if not retry:
+                break
+            with self._state_lock:
+                owner = {o: slot
+                         for slot, shards in enumerate(self.assignment)
+                         for o in shards}
+            regrouped: dict[int, list[int]] = {}
+            for shard in retry:
+                regrouped.setdefault(owner.get(shard, -1), []).append(shard)
+            retry = []
+            for slot, shards in sorted(regrouped.items()):
+                if slot < 0:  # pragma: no cover - shard left the pool
+                    failed.extend(shards)
+                    continue
+                request = {"op": op, "query": query, "arg": arg,
+                           "shards": shards, "shares": shares,
+                           "bound": bound}
+                try:
+                    payload = self._exchange(slot, request)
+                except ShardUnavailableError as exc:
+                    last_error = exc
+                    retry.extend(shards)
+                    continue
+                absorb(payload)
+        if retry:
+            if not degrade and last_error is not None:
+                raise last_error
+            OBS.count("net.shards_failed", len(retry))
+            failed.extend(retry)
         hits.sort(key=lambda h: (h[0], h[1], h[2]))
         return RemoteSearchResult(
             [RemoteHit(*h) for h in hits], bool(failed), sorted(failed))
@@ -897,15 +983,39 @@ class WorkerPool:
     def reload(self) -> str:
         """Re-open the snapshot in every worker (post-ingest refresh).
 
-        Returns the new snapshot version (manifest digest).  Workers
-        reload sequentially; requests keep being served by the replicas
-        not currently reloading.
+        Returns the new snapshot version (manifest digest).  The
+        manifest is re-read first, and a reload that changes the
+        *shard set* (count or layout) is rejected with
+        :class:`~repro.errors.StorageError` — shard-to-slot assignment
+        is fixed at pool construction, so a new layout needs a pool
+        restart, not a hot swap.
+
+        Workers reload sequentially; requests keep being served by the
+        replicas not currently reloading.  The new version is published
+        to response stamping only *after* every live worker has
+        acknowledged — responses emitted during the reload window carry
+        the old version, so a client never sees the new version stamped
+        on answers that may still come from the old snapshot.  A worker
+        that fails to acknowledge is retired; its respawn opens the new
+        snapshot.
         """
         with OBS.span("net.pool_reload"):
-            self.snapshot_version = self._manifest_digest()
+            manifest = self.store.manifest()
+            if manifest["kind"] == "sharded":
+                new_rels = {ordinal: name
+                            for ordinal, name in enumerate(manifest["shards"])}
+            else:
+                new_rels = {0: ""}
+            if new_rels != self._shard_rels:
+                raise StorageError(
+                    f"snapshot reload changed the shard set "
+                    f"({len(self._shard_rels)} shard(s) -> "
+                    f"{len(new_rels)}): restart the worker pool to "
+                    "serve the new layout")
+            version = self._manifest_digest()
             for row in self._handles:
                 for handle in row:
-                    if not handle.alive:
+                    if not handle.alive or handle.poisoned:
                         continue
                     with handle.lock:
                         try:
@@ -918,10 +1028,11 @@ class WorkerPool:
                                     for o, n in payload["sizes"].items():
                                         self.shard_sizes[int(o)] = int(n)
                             else:
-                                handle.alive = False
+                                self._poison(handle)
                         except (OSError, EOFError, BrokenPipeError):
                             handle.alive = False
-            return self.snapshot_version
+            self.snapshot_version = version
+            return version
 
     def shard_stats(self) -> dict[int, dict[str, float]]:
         """Per-shard query counters since the last rebalance."""
@@ -930,10 +1041,12 @@ class WorkerPool:
 
     def slot_loads(self) -> list[float]:
         """Busy seconds per worker slot (sum over its shards)."""
-        stats = self.shard_stats()
+        with self._state_lock:
+            stats = {o: dict(s) for o, s in self._shard_stats.items()}
+            assignment = [list(shards) for shards in self.assignment]
         return [
             sum(stats[o]["busy_seconds"] for o in shards)
-            for shards in self.assignment
+            for shards in assignment
         ]
 
     def rebalance(self, ratio: float | None = None
@@ -957,21 +1070,24 @@ class WorkerPool:
             return moves
         with self._state_lock:
             stats = {o: dict(s) for o, s in self._shard_stats.items()}
+            assignment = [list(shards) for shards in self.assignment]
         loads = [
             sum(stats[o]["busy_seconds"] for o in shards)
-            for shards in self.assignment
+            for shards in assignment
         ]
         while True:
             hot = max(range(self.num_slots), key=lambda s: loads[s])
             cold = min(range(self.num_slots), key=lambda s: loads[s])
-            if hot == cold or len(self.assignment[hot]) <= 1:
+            if hot == cold or len(assignment[hot]) <= 1:
                 break
             if loads[hot] <= ratio * max(loads[cold], 1e-12):
                 break
-            shard = min(self.assignment[hot],
+            shard = min(assignment[hot],
                         key=lambda o: (stats[o]["busy_seconds"], o))
             if not self._move_shard(shard, hot, cold):
                 break
+            assignment[hot].remove(shard)
+            assignment[cold].append(shard)
             moves.append((shard, hot, cold))
             loads[hot] -= stats[shard]["busy_seconds"]
             loads[cold] += stats[shard]["busy_seconds"]
@@ -990,6 +1106,14 @@ class WorkerPool:
         Open-before-close on each worker, so a crash mid-move leaves the
         shard served by at least one slot.  A move that cannot open the
         shard on any cold replica is abandoned (returns ``False``).
+
+        The assignment swap happens under ``_state_lock`` *between* the
+        open and the close: a concurrent scatter either snapshots the
+        old owner (which still has the shard open until the close below)
+        or the new one (already open).  A request built on the old
+        snapshot that loses the race with the close gets a worker-side
+        ``ShardUnavailableError`` and is retried against the updated
+        assignment by :meth:`_scatter`.
         """
         rel = self._shard_rels[shard]
         opened = 0
@@ -998,22 +1122,23 @@ class WorkerPool:
                 opened += 1
         if opened == 0:
             return False
+        with self._state_lock:
+            self.assignment[hot].remove(shard)
+            self.assignment[cold].append(shard)
+            self.assignment[cold].sort()
         for handle in self._handles[hot]:
             self._admin(handle, ("close", shard))
-        self.assignment[hot].remove(shard)
-        self.assignment[cold].append(shard)
-        self.assignment[cold].sort()
         return True
 
     def _admin(self, handle: _WorkerHandle, message: tuple) -> bool:
         """One fire-and-check admin exchange with a worker."""
-        if not handle.alive:
+        if not handle.alive or handle.poisoned:
             return False
         with handle.lock:
             try:
                 handle.conn.send(message)
                 if not handle.conn.poll(self.config.start_timeout):
-                    handle.alive = False
+                    self._poison(handle)
                     return False
                 kind, payload = handle.conn.recv()
             except (OSError, EOFError, BrokenPipeError):
@@ -1027,6 +1152,8 @@ class WorkerPool:
 
     def health(self) -> dict[str, Any]:
         """Operational telemetry: what an operator (or /health) watches."""
+        with self._state_lock:
+            assignment = [list(shards) for shards in self.assignment]
         workers = []
         for row in self._handles:
             for handle in row:
@@ -1039,11 +1166,11 @@ class WorkerPool:
                     "alive": bool(handle.alive and process is not None
                                   and process.is_alive()),
                     "restarts": handle.restarts,
-                    "shards": list(self.assignment[handle.slot]),
+                    "shards": list(assignment[handle.slot]),
                 })
         alive = sum(1 for w in workers if w["alive"])
         served = {
-            o for slot, shards in enumerate(self.assignment)
+            o for slot, shards in enumerate(assignment)
             for o in shards
             if any(w["alive"] for w in workers if w["slot"] == slot)
         }
@@ -1060,7 +1187,7 @@ class WorkerPool:
             "shard_sizes": {str(o): n
                             for o, n in sorted(self.shard_sizes.items())},
             "rebalances": self.rebalances,
-            "assignment": [list(shards) for shards in self.assignment],
+            "assignment": assignment,
         }
 
     def __repr__(self) -> str:

@@ -251,6 +251,144 @@ class TestRebalance:
             assert all(s["queries"] > 0 for s in stats.values())
 
 
+class TestTimeoutPoisoning:
+    """A request timeout must retire the worker's pipe outright.
+
+    Reusing the handle after a timeout would hand the worker's eventual
+    (late) reply to the *next* request — silently wrong results.  The
+    regression contract: after a timeout the handle is poisoned (pipe
+    closed, process gone) and later queries are *degraded*, never
+    answered with a stale payload.
+    """
+
+    def test_timeout_retires_the_pipe(self, store_path, queries):
+        config = WorkerPoolConfig(workers=1, restart=False,
+                                  heartbeat_interval=30.0)
+        with WorkerPool(store_path, config) as pool:
+            pool.config.request_timeout = 1e-6  # every reply "too late"
+            got = pool.knn(queries[0], K)
+            assert got.degraded and got.hits == []
+            handle = pool._handles[0][0]
+            assert handle.poisoned and not handle.alive
+            assert handle.conn is None
+            assert not handle.process.is_alive()
+            # With the pipe gone, the late reply can never be mis-read
+            # as the answer to a later request: still degraded, never
+            # the previous query's hits.
+            pool.config.request_timeout = 120.0
+            again = pool.knn(queries[1], K)
+            assert again.degraded and again.hits == []
+
+    def test_supervisor_respawns_poisoned_worker(self, store_path,
+                                                 reference, queries):
+        config = WorkerPoolConfig(workers=2, restart=True,
+                                  heartbeat_interval=0.2)
+        with WorkerPool(store_path, config) as pool:
+            pool.config.request_timeout = 1e-6
+            assert pool.knn(queries[0], K).degraded
+            pool.config.request_timeout = 120.0
+            assert pool.await_healthy(timeout=30.0)
+            for query in queries[:2]:
+                again = pool.knn(query, K)
+                assert not again.degraded
+                assert hits_of(again) == expected_knn(reference, query, K)
+
+
+def write_sharded_store(path, ogs, num_shards):
+    from repro.storage.store import open_store
+
+    index = ShardedIndex(ShardedIndexConfig(
+        num_shards=num_shards, placement="affine", eval_batch=16,
+        index=STRGIndexConfig(n_clusters=4)))
+    index.build(ogs, clip_refs=[f"clip-{i}" for i in range(len(ogs))])
+    store = open_store(path, format="columnar")
+    store.write_index(index)
+    return store.path
+
+
+class TestReload:
+    def test_reload_rejects_shard_set_change(self, tmp_path, corpus):
+        path = write_sharded_store(
+            os.path.join(tmp_path, "r.strg"), corpus[:32], 2)
+        with WorkerPool(path, WorkerPoolConfig(workers=2)) as pool:
+            before = pool.snapshot_version
+            write_sharded_store(path, corpus[:32], 3)
+            with pytest.raises(StorageError, match="shard set"):
+                pool.reload()
+            # A rejected reload must not move the published version.
+            assert pool.snapshot_version == before
+
+    def test_reload_publishes_version_only_after_acks(self, tmp_path,
+                                                      corpus, queries):
+        path = write_sharded_store(
+            os.path.join(tmp_path, "r2.strg"), corpus[:32], 2)
+        with WorkerPool(path, WorkerPoolConfig(workers=2)) as pool:
+            before = pool.snapshot_version
+            assert len(pool) == 32
+            write_sharded_store(path, corpus[:48], 2)
+            # The snapshot on disk changed, but nothing reloaded yet:
+            # responses must keep carrying the version they are served
+            # from, i.e. the old one.
+            assert pool.snapshot_version == before
+            after = pool.reload()
+            assert after != before
+            assert pool.snapshot_version == after
+            assert len(pool) == 48
+            got = pool.knn(queries[0], K)
+            assert not got.degraded and len(got.hits) == K
+
+
+class TestRebalanceConcurrency:
+    def test_queries_stay_correct_through_moves(self, store_path,
+                                                reference, queries):
+        """Rebalance races a live query stream without degrading it.
+
+        A scatter that loses the race with a shard move gets a
+        worker-side ShardUnavailableError and must retry against the
+        updated assignment — never report the moved shard failed.
+        """
+        with WorkerPool(store_path, WorkerPoolConfig(workers=2)) as pool:
+            stop = threading.Event()
+            failures: list = []
+
+            def stream(query):
+                expected = expected_knn(reference, query, K)
+                while not stop.is_set():
+                    got = pool.knn(query, K)
+                    if got.degraded or hits_of(got) != expected:
+                        failures.append(
+                            (got.degraded, got.failed_shards))
+                        return
+
+            threads = [threading.Thread(target=stream, args=(q,))
+                       for q in queries[:2]]
+            for thread in threads:
+                thread.start()
+            try:
+                for _ in range(6):
+                    # Make the slot with the most shards hot (one hot
+                    # shard, cold rest) so every pass migrates.
+                    with pool._state_lock:
+                        counts = [len(s) for s in pool.assignment]
+                        hot = max(range(len(counts)),
+                                  key=lambda i: counts[i])
+                        for slot, shards in enumerate(pool.assignment):
+                            for j, o in enumerate(shards):
+                                pool._shard_stats[o]["busy_seconds"] = (
+                                    10.0 if slot == hot and j == 0
+                                    else 0.1)
+                    assert pool.rebalance(ratio=2.0)
+                    time.sleep(0.05)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=60.0)
+            assert failures == []
+            # Every shard still has exactly one owner.
+            owners = sorted(o for slot in pool.assignment for o in slot)
+            assert owners == [0, 1, 2, 3]
+
+
 class TestHttpFrontend:
     @pytest.fixture(scope="class")
     def frontend(self, store_path):
@@ -329,6 +467,46 @@ class TestHttpFrontend:
         assert status == 400
         status, body = self.post(frontend, "/ingest", {"frames": []})
         assert status == 501  # frozen snapshot: no ingest service attached
+
+    def test_non_numeric_inputs_are_400_not_500(self, frontend, queries):
+        query = queries[0].values.tolist()
+        for payload in (
+            {"query": query, "k": "five"},
+            {"query": query, "k": None},
+            {"query": query, "k": K, "search_budget": "lots"},
+            {"query": query, "k": K, "deadline": "soon"},
+        ):
+            status, body = self.post(frontend, "/knn", payload)
+            assert status == 400, (payload, body)
+        status, body = self.post(frontend, "/range",
+                                 {"query": query, "radius": "wide"})
+        assert status == 400 and "radius" in body["error"]
+        status, body = self.post(frontend, "/admin/rebalance",
+                                 {"ratio": "big"})
+        assert status == 400 and "ratio" in body["error"]
+
+    def test_malformed_content_length_is_400(self, frontend):
+        import socket
+
+        with socket.create_connection(("127.0.0.1", frontend.port),
+                                      timeout=10) as sock:
+            sock.sendall(b"POST /knn HTTP/1.1\r\nHost: t\r\n"
+                         b"Content-Length: banana\r\n\r\n")
+            reply = sock.recv(65536)
+        assert reply.startswith(b"HTTP/1.1 400 ")
+
+    def test_oversized_body_answers_413(self, frontend):
+        import socket
+
+        from repro.serving.net import MAX_BODY_BYTES
+
+        with socket.create_connection(("127.0.0.1", frontend.port),
+                                      timeout=10) as sock:
+            head = (f"POST /ingest HTTP/1.1\r\nHost: t\r\n"
+                    f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n")
+            sock.sendall(head.encode("latin-1"))
+            reply = sock.recv(65536)
+        assert reply.startswith(b"HTTP/1.1 413 ")
 
     def test_admin_rebalance_endpoint(self, frontend):
         status, body = self.post(frontend, "/admin/rebalance", {})
