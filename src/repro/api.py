@@ -61,6 +61,11 @@ def open_database(path: str | os.PathLike | None = None, *,
         when the snapshot format supports it (columnar stores), making
         the open O(1): the tree materializes lazily on first query and
         trajectory bytes stay on disk until a query faults them in.
+        On such an open, budgeted queries (``knn(..., search_budget=N)``)
+        never materialize the tree at all — the sketch tier streams
+        from the store's mmap'd columns and only shortlist series are
+        fetched (see ``docs/SEARCH.md``), so resident memory scales
+        with the shortlist, not the corpus.
         ``True`` requires mmap (NPZ archives raise, pointing at
         ``repro convert``); ``False`` forces the eager full copy into
         RAM.

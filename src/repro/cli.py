@@ -193,12 +193,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
         from repro.storage.store import store_path
 
         index_path = store_path(args.index, args.store_format)
-    db = open_database(index_path, create=False)
+    mmap_mode = {"auto": "auto", "always": True, "never": False}[
+        getattr(args, "mmap", "auto")]
+    db = open_database(index_path, create=False, mmap=mmap_mode)
     pattern = pattern_by_id(args.pattern)
     trajectory = pattern.generate(32)
     hits = db.knn(trajectory, k=args.k, search_budget=args.search_budget)
+    out_of_core = args.search_budget is not None and not db.index_loaded
     print(f"{args.k}-NN for pattern {pattern.name}"
-          + (f" (budget {args.search_budget} evaluations)"
+          + (f" (budget {args.search_budget} evaluations"
+             + (", out-of-core" if out_of_core else "") + ")"
              if args.search_budget is not None else "")
           + ":")
     for hit in hits:
@@ -549,6 +553,15 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="max exact distance evaluations (approximate "
                             "sketch-tier search; omit for exact)")
+    query.add_argument("--mmap", default="auto",
+                       choices=("auto", "always", "never"),
+                       help="memory-map the snapshot instead of copying it "
+                            "into RAM (columnar stores only). With "
+                            "--search-budget, mmap mode answers straight "
+                            "from the store's sketch columns without "
+                            "materializing the tree (out-of-core search); "
+                            "'always' fails on formats that cannot mmap, "
+                            "'never' forces the eager in-RAM load")
     _add_store_format_option(
         query, "pin the snapshot format instead of autodetecting")
     _add_observe_options(query)

@@ -489,6 +489,15 @@ class STRGIndex:
         frozen index: attaching the sketch is not a structural mutation,
         and the module-level build lock keeps concurrent readers of a
         shared serving snapshot from building it twice.
+
+        An index restored from a columnar snapshot gets its sketch
+        re-attached from the store's ``sketch_*`` columns instead
+        (zero-copy views under ``load_index(mmap=True)``), skipping the
+        pivot sweep; fully out-of-core budgeted search — sketch scan
+        and shortlist fetch both streamed from the store, no tree at
+        all — lives one layer up, in
+        :meth:`repro.storage.columnar.ColumnarStore.load_sketch` and
+        lazy :func:`repro.open_database` (see ``docs/SEARCH.md``).
         """
         sketch = self._sketches
         if sketch is not None:

@@ -29,6 +29,27 @@ recall — only the shortlist cut can).
 The *total* number of exact distance evaluations per query — the pivot
 distances plus the rerank — never exceeds ``search_budget``.
 
+Out-of-core operation
+---------------------
+The backing arrays (``og_ids``, ``pivot_dists``, ``sig``) need not be
+owned RAM copies: :meth:`SketchIndex.attach_rows` binds them to
+zero-copy views — typically the columnar store's mmap'd sketch columns
+(see ``ColumnarStore.load_sketch``) — together with a *row provider*
+that materializes ``(og, clip_ref)`` records lazily through the store's
+row-addressed read path.  Candidate generation runs as a blocked scan
+over fixed-size row blocks (exact per-block ``argpartition`` top-m per
+channel, streamed merge — bit-identical to one global lexsort at any
+block size), so query-time resident memory scales with the shortlist,
+not the corpus.  Store-attached sketches can optionally fan the block
+scan across processes with :func:`repro.parallel.ordered_chunk_map`;
+workers reopen the sketch columns as their own mmaps, so nothing
+corpus-sized is pickled.
+
+Deletions tombstone rows instead of rewriting the arrays; owned
+(in-RAM) sketches compact physically past a threshold, while
+store-attached sketches keep the mask and leave compaction to the
+store's segment merge.
+
 Sketches hold no reference to a distance object: the owning index
 passes its metric into every call, so deep-copied indexes (serving
 snapshots) keep sharing one distance instance and counting wrappers
@@ -39,7 +60,9 @@ from __future__ import annotations
 
 import json
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Sequence
 
 import numpy as np
@@ -56,6 +79,11 @@ from repro.observability import OBS
 #: ``prune_slack``).  Raising it never loses true neighbors.
 PRUNE_SLACK = 1e-9
 
+#: Tombstones before an owned sketch is worth compacting (and the dead
+#: fraction that triggers it — mirrors the columnar merge policy).
+TOMBSTONE_COMPACT_MIN = 64
+TOMBSTONE_COMPACT_FRACTION = 0.25
+
 
 @dataclass
 class SketchConfig:
@@ -70,6 +98,10 @@ class SketchConfig:
     channel (the rest comes from the pivot-bound channel).
     ``pivot_sample_size`` caps the farthest-point sweep during fitting;
     ``rerank_batch`` is the kernel flush size of stage 2.
+    ``block_rows`` is the row-block size of the candidate scan — it
+    bounds stage 1's working set when the arrays are mmap views and has
+    no effect on results (the blocked scan is bit-identical to a global
+    sort at any block size).
     """
 
     num_pivots: int = 8
@@ -80,6 +112,7 @@ class SketchConfig:
     pivot_sample_size: int = 256
     rerank_batch: int = 64
     seed: int = 0
+    block_rows: int = 4096
 
     def __post_init__(self) -> None:
         if self.num_pivots < 1:
@@ -106,6 +139,10 @@ class SketchConfig:
             raise InvalidParameterError(
                 f"rerank_batch must be >= 1, got {self.rerank_batch}"
             )
+        if self.block_rows < 1:
+            raise InvalidParameterError(
+                f"block_rows must be >= 1, got {self.block_rows}"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -117,7 +154,206 @@ class SketchConfig:
             "pivot_sample_size": self.pivot_sample_size,
             "rerank_batch": self.rerank_batch,
             "seed": self.seed,
+            "block_rows": self.block_rows,
         }
+
+
+# -- row providers ----------------------------------------------------------
+
+
+class _EagerRows:
+    """Row records held as in-RAM ``(og, clip_ref)`` pairs.
+
+    The classic mode: :meth:`SketchIndex.build` and archive loads that
+    already materialized every OG use it.  Series are *not* stored —
+    ``series_at`` returns the OG's own float64 values view, so the old
+    duplicate ``series`` list is gone.
+    """
+
+    def __init__(self, records: list[tuple[ObjectGraph, Any]] | None = None):
+        self.records: list[tuple[ObjectGraph, Any]] = (
+            list(records) if records is not None else []
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def append(self, pairs: list[tuple[ObjectGraph, Any]]) -> None:
+        self.records.extend(pairs)
+
+    def record(self, row: int) -> tuple[ObjectGraph, Any]:
+        return self.records[row]
+
+    def series_at(self, row: int) -> np.ndarray:
+        return as_series(self.records[row][0])
+
+    def compact(self, keep: np.ndarray) -> None:
+        self.records = [self.records[int(i)] for i in keep]
+
+
+class LazyRows:
+    """Rows materialized on demand from a row-addressed store reader.
+
+    ``reader`` must expose ``record(row) -> (og, clip_ref)`` backed by
+    offsets-table slicing (no full-segment loads) — see
+    ``ColumnarStore.row_reader``.  A small LRU keeps hot shortlist rows
+    (and their series, via the OG's values view) warm across queries.
+    Rows appended after attachment (live adds) are kept eagerly in a
+    tail list, mirroring the sketch's own base/tail array split.
+    """
+
+    def __init__(self, reader: Any, n_attached: int, cache_size: int = 512):
+        self._reader = reader
+        self._attached = int(n_attached)
+        self._cache: OrderedDict[int, tuple[ObjectGraph, Any]] = OrderedDict()
+        self._cache_size = max(1, int(cache_size))
+        self._tail: list[tuple[ObjectGraph, Any]] = []
+
+    def __len__(self) -> int:
+        return self._attached + len(self._tail)
+
+    def append(self, pairs: list[tuple[ObjectGraph, Any]]) -> None:
+        self._tail.extend(pairs)
+
+    def record(self, row: int) -> tuple[ObjectGraph, Any]:
+        if row >= self._attached:
+            return self._tail[row - self._attached]
+        pair = self._cache.get(row)
+        if pair is not None:
+            self._cache.move_to_end(row)
+            return pair
+        pair = self._reader.record(row)
+        self._cache[row] = pair
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return pair
+
+    def series_at(self, row: int) -> np.ndarray:
+        # The OG's values ARE the zero-copy series slice the reader cut
+        # out of the mmap'd og_values column.
+        return self.record(row)[0].values
+
+    def compact(self, keep: np.ndarray) -> None:
+        raise InvalidParameterError(
+            "store-attached sketch rows cannot be compacted in place; "
+            "the owning store's segment merge reclaims tombstones"
+        )
+
+
+# -- blocked-scan primitives ------------------------------------------------
+
+
+def _exact_top(m: int, keys: tuple[np.ndarray, ...]) -> np.ndarray:
+    """Indices of the exact top-``m`` rows under lexicographic ``keys``.
+
+    ``keys`` are aligned 1-D arrays, most-significant first.  An
+    ``argpartition`` on the primary key prunes to at most ``m`` rows
+    plus the primary-key ties at the boundary; the full compound sort
+    then runs only on that superset.  Because every caller ends its key
+    tuple with a unique og_id, the compound order is total — so the
+    selected set (and its order) is exactly the first ``m`` entries of
+    a global lexsort, which is what makes the blocked scan bit-identical
+    to the monolithic path.
+    """
+    if m <= 0:
+        return np.empty(0, dtype=np.intp)
+    lex = tuple(reversed(keys))
+    n = len(keys[0])
+    if n <= m:
+        return np.lexsort(lex)
+    primary = keys[0]
+    part = np.argpartition(primary, m - 1)[:m]
+    boundary = primary[part].max()
+    cand = np.flatnonzero(primary <= boundary)
+    order = np.lexsort(tuple(key[cand] for key in lex))
+    return cand[order[:m]]
+
+
+def _merge_top(m: int, acc: tuple[np.ndarray, ...] | None,
+               new: tuple[np.ndarray, ...]) -> tuple[np.ndarray, ...]:
+    """Streamed merge of winner tuples ``(key..., rows)`` keeping top-m.
+
+    Both inputs are already individually top-m (≤ m rows each), so the
+    merge sorts at most ``2m`` rows regardless of corpus size.
+    """
+    if acc is None:
+        return new
+    cat = tuple(np.concatenate([a, b]) for a, b in zip(acc, new))
+    sel = _exact_top(m, cat[:-1])
+    return tuple(a[sel] for a in cat)
+
+
+def _block_winners(rows: np.ndarray, ids: np.ndarray, pd: np.ndarray,
+                   sig: np.ndarray | None, qd: np.ndarray | None,
+                   qsig: np.ndarray | None, m_bound: int, m_vote: int
+                   ) -> tuple[tuple | None, tuple | None, np.ndarray]:
+    """Score one row block and cut its exact per-channel winners.
+
+    Returns ``(bound, vote, lbs)`` where ``bound`` is ``(lbs, ids,
+    rows)`` under key ``(lb, og_id)`` and ``vote`` is ``(neg_votes,
+    lbs, ids, rows)`` under key ``(-votes, lb, og_id)`` — the same
+    compound orders the monolithic lexsorts used.
+    """
+    if qd is not None and pd.shape[1]:
+        lbs = pivot_lower_bounds(qd, pd)
+    else:
+        lbs = np.zeros(len(rows), dtype=np.float64)
+    bound = vote = None
+    if m_bound:
+        sel = _exact_top(m_bound, (lbs, ids))
+        bound = (lbs[sel], ids[sel], rows[sel])
+    if m_vote:
+        neg_votes = -((sig == qsig).sum(axis=1).astype(np.int64))
+        sel = _exact_top(m_vote, (neg_votes, lbs, ids))
+        vote = (neg_votes[sel], lbs[sel], ids[sel], rows[sel])
+    return bound, vote, lbs
+
+
+def _scan_ranges(payload: dict, start: int, ranges: list) -> list:
+    """Parallel-scan worker: winners for a list of base-row ranges.
+
+    Runs in a pool process: reopens the sketch columns as private mmaps
+    (``payload`` carries file paths, never arrays), scans each range in
+    ``block_rows`` blocks and returns one merged ``(bound, vote)``
+    winner pair per range — at most ``m`` rows each, so the pickled
+    results stay shortlist-sized.
+    """
+    del start  # ranges carry absolute row bounds already
+    pd = np.load(payload["pivot_dists"], mmap_mode="r")
+    sig = (np.load(payload["sig"], mmap_mode="r")
+           if payload["qsig"] is not None else None)
+    dead = payload["dead"]
+    if dead is not None:
+        dead = np.unpackbits(dead, count=payload["rows"]).astype(bool)
+    qd, qsig = payload["qd"], payload["qsig"]
+    m_bound, m_vote = payload["m_bound"], payload["m_vote"]
+    block = payload["block"]
+    out = []
+    for lo, hi in ranges:
+        bound = vote = None
+        for blo in range(lo, hi, block):
+            bhi = min(blo + block, hi)
+            rows = np.arange(blo, bhi, dtype=np.int64)
+            b_pd = pd[blo:bhi]
+            b_sig = sig[blo:bhi] if sig is not None else None
+            if dead is not None:
+                keep = np.flatnonzero(~dead[blo:bhi])
+                if keep.size == 0:
+                    continue
+                if keep.size < bhi - blo:
+                    rows = rows[keep]
+                    b_pd = b_pd[keep]
+                    b_sig = b_sig[keep] if b_sig is not None else None
+            # Store-attached sketches number rows 0..n-1, so the row
+            # ordinal doubles as the og_id tie-break key.
+            b, v, _ = _block_winners(rows, rows, np.asarray(b_pd), b_sig,
+                                     qd, qsig, m_bound, m_vote)
+            if b is not None:
+                bound = _merge_top(m_bound, bound, b)
+            if v is not None:
+                vote = _merge_top(m_vote, vote, v)
+        out.append((bound, vote))
+    return out
 
 
 class SketchIndex:
@@ -125,10 +361,13 @@ class SketchIndex:
 
     Row ``i`` of every array describes the same OG: ``og_ids[i]``,
     ``pivot_dists[i]`` (distance to each pivot), ``sig[i]`` (quantized
-    signature codes).  ``records[i]`` keeps the ``(og, clip_ref)`` pair
-    and ``series[i]`` its normalized values for the rerank kernel.
-    Rows are append-only except for :meth:`remove`; the arrays are
-    grown in (amortized) batches by :meth:`add`.
+    signature codes).  The public arrays are live views: tombstoned
+    rows are already filtered out.  Internally rows live in a *base*
+    part — owned RAM arrays, or zero-copy mmap views bound by
+    :meth:`attach_rows` — plus an owned *tail* for rows appended after
+    attachment, so incremental adds never force the mmap base into RAM.
+    ``(og, clip_ref)`` records come from a row provider and may be
+    materialized lazily from the store's row-addressed read path.
     """
 
     def __init__(self, config: SketchConfig | None = None):
@@ -141,11 +380,63 @@ class SketchIndex:
         #: Spatial bounding box (lo, hi) over the first two value dims,
         #: frozen at fit time; later values are clipped into it.
         self.bbox: tuple[np.ndarray, np.ndarray] | None = None
-        self.og_ids = np.empty(0, dtype=np.int64)
-        self.pivot_dists = np.empty((0, 0), dtype=np.float64)
-        self.sig = np.empty((0, self.config.sig_length), dtype=np.int16)
-        self.records: list[tuple[ObjectGraph, Any]] = []
-        self.series: list[np.ndarray] = []
+        self._ids = np.empty(0, dtype=np.int64)
+        self._pd = np.empty((0, 0), dtype=np.float64)
+        self._sig = np.empty((0, self.config.sig_length), dtype=np.int16)
+        self._tail_ids = np.empty(0, dtype=np.int64)
+        self._tail_pd = np.empty((0, 0), dtype=np.float64)
+        self._tail_sig = np.empty((0, self.config.sig_length), dtype=np.int16)
+        self._rows: Any = _EagerRows()
+        self._dead: np.ndarray | None = None
+        self._n_dead = 0
+        self._owned = True
+        self._scan_paths: dict[str, Any] | None = None
+        #: Set by ``ColumnarStore.load_sketch`` to the metric it bound
+        #: for delta replay — a convenience for callers running the
+        #: sketch-only query path without a materialized index.  The
+        #: sketch itself never calls it (see the module docstring).
+        self.replay_distance: Any = None
+
+    # -- public array views ------------------------------------------------
+
+    @property
+    def og_ids(self) -> np.ndarray:
+        """Live og_id per row (tombstoned rows filtered out)."""
+        return self._live(self._cat(self._ids, self._tail_ids))
+
+    @property
+    def pivot_dists(self) -> np.ndarray:
+        """Live pivot-distance matrix, shape ``(len(self), num_pivots)``."""
+        return self._live(self._cat(self._pd, self._tail_pd))
+
+    @property
+    def sig(self) -> np.ndarray:
+        """Live signature codes, shape ``(len(self), sig_length)`` int16."""
+        return self._live(self._cat(self._sig, self._tail_sig))
+
+    @property
+    def dead_rows(self) -> int:
+        """Tombstoned rows awaiting compaction (0 on the clean path)."""
+        return self._n_dead
+
+    @staticmethod
+    def _cat(base: np.ndarray, tail: np.ndarray) -> np.ndarray:
+        if len(tail) == 0:
+            return base
+        if len(base) == 0:
+            return tail
+        return np.concatenate([base, tail])
+
+    def _live(self, arr: np.ndarray) -> np.ndarray:
+        if self._n_dead == 0:
+            return arr
+        return arr[~self._dead]
+
+    def _num_raw(self) -> int:
+        return len(self._ids) + len(self._tail_ids)
+
+    def __len__(self) -> int:
+        return self._num_raw() - self._n_dead
 
     # -- construction ------------------------------------------------------
 
@@ -202,6 +493,49 @@ class SketchIndex:
             )
         self.pivots = pivots
 
+    def attach_rows(self, og_ids: np.ndarray, pivot_dists: np.ndarray,
+                    sig: np.ndarray, rows: Any, *, owned: bool = False,
+                    scan_paths: dict[str, Any] | None = None) -> None:
+        """Bind backing arrays (possibly zero-copy mmap views) + records.
+
+        ``rows`` is the row provider (:class:`_EagerRows` or
+        :class:`LazyRows`) aligned with the arrays.  ``owned=True``
+        means the arrays may be grown/compacted in place (RAM
+        semantics); ``owned=False`` keeps them frozen — later adds go
+        to the owned tail and deletes stay tombstones.  ``scan_paths``
+        optionally names the on-disk ``.npy`` files behind the views so
+        the parallel block scan can reopen them in worker processes.
+        """
+        og_ids = np.asarray(og_ids, dtype=np.int64)
+        pivot_dists = np.asarray(pivot_dists, dtype=np.float64)
+        sig_arr = np.asarray(sig, dtype=np.int16)
+        n = len(og_ids)
+        if pivot_dists.shape != (n, len(self.pivots)):
+            raise InvalidParameterError(
+                f"pivot_dists shape {pivot_dists.shape} does not match "
+                f"{n} rows x {len(self.pivots)} pivots"
+            )
+        if sig_arr.shape != (n, self.config.sig_length):
+            raise InvalidParameterError(
+                f"sig shape {sig_arr.shape} does not match "
+                f"{n} rows x sig_length {self.config.sig_length}"
+            )
+        if len(rows) != n:
+            raise InvalidParameterError(
+                f"row provider has {len(rows)} rows, arrays have {n}"
+            )
+        self._ids = og_ids
+        self._pd = pivot_dists
+        self._sig = sig_arr
+        self._tail_ids = np.empty(0, dtype=np.int64)
+        self._tail_pd = np.empty((0, pivot_dists.shape[1]), dtype=np.float64)
+        self._tail_sig = np.empty((0, self.config.sig_length), dtype=np.int16)
+        self._rows = rows
+        self._dead = None
+        self._n_dead = 0
+        self._owned = bool(owned)
+        self._scan_paths = dict(scan_paths) if scan_paths else None
+
     # -- maintenance -------------------------------------------------------
 
     def add(self, distance, ogs: Sequence[ObjectGraph],
@@ -229,33 +563,101 @@ class SketchIndex:
         ) if self.pivots else np.empty((len(ogs), 0))
         new_sig = self._signatures(series)
         new_ids = np.array([og.og_id for og in ogs], dtype=np.int64)
-        if len(self.og_ids) == 0:
-            self.pivot_dists = new_pd
-            self.sig = new_sig
-            self.og_ids = new_ids
+        if self._owned:
+            if len(self._ids) == 0:
+                self._ids, self._pd, self._sig = new_ids, new_pd, new_sig
+            else:
+                self._ids = np.concatenate([self._ids, new_ids])
+                self._pd = np.concatenate([self._pd, new_pd])
+                self._sig = np.concatenate([self._sig, new_sig])
         else:
-            self.pivot_dists = np.concatenate([self.pivot_dists, new_pd])
-            self.sig = np.concatenate([self.sig, new_sig])
-            self.og_ids = np.concatenate([self.og_ids, new_ids])
-        self.records.extend(zip(ogs, refs))
-        self.series.extend(series)
+            # Attached base arrays are frozen (often mmap views):
+            # growth goes to the owned tail so the base never gets
+            # concatenated into RAM.
+            if len(self._tail_ids) == 0:
+                self._tail_ids, self._tail_pd, self._tail_sig = (
+                    new_ids, new_pd, new_sig
+                )
+            else:
+                self._tail_ids = np.concatenate([self._tail_ids, new_ids])
+                self._tail_pd = np.concatenate([self._tail_pd, new_pd])
+                self._tail_sig = np.concatenate([self._tail_sig, new_sig])
+        if self._dead is not None:
+            self._dead = np.concatenate(
+                [self._dead, np.zeros(len(ogs), dtype=bool)]
+            )
+        self._rows.append(list(zip(ogs, refs)))
         OBS.count("search.sketch_rows_added", len(ogs))
 
     def remove(self, og_id: int) -> bool:
-        """Drop the sketch row of ``og_id``; True when it existed."""
-        where = np.nonzero(self.og_ids == og_id)[0]
-        if where.size == 0:
+        """Tombstone the sketch row of ``og_id``; True when it existed.
+
+        O(n) to locate the row but O(1) to drop it — the three
+        full-array ``np.delete`` copies are gone.  Owned sketches
+        compact physically once tombstones pass the threshold;
+        store-attached sketches keep the mask (the store's segment
+        merge reclaims the rows).
+        """
+        row = self._find_live_row(og_id)
+        if row is None:
             return False
-        i = int(where[0])
-        self.og_ids = np.delete(self.og_ids, i)
-        self.pivot_dists = np.delete(self.pivot_dists, i, axis=0)
-        self.sig = np.delete(self.sig, i, axis=0)
-        del self.records[i]
-        del self.series[i]
+        if self._dead is None:
+            self._dead = np.zeros(self._num_raw(), dtype=bool)
+        self._dead[row] = True
+        self._n_dead += 1
+        if (self._owned
+                and self._n_dead >= TOMBSTONE_COMPACT_MIN
+                and self._n_dead >= TOMBSTONE_COMPACT_FRACTION
+                * self._num_raw()):
+            self.compact_tombstones()
         return True
 
-    def __len__(self) -> int:
-        return len(self.records)
+    def _find_live_row(self, og_id: int) -> int | None:
+        for offset, ids in ((0, self._ids),
+                            (len(self._ids), self._tail_ids)):
+            for hit in np.nonzero(ids == og_id)[0]:
+                raw = offset + int(hit)
+                if self._dead is None or not self._dead[raw]:
+                    return raw
+        return None
+
+    def compact_tombstones(self) -> bool:
+        """Physically drop tombstoned rows (owned sketches only)."""
+        if self._n_dead == 0 or not self._owned:
+            return False
+        keep = np.flatnonzero(~self._dead)
+        self._ids = self._cat(self._ids, self._tail_ids)[keep]
+        self._pd = self._cat(self._pd, self._tail_pd)[keep]
+        self._sig = self._cat(self._sig, self._tail_sig)[keep]
+        self._tail_ids = np.empty(0, dtype=np.int64)
+        self._tail_pd = np.empty((0, self._pd.shape[1]), dtype=np.float64)
+        self._tail_sig = np.empty((0, self.config.sig_length), dtype=np.int16)
+        self._rows.compact(keep)
+        self._dead = None
+        self._n_dead = 0
+        return True
+
+    # -- row-addressed record access ---------------------------------------
+
+    def row_og_ids(self, rows: np.ndarray) -> np.ndarray:
+        """og_ids for raw row ordinals (candidate ``idx`` values)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        n0 = len(self._ids)
+        if len(self._tail_ids) == 0:
+            return np.asarray(self._ids[rows], dtype=np.int64)
+        out = np.empty(len(rows), dtype=np.int64)
+        in_base = rows < n0
+        out[in_base] = self._ids[rows[in_base]]
+        out[~in_base] = self._tail_ids[rows[~in_base] - n0]
+        return out
+
+    def row_record(self, row: int) -> tuple[ObjectGraph, Any]:
+        """``(og, clip_ref)`` of a raw row (lazily materialized)."""
+        return self._rows.record(int(row))
+
+    def row_series(self, row: int) -> np.ndarray:
+        """Normalized series of a raw row for the rerank kernel."""
+        return self._rows.series_at(int(row))
 
     # -- signatures --------------------------------------------------------
 
@@ -273,13 +675,18 @@ class SketchIndex:
         Each resampled node becomes ``cell * heading_sectors + sector``
         where ``cell`` is its spatial grid cell (bbox-relative) and
         ``sector`` the heading bucket of the step leading into it.
+        ``series`` must already be a normalized ``(n, d)`` float array
+        (callers hold one from :func:`as_series`; re-converting here
+        was pure overhead).
         """
         cfg = self.config
         lo, hi = self.bbox if self.bbox is not None else (
             np.zeros(2), np.ones(2)
         )
-        pts = resample_series(self._planar(as_series(series)),
-                              cfg.sig_length)
+        series = np.asarray(series, dtype=np.float64)
+        if series.ndim == 1:
+            series = series.reshape(-1, 1)
+        pts = resample_series(self._planar(series), cfg.sig_length)
         frac = (pts - lo) / (hi - lo)
         cells = np.clip((frac * cfg.grid).astype(np.int64), 0, cfg.grid - 1)
         cell = cells[:, 0] * cfg.grid + cells[:, 1]
@@ -299,31 +706,63 @@ class SketchIndex:
 
     # -- stage 1: candidate generation -------------------------------------
 
-    def candidates(self, distance, series: np.ndarray, budget: int, k: int
+    def _iter_part_blocks(self, offset: int, ids: np.ndarray,
+                          pd: np.ndarray, sig: np.ndarray):
+        """Fixed-size blocks of one array part, tombstones filtered."""
+        block = self.config.block_rows
+        for lo in range(0, len(ids), block):
+            hi = min(lo + block, len(ids))
+            rows = np.arange(offset + lo, offset + hi, dtype=np.int64)
+            b_ids = np.asarray(ids[lo:hi], dtype=np.int64)
+            b_pd = np.asarray(pd[lo:hi], dtype=np.float64)
+            b_sig = sig[lo:hi]
+            if self._n_dead:
+                keep = np.flatnonzero(~self._dead[offset + lo:offset + hi])
+                if keep.size == 0:
+                    continue
+                if keep.size < hi - lo:
+                    rows, b_ids = rows[keep], b_ids[keep]
+                    b_pd, b_sig = b_pd[keep], b_sig[keep]
+            yield rows, b_ids, b_pd, b_sig
+
+    def _iter_blocks(self):
+        """Blocks over base then tail — never straddling the boundary,
+        so base blocks stay views over the (possibly mmap'd) arrays."""
+        yield from self._iter_part_blocks(0, self._ids, self._pd, self._sig)
+        yield from self._iter_part_blocks(len(self._ids), self._tail_ids,
+                                          self._tail_pd, self._tail_sig)
+
+    def candidates(self, distance, series: np.ndarray, budget: int, k: int,
+                   *, scan_workers: int | None = None
                    ) -> tuple[np.ndarray, np.ndarray, int]:
         """Shortlist for an exact rerank under ``budget`` evaluations.
 
-        Returns ``(idx, lbs, pivot_evals)``: candidate row indices,
-        their triangle lower bounds, and how many exact evaluations
-        stage 1 already spent (one per pivot).  The shortlist size is
-        ``max(k, budget - pivot_evals)`` — stage 1's own exact work is
-        paid out of the same budget the rerank draws from.
+        Returns ``(idx, lbs, pivot_evals)``: candidate raw-row indices
+        (ascending), their triangle lower bounds, and how many exact
+        evaluations stage 1 already spent (one per pivot).  The
+        shortlist size is ``max(k, budget - pivot_evals)`` — stage 1's
+        own exact work is paid out of the same budget the rerank draws
+        from.
+
+        The scan is blocked: each ``block_rows`` slice contributes its
+        exact per-channel top-m (``argpartition`` + boundary-tie
+        resolution) and a streamed ≤ 2m merge folds it into the global
+        shortlist, so peak working memory is O(block + shortlist)
+        whatever the corpus size.  ``scan_workers`` optionally fans the
+        base-array scan across processes for store-attached sketches.
         """
         n = len(self)
         if n == 0:
             return (np.empty(0, dtype=np.int64),
                     np.empty(0, dtype=np.float64), 0)
         pivot_evals = len(self.pivots)
-        if pivot_evals:
-            qd = np.asarray(
-                one_vs_many(distance, series, self.pivots), dtype=np.float64
-            )
-            lbs = pivot_lower_bounds(qd, self.pivot_dists)
-        else:
-            lbs = np.zeros(n, dtype=np.float64)
+        qd = (np.asarray(one_vs_many(distance, series, self.pivots),
+                         dtype=np.float64)
+              if pivot_evals else None)
         shortlist = max(k, budget - pivot_evals)
         if shortlist >= n:
-            return np.arange(n, dtype=np.int64), lbs, pivot_evals
+            rows, lbs = self._scan_full(qd)
+            return rows, lbs, pivot_evals
         # Channel 1 (primary): smallest triangle lower bound — the
         # candidates that *can* be nearest.  Channel 2: most matching
         # signature codes — temporal voting, rescuing candidates whose
@@ -331,27 +770,120 @@ class SketchIndex:
         # shortlist is deterministic for any corpus order.
         n_vote = min(shortlist, int(round(shortlist * self.config.vote_share)))
         n_bound = shortlist - n_vote
-        by_bound = np.lexsort((self.og_ids, lbs))
-        chosen = np.zeros(n, dtype=bool)
-        chosen[by_bound[:n_bound]] = True
+        # The vote channel tracks the top-``shortlist`` rows, not just
+        # top-``n_vote``: the bound channel claims at most n_bound of
+        # them, leaving >= n_vote unclaimed — exactly the rows the
+        # monolithic skip-chosen fill would pick.
+        m_vote = shortlist if n_vote else 0
+        qsig = self.signature(series) if n_vote else None
+        bound, vote = self._scan_top(qd, qsig, n_bound, m_vote, scan_workers)
+        if bound is not None:
+            lbs_b, _, rows_b = bound
+        else:
+            rows_b = np.empty(0, dtype=np.int64)
+            lbs_b = np.empty(0, dtype=np.float64)
         if n_vote:
-            qsig = self.signature(series)
-            votes = (self.sig == qsig).sum(axis=1)
-            by_votes = np.lexsort((self.og_ids, lbs, -votes))
-            need = shortlist - int(chosen.sum())
-            for i in by_votes:
-                if need == 0:
-                    break
-                if not chosen[i]:
-                    chosen[i] = True
-                    need -= 1
-        idx = np.nonzero(chosen)[0].astype(np.int64)
-        return idx, lbs[idx], pivot_evals
+            _, v_lbs, _, v_rows = vote
+            taken = np.zeros(self._num_raw(), dtype=bool)
+            taken[rows_b] = True
+            need = shortlist - len(rows_b)
+            pick = np.flatnonzero(~taken[v_rows])[:need]
+            rows = np.concatenate([rows_b, v_rows[pick]])
+            lbs = np.concatenate([lbs_b, v_lbs[pick]])
+        else:
+            rows, lbs = rows_b, lbs_b
+        order = np.argsort(rows)
+        return rows[order], lbs[order], pivot_evals
+
+    def _scan_full(self, qd: np.ndarray | None
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Degenerate shortlist >= n: every live row, with its bound."""
+        rows_parts: list[np.ndarray] = []
+        lbs_parts: list[np.ndarray] = []
+        for rows, _, pd, _ in self._iter_blocks():
+            if qd is not None and pd.shape[1]:
+                lbs_parts.append(pivot_lower_bounds(qd, pd))
+            else:
+                lbs_parts.append(np.zeros(len(rows), dtype=np.float64))
+            rows_parts.append(rows)
+        if not rows_parts:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float64))
+        return np.concatenate(rows_parts), np.concatenate(lbs_parts)
+
+    def _scan_top(self, qd: np.ndarray | None, qsig: np.ndarray | None,
+                  m_bound: int, m_vote: int, scan_workers: int | None
+                  ) -> tuple[tuple | None, tuple | None]:
+        if scan_workers is not None and scan_workers > 1:
+            result = self._scan_top_parallel(qd, qsig, m_bound, m_vote,
+                                             scan_workers)
+            if result is not None:
+                return result
+        bound = vote = None
+        for rows, ids, pd, sig in self._iter_blocks():
+            b, v, _ = _block_winners(rows, ids, pd, sig, qd, qsig,
+                                     m_bound, m_vote)
+            if b is not None:
+                bound = _merge_top(m_bound, bound, b)
+            if v is not None:
+                vote = _merge_top(m_vote, vote, v)
+        return bound, vote
+
+    def _scan_top_parallel(self, qd: np.ndarray | None,
+                           qsig: np.ndarray | None, m_bound: int,
+                           m_vote: int, workers: int
+                           ) -> tuple[tuple | None, tuple | None] | None:
+        """Fan the base block scan across processes (mmap sketches only).
+
+        Each worker reopens the sketch columns from ``_scan_paths`` as
+        its own mmap — no corpus-sized pickling.  Tail rows (adds since
+        attachment) are folded in serially; returns None (caller falls
+        back to the serial scan) when the sketch is not store-attached.
+        """
+        from repro.parallel import chunk_bounds, ordered_chunk_map
+
+        paths = self._scan_paths
+        n_base = len(self._ids)
+        if paths is None or n_base == 0:
+            return None
+        dead_packed = None
+        if self._n_dead and bool(self._dead[:n_base].any()):
+            dead_packed = np.packbits(self._dead[:n_base])
+        payload = {
+            "pivot_dists": paths["pivot_dists"],
+            "sig": paths["sig"],
+            "rows": n_base,
+            "qd": qd,
+            "qsig": qsig,
+            "m_bound": m_bound,
+            "m_vote": m_vote,
+            "block": self.config.block_rows,
+            "dead": dead_packed,
+        }
+        # A few coarse ranges per worker: each pool task merges its
+        # blocks locally so only winner tuples travel back.
+        ranges = chunk_bounds(n_base, workers * 2)
+        bound = vote = None
+        for b, v in ordered_chunk_map(partial(_scan_ranges, payload),
+                                      ranges, workers=workers):
+            if b is not None:
+                bound = _merge_top(m_bound, bound, b)
+            if v is not None:
+                vote = _merge_top(m_vote, vote, v)
+        for rows, ids, pd, sig in self._iter_part_blocks(
+                n_base, self._tail_ids, self._tail_pd, self._tail_sig):
+            b, v, _ = _block_winners(rows, ids, pd, sig, qd, qsig,
+                                     m_bound, m_vote)
+            if b is not None:
+                bound = _merge_top(m_bound, bound, b)
+            if v is not None:
+                vote = _merge_top(m_vote, vote, v)
+        return bound, vote
 
 
 def approx_knn(sketch: SketchIndex, distance,
                query: ObjectGraph | np.ndarray, k: int, search_budget: int,
-               executor: Any = None
+               executor: Any = None, scan_workers: int | None = None
                ) -> list[tuple[float, ObjectGraph, Any]]:
     """Two-stage approximate k-NN over a :class:`SketchIndex`.
 
@@ -361,7 +893,8 @@ def approx_knn(sketch: SketchIndex, distance,
     len(sketch) + num_pivots`` the search degenerates to an exact full
     scan: every row is shortlisted and pruning is bound-exact.  Hits are
     ``(distance, og, clip_ref)`` sorted by ``(distance, og_id)`` — the
-    same contract as the exact paths.
+    same contract as the exact paths, and bit-identical whether the
+    sketch rows live in RAM or stream from the store's mmap columns.
     """
     if k < 1:
         raise InvalidParameterError(f"k must be >= 1, got {k}")
@@ -374,13 +907,13 @@ def approx_knn(sketch: SketchIndex, distance,
     with OBS.span("search.approx_knn", k=k, budget=search_budget) as sp:
         OBS.count("search.knn_queries")
         idx, lbs, pivot_evals = sketch.candidates(
-            distance, series, search_budget, k
+            distance, series, search_budget, k, scan_workers=scan_workers
         )
         OBS.count("search.candidates_generated", len(idx))
         # Rerank in ascending (lower bound, og_id) order: the most
         # promising candidates seed the k-th best distance early, and
         # the sorted bounds make the prune a single prefix cut.
-        order = np.lexsort((sketch.og_ids[idx], lbs))
+        order = np.lexsort((sketch.row_og_ids(idx), lbs))
         idx = idx[order]
         lbs = lbs[order]
 
@@ -408,7 +941,7 @@ def approx_knn(sketch: SketchIndex, distance,
             while stop > start and lbs[stop - 1] > bound + slack:
                 stop -= 1
             chunk = idx[start:stop]
-            items = [sketch.series[int(i)] for i in chunk]
+            items = [sketch.row_series(int(i)) for i in chunk]
             if executor is not None:
                 dists = executor.one_vs_many(distance, series, items)
             else:
@@ -416,7 +949,7 @@ def approx_knn(sketch: SketchIndex, distance,
             evaluated += len(chunk)
             for i, d in zip(chunk, dists):
                 d = float(d)
-                og, ref = sketch.records[int(i)]
+                og, ref = sketch.row_record(int(i))
                 if (d, og.og_id) < kth():
                     _insort(best, (d, og, ref))
                     if len(best) > k:
@@ -457,10 +990,13 @@ def sketch_from_meta(meta_json: str) -> SketchIndex:
     """Empty :class:`SketchIndex` restored from :func:`sketch_meta_json`.
 
     The caller fills pivots and rows (see
-    :mod:`repro.storage.serialize`).
+    :mod:`repro.storage.serialize`).  Metas written before the blocked
+    scan lack ``block_rows`` and get the default.
     """
     meta = json.loads(meta_json)
-    sketch = SketchIndex(SketchConfig(**meta["config"]))
+    cfg = dict(meta["config"])
+    cfg.setdefault("block_rows", SketchConfig.block_rows)
+    sketch = SketchIndex(SketchConfig(**cfg))
     if meta.get("bbox_lo") is not None:
         sketch.bbox = (
             np.asarray(meta["bbox_lo"], dtype=np.float64),

@@ -350,6 +350,38 @@ class ColumnarStore:
                 ) from exc
         return arrays
 
+    def _load_columns(self, segment: dict[str, Any],
+                      names: Sequence[str], mmap: bool
+                      ) -> dict[str, np.ndarray]:
+        """Load specific columns of one segment (not the whole directory).
+
+        The row-addressed read path uses this so touching one row never
+        materializes unrelated columns: with ``mmap=True`` each file is
+        opened as a read-only view, with ``mmap=False`` only the named
+        columns are copied into RAM.
+        """
+        directory = os.path.join(self.path, segment["name"])
+        mode = "r" if mmap else None
+        out: dict[str, np.ndarray] = {}
+        for name in names:
+            filename = f"{name}.npy"
+            if filename not in segment["files"]:
+                raise IndexCorruptionError(
+                    f"segment {segment['name']} of {self.path} has no "
+                    f"column {filename}",
+                    details={"path": directory, "column": filename},
+                )
+            target = os.path.join(directory, filename)
+            try:
+                out[name] = np.load(target, mmap_mode=mode,
+                                    allow_pickle=False)
+            except (OSError, ValueError, EOFError) as exc:
+                raise IndexCorruptionError(
+                    f"corrupt store file {target}: {exc}",
+                    details={"path": target, "cause": type(exc).__name__},
+                ) from exc
+        return out
+
     def _read_segment_meta(self, segment: dict[str, Any]) -> dict[str, Any]:
         target = os.path.join(self.path, segment["name"], "meta.json")
         try:
@@ -672,6 +704,167 @@ class ColumnarStore:
         self._reset_rows()
         return index
 
+    # -- row-addressed reads + out-of-core sketch --------------------------
+
+    def row_reader(self, mmap: bool = True) -> "ColumnarRowReader":
+        """Row-addressed reads over the committed store (no tree load).
+
+        Resolves global row ordinals to zero-copy offsets-table slices
+        of the (optionally mmap'd) segment columns — see
+        :class:`ColumnarRowReader`.  Sharded stores have no global row
+        space; open the shard stores individually.
+        """
+        manifest = self._read_manifest()
+        self._check_sizes(manifest)
+        if manifest["kind"] != _KIND_INDEX:
+            raise StorageError(
+                f"sharded store {self.path} has no global row space; "
+                "open the shard stores individually")
+        return ColumnarRowReader(self, manifest, mmap)
+
+    def load_sketch(self, distance: Any = None, mmap: bool = True) -> Any:
+        """Attach the persisted sketch tier straight from store columns.
+
+        The out-of-core approximate search entry point: returns a
+        store-attached ``SketchIndex`` whose base arrays are zero-copy
+        (optionally mmap) views of the base segment's ``sketch_*``
+        columns, with ``(og, clip_ref)`` records materialized lazily
+        through the row-addressed read path — no tree, no O(corpus)
+        resident memory.  Row ordinals double as og_ids, which keeps
+        rerank tie-breaking bit-identical to the materialized index
+        (fresh og_ids there are minted in the same row order).
+
+        Delta segments replay through ``sketch.add``/``sketch.remove``
+        (recomputing pivot distances with ``distance`` — default: the
+        stored config's ``MetricEGED``) into the sketch's in-RAM tail,
+        and the result is cross-checked against the committed tombstone
+        bitmap.  Returns ``None`` when the store holds no persisted
+        sketch (callers fall back to materializing the index); raises
+        ``StorageError`` for sharded stores.
+        """
+        from repro.distance.eged import MetricEGED
+        from repro.search.sketch import LazyRows, sketch_from_meta
+
+        with OBS.span("storage.columnar.load_sketch", mmap=mmap):
+            manifest = self._read_manifest()
+            self._check_sizes(manifest)
+            if manifest["kind"] != _KIND_INDEX:
+                raise StorageError(
+                    f"sharded store {self.path} has no single sketch "
+                    "tier; open the shard stores individually")
+            segments = manifest["segments"]
+            if not segments or segments[0].get("kind") != "base":
+                raise IndexCorruptionError(
+                    f"store {self.path} has no base segment",
+                    details={"path": self.path,
+                             "segments": [s["name"] for s in segments]},
+                )
+            base = segments[0]
+            meta = self._read_segment_meta(base)
+            sketch_meta = meta.get("sketch_meta")
+            if sketch_meta is None:
+                return None
+            base_rows = int(base["rows"])
+            try:
+                sketch = sketch_from_meta(sketch_meta)
+            except (KeyError, ValueError, TypeError,
+                    json.JSONDecodeError) as exc:
+                raise IndexCorruptionError(
+                    f"corrupt sketch meta in {self.path}: {exc}",
+                    details={"path": self.path,
+                             "cause": type(exc).__name__},
+                ) from exc
+            pivot_cols = self._load_columns(
+                base, ("sketch_pivot_values", "sketch_pivot_offsets"),
+                mmap=False)
+            sketch.pivots = [
+                np.asarray(p, dtype=np.float64)
+                for p in _unpack_ragged(pivot_cols["sketch_pivot_values"],
+                                        pivot_cols["sketch_pivot_offsets"])
+            ]
+            cols = self._load_columns(
+                base, ("sketch_pivot_dists", "sketch_sig"), mmap)
+            pd = cols["sketch_pivot_dists"]
+            sig = cols["sketch_sig"]
+            if (pd.shape != (base_rows, len(sketch.pivots))
+                    or sig.shape != (base_rows,
+                                     sketch.config.sig_length)):
+                raise IndexCorruptionError(
+                    f"sketch columns of {self.path} do not match the "
+                    f"base segment ({pd.shape}/{sig.shape} vs "
+                    f"{base_rows} rows)",
+                    details={"path": self.path, "rows": base_rows,
+                             "pivot_dists": list(pd.shape),
+                             "sig": list(sig.shape)},
+                )
+            reader = ColumnarRowReader(self, manifest, mmap)
+            seg_dir = os.path.join(self.path, base["name"])
+            sketch.attach_rows(
+                np.arange(base_rows, dtype=np.int64), pd, sig,
+                LazyRows(reader, base_rows),
+                owned=False,
+                scan_paths={
+                    "pivot_dists": os.path.join(seg_dir,
+                                                "sketch_pivot_dists.npy"),
+                    "sig": os.path.join(seg_dir, "sketch_sig.npy"),
+                },
+            )
+            if distance is None:
+                distance = MetricEGED(meta["config"]["metric_gap"])
+            next_row = base_rows
+            for segment in segments[1:]:
+                seg_meta = self._read_segment_meta(segment)
+                ins_rows: list[int] = []
+                dels: list[int] = []
+                try:
+                    for op in seg_meta["ops"]:
+                        code, operand = op[0], int(op[1])
+                        if code == "i":
+                            ins_rows.append(next_row)
+                            next_row += 1
+                        elif code == "d":
+                            dels.append(operand)
+                        else:
+                            raise ValueError(f"unknown op code {code!r}")
+                except (KeyError, ValueError, TypeError,
+                        IndexError) as exc:
+                    raise IndexCorruptionError(
+                        f"cannot replay delta segment {segment['name']} "
+                        f"of {self.path}: {exc}",
+                        details={"path": self.path,
+                                 "segment": segment["name"],
+                                 "cause": type(exc).__name__},
+                    ) from exc
+                if ins_rows:
+                    # Same-batch inserts land before the batch's deletes;
+                    # a delete can only name an already-appended row, so
+                    # batching per segment preserves the op-order state.
+                    pairs = [reader.record(row) for row in ins_rows]
+                    sketch.add(distance, [og for og, _ in pairs],
+                               [ref for _, ref in pairs])
+                for row in dels:
+                    if not sketch.remove(row):
+                        raise IndexCorruptionError(
+                            f"delta segment {segment['name']} of "
+                            f"{self.path} deletes unknown row {row}",
+                            details={"path": self.path,
+                                     "segment": segment["name"],
+                                     "row": row},
+                        )
+            live = manifest["rows_total"] - manifest["rows_dead"]
+            if next_row != manifest["rows_total"] or len(sketch) != live:
+                raise IndexCorruptionError(
+                    f"sketch replay of {self.path} disagrees with the "
+                    f"manifest ({len(sketch)} live rows vs {live})",
+                    details={"path": self.path, "live": len(sketch),
+                             "manifest": live,
+                             "rows": next_row,
+                             "rows_total": manifest["rows_total"]},
+                )
+            sketch.replay_distance = distance
+            OBS.count("storage.columnar.sketch_loads")
+            return sketch
+
     # -- incremental append -----------------------------------------------
 
     def append(self, writes: Sequence[Any]) -> str | None:
@@ -951,9 +1144,132 @@ class ColumnarStore:
         return f"ColumnarStore({self.path!r})"
 
 
+class ColumnarRowReader:
+    """Row-addressed reads over a committed index store.
+
+    Global row ordinals — base rows in leaf-iteration order, then delta
+    inserts in op order, the same numbering ``row_ordinals()`` exposes —
+    resolve to ``(segment, local row)`` via a prefix-sum binary search.
+    Series and frames come out as zero-copy offsets-table slices of the
+    (optionally mmap'd) ``og_*`` columns: touching one row faults in
+    that row's pages, never a whole segment.  Segment columns and metas
+    load lazily on first touch, so a reader over a million-row store
+    costs a few manifest stats until a row is actually read.
+
+    Records are ``ObjectGraph``s minted with ``og_id = row ordinal`` —
+    the one identity that is stable across processes — which is what
+    keeps out-of-core rerank tie-breaking bit-identical to the
+    materialized index (whose fresh og_ids are minted in the same row
+    order).
+    """
+
+    def __init__(self, store: ColumnarStore, manifest: dict[str, Any],
+                 mmap: bool = True):
+        if manifest["kind"] != _KIND_INDEX:
+            raise StorageError(
+                f"sharded store {store.path} has no global row space")
+        segments = manifest["segments"]
+        if not segments or segments[0].get("kind") != "base":
+            raise IndexCorruptionError(
+                f"store {store.path} has no base segment",
+                details={"path": store.path,
+                         "segments": [s["name"] for s in segments]},
+            )
+        self._store = store
+        self._mmap = bool(mmap)
+        self._segments = list(segments)
+        self._columns: list[dict[str, np.ndarray] | None] = (
+            [None] * len(segments))
+        self._refs: list[list | None] = [None] * len(segments)
+        starts = np.zeros(len(segments) + 1, dtype=np.int64)
+        for i, segment in enumerate(segments):
+            starts[i + 1] = starts[i] + int(segment["rows"])
+        self._starts = starts
+        self._rows_total = int(manifest["rows_total"])
+        if int(starts[-1]) != self._rows_total:
+            raise IndexCorruptionError(
+                f"segment row counts of {store.path} sum to "
+                f"{int(starts[-1])}, manifest says {self._rows_total}",
+                details={"path": store.path, "sum": int(starts[-1]),
+                         "manifest": self._rows_total},
+            )
+        self._dead = store._load_tombstones(manifest)
+
+    def __len__(self) -> int:
+        return self._rows_total
+
+    def alive_mask(self) -> np.ndarray:
+        """Boolean live-row mask over all global row ordinals."""
+        alive = np.ones(self._rows_total, dtype=bool)
+        if self._dead:
+            alive[np.fromiter(self._dead, dtype=np.int64)] = False
+        return alive
+
+    def is_alive(self, row: int) -> bool:
+        return int(row) not in self._dead
+
+    def _locate(self, row: int) -> tuple[int, int]:
+        if not 0 <= row < self._rows_total:
+            raise InvalidParameterError(
+                f"row {row} out of range [0, {self._rows_total})")
+        part = int(np.searchsorted(self._starts, row, side="right")) - 1
+        return part, row - int(self._starts[part])
+
+    def _part_columns(self, part: int) -> dict[str, np.ndarray]:
+        columns = self._columns[part]
+        if columns is None:
+            columns = self._store._load_columns(
+                self._segments[part],
+                ("og_values", "og_offsets", "og_frames", "og_labels"),
+                self._mmap,
+            )
+            self._columns[part] = columns
+        return columns
+
+    def _part_refs(self, part: int) -> list:
+        refs = self._refs[part]
+        if refs is None:
+            meta = self._store._read_segment_meta(self._segments[part])
+            refs = meta.get("refs") or []
+            self._refs[part] = refs
+        return refs
+
+    def series(self, row: int) -> np.ndarray:
+        """Zero-copy ``(n, d)`` float64 trajectory slice of one row."""
+        part, local = self._locate(int(row))
+        columns = self._part_columns(part)
+        offsets = columns["og_offsets"]
+        lo, hi = int(offsets[local]), int(offsets[local + 1])
+        return columns["og_values"][lo:hi]
+
+    def record(self, row: int) -> tuple[Any, Any]:
+        """``(og, clip_ref)`` of one row, ``og_id`` = the row ordinal."""
+        from repro.graph.object_graph import ObjectGraph
+
+        row = int(row)
+        part, local = self._locate(row)
+        columns = self._part_columns(part)
+        offsets = columns["og_offsets"]
+        lo, hi = int(offsets[local]), int(offsets[local + 1])
+        frames = None
+        frames_flat = columns["og_frames"]
+        if frames_flat.shape[0] == int(offsets[-1]):
+            frames = frames_flat[lo:hi]
+        label = int(columns["og_labels"][local])
+        refs = self._part_refs(part)
+        og = ObjectGraph(
+            values=columns["og_values"][lo:hi],
+            frames=frames,
+            label=None if label < 0 else label,
+            og_id=row,
+        )
+        return og, (refs[local] if local < len(refs) else None)
+
+
 __all__ = [
     "COLUMNAR_FORMAT",
     "COLUMNAR_VERSION",
+    "ColumnarRowReader",
     "ColumnarStore",
     "columnar_path",
     "is_columnar_store",

@@ -105,6 +105,13 @@ class VideoDatabase:
         self._journal = (IngestJournal(journal_path)
                          if journal_path is not None else None)
         self.recovery: RecoveryReport | None = None
+        #: Store backing a lazy (mmap) open — lets budgeted queries run
+        #: against the out-of-core sketch tier without ever
+        #: materializing the tree.  ``_ooc_sketch`` caches the attached
+        #: sketch (``False`` once probing found none).
+        self._store = None
+        self._store_mmap = False
+        self._ooc_sketch: Any = None
         #: Default snapshot location used by :meth:`save`; set by
         #: :func:`repro.open_database`, :meth:`load` and :meth:`recover`.
         self.path: str | None = None
@@ -376,6 +383,22 @@ class VideoDatabase:
         """
         if k == 0:
             return []
+        if search_budget is not None and not self.index_loaded:
+            # Lazy mmap open + budgeted query: stream the sketch tier
+            # straight from the store's columns.  Results are
+            # bit-identical to the materialized index's budgeted path,
+            # but resident memory stays O(shortlist) instead of
+            # O(corpus) — the tree is never built.
+            sketch = self._ooc_sketch_tier()
+            if sketch is not None:
+                from repro.search.sketch import approx_knn
+
+                og = (example if isinstance(example, ObjectGraph)
+                      else ObjectGraph.from_values(
+                          np.asarray(example, dtype=float)))
+                hits = approx_knn(sketch, sketch.replay_distance, og, k,
+                                  search_budget)
+                return [QueryHit(d, match, ref) for d, match, ref in hits]
         self._require_index()
         og = (example if isinstance(example, ObjectGraph)
               else ObjectGraph.from_values(np.asarray(example, dtype=float)))
@@ -491,6 +514,35 @@ class VideoDatabase:
         if self.index is None or len(self.index) == 0:
             raise IndexStateError("database is empty; ingest video first")
 
+    def _ooc_sketch_tier(self):
+        """Store-attached sketch for budgeted queries on a lazy open.
+
+        Returns the cached out-of-core :class:`SketchIndex`, probing
+        the backing store once; ``None`` when unavailable (no columnar
+        store, no persisted sketch, sharded store, corruption) — the
+        caller then materializes the index and uses the classic path.
+        """
+        if self._ooc_sketch is not None:
+            return self._ooc_sketch or None
+        store = self._store
+        if (store is None or not self._store_mmap
+                or not hasattr(store, "load_sketch")):
+            self._ooc_sketch = False
+            return None
+        try:
+            sketch = store.load_sketch(mmap=True)
+        except StorageError as exc:
+            logger.info(
+                "out-of-core sketch unavailable for %s (%s: %s); "
+                "budgeted queries will materialize the index",
+                store.path, type(exc).__name__, exc)
+            sketch = None
+        if sketch is None or len(sketch) == 0:
+            self._ooc_sketch = False
+            return None
+        self._ooc_sketch = sketch
+        return sketch
+
     # -- introspection / persistence -----------------------------------------------
 
     def stats(self) -> dict[str, Any]:
@@ -573,7 +625,12 @@ class VideoDatabase:
         with a pointer at ``repro convert``); ``"auto"`` maps when the
         format supports it.  ``lazy=True`` defers tree materialization
         until :attr:`index` is first touched, making the open itself
-        O(1).  ``**kwargs`` are the constructor's resilience options
+        O(1).  With ``lazy=True`` and mmap enabled on a columnar store,
+        budgeted queries (``knn(..., search_budget=N)``) run fully
+        out-of-core: the sketch tier streams from the store's mmap'd
+        columns and only the shortlist's series are fetched, so the
+        tree is never built (see ``docs/SEARCH.md``).
+        ``**kwargs`` are the constructor's resilience options
         (``fault_policy``, ``retry_policy``, ``journal_path``, ...).
         """
         db = cls(config, **kwargs)
@@ -593,6 +650,8 @@ class VideoDatabase:
 
         if lazy:
             db._index_loader = materialize
+            db._store = store
+            db._store_mmap = use_mmap
         else:
             db.index = materialize()
         db._ingested.append(f"loaded:{os.fspath(path)}")

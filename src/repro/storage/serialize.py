@@ -326,8 +326,7 @@ def _unpack_sketch(data, sketch_meta: str, index: STRGIndex,
     the payload logs a warning and returns ``None`` (the lazy
     rebuild-on-demand fallback), never a corrupt sketch.
     """
-    from repro.distance.base import as_series
-    from repro.search.sketch import sketch_from_meta
+    from repro.search.sketch import _EagerRows, sketch_from_meta
 
     try:
         sketch = sketch_from_meta(sketch_meta)
@@ -352,12 +351,12 @@ def _unpack_sketch(data, sketch_meta: str, index: STRGIndex,
             "sketch tier will be rebuilt on first budgeted query",
             os.fspath(path), type(exc).__name__, exc)
         return None
-    sketch.records = list(loaded)
-    sketch.series = [as_series(og) for og, _ in loaded]
-    sketch.og_ids = np.array([og.og_id for og, _ in loaded],
-                             dtype=np.int64)
-    sketch.pivot_dists = pivot_dists
-    sketch.sig = sig
+    # The arrays may be zero-copy views over an mmap'd archive; the
+    # tree's OG objects are already materialized, so rows stay eager
+    # (owned: later inserts grow the arrays with RAM semantics).
+    og_ids = np.array([og.og_id for og, _ in loaded], dtype=np.int64)
+    sketch.attach_rows(og_ids, pivot_dists, sig, _EagerRows(list(loaded)),
+                       owned=True)
     return sketch
 
 

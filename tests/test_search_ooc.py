@@ -1,0 +1,490 @@
+"""Out-of-core approximate search (blocked scan + store-streamed sketch).
+
+The load-bearing claims, each enforced bit-exactly (floats compared
+with ``==``, orders compared as lists):
+
+- the blocked candidate scan equals the monolithic global-lexsort
+  shortlist at *any* block size (property-tested at 1, 7, 64, n);
+- ``knn(search_budget=N)`` is bit-identical between in-RAM and mmap
+  sketch modes at every layer — SketchIndex, ColumnarStore.load_sketch,
+  VideoDatabase (sketch-only path, tree never built), ShardedIndex at
+  1/2/4 shards, and the PR 9 worker pool;
+- tombstoned deletion equals eager physical deletion under interleaved
+  add/remove;
+- the row-addressed reader returns the same records the materialized
+  index holds, without loading whole segments.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import STRGIndex, STRGIndexConfig
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_ogs
+from repro.distance.base import as_series
+from repro.distance.batch import one_vs_many
+from repro.distance.bounds import pivot_lower_bounds
+from repro.distance.eged import MetricEGED
+from repro.errors import InvalidParameterError, StorageError
+from repro.graph.object_graph import ObjectGraph
+from repro.search import SketchConfig, SketchIndex, approx_knn
+from repro.serving import ShardedIndex, ShardedIndexConfig
+from repro.storage.columnar import ColumnarStore
+from repro.storage.database import VideoDatabase
+
+
+def corpus(n=120, seed=0):
+    return generate_synthetic_ogs(SyntheticConfig(num_ogs=n, seed=seed))
+
+
+def built_sketch(ogs, distance, **cfg):
+    refs = [f"clip-{i}" for i in range(len(ogs))]
+    return SketchIndex.build(distance, ogs, refs,
+                             SketchConfig(**cfg))
+
+
+def hit_sig(hits):
+    """Process-portable hit signature: exact distances + clip refs."""
+    return [(float(d), ref) for d, _og, ref in hits]
+
+
+def db_sig(hits):
+    return [(float(h.distance), h.clip_ref) for h in hits]
+
+
+def monolithic_candidates(sketch, distance, series, budget, k):
+    """The pre-blocked-scan algorithm: one global lexsort per channel.
+
+    Reimplemented over the sketch's live arrays as the oracle the
+    blocked scan must match row-for-row (valid whenever the sketch has
+    no tombstones, so raw rows == live rows).
+    """
+    assert sketch.dead_rows == 0
+    og_ids = np.asarray(sketch.og_ids)
+    pd = np.asarray(sketch.pivot_dists)
+    sig = np.asarray(sketch.sig)
+    n = len(og_ids)
+    pivot_evals = len(sketch.pivots)
+    qd = (np.asarray(one_vs_many(distance, series, sketch.pivots),
+                     dtype=np.float64) if pivot_evals else None)
+    if qd is not None and pd.shape[1]:
+        lbs = pivot_lower_bounds(qd, pd)
+    else:
+        lbs = np.zeros(n, dtype=np.float64)
+    shortlist = max(k, budget - pivot_evals)
+    if shortlist >= n:
+        rows = np.arange(n, dtype=np.int64)
+        return rows, lbs, pivot_evals
+    n_vote = min(shortlist, int(round(shortlist * sketch.config.vote_share)))
+    n_bound = shortlist - n_vote
+    chosen = [int(i) for i in np.lexsort((og_ids, lbs))[:n_bound]]
+    taken = set(chosen)
+    if n_vote:
+        qsig = sketch.signature(series)
+        votes = (sig == qsig).sum(axis=1)
+        for i in np.lexsort((og_ids, lbs, -votes)):
+            if len(chosen) >= shortlist:
+                break
+            if int(i) not in taken:
+                chosen.append(int(i))
+                taken.add(int(i))
+    rows = np.array(sorted(chosen), dtype=np.int64)
+    return rows, lbs[rows], pivot_evals
+
+
+class TestBlockedScanParity:
+    @pytest.mark.parametrize("block_rows", [1, 7, 64, None])
+    def test_matches_monolithic_oracle(self, block_rows):
+        distance = MetricEGED(1.0)
+        ogs = corpus(90, seed=3)
+        sketch = built_sketch(ogs, distance)
+        n = len(sketch)
+        sketch.config.block_rows = n if block_rows is None else block_rows
+        for q in corpus(4, seed=91):
+            series = as_series(q)
+            for budget, k in ((20, 5), (45, 3), (n + 100, 5), (8, 7)):
+                got = sketch.candidates(distance, series, budget, k)
+                want = monolithic_candidates(sketch, distance, series,
+                                             budget, k)
+                assert np.array_equal(got[0], want[0])
+                assert got[1].tolist() == want[1].tolist()
+                assert got[2] == want[2]
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10**6), budget=st.integers(1, 200),
+           vote_share=st.sampled_from([0.0, 0.25, 0.6, 1.0]))
+    def test_property_block_size_invariance(self, seed, budget, vote_share):
+        distance = MetricEGED(1.0)
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 60))
+        ogs = corpus(n, seed=seed % 997)
+        sketch = built_sketch(ogs, distance, vote_share=vote_share,
+                              num_pivots=int(rng.integers(1, 5)))
+        series = as_series(corpus(1, seed=seed % 991)[0])
+        results = []
+        for block in (1, 7, 64, len(sketch)):
+            sketch.config.block_rows = max(1, block)
+            idx, lbs, evals = sketch.candidates(distance, series, budget, 5)
+            results.append((idx.tolist(), lbs.tolist(), evals))
+        assert all(r == results[0] for r in results[1:])
+        oracle = monolithic_candidates(sketch, distance, series, budget, 5)
+        assert results[0] == (oracle[0].tolist(), oracle[1].tolist(),
+                              oracle[2])
+
+    def test_block_rows_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SketchConfig(block_rows=0)
+        assert SketchConfig().to_dict()["block_rows"] >= 1
+
+
+class TestTombstoneParity:
+    def interleave(self, sketch, distance, extra, victims, *, eager):
+        """Apply the same add/remove schedule, compacting iff eager."""
+        for i, og in enumerate(extra):
+            sketch.add(distance, [og], [f"extra-{i}"])
+            if i < len(victims):
+                assert sketch.remove(victims[i])
+                if eager:
+                    assert sketch.compact_tombstones()
+
+    def test_tombstones_equal_eager_deletion(self):
+        distance = MetricEGED(1.0)
+        ogs = corpus(80, seed=5)
+        extra = corpus(12, seed=55)
+        lazy = built_sketch(ogs, distance)
+        eager = built_sketch(ogs, distance)
+        victims = [ogs[j].og_id for j in (3, 17, 44, 8, 60, 21)]
+        self.interleave(lazy, distance, extra, victims, eager=False)
+        self.interleave(eager, distance, extra, victims, eager=True)
+        assert lazy.dead_rows == len(victims)
+        assert eager.dead_rows == 0
+        assert len(lazy) == len(eager)
+        assert lazy.og_ids.tolist() == eager.og_ids.tolist()
+        assert lazy.pivot_dists.tolist() == eager.pivot_dists.tolist()
+        assert lazy.sig.tolist() == eager.sig.tolist()
+        for q in corpus(3, seed=77):
+            got = approx_knn(lazy, distance, q, 5, 40)
+            want = approx_knn(eager, distance, q, 5, 40)
+            assert hit_sig(got) == hit_sig(want)
+            assert [og.og_id for _, og, _ in got] \
+                == [og.og_id for _, og, _ in want]
+
+    def test_owned_sketch_autocompacts_past_threshold(self):
+        from repro.search import sketch as sketch_mod
+
+        distance = MetricEGED(1.0)
+        ogs = corpus(24, seed=9)
+        sketch = built_sketch(ogs, distance)
+        threshold = sketch_mod.TOMBSTONE_COMPACT_MIN
+        try:
+            sketch_mod.TOMBSTONE_COMPACT_MIN = 4
+            # Compaction needs both the count floor AND the dead
+            # fraction (25% of 24 rows = 6).
+            for og in ogs[:5]:
+                assert sketch.remove(og.og_id)
+            assert sketch.dead_rows == 5
+            assert sketch.remove(ogs[5].og_id)
+            assert sketch.dead_rows == 0  # compacted in place
+            assert len(sketch) == len(ogs) - 6
+        finally:
+            sketch_mod.TOMBSTONE_COMPACT_MIN = threshold
+
+    def test_remove_missing_and_double_remove(self):
+        distance = MetricEGED(1.0)
+        ogs = corpus(10, seed=1)
+        sketch = built_sketch(ogs, distance)
+        assert not sketch.remove(10**9)
+        assert sketch.remove(ogs[4].og_id)
+        assert not sketch.remove(ogs[4].og_id)
+        assert len(sketch) == len(ogs) - 1
+
+
+def store_with_sketch(tmp_path, ogs, name="corpus", shards=None):
+    """Columnar snapshot whose sketch tier was built before saving."""
+    if shards is None:
+        index = STRGIndex(STRGIndexConfig(n_clusters=4))
+    else:
+        index = ShardedIndex(ShardedIndexConfig(
+            num_shards=shards, index=STRGIndexConfig(n_clusters=4)))
+    index.build(ogs, clip_refs=[f"clip-{i}" for i in range(len(ogs))])
+    index.knn(ogs[0], 3, search_budget=24)  # builds + persists the sketch
+    store = ColumnarStore(tmp_path / name)
+    store.write_index(index)
+    return store, index
+
+
+class TestStoreAttachedSketch:
+    def test_load_sketch_matches_materialized_index(self, tmp_path):
+        ogs = corpus(100, seed=11)
+        store, index = store_with_sketch(tmp_path, ogs)
+        sketch = store.load_sketch(mmap=True)
+        assert sketch is not None and len(sketch) == len(ogs)
+        for q in corpus(4, seed=19):
+            ooc = approx_knn(sketch, sketch.replay_distance, q, 5, 30)
+            assert hit_sig(ooc) == hit_sig(index.knn(q, 5, search_budget=30))
+
+    def test_mmap_and_ram_sketches_bit_identical(self, tmp_path):
+        ogs = corpus(100, seed=11)
+        store, _ = store_with_sketch(tmp_path, ogs)
+        mm = store.load_sketch(mmap=True)
+        ram = store.load_sketch(mmap=False)
+        assert np.array_equal(mm.pivot_dists, ram.pivot_dists)
+        assert np.array_equal(mm.sig, ram.sig)
+        for q in corpus(3, seed=23):
+            assert hit_sig(approx_knn(mm, mm.replay_distance, q, 5, 28)) \
+                == hit_sig(approx_knn(ram, ram.replay_distance, q, 5, 28))
+
+    def test_delta_replay_and_tombstones(self, tmp_path):
+        from repro.serving.snapshot import _BufferedWrite
+
+        ogs = corpus(60, seed=31)
+        store, index = store_with_sketch(tmp_path, ogs, name="delta")
+        extra = corpus(8, seed=41)
+        writes = [_BufferedWrite("insert", og=og, clip_ref=f"x-{i}")
+                  for i, og in enumerate(extra)]
+        writes.append(_BufferedWrite("delete", og_id=ogs[5].og_id))
+        writes.append(_BufferedWrite("delete", og_id=ogs[20].og_id))
+        for write in writes:
+            if write.op == "insert":
+                index.insert(write.og, None, write.clip_ref)
+            else:
+                index.delete(write.og_id)
+        assert store.append(writes) is not None
+        sketch = store.load_sketch(mmap=True)
+        assert len(sketch) == len(index)
+        assert sketch.dead_rows == 2
+        for q in extra[:2] + ogs[:2]:
+            assert hit_sig(approx_knn(sketch, sketch.replay_distance,
+                                      q, 5, 30)) \
+                == hit_sig(index.knn(q, 5, search_budget=30))
+
+    def test_live_adds_go_to_tail_not_mmap_base(self, tmp_path):
+        ogs = corpus(40, seed=51)
+        store, _ = store_with_sketch(tmp_path, ogs, name="tail")
+        sketch = store.load_sketch(mmap=True)
+        base = sketch._pd
+        extra = corpus(3, seed=52)
+        sketch.add(sketch.replay_distance, extra, ["a", "b", "c"])
+        assert sketch._pd is base  # mmap base untouched by the add
+        assert len(sketch) == len(ogs) + 3
+        got = approx_knn(sketch, sketch.replay_distance, extra[0], 1,
+                         len(sketch) + 20)
+        assert got[0][2] == "a"
+
+    def test_store_without_sketch_returns_none(self, tmp_path):
+        index = STRGIndex(STRGIndexConfig(n_clusters=3))
+        index.build(corpus(30, seed=61))  # no budgeted query -> no sketch
+        store = ColumnarStore(tmp_path / "bare")
+        store.write_index(index)
+        assert store.load_sketch() is None
+
+    def test_sharded_store_raises(self, tmp_path):
+        ogs = corpus(40, seed=71)
+        store, _ = store_with_sketch(tmp_path, ogs, name="sh", shards=2)
+        with pytest.raises(StorageError):
+            store.load_sketch()
+        with pytest.raises(StorageError):
+            store.row_reader()
+
+    def test_parallel_scan_matches_serial(self, tmp_path):
+        ogs = corpus(120, seed=81)
+        store, _ = store_with_sketch(tmp_path, ogs, name="par")
+        sketch = store.load_sketch(mmap=True)
+        sketch.config.block_rows = 16
+        distance = sketch.replay_distance
+        for q in corpus(2, seed=83):
+            serial = approx_knn(sketch, distance, q, 5, 30)
+            fanned = approx_knn(sketch, distance, q, 5, 30, scan_workers=2)
+            assert hit_sig(serial) == hit_sig(fanned)
+
+    def test_parallel_scan_with_tail_and_tombstones(self, tmp_path):
+        ogs = corpus(90, seed=85)
+        store, _ = store_with_sketch(tmp_path, ogs, name="part")
+        sketch = store.load_sketch(mmap=True)
+        sketch.config.block_rows = 8
+        distance = sketch.replay_distance
+        sketch.add(distance, corpus(5, seed=86), list("abcde"))
+        for row in (2, 30, 77):
+            assert sketch.remove(row)  # og_id == row ordinal here
+        q = corpus(1, seed=87)[0]
+        assert hit_sig(approx_knn(sketch, distance, q, 5, 26)) \
+            == hit_sig(approx_knn(sketch, distance, q, 5, 26,
+                                  scan_workers=3))
+
+
+class TestRowReader:
+    def test_records_match_materialized_index(self, tmp_path):
+        ogs = corpus(50, seed=91)
+        store, index = store_with_sketch(tmp_path, ogs, name="rows")
+        reader = store.row_reader(mmap=True)
+        assert len(reader) == len(ogs)
+        ordinals = store.row_ordinals()
+        by_row = {row: og_id for og_id, row in ordinals.items()}
+        id_to_og = {og.og_id: og for og in ogs}
+        for row in (0, 1, 17, len(ogs) - 1):
+            og, ref = reader.record(row)
+            assert og.og_id == row
+            orig = id_to_og[by_row[row]]
+            assert np.array_equal(og.values, orig.values)
+            assert np.array_equal(reader.series(row), as_series(orig))
+            assert ref == f"clip-{ogs.index(orig)}"
+
+    def test_series_is_zero_copy_mmap_slice(self, tmp_path):
+        import mmap as mmap_mod
+
+        ogs = corpus(30, seed=92)
+        store, _ = store_with_sketch(tmp_path, ogs, name="zc")
+        series = store.row_reader(mmap=True).series(3)
+        base = series
+        while getattr(base, "base", None) is not None:
+            base = base.base
+        assert isinstance(base, (np.memmap, mmap_mod.mmap))
+
+    def test_bounds_and_alive_mask(self, tmp_path):
+        from repro.serving.snapshot import _BufferedWrite
+
+        ogs = corpus(20, seed=93)
+        store, index = store_with_sketch(tmp_path, ogs, name="alive")
+        store.append([_BufferedWrite("delete", og_id=ogs[4].og_id)])
+        reader = store.row_reader()
+        with pytest.raises(InvalidParameterError):
+            reader.record(-1)
+        with pytest.raises(InvalidParameterError):
+            reader.record(len(ogs))
+        mask = reader.alive_mask()
+        assert mask.sum() == len(ogs) - 1
+        dead_row = int(np.flatnonzero(~mask)[0])
+        assert not reader.is_alive(dead_row)
+        assert reader.is_alive(int(np.flatnonzero(mask)[0]))
+
+    def test_lazy_rows_lru_caches_records(self, tmp_path):
+        from repro.search.sketch import LazyRows
+
+        ogs = corpus(25, seed=94)
+        store, _ = store_with_sketch(tmp_path, ogs, name="lru")
+        rows = LazyRows(store.row_reader(), len(ogs), cache_size=2)
+        first = rows.record(0)
+        assert rows.record(0) is first          # cache hit
+        rows.record(1), rows.record(2)          # evicts row 0
+        assert rows.record(0) is not first      # refetched, equal content
+        assert np.array_equal(rows.record(0)[0].values, first[0].values)
+        with pytest.raises(InvalidParameterError):
+            rows.compact(np.arange(3))
+
+
+class TestDatabaseOutOfCore:
+    def make_db(self, tmp_path, n=90, budgeted=True):
+        ogs = corpus(n, seed=13)
+        db = VideoDatabase()
+        db.ingest_object_graphs(ogs)
+        if budgeted:
+            db.knn(ogs[0], 3, search_budget=24)  # persistable sketch
+        db.save(tmp_path / "db", format="columnar")
+        return db, ogs
+
+    def test_budgeted_knn_never_builds_the_tree(self, tmp_path):
+        import repro
+
+        db, ogs = self.make_db(tmp_path)
+        want = [db_sig(db.knn(q, 5, search_budget=30)) for q in ogs[:4]]
+        opened = repro.open_database(tmp_path / "db", create=False)
+        assert not opened.index_loaded
+        got = [db_sig(opened.knn(q, 5, search_budget=30)) for q in ogs[:4]]
+        assert not opened.index_loaded
+        assert got == want
+        # Exact queries still materialize; budgeted queries then route
+        # through the index and keep answering identically.
+        exact = db_sig(opened.knn(ogs[0], 5))
+        assert opened.index_loaded
+        assert exact == db_sig(db.knn(ogs[0], 5))
+        assert db_sig(opened.knn(ogs[1], 5, search_budget=30)) == want[1]
+
+    def test_snapshot_without_sketch_falls_back(self, tmp_path):
+        import repro
+
+        db, ogs = self.make_db(tmp_path, budgeted=False)
+        opened = repro.open_database(tmp_path / "db", create=False)
+        assert not opened.index_loaded
+        got = db_sig(opened.knn(ogs[0], 5, search_budget=30))
+        assert opened.index_loaded  # fell back to materialization
+        assert got == db_sig(db.knn(ogs[0], 5, search_budget=30))
+
+    def test_mmap_never_stays_in_ram(self, tmp_path):
+        import repro
+
+        db, ogs = self.make_db(tmp_path)
+        opened = repro.open_database(tmp_path / "db", create=False,
+                                     mmap=False)
+        assert opened.index_loaded  # eager load, no OOC path
+        assert db_sig(opened.knn(ogs[0], 5, search_budget=30)) \
+            == db_sig(db.knn(ogs[0], 5, search_budget=30))
+
+
+class TestShardedMmapParity:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_mmap_vs_ram_bit_identity(self, tmp_path, shards):
+        ogs = corpus(80, seed=17)
+        store, index = store_with_sketch(
+            tmp_path, ogs, name=f"s{shards}",
+            shards=None if shards == 1 else shards)
+        mm = store.load_index(mmap=True)
+        ram = store.load_index(mmap=False)
+        for q in corpus(3, seed=29):
+            live = hit_sig(index.knn(q, 5, search_budget=26))
+            assert hit_sig(mm.knn(q, 5, search_budget=26)) == live
+            assert hit_sig(ram.knn(q, 5, search_budget=26)) == live
+
+
+class TestWorkerPoolOutOfCore:
+    def test_mmap_pool_matches_in_ram_pool(self, tmp_path):
+        from repro.serving import WorkerPool, WorkerPoolConfig
+
+        ogs = corpus(48, seed=37)
+        store, index = store_with_sketch(tmp_path, ogs, name="pool",
+                                         shards=2)
+        queries = corpus(2, seed=43)
+        want = [hit_sig(index.knn(q, 4, search_budget=22)) for q in queries]
+
+        def pool_sig(mmap):
+            cfg = WorkerPoolConfig(workers=2, mmap=mmap)
+            with WorkerPool(store.path, cfg) as pool:
+                return [[(float(h.distance), h.clip_ref)
+                         for h in pool.knn(q, 4, search_budget=22).hits]
+                        for q in queries]
+
+        assert pool_sig(True) == want
+        assert pool_sig(False) == want
+
+
+class TestCliMmapFlag:
+    def test_query_mmap_modes(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.datasets.patterns import pattern_by_id
+
+        db = VideoDatabase()
+        ogs = corpus(60, seed=47)
+        db.ingest_object_graphs(ogs)
+        db.knn(pattern_by_id(0).generate(32), 3, search_budget=24)
+        db.save(tmp_path / "db", format="columnar")
+        path = str(tmp_path / "db.strg")
+
+        def hit_lines(out):
+            # og_ids are process-local (row ordinals vs minted ids), so
+            # compare the portable fields: distance and clip ref.
+            return [(line.split()[0], line.split()[-1])
+                    for line in out.splitlines() if "d=" in line]
+
+        assert main(["query", path, "-k", "3", "--search-budget", "24",
+                     "--mmap", "auto"]) == 0
+        ooc = capsys.readouterr().out
+        assert "out-of-core" in ooc
+        assert main(["query", path, "-k", "3", "--search-budget", "24",
+                     "--mmap", "never"]) == 0
+        eager = capsys.readouterr().out
+        assert "out-of-core" not in eager
+        assert hit_lines(ooc) == hit_lines(eager)
